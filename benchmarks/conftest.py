@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one experiment row of DESIGN.md's index and
+*asserts the paper-level claim* before timing anything, so
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction check.
+Experiment tables are printed (visible with ``-s`` or on failure); the
+timed section is always the core operation the experiment is about.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Cache of experiment reports shared across benchmark files."""
+    from repro.experiments import EXPERIMENTS
+
+    cache = {}
+
+    def get(experiment_id: str):
+        if experiment_id not in cache:
+            cache[experiment_id] = EXPERIMENTS[experiment_id]()
+        return cache[experiment_id]
+
+    return get

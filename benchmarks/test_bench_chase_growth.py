@@ -1,0 +1,36 @@
+"""E11 — chase growth vs level bound, and the D1 restricted/oblivious ablation."""
+
+import pytest
+
+from repro.chase.engine import chase
+from repro.workloads import EXAMPLE2_QUERY
+
+
+class TestChaseGrowth:
+    def test_growth_report(self, reports):
+        report = reports("E11")
+        assert report.data["linear"]
+        rows = {r["query"]: r for r in report.data["rows"]}
+        assert rows["q_presatisfied"]["oblivious"] > rows["q_presatisfied"]["restricted"]
+        print()
+        print(report.render())
+
+    @pytest.mark.parametrize("max_level", [8, 16, 24])
+    def test_chase_at_level(self, benchmark, max_level):
+        result = benchmark.pedantic(
+            chase,
+            args=(EXAMPLE2_QUERY,),
+            kwargs={"max_level": max_level},
+            rounds=3,
+            iterations=1,
+        )
+        assert not result.saturated
+        assert result.level_reached >= max_level - 1
+
+    def test_oblivious_ablation(self, benchmark):
+        def run_oblivious():
+            return chase(EXAMPLE2_QUERY, max_level=12, restricted=False)
+
+        result = benchmark(run_oblivious)
+        restricted = chase(EXAMPLE2_QUERY, max_level=12)
+        assert result.size() >= restricted.size()

@@ -1,0 +1,34 @@
+"""E4 — Figure 1: rebuild the Example-2 chase graph and time it."""
+
+from repro.chase.engine import chase
+from repro.chase.graph import ChaseGraph
+from repro.workloads import EXAMPLE2_QUERY
+
+
+class TestFigure1:
+    def test_figure1_chase_graph(self, benchmark, reports):
+        report = reports("E4")
+        assert report.data["chain_found"]
+        assert report.data["branch_found"]
+        print()
+        print(report.render())
+
+        def build():
+            result = chase(EXAMPLE2_QUERY, max_level=12, track_graph=True)
+            return ChaseGraph.from_result(result)
+
+        graph = benchmark(build)
+        assert len(graph.primary_arcs()) > 0
+        assert len(graph.secondary_arcs()) > 0
+        assert graph.max_level() >= 12
+
+    def test_figure1_graph_scales_with_level(self, benchmark):
+        """The graph at 24 levels: roughly double the conjuncts of 12."""
+
+        def build():
+            return chase(EXAMPLE2_QUERY, max_level=24, track_graph=True)
+
+        result = benchmark(build)
+        small = chase(EXAMPLE2_QUERY, max_level=12)
+        ratio = result.size() / small.size()
+        assert 1.5 <= ratio <= 2.5  # linear growth, Lemma-5 isolation

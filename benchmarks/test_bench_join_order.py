@@ -1,0 +1,39 @@
+"""E13 — design-decision D4: join-order heuristic ablation."""
+
+from repro.experiments.e13_join_order import _adversarial_chain
+from repro.flogic.kb import KnowledgeBase
+from repro.homomorphism.search import find_homomorphism
+from repro.workloads import OntologyParams, generate_ontology
+
+
+def _materialised_index():
+    ontology = generate_ontology(
+        31, OntologyParams(n_classes=12, n_objects=120, mandatory_probability=0.0)
+    )
+    kb = KnowledgeBase()
+    for atom in ontology.atoms:
+        kb.add(atom)
+    return kb.materialise()
+
+
+class TestJoinOrderAblation:
+    def test_join_order_report(self, reports):
+        report = reports("E13")
+        rows = {r["workload"]: r for r in report.data["rows"]}
+        assert rows["chain"]["ordered"] < rows["chain"]["naive"]
+        print()
+        print(report.render())
+
+    def test_ordered_join(self, benchmark):
+        index = _materialised_index()
+        chain = _adversarial_chain(7)
+        expected = find_homomorphism(chain, index, reorder=False)
+        result = benchmark(find_homomorphism, chain, index, reorder=True)
+        assert (result is None) == (expected is None)  # same verdict, faster
+
+    def test_naive_join(self, benchmark):
+        index = _materialised_index()
+        chain = _adversarial_chain(7)
+        expected = find_homomorphism(chain, index, reorder=True)
+        result = benchmark(find_homomorphism, chain, index, reorder=False)
+        assert (result is None) == (expected is None)

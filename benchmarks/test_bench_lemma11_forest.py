@@ -1,0 +1,31 @@
+"""E7 — Lemma 11 / Figures 3-4: joint folding of conjunct sets."""
+
+import random
+
+from repro.chase.engine import chase
+from repro.chase.paths import bounded_image_of_set
+from repro.workloads import EXAMPLE2_QUERY
+
+
+class TestLemma11:
+    def test_lemma11_joint_images(self, benchmark, reports):
+        report = reports("E7")
+        assert report.data["all_hold"]
+        print()
+        print(report.render())
+
+        delta = 2 * EXAMPLE2_QUERY.size
+        n = 3
+        result = chase(EXAMPLE2_QUERY, max_level=(n + 2) * delta)
+        instance = result.instance
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        rng = random.Random(7)
+        sample = rng.sample(deep, n)
+
+        def fold_set():
+            return bounded_image_of_set(instance, sample, n * delta)
+
+        found = benchmark(fold_set)
+        assert found is not None
+        _, images = found
+        assert all(instance.level_of(image) <= n * delta for image in images)

@@ -1,0 +1,23 @@
+"""E5 — Lemma 5 locality validation over the randomized corpus."""
+
+from repro.analysis.stats import check_locality
+from repro.chase.engine import chase
+from repro.chase.graph import ChaseGraph
+from repro.workloads import EXAMPLE2_QUERY
+
+
+class TestLemma5:
+    def test_lemma5_locality(self, benchmark, reports):
+        report = reports("E5")
+        assert report.data["violations"] == 0
+        assert report.data["secondary_arcs"] > 0
+        print()
+        print(report.render())
+
+        def check_one():
+            result = chase(EXAMPLE2_QUERY, max_level=10, track_graph=True)
+            graph = ChaseGraph.from_result(result)
+            return check_locality(graph)
+
+        violations = benchmark(check_one)
+        assert violations == []

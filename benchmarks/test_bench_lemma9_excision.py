@@ -1,0 +1,44 @@
+"""E6 — Lemma 9 / Figure 2: folding deep conjuncts below 2|q| levels."""
+
+from repro.chase.engine import chase
+from repro.chase.paths import bounded_image
+from repro.workloads import EXAMPLE2_QUERY
+
+
+class TestLemma9:
+    def test_lemma9_bounded_images(self, benchmark, reports):
+        report = reports("E6")
+        assert report.data["all_hold"]
+        print()
+        print(report.render())
+
+        delta = 2 * EXAMPLE2_QUERY.size
+        result = chase(EXAMPLE2_QUERY, max_level=3 * delta)
+        instance = result.instance
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        assert deep
+
+        def fold_all():
+            return [bounded_image(instance, atom, delta) for atom in deep]
+
+        images = benchmark(fold_all)
+        assert all(image is not None for image in images)
+        assert all(instance.level_of(image) <= delta for image in images)
+
+    def test_lemma9_constructive_excision(self, benchmark):
+        """The proof's own clipping construction, timed against the search."""
+        from repro.chase.excision import excise
+        from repro.chase.graph import ChaseGraph
+
+        delta = 2 * EXAMPLE2_QUERY.size
+        result = chase(EXAMPLE2_QUERY, max_level=3 * delta, track_graph=True)
+        instance = result.instance
+        graph = ChaseGraph.from_result(result)
+        deep = [a for a in instance if instance.level_of(a) > delta]
+
+        def excise_all():
+            return [excise(graph, instance, atom, delta) for atom in deep]
+
+        traces = benchmark(excise_all)
+        assert all(trace is not None for trace in traces)
+        assert all(graph.level(trace.result) <= delta for trace in traces)

@@ -1,0 +1,37 @@
+"""E8 — Theorem 12: verdict stability when the level bound is inflated."""
+
+from repro.containment import ContainmentChecker, theorem12_bound
+from repro.workloads import EXAMPLE2_QUERY, INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ
+
+
+class TestTheorem12Bound:
+    def test_bound_stability(self, benchmark, reports):
+        report = reports("E8")
+        assert report.data["flips"] == 0
+        print()
+        print(report.render())
+
+        q1, q2 = INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ
+        base = theorem12_bound(q1, q2)
+
+        def decide_at_theorem_bound():
+            return ContainmentChecker().check(q1, q2, level_bound=base)
+
+        result = benchmark(decide_at_theorem_bound)
+        inflated = ContainmentChecker().check(q1, q2, level_bound=4 * base)
+        assert result.contained == inflated.contained
+
+    def test_bound_cost_on_infinite_chase(self, benchmark):
+        """Deciding against Example 2's infinite chase at the paper bound."""
+        from repro.flogic import encode_rule, parse_statement
+
+        q2 = encode_rule(
+            parse_statement("qq() :- data(X1, A1, Y1), data(Y1, A1, Z1).")
+        )
+
+        def decide():
+            return ContainmentChecker().check(EXAMPLE2_QUERY, q2)
+
+        result = benchmark(decide)
+        assert result.contained
+        assert result.level_bound == theorem12_bound(EXAMPLE2_QUERY, q2)

@@ -1,0 +1,69 @@
+"""Ontology integration: taxonomies, unions and termination analysis.
+
+Run:  python examples/ontology_integration.py
+
+The paper's Section-5 outlook — classification, more expressive queries,
+broader constraint classes — exercised through `repro.extensions`:
+
+1. two teams publish view definitions over a shared P_FL schema; we
+   *classify* them into a subsumption taxonomy (finding that some views
+   are Sigma_FL-equivalent even though they look different);
+2. a federated query is a *union* of per-source queries; UCQ containment
+   shows the federation is subsumed by the global view;
+3. before shipping a custom constraint set, *weak acyclicity* analysis
+   tells us whether its chase terminates — and shows why Sigma_FL itself
+   needed the paper's bespoke bound.
+"""
+
+from repro.dependencies import SIGMA_FL, SIGMA_FL_MINUS
+from repro.extensions import (
+    UnionQuery,
+    analyse_weak_acyclicity,
+    classify_queries,
+    ucq_contained,
+)
+from repro.flogic import encode_rule, parse_statement
+
+
+def rule(text: str):
+    return encode_rule(parse_statement(text))
+
+
+def main() -> None:
+    # -- 1. classify the two teams' view definitions -----------------------
+    views = [
+        rule("all_members(O, C) :- O:C."),
+        rule("inherited_members(O, C) :- O:D, D::C."),
+        # Team B wrote the redundant variant; Sigma_FL makes it equivalent.
+        rule("inherited_members_b(O, C) :- O:D, D::C, O:C."),
+        rule("typed_members(O, C) :- O:C, C[A*=>T]."),
+        rule("mandatory_members(O, C) :- O:C, C[A {1,*} *=> _]."),
+    ]
+    taxonomy = classify_queries(views)
+    print("view taxonomy (Hasse diagram, ⊑ points at the more general):")
+    print(taxonomy.pretty())
+    print()
+
+    # -- 2. a federated union subsumed by the global view -------------------
+    federation = UnionQuery(
+        "federation",
+        (
+            rule("src1(O, C) :- O:D, D::C."),
+            rule("src2(O, C) :- O:C, C[A {1,*} *=> _]."),
+        ),
+    )
+    global_view = views[0]
+    result = ucq_contained(federation, global_view)
+    print("federated union ⊆ global members view?")
+    print(result.explain())
+    print()
+
+    # -- 3. termination analysis for constraint sets -------------------------
+    print("weak-acyclicity analysis:")
+    print("  Sigma_FL          :", analyse_weak_acyclicity(SIGMA_FL))
+    print()
+    print("  Sigma_FL - {rho5} :", analyse_weak_acyclicity(SIGMA_FL_MINUS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: decide your first F-logic meta-query containment.
+
+Run:  python examples/quickstart.py
+
+Reproduces the paper's opening example (Section 1): attribute pairs
+joinable through a subclass hop are joinable directly, *because of* the
+Sigma_FL constraints — the classic constraint-free test cannot see it.
+"""
+
+from repro import ConjunctiveQuery, Variable, contained_classic, is_contained
+from repro.core import sub, type_
+from repro.flogic import encode_rule, parse_statement
+
+
+def api_style() -> None:
+    """Build the queries programmatically."""
+    A, B, T1, T2, T3, W = (Variable(n) for n in ("A", "B", "T1", "T2", "T3", "W"))
+
+    # q(A,B): A's range is a *subclass* of B's domain.
+    q = ConjunctiveQuery(
+        "q", (A, B), (type_(T1, A, T2), sub(T2, T3), type_(T3, B, W))
+    )
+    # qq(A,B): A's range *is* B's domain.
+    qq = ConjunctiveQuery("qq", (A, B), (type_(T1, A, T2), type_(T2, B, W)))
+
+    print("q  =", q)
+    print("qq =", qq)
+
+    result = is_contained(q, qq)
+    print(f"\nq ⊆ qq under Sigma_FL?   {result.contained}")
+    print(f"witness homomorphism:    {result.witness}")
+    print(f"chase levels examined:   {result.level_bound}")
+
+    print(f"\nq ⊆ qq classically?      {contained_classic(q, qq).contained}")
+    print(f"qq ⊆ q under Sigma_FL?   {is_contained(qq, q).contained}")
+
+
+def parser_style() -> None:
+    """The same check, writing F-logic Lite syntax directly."""
+    q = encode_rule(parse_statement("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."))
+    qq = encode_rule(parse_statement("qq(A,B) :- T1[A*=>T2], T2[B*=>_]."))
+    result = is_contained(q, qq)
+    print("\n--- via the F-logic parser ---")
+    print(result.explain())
+
+
+if __name__ == "__main__":
+    api_style()
+    parser_style()

@@ -1,0 +1,73 @@
+"""The RDF/SPARQL bridge: BGP answering and containment over P_FL.
+
+Run:  python examples/rdf_sparql.py
+
+The paper remarks that its results "apply to SPARQL as well" because RDF
+shares F-logic's meta-data features.  This example encodes an RDF graph
+and SPARQL-style basic graph patterns into P_FL, answers the patterns
+over the Sigma_FL closure, and decides BGP containment.
+"""
+
+from repro.containment import ContainmentChecker, contained_classic
+from repro.core.terms import Variable
+from repro.flogic import KnowledgeBase
+from repro.rdf import BGPQuery, Graph, TriplePattern, encode_bgp, encode_graph, term
+
+
+def build_graph() -> Graph:
+    g = Graph()
+    # schema
+    g.add("student", "rdfs:subClassOf", "person")
+    g.add("professor", "rdfs:subClassOf", "person")
+    g.add("advises", "rdfs:range", "student")
+    # data
+    g.add("turing", "rdf:type", "professor")
+    g.add("ada", "rdf:type", "student")
+    g.add("turing", "advises", "ada")
+    g.add("turing", "advises", "hopper")
+    return g
+
+
+def main() -> None:
+    graph = build_graph()
+    kb = KnowledgeBase()
+    for atom in encode_graph(graph):
+        kb.add(atom)
+    print(f"encoded {len(graph)} triples into {len(kb)} P_FL facts\n")
+
+    # SELECT ?x WHERE { ?x rdf:type person . }  — entailed members.
+    x, c, d = Variable("x"), Variable("c"), Variable("d")
+    persons = encode_bgp(
+        BGPQuery("persons", (x,), (TriplePattern(x, term("rdf:type"), term("person")),))
+    )
+    print("SELECT ?x WHERE { ?x rdf:type person }")
+    for answer in kb.ask(persons):
+        print("  ", answer)
+
+    # rdfs:range entailment: advisees are students, hence persons.
+    print("\nhopper was only ever an object of 'advises'; still a person:")
+    print("   ", kb.holds("?- hopper:person."))
+
+    # BGP containment: subclass-members ⊆ class-members (rho_3).
+    q1 = encode_bgp(
+        BGPQuery(
+            "subclass_members",
+            (x, c),
+            (
+                TriplePattern(x, term("rdf:type"), d),
+                TriplePattern(d, term("rdfs:subClassOf"), c),
+            ),
+        )
+    )
+    q2 = encode_bgp(
+        BGPQuery("class_members", (x, c), (TriplePattern(x, term("rdf:type"), c),))
+    )
+    checker = ContainmentChecker()
+    print("\nBGP containment: subclass_members ⊆ class_members?")
+    print("   Sigma_FL:", checker.check(q1, q2).contained)
+    print("   classic: ", contained_classic(q1, q2).contained)
+    print("   reverse: ", checker.check(q2, q1).contained)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy installer shim.
+
+``pip install -e .`` uses PEP 660 and needs the ``wheel`` package; on
+fully offline machines without it, ``python setup.py develop`` installs
+an equivalent editable checkout with nothing but setuptools.  All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analysis tools: cycle detection, termination prediction, chase statistics."""
+
+from .cycles import (
+    MandatoryCycle,
+    TerminationReport,
+    find_mandatory_cycles,
+    has_mandatory_cycle,
+    predict_chase_termination,
+    probe_termination,
+)
+from .stats import (
+    ChaseStats,
+    LocalityViolation,
+    check_locality,
+    collect_chase_stats,
+)
+
+__all__ = [
+    "MandatoryCycle",
+    "find_mandatory_cycles",
+    "has_mandatory_cycle",
+    "TerminationReport",
+    "predict_chase_termination",
+    "probe_termination",
+    "ChaseStats",
+    "collect_chase_stats",
+    "LocalityViolation",
+    "check_locality",
+]

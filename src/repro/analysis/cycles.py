@@ -1,0 +1,191 @@
+"""Mandatory-type cycle detection — the paper's infinite-chase criterion.
+
+Section 4 identifies the *only* source of chase non-termination for
+Sigma_FL: a cycle of mandatory attributes ``A_1 .. A_k`` over classes
+``T_1 .. T_k`` with
+
+    mandatory(A_i, T_i)  and  type(T_i, A_i, T_{i+1})   (indices mod k)
+
+present among the conjuncts.  When such a cycle exists at level 0 of the
+chase (i.e. in ``chase_{Sigma^-}(q)``) and the cycle's entry point has no
+stored ``data`` value, the rho_5–rho_1–rho_6–rho_10 loop runs forever.
+
+:func:`find_mandatory_cycles` searches the conjunct set directly;
+:func:`predict_chase_termination` applies it to the Sigma^- saturation of
+a query, giving a *complete* termination test for Sigma_FL (validated
+empirically by the E11 experiment and the test suite).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..chase.engine import ChaseConfig, ChaseEngine
+from ..core.atoms import MANDATORY, TYPE, Atom
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Term
+from ..dependencies.sigma_fl import SIGMA_FL_MINUS
+
+__all__ = [
+    "MandatoryCycle",
+    "find_mandatory_cycles",
+    "has_mandatory_cycle",
+    "TerminationReport",
+    "predict_chase_termination",
+    "probe_termination",
+]
+
+
+@dataclass(frozen=True)
+class MandatoryCycle:
+    """One cycle: classes ``T_1..T_k`` and attributes ``A_1..A_k``.
+
+    ``classes[i]`` carries ``attributes[i]`` (mandatory) typed into
+    ``classes[(i+1) % k]``.
+    """
+
+    classes: tuple[Term, ...]
+    attributes: tuple[Term, ...]
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __str__(self) -> str:
+        hops = []
+        k = len(self.classes)
+        for i in range(k):
+            hops.append(
+                f"{self.classes[i]} -[{self.attributes[i]}]-> {self.classes[(i + 1) % k]}"
+            )
+        return " ; ".join(hops)
+
+
+def _mandatory_edges(atoms: Iterable[Atom]) -> dict[Term, list[tuple[Term, Term]]]:
+    """Edges ``T1 -> (A, T2)`` where mandatory(A,T1) and type(T1,A,T2) hold."""
+    mandatory_pairs: set[tuple[Term, Term]] = set()  # (attr, host)
+    type_triples: list[tuple[Term, Term, Term]] = []
+    for atom in atoms:
+        if atom.predicate == MANDATORY:
+            mandatory_pairs.add((atom.args[0], atom.args[1]))
+        elif atom.predicate == TYPE:
+            type_triples.append((atom.args[0], atom.args[1], atom.args[2]))
+    edges: dict[Term, list[tuple[Term, Term]]] = defaultdict(list)
+    for host, attr, target in type_triples:
+        if (attr, host) in mandatory_pairs:
+            edges[host].append((attr, target))
+    return edges
+
+
+def find_mandatory_cycles(
+    atoms: Iterable[Atom], *, max_cycles: Optional[int] = None
+) -> list[MandatoryCycle]:
+    """All simple mandatory-type cycles among *atoms*.
+
+    Enumerated with a DFS over the edge relation of :func:`_mandatory_edges`;
+    each simple cycle is reported once, rooted at its lexicographically
+    smallest class term.
+    """
+    edges = _mandatory_edges(atoms)
+    cycles: list[MandatoryCycle] = []
+    seen_signatures: set[tuple] = set()
+
+    def dfs(start: Term, node: Term, path: list[tuple[Term, Term, Term]]):
+        if max_cycles is not None and len(cycles) >= max_cycles:
+            return
+        for attr, target in edges.get(node, ()):  # noqa: B007 - explicit pairs
+            if target == start and path is not None:
+                cycle_hosts = tuple(h for h, _, _ in path) + (node,)
+                cycle_attrs = tuple(a for _, a, _ in path) + (attr,)
+                # Canonicalise rotation so each cycle is reported once.
+                names = [str(h) for h in cycle_hosts]
+                pivot = names.index(min(names))
+                hosts = cycle_hosts[pivot:] + cycle_hosts[:pivot]
+                attrs = cycle_attrs[pivot:] + cycle_attrs[:pivot]
+                signature = (hosts, attrs)
+                if signature not in seen_signatures:
+                    seen_signatures.add(signature)
+                    cycles.append(MandatoryCycle(hosts, attrs))
+            elif target not in {h for h, _, _ in path} and target != node:
+                dfs(start, target, path + [(node, attr, target)])
+
+    for start in sorted(edges, key=str):
+        dfs(start, start, [])
+    return cycles
+
+
+def has_mandatory_cycle(atoms: Iterable[Atom]) -> bool:
+    """True when at least one mandatory-type cycle exists among *atoms*."""
+    return bool(find_mandatory_cycles(atoms, max_cycles=1))
+
+
+@dataclass
+class TerminationReport:
+    """Verdict of the chase-termination predictor for one query.
+
+    ``guaranteed_terminating`` is *sound*: True means the full Sigma_FL
+    chase certainly terminates (no mandatory-type cycle exists, so rho_5
+    can fire at most once per mandatory fact).  False means a cycle
+    exists, which makes the chase infinite in the common case — but a
+    stored ``data`` atom can occasionally close the loop, so False is
+    "not guaranteed", not "certainly infinite".  Use
+    :func:`probe_termination` for an empirical answer on such queries.
+    """
+
+    query: ConjunctiveQuery
+    guaranteed_terminating: bool
+    cycles: list[MandatoryCycle]
+    level0_size: int
+    failed: bool = False
+
+    def __str__(self) -> str:
+        if self.failed:
+            return f"{self.query.name}: chase fails (trivially terminates)"
+        if self.guaranteed_terminating:
+            return f"{self.query.name}: chase terminates (no mandatory-type cycle)"
+        lines = [f"{self.query.name}: chase may be infinite; cycles:"]
+        lines += [f"  {c}" for c in self.cycles]
+        return "\n".join(lines)
+
+
+def predict_chase_termination(query: ConjunctiveQuery) -> TerminationReport:
+    """Statically analyse whether the full Sigma_FL chase of *query* terminates.
+
+    Saturates with ``Sigma_FL - {rho5}`` first (always finite), then looks
+    for mandatory-type cycles in the saturation — the paper's
+    non-termination pattern.  A failing chase terminates by definition.
+    """
+    engine = ChaseEngine(SIGMA_FL_MINUS, ChaseConfig())
+    result = engine.run(query)
+    if result.failed:
+        return TerminationReport(
+            query=query,
+            guaranteed_terminating=True,
+            cycles=[],
+            level0_size=0,
+            failed=True,
+        )
+    atoms = result.atoms()
+    cycles = find_mandatory_cycles(atoms)
+    return TerminationReport(
+        query=query,
+        guaranteed_terminating=not cycles,
+        cycles=cycles,
+        level0_size=len(atoms),
+    )
+
+
+def probe_termination(query: ConjunctiveQuery, *, max_level: int = 24) -> bool:
+    """Empirically check termination by chasing up to *max_level* levels.
+
+    Returns True when the bounded chase saturates before the bound.  A
+    False answer means the chase is still growing at ``max_level`` —
+    conclusive evidence of non-termination for Sigma_FL's cyclic pattern,
+    whose period is bounded by the cycle length.
+    """
+    from ..dependencies.sigma_fl import SIGMA_FL
+
+    engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_level=max_level))
+    result = engine.run(query)
+    return result.failed or result.saturated

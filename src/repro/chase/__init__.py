@@ -1,0 +1,43 @@
+"""The chase: instances, the Definition-2 engine, the chase graph and paths."""
+
+from .engine import ChaseConfig, ChaseEngine, ChaseResult, chase
+from .excision import Clip, ExcisionTrace, backward_primary_path, excise
+from .graph import ChaseGraph, GraphArc
+from .instance import Arc, ChaseInstance, Derivation, INITIAL_RULE_LABEL
+from .paths import (
+    bounded_image,
+    bounded_image_of_set,
+    equivalent,
+    follow_parallel,
+    generalize_conjuncts,
+    is_primary_path,
+    parallel_paths,
+    primary_path_arcs,
+    primary_path_to,
+)
+
+__all__ = [
+    "chase",
+    "ChaseEngine",
+    "ChaseConfig",
+    "ChaseResult",
+    "ChaseInstance",
+    "Arc",
+    "Derivation",
+    "INITIAL_RULE_LABEL",
+    "ChaseGraph",
+    "GraphArc",
+    "equivalent",
+    "is_primary_path",
+    "primary_path_arcs",
+    "primary_path_to",
+    "parallel_paths",
+    "follow_parallel",
+    "generalize_conjuncts",
+    "bounded_image",
+    "bounded_image_of_set",
+    "excise",
+    "ExcisionTrace",
+    "Clip",
+    "backward_primary_path",
+]

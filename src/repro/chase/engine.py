@@ -1,0 +1,464 @@
+"""The chase procedure of Definition 2, with Section 4's two-phase schedule.
+
+Given a conjunctive query ``q`` and a dependency set (by default Sigma_FL),
+the engine:
+
+1. **Level-0 phase** — saturates ``body(q)`` under every *non-existential*
+   dependency: full TGDs fire to fixpoint, interleaved with EGD repair
+   (chase rule (1): while rho_4 is applicable, apply it).  Everything
+   derived here sits at level 0, matching Section 4's convention that
+   ``chase_{Sigma^-}(q)`` *is* level 0.
+
+2. **Existential phase** — runs the full dependency set with level
+   accounting per Definition 3(3): a conjunct generated from parents at
+   levels ``l1..ln`` has level ``max(li) + 1``.  The existential rule rho_5
+   is applied *restricted*: it fires only when no extension of the trigger
+   homomorphism already maps its head into the instance (Definition
+   2(2)(ii)); the oblivious variant (design ablation D1) can be selected
+   in the config.  A ``max_level`` bound makes the possibly-infinite chase
+   finite — this is exactly the Theorem-12 prefix construction.
+
+Rule applications are discovered semi-naively: each round only considers
+trigger homomorphisms that use at least one conjunct added (or rewritten
+by an EGD merge) in the previous round.  EGD repair runs to fixpoint after
+every round, so the instance each round starts from always satisfies the
+EGDs — the batched realisation of Definition 2's "(a) while rule 1 is
+applicable, apply it repeatedly" schedule.  Batching EGD repair at round
+granularity (instead of after every single TGD step) can only reorder
+merges; the chase result is the same universal model up to null renaming.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.errors import ChaseBudgetExceeded, ChaseFailure
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import NullFactory, Term, Variable
+from ..datalog.matching import match_conjunction
+from ..dependencies.dependency import EGD, TGD, Dependency
+from ..dependencies.sigma_fl import SIGMA_FL
+from .instance import ChaseInstance
+
+__all__ = ["ChaseConfig", "ChaseResult", "ChaseEngine", "chase"]
+
+
+@dataclass(frozen=True)
+class ChaseConfig:
+    """Tunable behaviour of a chase run.
+
+    Attributes
+    ----------
+    max_level:
+        Stop generating conjuncts above this level (``None`` = unbounded).
+        The Theorem-12 checker sets this to ``|q2| * 2 * |q1|``.
+    max_steps:
+        Safety valve on the number of TGD applications.  When hit, the run
+        raises :class:`ChaseBudgetExceeded`: an unbounded chase of a cyclic
+        query never saturates, and the caller must choose a ``max_level``.
+    track_graph:
+        Record chase-graph arcs (incl. cross-arcs).  Needed by the figure
+        and lemma experiments; off by default for speed.
+    restricted:
+        Apply existential TGDs restricted (Definition 2).  ``False``
+        selects the oblivious chase (ablation D1), which never checks
+        whether the head is already satisfied.
+    reorder_join:
+        Use the selectivity join-order heuristic when matching rule bodies
+        (ablation D4).
+    """
+
+    max_level: Optional[int] = None
+    max_steps: Optional[int] = 200_000
+    track_graph: bool = False
+    restricted: bool = True
+    reorder_join: bool = True
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of one chase run.
+
+    ``failed`` — the EGD equated two distinct constants (Definition
+    2(1)(a)); the chased query is unsatisfiable under the dependencies and
+    is therefore contained in *every* query of its arity.
+
+    ``saturated`` — no dependency is applicable anywhere: the chase
+    terminated by itself.  When ``saturated`` is False and ``failed`` is
+    False, the run stopped at the ``max_level`` bound and ``instance``
+    holds the finite prefix up to that level.
+    """
+
+    query: ConjunctiveQuery
+    instance: Optional[ChaseInstance]
+    failed: bool
+    saturated: bool
+    steps: int
+    level_reached: int
+    elapsed_seconds: float
+    rule_applications: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def head(self) -> tuple[Term, ...]:
+        """``head(chase(q))`` — the head as rewritten by EGD repair."""
+        if self.instance is None:
+            return self.query.head
+        return self.instance.head
+
+    def atoms(self) -> frozenset[Atom]:
+        if self.instance is None:
+            return frozenset()
+        return self.instance.atoms()
+
+    def size(self) -> int:
+        return 0 if self.instance is None else len(self.instance)
+
+    def __repr__(self) -> str:
+        status = "failed" if self.failed else ("saturated" if self.saturated else "truncated")
+        return (
+            f"ChaseResult({self.query.name}: {status}, {self.size()} conjuncts, "
+            f"{self.steps} steps, level {self.level_reached})"
+        )
+
+
+class ChaseEngine:
+    """Chases conjunctive queries with a fixed dependency set."""
+
+    def __init__(
+        self,
+        dependencies: Sequence[Dependency] = SIGMA_FL,
+        config: ChaseConfig = ChaseConfig(),
+    ):
+        self.config = config
+        self.dependencies = tuple(dependencies)
+        self._egds: tuple[EGD, ...] = tuple(
+            d for d in self.dependencies if isinstance(d, EGD)
+        )
+        self._full_tgds: tuple[TGD, ...] = tuple(
+            d for d in self.dependencies if isinstance(d, TGD) and d.is_full
+        )
+        self._existential_tgds: tuple[TGD, ...] = tuple(
+            d for d in self.dependencies if isinstance(d, TGD) and not d.is_full
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, query: ConjunctiveQuery) -> ChaseResult:
+        """Chase *query*; chase failure is reported in the result, not raised.
+
+        :class:`ChaseBudgetExceeded` *is* raised when ``max_steps`` is hit —
+        that signals a configuration problem (an unbounded chase of a
+        cyclic query), not a property of the query.
+        """
+        start = time.perf_counter()
+        instance = ChaseInstance(
+            query.canonical_atoms(), query.head, track_graph=self.config.track_graph
+        )
+        nulls = NullFactory()
+        counters: dict[str, int] = {}
+        try:
+            self._saturate_level_zero(instance, counters)
+            saturated = self._existential_phase(instance, nulls, counters)
+        except ChaseFailure:
+            return ChaseResult(
+                query=query,
+                instance=None,
+                failed=True,
+                saturated=True,
+                steps=sum(counters.values()),
+                level_reached=0,
+                elapsed_seconds=time.perf_counter() - start,
+                rule_applications=counters,
+            )
+        return ChaseResult(
+            query=query,
+            instance=instance,
+            failed=False,
+            saturated=saturated,
+            steps=sum(counters.values()),
+            level_reached=instance.max_level(),
+            elapsed_seconds=time.perf_counter() - start,
+            rule_applications=counters,
+        )
+
+    # -- phase 1: Sigma minus existential rules, everything at level 0 --------
+
+    def _saturate_level_zero(self, instance: ChaseInstance, counters: dict[str, int]) -> None:
+        self._egd_fixpoint(instance, delta=None)
+        delta: list[Atom] = list(instance)
+        delta.extend(instance.drain_dirty())
+        while delta:
+            additions: list[Atom] = []
+            for fact in delta:
+                if fact not in instance:
+                    continue  # rewritten away by a merge mid-round
+                for tgd in self._full_tgds:
+                    matches = list(
+                        match_conjunction(
+                            tgd.body,
+                            instance.index,
+                            required_fact=fact,
+                            reorder=self.config.reorder_join,
+                        )
+                    )
+                    for sigma in matches:
+                        head_img = sigma.apply_atom(tgd.head)
+                        parents = self._parent_ids(instance, sigma, tgd)
+                        node = instance.add(
+                            head_img,
+                            level=0,
+                            rule=tgd.label,
+                            parents=parents,
+                            cross_if_present=True,
+                        )
+                        if node is not None:
+                            counters[tgd.label] = counters.get(tgd.label, 0) + 1
+                            additions.append(head_img)
+                            self._check_step_budget(counters)
+            self._egd_fixpoint(instance, delta=additions)
+            additions = [a for a in additions if a in instance]
+            additions.extend(instance.drain_dirty())
+            delta = additions
+
+    # -- phase 2: full dependency set with level accounting --------------------
+
+    def _existential_phase(
+        self,
+        instance: ChaseInstance,
+        nulls: NullFactory,
+        counters: dict[str, int],
+    ) -> bool:
+        """Run the leveled phase; return True when the chase saturated."""
+        config = self.config
+        all_tgds = self._full_tgds + self._existential_tgds
+        truncated = False
+        delta: list[Atom] = list(instance)
+        while delta:
+            additions: list[Atom] = []
+            for fact in delta:
+                if fact not in instance:
+                    continue
+                for tgd in all_tgds:
+                    matches = list(
+                        match_conjunction(
+                            tgd.body,
+                            instance.index,
+                            required_fact=fact,
+                            reorder=config.reorder_join,
+                        )
+                    )
+                    for sigma in matches:
+                        added = self._apply_tgd(instance, tgd, sigma, nulls)
+                        if added is not None:
+                            if added is _LEVEL_CAPPED:
+                                truncated = True
+                                continue
+                            counters[tgd.label] = counters.get(tgd.label, 0) + 1
+                            additions.append(added)
+                            self._check_step_budget(counters)
+            self._egd_fixpoint(instance, delta=additions)
+            additions = [a for a in additions if a in instance]
+            additions.extend(instance.drain_dirty())
+            delta = additions
+        return not truncated
+
+    def _apply_tgd(
+        self,
+        instance: ChaseInstance,
+        tgd: TGD,
+        sigma: Substitution,
+        nulls: NullFactory,
+    ):
+        """One Definition-2 rule-(2) step.
+
+        Returns the added conjunct, ``None`` when the rule was not
+        applicable (head already present — a cross-arc is recorded), or the
+        ``_LEVEL_CAPPED`` sentinel when the application was suppressed by
+        the level bound.
+        """
+        # The trigger may predate an EGD merge executed earlier in this
+        # round; re-check that its body image still exists.
+        body_imgs = [sigma.apply_atom(b) for b in tgd.body]
+        if any(img not in instance for img in body_imgs):
+            return None
+        parents = self._parent_ids(instance, sigma, tgd)
+        level = 1 + max(instance.level_of_id(p) for p in parents)
+        if tgd.is_full:
+            head_img = sigma.apply_atom(tgd.head)
+            if head_img in instance:
+                instance.record_cross_arc(parents, head_img, tgd.label)
+                return None
+        else:
+            pattern = sigma.apply_atom(tgd.head)
+            if self.config.restricted:
+                witness = self._find_head_witness(
+                    instance, pattern, set(tgd.existential_vars)
+                )
+                if witness is not None:
+                    # Definition 3(4)(ii): the extension mu' exists; record
+                    # the cross-arc and do not fire.
+                    instance.record_cross_arc(parents, witness, tgd.label)
+                    return None
+            head_img = self._instantiate_nulls(pattern, tgd, nulls)
+        if self.config.max_level is not None and level > self.config.max_level:
+            return _LEVEL_CAPPED
+        instance.add(head_img, level=level, rule=tgd.label, parents=parents)
+        return head_img
+
+    @staticmethod
+    def _find_head_witness(
+        instance: ChaseInstance, pattern: Atom, existential: set[Variable]
+    ) -> Optional[Atom]:
+        """A conjunct some extension mu' of the trigger maps the head onto.
+
+        Only the TGD's *existential* variables are free in the pattern;
+        every other position already holds a chase value — and a chase
+        value that happens to be a query variable is rigid, not a
+        wildcard, so plain pattern matching would be wrong here.
+        """
+        for fact in instance.index.facts(pattern.predicate):
+            bindings: dict[Variable, Term] = {}
+            ok = True
+            for pat_term, fact_term in zip(pattern.args, fact.args):
+                if isinstance(pat_term, Variable) and pat_term in existential:
+                    bound = bindings.get(pat_term)
+                    if bound is None:
+                        bindings[pat_term] = fact_term
+                    elif bound != fact_term:
+                        ok = False
+                        break
+                elif pat_term != fact_term:
+                    ok = False
+                    break
+            if ok:
+                return fact
+        return None
+
+    @staticmethod
+    def _instantiate_nulls(pattern: Atom, tgd: TGD, nulls: NullFactory) -> Atom:
+        fresh: dict[Variable, Term] = {}
+        existential = set(tgd.existential_vars)
+        args = []
+        for term in pattern.args:
+            if isinstance(term, Variable) and term in existential:
+                if term not in fresh:
+                    fresh[term] = nulls.fresh()
+                args.append(fresh[term])
+            else:
+                args.append(term)
+        return Atom(pattern.predicate, tuple(args))
+
+    # -- EGD repair -------------------------------------------------------------
+
+    def _egd_round(self, instance: ChaseInstance, facts: Optional[list[Atom]]) -> bool:
+        """Find all current EGD violations, then repair them; True if changed.
+
+        Matches are materialised before any merge so the index is never
+        mutated while being iterated.
+        """
+        pairs: list[tuple[Term, Term]] = []
+        for egd in self._egds:
+            if facts is None:
+                matches = list(
+                    match_conjunction(
+                        egd.body, instance.index, reorder=self.config.reorder_join
+                    )
+                )
+            else:
+                matches = []
+                for fact in facts:
+                    if fact not in instance:
+                        continue
+                    matches.extend(
+                        match_conjunction(
+                            egd.body,
+                            instance.index,
+                            required_fact=fact,
+                            reorder=self.config.reorder_join,
+                        )
+                    )
+            for sigma in matches:
+                pairs.append((sigma.apply_term(egd.left), sigma.apply_term(egd.right)))
+        changed = False
+        for left, right in pairs:
+            left = instance.resolve_term(left)
+            right = instance.resolve_term(right)
+            if left != right:
+                instance.merge(left, right)
+                changed = True
+        return changed
+
+    def _egd_fixpoint(self, instance: ChaseInstance, delta) -> None:
+        """Chase rule (1): apply EGDs repeatedly until none is applicable."""
+        if not self._egds:
+            return
+        facts: Optional[list[Atom]] = list(delta) if delta is not None else None
+        if facts is not None and not facts:
+            return
+        while True:
+            changed = self._egd_round(instance, facts)
+            dirty = instance.drain_dirty()
+            if not changed and not dirty:
+                return
+            # Re-check incrementally against the conjuncts the merges rewrote.
+            facts = dirty if dirty else []
+            if not facts and not changed:
+                return
+            if not facts:
+                # Changed but nothing dirtied (pure collapses): one full
+                # re-check guarantees the fixpoint.
+                facts = None
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _parent_ids(instance: ChaseInstance, sigma: Substitution, tgd) -> tuple[int, ...]:
+        ids = []
+        for body_atom in tgd.body:
+            img = sigma.apply_atom(body_atom)
+            ids.append(instance.node_id(img))
+        # A single conjunct may match several body atoms; keep unique order.
+        seen: set[int] = set()
+        unique = []
+        for i in ids:
+            if i not in seen:
+                seen.add(i)
+                unique.append(i)
+        return tuple(unique)
+
+    def _check_step_budget(self, counters: dict[str, int]) -> None:
+        limit = self.config.max_steps
+        if limit is not None and sum(counters.values()) > limit:
+            raise ChaseBudgetExceeded(
+                f"chase exceeded the {limit}-application budget; "
+                "set max_level to bound cyclic queries or raise max_steps"
+            )
+
+
+class _LevelCapped:
+    """Sentinel: a TGD application was suppressed by the level bound."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<level-capped>"
+
+
+_LEVEL_CAPPED = _LevelCapped()
+
+
+def chase(
+    query: ConjunctiveQuery,
+    dependencies: Sequence[Dependency] = SIGMA_FL,
+    **config_kwargs,
+) -> ChaseResult:
+    """Convenience wrapper: chase *query* with a one-off engine.
+
+    Keyword arguments are passed through to :class:`ChaseConfig`, e.g.
+    ``chase(q, max_level=12, track_graph=True)``.
+    """
+    return ChaseEngine(dependencies, ChaseConfig(**config_kwargs)).run(query)

@@ -1,0 +1,178 @@
+"""Constructive excision — the algorithm inside Lemma 9's proof.
+
+:func:`repro.chase.paths.bounded_image` *searches* for the bounded
+homomorphic image that Lemma 9 promises.  This module instead *constructs*
+it the way the proof does (see the paper's Figure 2):
+
+1. take the primary path ``pi`` from level 0 to the deep conjunct ``c``;
+2. find two **equivalent** conjuncts ``c1 ~ c2`` on it (the pigeonhole
+   over equivalence classes guarantees they exist once the path is longer
+   than ``delta = 2|q|``);
+3. *clip* the segment between them: re-run the rule labels of the
+   ``c2 -> c`` suffix from ``c1`` instead (a **parallel path**,
+   Definition 8), landing on a conjunct ``c'`` equivalent to ``c`` but
+   ``level(c2) - level(c1)`` levels shallower;
+4. repeat until the level is at most ``delta``.
+
+The result records every clip, so the experiments can display the
+excision trace exactly as Figure 2 draws it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.atoms import Atom
+from .graph import ChaseGraph, GraphArc
+from .instance import ChaseInstance
+from .paths import equivalent, follow_parallel
+
+__all__ = ["Clip", "ExcisionTrace", "backward_primary_path", "excise"]
+
+
+@dataclass(frozen=True)
+class Clip:
+    """One excision step: the segment between *upper* and *lower* was cut."""
+
+    upper: Atom  # c1 (shallower of the equivalent pair)
+    lower: Atom  # c2 (deeper)
+    before: Atom  # conjunct before this clip
+    after: Atom  # conjunct after re-running the suffix from `upper`
+    levels_saved: int
+
+
+@dataclass
+class ExcisionTrace:
+    """The full Lemma-9 construction for one conjunct."""
+
+    start: Atom
+    result: Atom
+    clips: list[Clip] = field(default_factory=list)
+
+    @property
+    def total_levels_saved(self) -> int:
+        return sum(clip.levels_saved for clip in self.clips)
+
+    def pretty(self) -> str:
+        lines = [f"excise {self.start}:"]
+        for clip in self.clips:
+            lines.append(
+                f"  clip [{clip.upper} ~ {clip.lower}] "
+                f"saves {clip.levels_saved} levels: {clip.before} -> {clip.after}"
+            )
+        lines.append(f"  final: {self.result}")
+        return "\n".join(lines)
+
+
+def backward_primary_path(
+    graph: ChaseGraph, conjunct: Atom
+) -> Optional[list[GraphArc]]:
+    """The primary path from level 0 *to* ``conjunct``, found backwards.
+
+    Walks primary (non-cross) in-arcs from the conjunct toward level 0.
+    Per Definition 7(ii) the path may *begin* with a +2-level hop out of a
+    ``type`` conjunct, so when no primary in-arc exists we accept exactly
+    one such initial hop.  Returns the arcs in forward order, or ``None``
+    when the conjunct is at level 0 already or the graph is disconnected
+    (e.g. built without cross-arc tracking).
+    """
+    if graph.level(conjunct) == 0:
+        return []
+    arcs_reversed: list[GraphArc] = []
+    current = conjunct
+    while graph.level(current) > 0:
+        step = None
+        for arc in graph.arcs_into(current):
+            if arc.cross:
+                continue
+            if arc.primary:
+                step = arc
+                break
+            if (
+                arc.source.predicate == "type"
+                and arc.target_level == arc.source_level + 2
+            ):
+                # Candidate Definition-7(ii) initial hop; prefer primary.
+                step = step or arc
+        if step is None:
+            return None
+        if not step.primary and arcs_reversed and not _is_initial_hop_ok(step):
+            return None
+        arcs_reversed.append(step)
+        current = step.source
+        if not step.primary:
+            # A +2 hop is only legal as the path's FIRST arc; since we walk
+            # backwards it must be the last one appended — stop here if the
+            # source is not yet at level 0 and no primary arc continues.
+            if graph.level(current) == 0:
+                break
+            return None
+    return list(reversed(arcs_reversed))
+
+
+def _is_initial_hop_ok(arc: GraphArc) -> bool:
+    return arc.source.predicate == "type" and (
+        arc.target_level == arc.source_level + 2
+    )
+
+
+def excise(
+    graph: ChaseGraph,
+    instance: ChaseInstance,
+    conjunct: Atom,
+    delta: int,
+    *,
+    max_clips: int = 64,
+) -> Optional[ExcisionTrace]:
+    """Run the Lemma-9 construction on *conjunct* down to level <= *delta*.
+
+    Returns the trace, or ``None`` when the construction cannot proceed on
+    this (finite, possibly truncated) chase prefix — e.g. no primary path
+    is recorded, or no equivalent pair exists on it yet.
+    """
+    trace = ExcisionTrace(start=conjunct, result=conjunct)
+    current = conjunct
+    for _ in range(max_clips):
+        if graph.level(current) <= delta:
+            trace.result = current
+            return trace
+        path = backward_primary_path(graph, current)
+        if not path:
+            return None
+        nodes = [path[0].source] + [arc.target for arc in path]
+        clip = _first_equivalent_pair(nodes)
+        if clip is None:
+            return None
+        i, j = clip
+        suffix_labels = [arc.rule for arc in path[j:]]
+        rerun = follow_parallel(graph, nodes[i], suffix_labels)
+        if rerun is None:
+            return None
+        landed = rerun[-1].target if rerun else nodes[i]
+        if not equivalent(landed, current):
+            return None
+        saved = graph.level(current) - graph.level(landed)
+        if saved <= 0:
+            return None
+        trace.clips.append(
+            Clip(
+                upper=nodes[i],
+                lower=nodes[j],
+                before=current,
+                after=landed,
+                levels_saved=saved,
+            )
+        )
+        current = landed
+    trace.result = current
+    return trace if graph.level(current) <= delta else None
+
+
+def _first_equivalent_pair(nodes: list[Atom]) -> Optional[tuple[int, int]]:
+    """Indices ``(i, j)``, ``i < j``, of the first equivalent pair on the path."""
+    for i in range(len(nodes)):
+        for j in range(i + 1, len(nodes)):
+            if equivalent(nodes[i], nodes[j]):
+                return i, j
+    return None

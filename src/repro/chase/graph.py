@@ -1,0 +1,218 @@
+"""The chase graph G(q) of Definition 3.
+
+Nodes are the conjuncts of ``chase(q)``; an arc runs from each conjunct
+involved in a rule application to the conjunct it produced, labelled by
+the rule.  *Cross-arcs* (Definition 3(4)) mark applications whose head was
+already present.  Arcs from level *k* to level *k+1* are **primary**, all
+others **secondary** (Definition 3(5)) — the distinction Lemma 5's
+locality property is about.
+
+The graph is immutable and is derived from a finished
+:class:`~repro.chase.engine.ChaseResult` whose engine ran with
+``track_graph=True``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.atoms import Atom
+from ..core.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ChaseResult
+    from .instance import ChaseInstance
+
+__all__ = ["GraphArc", "ChaseGraph"]
+
+
+@dataclass(frozen=True)
+class GraphArc:
+    """A labelled arc of the chase graph."""
+
+    source: Atom
+    target: Atom
+    rule: str
+    cross: bool
+    source_level: int
+    target_level: int
+
+    @property
+    def primary(self) -> bool:
+        """Definition 3(5): an arc from level k to level k+1 is primary."""
+        return self.target_level == self.source_level + 1
+
+    @property
+    def secondary(self) -> bool:
+        return not self.primary
+
+    def __str__(self) -> str:
+        kind = "cross " if self.cross else ""
+        return (
+            f"{self.source} (L{self.source_level}) --[{self.rule} {kind}]--> "
+            f"{self.target} (L{self.target_level})"
+        )
+
+
+class ChaseGraph:
+    """An immutable view of G(q) built from a chase instance."""
+
+    def __init__(self, instance: "ChaseInstance"):
+        self._levels: dict[Atom, int] = {}
+        self._rules: dict[Atom, str] = {}
+        self._arcs: tuple[GraphArc, ...] = ()
+        self._into: dict[Atom, list[GraphArc]] = defaultdict(list)
+        self._out_of: dict[Atom, list[GraphArc]] = defaultdict(list)
+
+        for atom in instance:
+            self._levels[atom] = instance.level_of(atom)
+            self._rules[atom] = instance.rule_of(atom)
+
+        seen: set[tuple[Atom, Atom, str, bool]] = set()
+        arcs: list[GraphArc] = []
+        for raw in instance.arcs():
+            try:
+                child = instance.atom_of(raw.child_id)
+            except KeyError:  # pragma: no cover - defensive
+                continue
+            if child not in self._levels:
+                continue
+            for parent_id in raw.parent_ids:
+                try:
+                    parent = instance.atom_of(parent_id)
+                except KeyError:  # pragma: no cover - defensive
+                    continue
+                if parent not in self._levels:
+                    continue
+                key = (parent, child, raw.rule, raw.cross)
+                if key in seen:
+                    continue
+                seen.add(key)
+                arc = GraphArc(
+                    source=parent,
+                    target=child,
+                    rule=raw.rule,
+                    cross=raw.cross,
+                    source_level=self._levels[parent],
+                    target_level=self._levels[child],
+                )
+                arcs.append(arc)
+                self._into[child].append(arc)
+                self._out_of[parent].append(arc)
+        self._arcs = tuple(arcs)
+
+    @classmethod
+    def from_result(cls, result: "ChaseResult") -> "ChaseGraph":
+        """Build the graph of a finished chase run (graph tracking required)."""
+        if result.instance is None:
+            raise ReproError("cannot build a chase graph: the chase failed")
+        if not result.instance.arcs() and len(result.instance) > len(
+            result.query.body
+        ):
+            raise ReproError(
+                "chase was run without track_graph=True; re-run with "
+                "chase(q, track_graph=True)"
+            )
+        return cls(result.instance)
+
+    # -- structure ------------------------------------------------------------
+
+    def nodes(self) -> tuple[Atom, ...]:
+        return tuple(self._levels)
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._levels
+
+    def arcs(self) -> tuple[GraphArc, ...]:
+        return self._arcs
+
+    def arcs_into(self, atom: Atom) -> tuple[GraphArc, ...]:
+        return tuple(self._into.get(atom, ()))
+
+    def arcs_out_of(self, atom: Atom) -> tuple[GraphArc, ...]:
+        return tuple(self._out_of.get(atom, ()))
+
+    def level(self, atom: Atom) -> int:
+        return self._levels[atom]
+
+    def rule(self, atom: Atom) -> str:
+        """Label of the rule that generated the node (``initial`` for body(q))."""
+        return self._rules[atom]
+
+    def max_level(self) -> int:
+        return max(self._levels.values(), default=0)
+
+    def nodes_at_level(self, level: int) -> tuple[Atom, ...]:
+        return tuple(a for a, l in self._levels.items() if l == level)
+
+    def primary_arcs(self) -> tuple[GraphArc, ...]:
+        return tuple(a for a in self._arcs if a.primary)
+
+    def secondary_arcs(self) -> tuple[GraphArc, ...]:
+        return tuple(a for a in self._arcs if a.secondary)
+
+    def parents(self, atom: Atom) -> tuple[Atom, ...]:
+        """Sources of non-cross arcs into *atom* (its generating conjuncts)."""
+        return tuple(arc.source for arc in self._into.get(atom, ()) if not arc.cross)
+
+    def primary_parent(self, atom: Atom) -> Optional[Atom]:
+        """The source of a primary non-cross arc into *atom*, if any."""
+        for arc in self._into.get(atom, ()):
+            if arc.primary and not arc.cross:
+                return arc.source
+        return None
+
+    # -- export ----------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` (nodes keyed by str(atom)).
+
+        Node attributes: ``level``, ``rule``; edge attributes: ``rule``,
+        ``cross``, ``primary``.  Requires networkx (an optional extra).
+        """
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for atom, level in self._levels.items():
+            graph.add_node(str(atom), level=level, rule=self._rules[atom])
+        for arc in self._arcs:
+            graph.add_edge(
+                str(arc.source),
+                str(arc.target),
+                rule=arc.rule,
+                cross=arc.cross,
+                primary=arc.primary,
+            )
+        return graph
+
+    def pretty_table(self, *, max_level: Optional[int] = None) -> str:
+        """A per-level textual rendering in the spirit of the paper's Figure 1."""
+        lines = []
+        top = self.max_level() if max_level is None else max_level
+        for level in range(top + 1):
+            atoms = sorted(self.nodes_at_level(level), key=str)
+            if not atoms:
+                continue
+            lines.append(f"level {level}:")
+            for atom in atoms:
+                producers = sorted(
+                    {
+                        f"{arc.rule}({arc.source})"
+                        for arc in self.arcs_into(atom)
+                        if not arc.cross
+                    }
+                )
+                origin = f"  <- {'; '.join(producers)}" if producers else ""
+                lines.append(f"  {atom}{origin}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseGraph({len(self._levels)} nodes, {len(self._arcs)} arcs, "
+            f"max level {self.max_level()})"
+        )

@@ -1,0 +1,334 @@
+"""Chase instances: the evolving database of conjuncts.
+
+A :class:`ChaseInstance` is the mutable state of one chase run.  On top of
+an indexed set of conjuncts it maintains everything Definitions 2 and 3 of
+the paper need:
+
+* a **level** per conjunct (Definition 3(3)) and the generating rule with
+  its parent conjuncts — kept on stable integer *node ids* so provenance
+  survives EGD rewrites;
+* **arcs** of the chase graph, including cross-arcs (Definition 3(4)),
+  recorded optionally (graph tracking costs memory and is off during plain
+  containment checks);
+* the **head of the chased query**, which EGD applications may rewrite
+  (the paper's Example 1); and
+* the EGD **merge** operation itself: equate two terms, rewrite every
+  conjunct, collapse duplicates, and fail on a constant/constant clash.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.errors import ChaseFailure
+from ..core.terms import Constant, Term, term_sort_key
+from ..datalog.index import FactIndex
+
+__all__ = ["Arc", "Derivation", "ChaseInstance", "INITIAL_RULE_LABEL"]
+
+#: Rule label used for the conjuncts the chase starts from (body of q).
+INITIAL_RULE_LABEL = "initial"
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One chase-graph arc: *parents* jointly produced *child* via *rule*.
+
+    ``cross`` marks Definition 3(4) cross-arcs — the rule was applicable
+    but its head image already existed, so no conjunct was added.
+    """
+
+    parent_ids: tuple[int, ...]
+    child_id: int
+    rule: str
+    cross: bool = False
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """A derivation tree: how one conjunct came to be in the chase.
+
+    Leaves are the initial conjuncts (rule ``initial``); inner nodes name
+    the Sigma rule applied and recurse into the premise derivations.
+    """
+
+    atom: Atom
+    rule: str
+    premises: tuple["Derivation", ...] = ()
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if not self.premises:
+            return f"{pad}{self.atom}  [{self.rule}]"
+        lines = [f"{pad}{self.atom}  [{self.rule}] from:"]
+        lines += [p.pretty(indent + 1) for p in self.premises]
+        return "\n".join(lines)
+
+    def depth(self) -> int:
+        if not self.premises:
+            return 0
+        return 1 + max(p.depth() for p in self.premises)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+class ChaseInstance:
+    """Mutable chase state.  See module docstring."""
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        head: Sequence[Term] = (),
+        *,
+        track_graph: bool = False,
+    ):
+        self._index = FactIndex()
+        self._atom_id: dict[Atom, int] = {}
+        self._id_atom: dict[int, Atom] = {}
+        self._level: dict[int, int] = {}
+        self._rule: dict[int, str] = {}
+        self._id_alias: dict[int, int] = {}
+        self._term_atoms: dict[Term, set[Atom]] = {}
+        self._merged_into: dict[Term, Term] = {}
+        self._ids = itertools.count(1)
+        self._arcs: list[Arc] = []
+        self._track_graph = track_graph
+        self._dirty: list[Atom] = []
+        self._parents: dict[int, tuple[int, ...]] = {}
+        self.head: tuple[Term, ...] = tuple(head)
+        for atom in atoms:
+            self.add(atom, level=0, rule=INITIAL_RULE_LABEL, parents=())
+
+    # -- read access ---------------------------------------------------------
+
+    @property
+    def index(self) -> FactIndex:
+        """The underlying fact index (do not mutate directly)."""
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._index
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._index)
+
+    def atoms(self) -> frozenset[Atom]:
+        return self._index.to_frozenset()
+
+    def node_id(self, atom: Atom) -> int:
+        """The stable node id of a current conjunct."""
+        return self._resolve_id(self._atom_id[atom])
+
+    def atom_of(self, node_id: int) -> Atom:
+        """The current conjunct carried by *node_id* (follows merges)."""
+        return self._id_atom[self._resolve_id(node_id)]
+
+    def level_of(self, atom: Atom) -> int:
+        """Definition 3(3) level of a current conjunct."""
+        return self._level[self.node_id(atom)]
+
+    def level_of_id(self, node_id: int) -> int:
+        """Level of a conjunct given its (possibly aliased) node id."""
+        return self._level[self._resolve_id(node_id)]
+
+    def rule_of(self, atom: Atom) -> str:
+        """Label of the rule that generated the conjunct (or ``initial``)."""
+        return self._rule[self.node_id(atom)]
+
+    def max_level(self) -> int:
+        return max(self._level[self._resolve_id(i)] for i in self._id_atom) if self._id_atom else 0
+
+    def atoms_up_to_level(self, bound: int) -> list[Atom]:
+        """Current conjuncts whose level does not exceed *bound*."""
+        return [a for a in self._index if self.level_of(a) <= bound]
+
+    def arcs(self) -> tuple[Arc, ...]:
+        """All recorded chase-graph arcs (ids are raw; resolve via atom_of)."""
+        return tuple(self._arcs)
+
+    def derivation_of(self, atom: Atom) -> Derivation:
+        """The derivation tree of a current conjunct.
+
+        Premises are resolved through EGD merges to their current form.
+        EGD collapses can in principle entangle provenance; re-visited
+        nodes are rendered as leaves to keep the tree finite.
+        """
+        def build(node: int, visiting: frozenset[int]) -> Derivation:
+            node = self._resolve_id(node)
+            node_atom = self._id_atom[node]
+            rule = self._rule[node]
+            parent_ids = self._parents.get(node, ())
+            if node in visiting or not parent_ids:
+                return Derivation(node_atom, rule)
+            nested = frozenset(visiting | {node})
+            premises = []
+            for parent in parent_ids:
+                parent = self._resolve_id(parent)
+                if parent not in self._id_atom:  # pragma: no cover - defensive
+                    continue
+                premises.append(build(parent, nested))
+            return Derivation(node_atom, rule, tuple(premises))
+
+        return build(self.node_id(atom), frozenset())
+
+    def resolve_term(self, term: Term) -> Term:
+        """Follow EGD merges: the current representative of *term*."""
+        seen = []
+        while term in self._merged_into:
+            seen.append(term)
+            term = self._merged_into[term]
+        for t in seen:  # path compression
+            self._merged_into[t] = term
+        return term
+
+    # -- mutation: adding conjuncts -------------------------------------------
+
+    def add(
+        self,
+        atom: Atom,
+        *,
+        level: int,
+        rule: str,
+        parents: tuple[int, ...],
+        cross_if_present: bool = False,
+    ) -> Optional[int]:
+        """Insert a conjunct with provenance; return its node id.
+
+        When the conjunct already exists nothing is added; if
+        *cross_if_present* is set a cross-arc to the existing node is
+        recorded instead (Definition 3(4)) and ``None`` is returned.
+        """
+        existing = self._atom_id.get(atom)
+        if existing is not None:
+            if cross_if_present and self._track_graph:
+                self._arcs.append(
+                    Arc(parents, self._resolve_id(existing), rule, cross=True)
+                )
+            return None
+        node = next(self._ids)
+        self._atom_id[atom] = node
+        self._id_atom[node] = atom
+        self._level[node] = level
+        self._rule[node] = rule
+        self._parents[node] = parents
+        for term in set(atom.args):
+            self._term_atoms.setdefault(term, set()).add(atom)
+        self._index.add(atom)
+        if self._track_graph and rule != INITIAL_RULE_LABEL:
+            self._arcs.append(Arc(parents, node, rule, cross=False))
+        return node
+
+    def record_cross_arc(self, parents: tuple[int, ...], child: Atom, rule: str) -> None:
+        """Record a cross-arc to an already-present conjunct."""
+        if self._track_graph:
+            self._arcs.append(Arc(parents, self.node_id(child), rule, cross=True))
+
+    # -- mutation: EGD merge ---------------------------------------------------
+
+    def merge(self, left: Term, right: Term) -> bool:
+        """Equate two terms per chase rule (1) of Definition 2.
+
+        The lexicographically smaller term (constants < nulls < variables)
+        survives; the other is rewritten away everywhere, including in the
+        query head.  Returns True when the instance changed.  Raises
+        :class:`ChaseFailure` when both are distinct real constants
+        (Definition 2(1)(a)).
+        """
+        left = self.resolve_term(left)
+        right = self.resolve_term(right)
+        if left == right:
+            return False
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            raise ChaseFailure(
+                f"EGD equated distinct constants {left} and {right}: chase fails"
+            )
+        keep, lose = sorted((left, right), key=term_sort_key)
+        self._merged_into[lose] = keep
+        affected = list(self._term_atoms.pop(lose, ()))
+        for old_atom in affected:
+            new_atom = Atom(
+                old_atom.predicate,
+                tuple(keep if t == lose else t for t in old_atom.args),
+            )
+            self._replace_atom(old_atom, new_atom)
+        if lose in self.head:
+            self.head = tuple(keep if t == lose else t for t in self.head)
+        return True
+
+    def _replace_atom(self, old_atom: Atom, new_atom: Atom) -> None:
+        node = self._atom_id.pop(old_atom)
+        node = self._resolve_id(node)
+        self._index.discard(old_atom)
+        for term in set(old_atom.args):
+            bucket = self._term_atoms.get(term)
+            if bucket is not None:
+                bucket.discard(old_atom)
+        existing = self._atom_id.get(new_atom)
+        if existing is not None:
+            # Two conjuncts collapsed: alias the younger node to the older
+            # one and keep the smaller level (the conjunct now "exists since"
+            # its earliest derivation).
+            existing = self._resolve_id(existing)
+            if existing == node:
+                return
+            keep_id, drop_id = sorted(
+                (existing, node), key=lambda i: (self._level[i], i)
+            )
+            self._id_alias[drop_id] = keep_id
+            self._id_atom.pop(drop_id, None)
+            self._level.pop(drop_id, None)
+            self._rule.pop(drop_id, None)
+        else:
+            self._atom_id[new_atom] = node
+            self._id_atom[node] = new_atom
+            for term in set(new_atom.args):
+                self._term_atoms.setdefault(term, set()).add(new_atom)
+            self._index.add(new_atom)
+            self._dirty.append(new_atom)
+
+    def drain_dirty(self) -> list[Atom]:
+        """Conjuncts rewritten by merges since the last drain.
+
+        The chase engine feeds these back into its semi-naive delta: a
+        rewritten conjunct can enable rule applications that its old form
+        could not.
+        """
+        out = [a for a in self._dirty if a in self._index]
+        self._dirty = []
+        return out
+
+    def _resolve_id(self, node: int) -> int:
+        seen = []
+        while node in self._id_alias:
+            seen.append(node)
+            node = self._id_alias[node]
+        for n in seen:
+            self._id_alias[n] = node
+        return node
+
+    # -- display ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseInstance({len(self._index)} conjuncts, "
+            f"max level {self.max_level()}, head={tuple(str(t) for t in self.head)})"
+        )
+
+    def pretty(self, *, max_atoms: Optional[int] = None) -> str:
+        """A level-ordered, human-readable listing of the instance."""
+        rows = sorted(
+            ((self.level_of(a), str(a), self.rule_of(a)) for a in self._index),
+            key=lambda row: (row[0], row[1]),
+        )
+        if max_atoms is not None:
+            rows = rows[:max_atoms]
+        width = max((len(r[1]) for r in rows), default=10)
+        lines = [f"  L{lvl:<3} {text:<{width}}  [{rule}]" for lvl, text, rule in rows]
+        return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Conjunct equivalence, primary paths and the excision machinery.
+
+This module implements the combinatorial tools of Section 4:
+
+* **Definition 6** — conjunct equivalence ``c1 ~ c2``: same relation and
+  agreement on every component that is a *real* (non-fresh) constant.
+  Query variables and labeled nulls impose no constraint — which is what
+  lets the infinite chains of the chase repeat up to renaming.
+* **Definition 7** — *primary paths*: paths of primary arcs, except that
+  they may leave a ``type`` conjunct through an arc that jumps two levels
+  (the rho_1 pattern visible in Figure 1).
+* **Definition 8** — *parallel paths*: equal-length paths whose arcs carry
+  the same rule labels position by position.
+* The **excision** searches behind Lemmas 9–11: given a conjunct (or a set
+  of conjuncts) deep in the chase, find a homomorphic image within the
+  prescribed level bound.  We verify the lemmas constructively by
+  searching for the bounded image with the generic homomorphism engine
+  restricted to a level prefix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.substitution import Substitution
+from ..core.terms import Constant, Term, Variable
+from ..datalog.index import FactIndex
+from ..datalog.matching import match_conjunction
+from .graph import ChaseGraph, GraphArc
+from .instance import ChaseInstance
+
+__all__ = [
+    "equivalent",
+    "primary_path_arcs",
+    "is_primary_path",
+    "primary_path_to",
+    "parallel_paths",
+    "follow_parallel",
+    "generalize_conjuncts",
+    "bounded_image",
+    "bounded_image_of_set",
+]
+
+
+def equivalent(c1: Atom, c2: Atom) -> bool:
+    """Definition 6: ``c1 ~ c2``.
+
+    Both conjuncts must have the same relation symbol and arity, and agree
+    on every component where either side is a real constant.  (The paper
+    states the arity requirement; the relation symbol is implied by its
+    use — equivalent conjuncts stand in for one another in the chase.)
+    """
+    if c1.predicate != c2.predicate or c1.arity != c2.arity:
+        return False
+    for a, b in zip(c1.args, c2.args):
+        if (isinstance(a, Constant) or isinstance(b, Constant)) and a != b:
+            return False
+    return True
+
+
+def _arc_allowed_on_primary_path(arc: GraphArc, is_first: bool) -> bool:
+    """Definition 7: primary arc, or an initial +2-level hop out of ``type``."""
+    if arc.primary:
+        return True
+    if (
+        is_first
+        and arc.source.predicate == "type"
+        and arc.target_level == arc.source_level + 2
+    ):
+        return True
+    return False
+
+
+def is_primary_path(arcs: Sequence[GraphArc]) -> bool:
+    """Check that a list of consecutive arcs forms a primary path (Def. 7)."""
+    if not arcs:
+        return True
+    for i, arc in enumerate(arcs):
+        if not _arc_allowed_on_primary_path(arc, is_first=i == 0):
+            return False
+        if i > 0 and arcs[i - 1].target != arc.source:
+            return False
+    return True
+
+
+def primary_path_arcs(graph: ChaseGraph, source: Atom) -> Iterable[list[GraphArc]]:
+    """Enumerate primary paths starting at *source*, shortest first.
+
+    The chase graph of Sigma_FL has out-degree bounded by the rule set, and
+    Lemma 5 keeps the chains isolated, so enumeration is cheap in practice.
+    """
+    frontier: list[list[GraphArc]] = [[]]
+    while frontier:
+        new_frontier: list[list[GraphArc]] = []
+        for path in frontier:
+            tip = path[-1].target if path else source
+            for arc in graph.arcs_out_of(tip):
+                if arc.cross:
+                    continue
+                if _arc_allowed_on_primary_path(arc, is_first=not path):
+                    extended = path + [arc]
+                    yield extended
+                    new_frontier.append(extended)
+        frontier = new_frontier
+
+
+def primary_path_to(
+    graph: ChaseGraph, source: Atom, target: Atom, *, max_length: Optional[int] = None
+) -> Optional[list[GraphArc]]:
+    """The primary path from *source* to *target*, or ``None``.
+
+    The paper argues (proof of Lemma 9) that such paths are unique when
+    they exist; we return the first (shortest) one found.
+    """
+    for path in primary_path_arcs(graph, source):
+        if max_length is not None and len(path) > max_length:
+            return None
+        if path[-1].target == target:
+            return path
+    return None
+
+
+def parallel_paths(pi1: Sequence[GraphArc], pi2: Sequence[GraphArc]) -> bool:
+    """Definition 8: same length and identical rule labels position-wise."""
+    if len(pi1) != len(pi2):
+        return False
+    return all(a.rule == b.rule for a, b in zip(pi1, pi2))
+
+
+def follow_parallel(
+    graph: ChaseGraph, start: Atom, labels: Sequence[str]
+) -> Optional[list[GraphArc]]:
+    """Follow, from *start*, a path whose arcs carry exactly *labels*.
+
+    Returns the first such path (depth-first), or ``None``.  This is the
+    ``pi_2`` construction of Lemmas 9 and 10: given a primary path's rule
+    labels, re-run it from an equivalent conjunct found earlier.
+    """
+
+    def recurse(tip: Atom, remaining: Sequence[str], acc: list[GraphArc]):
+        if not remaining:
+            return acc
+        for arc in graph.arcs_out_of(tip):
+            if arc.cross or arc.rule != remaining[0]:
+                continue
+            found = recurse(arc.target, remaining[1:], acc + [arc])
+            if found is not None:
+                return found
+        return None
+
+    return recurse(start, list(labels), [])
+
+
+# -- bounded homomorphic images (Lemmas 9 and 11) -----------------------------
+
+
+def generalize_conjuncts(
+    conjuncts: Sequence[Atom],
+) -> tuple[tuple[Atom, ...], dict[Term, Variable]]:
+    """Turn chase conjuncts into a matchable pattern.
+
+    Internal chase-to-chase homomorphisms fix real constants and may remap
+    everything else (query variables behave like fresh values inside the
+    chase — see Definition 6).  We therefore replace every non-constant
+    term by a pattern variable, consistently across the set, and return
+    both the pattern and the term-to-variable mapping.
+    """
+    mapping: dict[Term, Variable] = {}
+    counter = itertools.count(1)
+    pattern: list[Atom] = []
+    for conjunct in conjuncts:
+        args: list[Term] = []
+        for term in conjunct.args:
+            if isinstance(term, Constant):
+                args.append(term)
+            else:
+                var = mapping.get(term)
+                if var is None:
+                    var = Variable(f"_H{next(counter)}")
+                    mapping[term] = var
+                args.append(var)
+        pattern.append(Atom(conjunct.predicate, tuple(args)))
+    return tuple(pattern), mapping
+
+
+def _prefix_index(instance: ChaseInstance, level_bound: int) -> FactIndex:
+    return FactIndex(instance.atoms_up_to_level(level_bound))
+
+
+def bounded_image(
+    instance: ChaseInstance, conjunct: Atom, level_bound: int
+) -> Optional[Atom]:
+    """Lemma 9 check: an image of *conjunct* at level <= *level_bound*.
+
+    Searches for a homomorphism (constants fixed, other terms free) from
+    the single conjunct into the level-bounded prefix of the chase and
+    returns the image conjunct, or ``None`` when no such image exists —
+    which would falsify Lemma 9 if ``level_bound >= 2 * |q|``.
+    """
+    pattern, _ = generalize_conjuncts((conjunct,))
+    prefix = _prefix_index(instance, level_bound)
+    for sigma in match_conjunction(pattern, prefix, reorder=False):
+        return sigma.apply_atom(pattern[0])
+    return None
+
+
+def bounded_image_of_set(
+    instance: ChaseInstance, conjuncts: Sequence[Atom], level_bound: int
+) -> Optional[tuple[Substitution, tuple[Atom, ...]]]:
+    """Lemma 11 check: one homomorphism moving the whole set below the bound.
+
+    Returns the substitution on pattern variables together with the image
+    conjuncts, or ``None`` when the set admits no bounded image (which
+    would falsify Lemma 11 when ``level_bound >= len(conjuncts) * 2 * |q|``).
+    """
+    pattern, _ = generalize_conjuncts(tuple(conjuncts))
+    prefix = _prefix_index(instance, level_bound)
+    for sigma in match_conjunction(pattern, prefix):
+        return sigma, sigma.apply_atoms(pattern)
+    return None

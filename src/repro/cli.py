@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+Installed as ``flq`` (F-Logic Queries); also runnable as
+``python -m repro``.  Subcommands:
+
+``flq check FILE``
+    FILE holds two or more rules; check containment of the first in each
+    of the others (under Sigma_FL and classically).
+
+``flq chase FILE [--max-level N] [--graph]``
+    Chase the first rule in FILE and print the instance (and graph).
+
+``flq ask KB_FILE QUERY``
+    Load an F-logic fact base and answer a query string.
+
+``flq experiment ID``
+    Run one experiment (E1..E13) or ``all``.
+
+``flq termination FILE``
+    Predict chase termination for the first rule in FILE.
+
+``flq minimize FILE``
+    Drop Sigma_FL-redundant conjuncts from every rule in FILE.
+
+``flq classify FILE``
+    Compute the containment taxonomy of the rules in FILE.
+
+``flq explain KB_FILE FACT``
+    Print the Sigma_FL derivation tree of an entailed fact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis.cycles import predict_chase_termination
+from .chase.engine import chase
+from .chase.graph import ChaseGraph
+from .containment.bounded import ContainmentChecker
+from .containment.classic import contained_classic
+from .core.errors import ReproError
+from .core.query import ConjunctiveQuery
+from .flogic.encoding import encode_query, encode_rule
+from .flogic.kb import KnowledgeBase
+from .flogic.parser import parse_program
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_queries(path: str) -> list[ConjunctiveQuery]:
+    program = parse_program(Path(path).read_text())
+    queries: list[ConjunctiveQuery] = []
+    for rule in program.rules():
+        queries.append(encode_rule(rule))
+    for i, ask in enumerate(program.queries(), start=1):
+        queries.append(encode_query(ask, name=f"query{i}"))
+    if not queries:
+        raise ReproError(f"{path} contains no rules or queries")
+    return queries
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    queries = _load_queries(args.file)
+    if len(queries) < 2:
+        print("need at least two rules to check containment", file=sys.stderr)
+        return 2
+    checker = ContainmentChecker()
+    q1 = queries[0]
+    status = 0
+    for q2 in queries[1:]:
+        result = checker.check(q1, q2, level_bound=args.level_bound)
+        classic = contained_classic(q1, q2)
+        print(result.explain())
+        print(f"  (classic, constraint-free verdict: {classic.contained})")
+        if not result.contained:
+            status = 1
+    return status
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    query = _load_queries(args.file)[0]
+    result = chase(query, max_level=args.max_level, track_graph=args.graph)
+    print(repr(result))
+    if result.failed:
+        print("chase FAILED: the query is unsatisfiable under Sigma_FL")
+        return 1
+    assert result.instance is not None
+    print(result.instance.pretty())
+    if args.graph:
+        print()
+        print(ChaseGraph.from_result(result).pretty_table())
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase()
+    kb.load(Path(args.kb).read_text())
+    answers = kb.ask(args.query, certain_only=args.certain)
+    if not answers:
+        print("no answers")
+        return 1
+    for answer in answers:
+        print(answer)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_all, run_experiment
+
+    if args.id.lower() == "all":
+        for report in run_all():
+            print(report.render())
+            print()
+        return 0
+    print(run_experiment(args.id).render())
+    return 0
+
+
+def _cmd_termination(args: argparse.Namespace) -> int:
+    query = _load_queries(args.file)[0]
+    report = predict_chase_termination(query)
+    print(report)
+    return 0 if report.guaranteed_terminating else 1
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from .containment.minimize import minimize_query
+    from .flogic.printer import query_to_flogic
+
+    any_reduced = False
+    for query in _load_queries(args.file):
+        result = minimize_query(query)
+        print(result)
+        print("  ", query_to_flogic(result.minimized))
+        any_reduced = any_reduced or result.reduced
+    return 0 if any_reduced else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .extensions.classify import classify_queries
+
+    queries = _load_queries(args.file)
+    taxonomy = classify_queries(queries)
+    print(taxonomy.pretty())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase()
+    kb.load(Path(args.kb).read_text())
+    derivation = kb.explain(args.fact)
+    print(derivation.pretty())
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from .shell import run_shell
+
+    kb = KnowledgeBase()
+    if args.kb:
+        kb.load(Path(args.kb).read_text())
+    return run_shell(kb)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flq",
+        description=(
+            "F-logic Lite meta-query tools: containment (Cali & Kifer, "
+            "VLDB 2006), chase inspection, and knowledge-base queries."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="containment of the first rule in the rest")
+    p_check.add_argument("file", help="file with two or more rules")
+    p_check.add_argument(
+        "--level-bound",
+        type=int,
+        default=None,
+        help="override the Theorem-12 chase level bound",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    p_chase = sub.add_parser("chase", help="chase a query and print the instance")
+    p_chase.add_argument("file", help="file whose first rule is chased")
+    p_chase.add_argument("--max-level", type=int, default=12)
+    p_chase.add_argument("--graph", action="store_true", help="print the chase graph")
+    p_chase.set_defaults(func=_cmd_chase)
+
+    p_ask = sub.add_parser("ask", help="answer a query over an F-logic fact base")
+    p_ask.add_argument("kb", help="file of F-logic facts")
+    p_ask.add_argument("query", help="query text, e.g. '?- X::person.'")
+    p_ask.add_argument(
+        "--certain", action="store_true", help="exclude answers with invented values"
+    )
+    p_ask.set_defaults(func=_cmd_ask)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", help="experiment id (E1..E12) or 'all'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_term = sub.add_parser("termination", help="predict chase termination")
+    p_term.add_argument("file", help="file whose first rule is analysed")
+    p_term.set_defaults(func=_cmd_termination)
+
+    p_min = sub.add_parser("minimize", help="drop Sigma_FL-redundant conjuncts")
+    p_min.add_argument("file", help="file of rules to minimise")
+    p_min.set_defaults(func=_cmd_minimize)
+
+    p_cls = sub.add_parser("classify", help="containment taxonomy of rules")
+    p_cls.add_argument("file", help="file of same-arity rules")
+    p_cls.set_defaults(func=_cmd_classify)
+
+    p_exp2 = sub.add_parser("explain", help="derivation tree of an entailed fact")
+    p_exp2.add_argument("kb", help="file of F-logic facts")
+    p_exp2.add_argument("fact", help="fact text, e.g. 'john:person.'")
+    p_exp2.set_defaults(func=_cmd_explain)
+
+    p_shell = sub.add_parser("shell", help="interactive F-logic Lite shell")
+    p_shell.add_argument(
+        "kb", nargs="?", default=None, help="optional fact file to preload"
+    )
+    p_shell.set_defaults(func=_cmd_shell)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Query containment: the paper's bounded-chase procedure and the baseline."""
+
+from .bounded import ContainmentChecker, is_contained, theorem12_bound
+from .classic import contained_classic
+from .minimize import MinimizationResult, minimize_query
+from .result import ContainmentReason, ContainmentResult
+
+__all__ = [
+    "is_contained",
+    "ContainmentChecker",
+    "theorem12_bound",
+    "contained_classic",
+    "ContainmentResult",
+    "ContainmentReason",
+    "minimize_query",
+    "MinimizationResult",
+]

@@ -1,0 +1,205 @@
+"""The paper's containment decision procedure (Theorems 4, 12 and 13).
+
+``q1 ⊆_{Sigma_FL} q2`` holds iff a homomorphism sends ``body(q2)`` into
+``chase_{Sigma_FL}(q1)`` and ``head(q2)`` onto ``head(chase(q1))``
+(Theorem 4).  The chase may be infinite, but Theorem 12 caps the search:
+it suffices to examine the first
+
+    ``|q2| * delta``  levels, where  ``delta = 2 * |q1|``.
+
+The checker therefore (1) chases ``q1`` level-bounded, (2) handles the
+chase-failure corner (vacuous containment), and (3) runs the homomorphism
+search with the head condition over the finite prefix.  This is the
+deterministic realisation of the paper's NP algorithm: the
+nondeterministic guess of Theorem 13 becomes backtracking, and a positive
+answer carries the polynomial certificate (the witness homomorphism and
+the prefix it maps into).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Sequence
+
+from ..chase.engine import ChaseConfig, ChaseEngine, ChaseResult
+from ..core.atoms import Atom
+from ..core.errors import QueryError
+from ..core.query import ConjunctiveQuery
+from ..datalog.index import FactIndex
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma_fl import SIGMA_FL
+from ..homomorphism.search import find_homomorphism
+from .result import ContainmentReason, ContainmentResult
+
+__all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
+
+
+def theorem12_bound(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> int:
+    """The Theorem-12 level bound ``|q2| * 2 * |q1|``."""
+    return q2.size * 2 * q1.size
+
+
+class ContainmentChecker:
+    """Reusable checker: fixed dependency set, per-call query pairs.
+
+    Parameters
+    ----------
+    dependencies:
+        The constraint set; defaults to Sigma_FL.  The Theorem-12 bound is
+        proved for Sigma_FL — for other dependency sets pass an explicit
+        ``level_bound`` to :meth:`check` (or accept that the default
+        formula is only a heuristic there).
+    reorder_join:
+        Forwarded to the chase and homomorphism engines (ablation D4).
+    max_steps:
+        Forwarded to the chase engine's safety valve.
+    """
+
+    def __init__(
+        self,
+        dependencies: Sequence[Dependency] = SIGMA_FL,
+        *,
+        reorder_join: bool = True,
+        max_steps: Optional[int] = 200_000,
+    ):
+        self.dependencies = tuple(dependencies)
+        self.reorder_join = reorder_join
+        self.max_steps = max_steps
+        self._chase_cache: dict[tuple[ConjunctiveQuery, int], ChaseResult] = {}
+
+    # -- chase -------------------------------------------------------------
+
+    def chase_prefix(self, query: ConjunctiveQuery, level_bound: int) -> ChaseResult:
+        """Chase *query* up to *level_bound* levels (cached per checker).
+
+        A cached result computed with a bound ``b >= level_bound`` that
+        *saturated* is reused directly: the full chase is a prefix of
+        itself at every bound.
+        """
+        hit = self._chase_cache.get((query, level_bound))
+        if hit is not None:
+            return hit
+        for (cached_query, cached_bound), result in self._chase_cache.items():
+            if cached_query == query and (
+                result.saturated or result.failed or cached_bound >= level_bound
+            ):
+                return result
+        engine = ChaseEngine(
+            self.dependencies,
+            ChaseConfig(
+                max_level=level_bound,
+                max_steps=self.max_steps,
+                reorder_join=self.reorder_join,
+            ),
+        )
+        result = engine.run(query)
+        self._chase_cache[(query, level_bound)] = result
+        return result
+
+    # -- decision ------------------------------------------------------------
+
+    def check(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        *,
+        level_bound: Optional[int] = None,
+        schema: Optional[Iterable[Atom]] = None,
+    ) -> ContainmentResult:
+        """Decide ``q1 ⊆_Sigma q2``.
+
+        *level_bound* overrides the Theorem-12 bound — used by the E8
+        bound-stability experiment and required for non-Sigma_FL
+        dependency sets.
+
+        *schema* makes the containment **relative**: the quantification
+        runs over databases that satisfy Sigma_FL *and contain the given
+        ground atoms* (typically an ontology's class hierarchy and
+        signatures).  Implemented by conjoining the schema to ``body(q1)``
+        before chasing — the canonical database of the combined query is
+        universal for exactly those databases.  ``q1 ⊆ q2`` relative to a
+        schema is weaker than absolute containment: e.g. ``B:book``
+        implies ``B:publication`` only relative to a schema containing
+        ``book::publication``.
+        """
+        if schema is not None:
+            schema_atoms = tuple(schema)
+            for atom in schema_atoms:
+                if not atom.is_ground:
+                    raise QueryError(
+                        f"schema atoms must be ground, got {atom}"
+                    )
+            if schema_atoms:
+                q1 = q1.with_body(q1.body + schema_atoms)
+        if q1.arity != q2.arity:
+            raise QueryError(
+                f"containment requires equal arity: "
+                f"{q1.name}/{q1.arity} vs {q2.name}/{q2.arity}"
+            )
+        start = time.perf_counter()
+        bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
+        chase_result = self.chase_prefix(q1, bound)
+        if chase_result.failed:
+            return ContainmentResult(
+                q1=q1,
+                q2=q2,
+                contained=True,
+                reason=ContainmentReason.CHASE_FAILURE,
+                chase_result=chase_result,
+                level_bound=bound,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        assert chase_result.instance is not None
+        # The chase may have been produced under a larger cached bound;
+        # restrict the search to the first `bound` levels regardless.
+        if chase_result.level_reached > bound:
+            prefix = FactIndex(chase_result.instance.atoms_up_to_level(bound))
+        else:
+            prefix = chase_result.instance.index
+        witness = find_homomorphism(
+            q2, prefix, head_target=chase_result.head, reorder=self.reorder_join
+        )
+        elapsed = time.perf_counter() - start
+        if witness is not None:
+            return ContainmentResult(
+                q1=q1,
+                q2=q2,
+                contained=True,
+                reason=ContainmentReason.HOMOMORPHISM,
+                witness=witness,
+                chase_result=chase_result,
+                level_bound=bound,
+                elapsed_seconds=elapsed,
+            )
+        return ContainmentResult(
+            q1=q1,
+            q2=q2,
+            contained=False,
+            reason=ContainmentReason.NO_HOMOMORPHISM,
+            chase_result=chase_result,
+            level_bound=bound,
+            elapsed_seconds=elapsed,
+        )
+
+
+def is_contained(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    *,
+    dependencies: Sequence[Dependency] = SIGMA_FL,
+    level_bound: Optional[int] = None,
+    schema: Optional[Iterable[Atom]] = None,
+) -> ContainmentResult:
+    """One-shot ``q1 ⊆_{Sigma_FL} q2`` check (Theorem 12 procedure).
+
+    Example
+    -------
+    >>> from repro.core import ConjunctiveQuery, Variable, type_, sub
+    >>> T1, T2, T3, A, B, X = (Variable(n) for n in "T1 T2 T3 A B X".split())
+    >>> q = ConjunctiveQuery("q", (A, B), (type_(T1, A, T2), sub(T2, T3), type_(T3, B, X)))
+    >>> qq = ConjunctiveQuery("qq", (A, B), (type_(T1, A, T2), type_(T2, B, X)))
+    >>> bool(is_contained(q, qq))
+    True
+    """
+    checker = ContainmentChecker(dependencies)
+    return checker.check(q1, q2, level_bound=level_bound, schema=schema)

@@ -1,0 +1,48 @@
+"""Classic conjunctive-query containment (Chandra–Merlin 1977).
+
+This is the **baseline** of the reproduction: the containment test one
+would run if the Sigma_FL constraints were ignored.  ``q1 ⊆ q2`` over
+*all* databases iff there is a homomorphism from ``q2`` to ``q1`` (body
+into body, head onto head).
+
+Classic containment is *sound but incomplete* for F-logic Lite: whenever
+it says "contained", containment also holds over the constrained
+databases (they are a subset of all databases), but it misses every
+containment that only holds because of Sigma_FL — quantifying that gap is
+experiment E10.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.query import ConjunctiveQuery
+from ..homomorphism.search import find_query_homomorphism
+from .result import ContainmentReason, ContainmentResult
+
+__all__ = ["contained_classic"]
+
+
+def contained_classic(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery
+) -> ContainmentResult:
+    """Decide ``q1 ⊆ q2`` over unconstrained databases (Chandra–Merlin)."""
+    start = time.perf_counter()
+    witness = find_query_homomorphism(q2, q1)
+    elapsed = time.perf_counter() - start
+    if witness is not None:
+        return ContainmentResult(
+            q1=q1,
+            q2=q2,
+            contained=True,
+            reason=ContainmentReason.HOMOMORPHISM,
+            witness=witness,
+            elapsed_seconds=elapsed,
+        )
+    return ContainmentResult(
+        q1=q1,
+        q2=q2,
+        contained=False,
+        reason=ContainmentReason.NO_HOMOMORPHISM,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,104 @@
+"""Conjunctive-query minimisation under Sigma_FL.
+
+The classic application of containment to query optimisation (the paper's
+first motivation): a body conjunct is *redundant* when dropping it leaves
+an equivalent query.  Under constraints, equivalence is asymmetric work:
+
+* dropping conjuncts always *weakens* a query — ``q ⊆_Sigma q'`` holds
+  for free whenever ``body(q') ⊆ body(q)`` and the heads agree (the
+  identity maps ``body(q')`` into ``chase(q)``);
+* the direction that needs checking is ``q' ⊆_Sigma q`` — the smaller
+  query must still force everything the original did, possibly *via the
+  constraints* (e.g. ``member(O, D)`` is redundant next to
+  ``member(O, C), sub(C, D)`` because of rho_3, a redundancy invisible to
+  classic minimisation).
+
+The result is a subset-minimal equivalent query.  As with classic CQ
+minimisation the outcome is unique up to isomorphism; we keep the
+original conjunct order for readability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.errors import QueryError
+from ..core.query import ConjunctiveQuery
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma_fl import SIGMA_FL
+from .bounded import ContainmentChecker
+
+__all__ = ["MinimizationResult", "minimize_query"]
+
+
+@dataclass
+class MinimizationResult:
+    """The minimised query plus an audit trail of what was dropped."""
+
+    original: ConjunctiveQuery
+    minimized: ConjunctiveQuery
+    removed: list = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def reduced(self) -> bool:
+        return bool(self.removed)
+
+    def __str__(self) -> str:
+        if not self.reduced:
+            return f"{self.original.name}: already minimal ({self.checks} checks)"
+        dropped = ", ".join(str(a) for a in self.removed)
+        return (
+            f"{self.original.name}: {self.original.size} -> "
+            f"{self.minimized.size} conjuncts (dropped {dropped}; "
+            f"{self.checks} containment checks)"
+        )
+
+
+def minimize_query(
+    query: ConjunctiveQuery,
+    *,
+    dependencies: Sequence[Dependency] = SIGMA_FL,
+    checker: Optional[ContainmentChecker] = None,
+) -> MinimizationResult:
+    """Drop every Sigma-redundant conjunct of *query*.
+
+    Greedy one-at-a-time removal; each removal is validated with a full
+    Theorem-12 containment check, so the final query is equivalent to the
+    original over every database satisfying the dependencies.
+
+    Head *variables* must stay safe, so a conjunct whose removal would
+    orphan a head variable is never dropped.
+    """
+    checker = checker or ContainmentChecker(dependencies)
+    body = list(query.body)
+    removed = []
+    checks = 0
+    head_vars = query.head_variables()
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for i, atom in enumerate(list(body)):
+            candidate_body = body[:i] + body[i + 1:]
+            remaining_vars = set()
+            for other in candidate_body:
+                remaining_vars |= other.variables()
+            if not head_vars <= remaining_vars:
+                continue  # would unsafely orphan a head variable
+            try:
+                candidate = query.with_body(tuple(candidate_body))
+            except QueryError:  # pragma: no cover - guarded above
+                continue
+            checks += 1
+            if checker.check(candidate, query).contained:
+                body = candidate_body
+                removed.append(atom)
+                changed = True
+                break
+    return MinimizationResult(
+        original=query,
+        minimized=query.with_body(tuple(body)),
+        removed=removed,
+        checks=checks,
+    )

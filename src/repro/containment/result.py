@@ -1,0 +1,130 @@
+"""Containment verdicts with their evidence.
+
+A containment check does not just answer yes/no: a *yes* carries the
+witness homomorphism (and, under constraints, the chase prefix it maps
+into), a *no* records how exhaustively the search refuted the witness.
+Keeping the evidence makes results testable and the experiment tables
+self-explanatory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chase.engine import ChaseResult
+
+__all__ = ["ContainmentReason", "ContainmentResult"]
+
+
+class ContainmentReason(enum.Enum):
+    """Why the verdict is what it is."""
+
+    #: A homomorphism body(q2) -> chase(q1) with the head condition exists.
+    HOMOMORPHISM = "homomorphism"
+    #: The chase of q1 failed (EGD clash): q1 is unsatisfiable under the
+    #: constraints, so it is vacuously contained in any same-arity query.
+    CHASE_FAILURE = "chase-failure"
+    #: No witness homomorphism exists within the examined chase prefix.
+    NO_HOMOMORPHISM = "no-homomorphism"
+
+
+@dataclass
+class ContainmentResult:
+    """The outcome of checking ``q1 ⊆ q2`` (under constraints or not)."""
+
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+    contained: bool
+    reason: ContainmentReason
+    witness: Optional[Substitution] = None
+    chase_result: Optional["ChaseResult"] = None
+    level_bound: Optional[int] = None
+    elapsed_seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.contained
+
+    @property
+    def delta(self) -> Optional[int]:
+        """The paper's ``delta = 2 * |q1|`` when a bound was used."""
+        if self.level_bound is None:
+            return None
+        return 2 * self.q1.size
+
+    def verify(self) -> bool:
+        """Re-check this result's certificate in polynomial time.
+
+        Theorem 13's NP membership rests on a polynomially checkable
+        certificate: the witness homomorphism together with the chase
+        prefix it maps into.  This method re-validates a positive verdict
+        from its evidence alone — every body conjunct of ``q2`` must land
+        on a conjunct of the prefix and the head must land on the chased
+        head — without re-running any search.  Negative verdicts and
+        vacuous (chase-failure) verdicts return True when their evidence
+        is shaped correctly; a corrupted result returns False.
+        """
+        if self.reason is ContainmentReason.CHASE_FAILURE:
+            return (
+                self.contained
+                and self.chase_result is not None
+                and self.chase_result.failed
+            )
+        if not self.contained:
+            return self.witness is None
+        if self.witness is None or self.chase_result is None:
+            return False
+        instance = self.chase_result.instance
+        if instance is None:
+            return False
+        for atom in self.q2.body:
+            image = self.witness.apply_atom(atom)
+            if image not in instance:
+                return False
+            if (
+                self.level_bound is not None
+                and instance.level_of(image) > self.level_bound
+            ):
+                return False
+        head_image = tuple(self.witness.apply_term(t) for t in self.q2.head)
+        return head_image == tuple(self.chase_result.head)
+
+    def explain(self) -> str:
+        """A one-paragraph human-readable justification of the verdict."""
+        rel = "⊆" if self.contained else "⊄"
+        lead = f"{self.q1.name} {rel} {self.q2.name}"
+        if self.reason is ContainmentReason.CHASE_FAILURE:
+            return (
+                f"{lead}: the chase of {self.q1.name} fails (the functionality "
+                "EGD equates two distinct constants), so the query has no "
+                "answers on any database satisfying the constraints and is "
+                "vacuously contained."
+            )
+        if self.reason is ContainmentReason.HOMOMORPHISM:
+            where = (
+                f"the first {self.level_bound} levels of the chase"
+                if self.level_bound is not None
+                else "the canonical database"
+            )
+            return (
+                f"{lead}: a homomorphism maps body({self.q2.name}) into {where} "
+                f"of {self.q1.name} and its head onto head(chase({self.q1.name})): "
+                f"{self.witness}"
+            )
+        where = (
+            f"within the Theorem-12 bound of {self.level_bound} levels"
+            if self.level_bound is not None
+            else "into the canonical database"
+        )
+        return f"{lead}: no witness homomorphism exists {where}."
+
+    def __repr__(self) -> str:
+        return (
+            f"ContainmentResult({self.q1.name} ⊆ {self.q2.name}: "
+            f"{self.contained} [{self.reason.value}])"
+        )

@@ -1,0 +1,96 @@
+"""Core kernel: terms, atoms, substitutions and conjunctive queries.
+
+Everything else in :mod:`repro` is built on these four concepts.  The
+module re-exports the public names so that ``from repro.core import ...``
+is all most client code ever needs.
+"""
+
+from .atoms import (
+    DATA,
+    FUNCT,
+    MANDATORY,
+    MEMBER,
+    P_FL,
+    P_FL_ARITIES,
+    SUB,
+    TYPE,
+    Atom,
+    data,
+    funct,
+    mandatory,
+    member,
+    sub,
+    type_,
+    validate_pfl_atom,
+)
+from .errors import (
+    ArityError,
+    ChaseBudgetExceeded,
+    ChaseFailure,
+    EncodingError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SubstitutionError,
+    UnificationError,
+)
+from .query import ConjunctiveQuery, fresh_variable_namer
+from .substitution import Substitution, match_atom, unify_atoms
+from .terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    is_ground,
+    parse_term,
+    term_sort_key,
+)
+
+__all__ = [
+    # terms
+    "Term",
+    "Constant",
+    "Variable",
+    "Null",
+    "NullFactory",
+    "term_sort_key",
+    "is_ground",
+    "parse_term",
+    # atoms / schema
+    "Atom",
+    "P_FL",
+    "P_FL_ARITIES",
+    "MEMBER",
+    "SUB",
+    "DATA",
+    "TYPE",
+    "MANDATORY",
+    "FUNCT",
+    "member",
+    "sub",
+    "data",
+    "type_",
+    "mandatory",
+    "funct",
+    "validate_pfl_atom",
+    # substitution
+    "Substitution",
+    "match_atom",
+    "unify_atoms",
+    # query
+    "ConjunctiveQuery",
+    "fresh_variable_namer",
+    # errors
+    "ReproError",
+    "ArityError",
+    "SchemaError",
+    "SubstitutionError",
+    "UnificationError",
+    "QueryError",
+    "ChaseFailure",
+    "ChaseBudgetExceeded",
+    "ParseError",
+    "EncodingError",
+]

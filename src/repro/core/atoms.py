@@ -1,0 +1,212 @@
+"""Atoms and the P_FL schema.
+
+An :class:`Atom` is a predicate name applied to a tuple of terms.  Atoms
+are the *conjuncts* of queries and, once ground (or treated as frozen), the
+*tuples* of chase instances — the paper uses the two words interchangeably
+and so do we.
+
+The module also defines ``P_FL``, the six-predicate relational schema of
+the low-level F-logic Lite encoding (paper, Section 2):
+
+======================  =====================================================
+``member(O, C)``        object *O* is a member of class *C*          (O : C)
+``sub(C1, C2)``         class *C1* is a subclass of class *C2*      (C1 :: C2)
+``data(O, A, V)``       attribute *A* has value *V* on object *O*  (O[A -> V])
+``type(O, A, T)``       attribute *A* has type *T* for *O*        (O[A *=> T])
+``mandatory(A, O)``     *A* is mandatory on *O*              (O[A {1:*} *=> _])
+``funct(A, O)``         *A* is functional on *O*             (O[A {0:1} *=> _])
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .errors import ArityError, SchemaError
+from .terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "Atom",
+    "P_FL",
+    "P_FL_ARITIES",
+    "MEMBER",
+    "SUB",
+    "DATA",
+    "TYPE",
+    "MANDATORY",
+    "FUNCT",
+    "member",
+    "sub",
+    "data",
+    "type_",
+    "mandatory",
+    "funct",
+    "validate_pfl_atom",
+]
+
+MEMBER = "member"
+SUB = "sub"
+DATA = "data"
+TYPE = "type"
+MANDATORY = "mandatory"
+FUNCT = "funct"
+
+#: Arity of each predicate in the P_FL encoding.
+P_FL_ARITIES: Mapping[str, int] = {
+    MEMBER: 2,
+    SUB: 2,
+    DATA: 3,
+    TYPE: 3,
+    MANDATORY: 2,
+    FUNCT: 2,
+}
+
+#: The predicate names of the F-logic Lite encoding.
+P_FL = frozenset(P_FL_ARITIES)
+
+
+class Atom:
+    """An immutable, hashable atom ``pred(t1, ..., tn)``.
+
+    ``Atom`` imposes no schema by itself — the same class carries P_FL
+    conjuncts, Datalog facts and user-defined query heads.  Use
+    :func:`validate_pfl_atom` to enforce the P_FL schema where required.
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Iterable[Term]):
+        args = tuple(args)
+        for arg in args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"atom argument is not a Term: {arg!r}")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((predicate, args)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Atom is immutable")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __getitem__(self, i: int) -> Term:
+        """The i-th component of the conjunct (paper notation ``c[i]``, 0-based)."""
+        return self.args[i]
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.args)
+
+    def variables(self) -> set[Variable]:
+        """The set of variables occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Variable)}
+
+    def constants(self) -> set[Constant]:
+        """The set of real constants occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Constant)}
+
+    def nulls(self) -> set[Null]:
+        """The set of labeled nulls occurring in this atom."""
+        return {t for t in self.args if isinstance(t, Null)}
+
+    def terms(self) -> tuple[Term, ...]:
+        return self.args
+
+    @property
+    def is_ground(self) -> bool:
+        """True when no argument is a variable (nulls count as values)."""
+        return not any(isinstance(t, Variable) for t in self.args)
+
+    # -- equality / ordering ------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            self is other
+            or (
+                isinstance(other, Atom)
+                and self._hash == other._hash
+                and self.predicate == other.predicate
+                and self.args == other.args
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.predicate}({inner})"
+
+
+def validate_pfl_atom(atom: Atom) -> Atom:
+    """Check *atom* against the P_FL schema; return it unchanged if valid.
+
+    Raises :class:`SchemaError` for an unknown predicate and
+    :class:`ArityError` for a wrong argument count.
+    """
+    expected = P_FL_ARITIES.get(atom.predicate)
+    if expected is None:
+        raise SchemaError(
+            f"predicate {atom.predicate!r} is not in P_FL "
+            f"(expected one of {sorted(P_FL)})"
+        )
+    if atom.arity != expected:
+        raise ArityError(
+            f"{atom.predicate} expects {expected} arguments, got {atom.arity}: {atom}"
+        )
+    return atom
+
+
+# -- convenience constructors ------------------------------------------------
+#
+# These accept Terms directly, or bare strings interpreted with the paper's
+# capitalization convention (capitalized = variable, lowercase = constant).
+
+
+def _coerce(term) -> Term:
+    if isinstance(term, Term):
+        return term
+    if isinstance(term, str):
+        from .terms import parse_term
+
+        return parse_term(term)
+    raise TypeError(f"cannot coerce {term!r} to a Term")
+
+
+def member(o, c) -> Atom:
+    """``member(O, C)`` — object *O* is a member of class *C* (``O : C``)."""
+    return Atom(MEMBER, (_coerce(o), _coerce(c)))
+
+
+def sub(c1, c2) -> Atom:
+    """``sub(C1, C2)`` — *C1* is a subclass of *C2* (``C1 :: C2``)."""
+    return Atom(SUB, (_coerce(c1), _coerce(c2)))
+
+
+def data(o, a, v) -> Atom:
+    """``data(O, A, V)`` — attribute *A* has value *V* on *O* (``O[A -> V]``)."""
+    return Atom(DATA, (_coerce(o), _coerce(a), _coerce(v)))
+
+
+def type_(o, a, t) -> Atom:
+    """``type(O, A, T)`` — attribute *A* has type *T* for *O* (``O[A *=> T]``).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+    return Atom(TYPE, (_coerce(o), _coerce(a), _coerce(t)))
+
+
+def mandatory(a, o) -> Atom:
+    """``mandatory(A, O)`` — *A* is mandatory on *O* (``O[A {1:*} *=> _]``)."""
+    return Atom(MANDATORY, (_coerce(a), _coerce(o)))
+
+
+def funct(a, o) -> Atom:
+    """``funct(A, O)`` — *A* is functional on *O* (``O[A {0:1} *=> _]``)."""
+    return Atom(FUNCT, (_coerce(a), _coerce(o)))

@@ -1,0 +1,203 @@
+"""Substitutions and homomorphism primitives.
+
+A :class:`Substitution` is a finite map from variables to terms.  Applied
+to an atom it rewrites every variable in its domain and leaves constants,
+nulls and unmapped variables untouched.  A *homomorphism* in the paper's
+sense (Definition 1) is a substitution that maps constants to themselves —
+which is automatic here, since constants are never in the domain — plus a
+target-specific condition (every image atom must be a tuple of the target
+instance) checked by the homomorphism engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .errors import SubstitutionError, UnificationError
+from .terms import Term, Variable
+
+__all__ = ["Substitution", "unify_atoms", "match_atom"]
+
+
+class Substitution:
+    """An immutable variable-to-term mapping.
+
+    All mutating-style operations (:meth:`bind`, :meth:`compose`) return a
+    new substitution, which makes backtracking search trivially safe.
+    """
+
+    __slots__ = ("_map",)
+
+    #: Shared empty substitution (substitutions are immutable, so this is safe).
+    EMPTY: "Substitution"
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None):
+        m = dict(mapping) if mapping else {}
+        for key, value in m.items():
+            if not isinstance(key, Variable):
+                raise SubstitutionError(f"substitution key is not a Variable: {key!r}")
+            if not isinstance(value, Term):
+                raise SubstitutionError(f"substitution value is not a Term: {value!r}")
+        object.__setattr__(self, "_map", m)
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Substitution is immutable")
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._map)
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._map
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._map[var]
+
+    def get(self, var: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        return self._map.get(var, default)
+
+    def items(self):
+        return self._map.items()
+
+    def domain(self) -> set[Variable]:
+        return set(self._map)
+
+    # -- construction -------------------------------------------------------
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Return a new substitution with ``var -> term`` added.
+
+        Rebinding a variable to the same term is a no-op; rebinding it to a
+        different term raises :class:`SubstitutionError` — callers that want
+        unification semantics should check first.
+        """
+        existing = self._map.get(var)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise SubstitutionError(
+                f"variable {var} already bound to {existing}, cannot rebind to {term}"
+            )
+        new_map = dict(self._map)
+        new_map[var] = term
+        return Substitution(new_map)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``other ∘ self``: apply *self* first, then *other*.
+
+        ``(other ∘ self)(x) = other(self(x))`` for every term ``x``.  Matches
+        the paper's composition of homomorphisms (e.g. Theorem 12's
+        ``lambda ∘ mu``).
+        """
+        new_map: dict[Variable, Term] = {}
+        for var, term in self._map.items():
+            new_map[var] = other.apply_term(term)
+        for var, term in other._map.items():
+            new_map.setdefault(var, term)
+        return Substitution(new_map)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return the restriction of this substitution to *variables*."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._map.items() if v in keep})
+
+    # -- application --------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        """The image of *term*: mapped if a bound variable, itself otherwise."""
+        if isinstance(term, Variable):
+            return self._map.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """The image of *atom* under this substitution."""
+        if not self._map:
+            return atom
+        return Atom(atom.predicate, tuple(self.apply_term(t) for t in atom.args))
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """The image of a set/sequence of conjuncts (paper: ``mu(C)``)."""
+        return tuple(self.apply_atom(a) for a in atoms)
+
+    # -- equality -----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Substitution) and self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v} -> {t}" for v, t in sorted(self._map.items(), key=lambda kv: kv[0].name))
+        return f"{{{inner}}}"
+
+
+Substitution.EMPTY = Substitution()
+
+
+def match_atom(pattern: Atom, fact: Atom, base: Optional[Substitution] = None) -> Optional[Substitution]:
+    """One-way matching: extend *base* so that ``sigma(pattern) == fact``.
+
+    Variables may occur only in *pattern*; constants and nulls must match
+    exactly.  Returns the extended substitution, or ``None`` when no match
+    exists.  This is the workhorse of both the Datalog engine and the
+    homomorphism search.
+    """
+    if pattern.predicate != fact.predicate or pattern.arity != fact.arity:
+        return None
+    sigma = base if base is not None else Substitution.EMPTY
+    bindings: Optional[dict[Variable, Term]] = None
+    for pat_term, fact_term in zip(pattern.args, fact.args):
+        if isinstance(pat_term, Variable):
+            bound = sigma.get(pat_term)
+            if bound is None and bindings is not None:
+                bound = bindings.get(pat_term)
+            if bound is None:
+                if bindings is None:
+                    bindings = {}
+                bindings[pat_term] = fact_term
+            elif bound != fact_term:
+                return None
+        elif pat_term != fact_term:
+            return None
+    if not bindings:
+        return sigma
+    merged = dict(sigma._map)
+    merged.update(bindings)
+    return Substitution(merged)
+
+
+def unify_atoms(left: Atom, right: Atom) -> Substitution:
+    """Most general unifier of two atoms (two-way), or raise UnificationError.
+
+    Used by the query-analysis tooling; the chase and containment engines
+    only ever need one-way matching.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        raise UnificationError(f"predicates differ: {left} vs {right}")
+    mapping: dict[Variable, Term] = {}
+
+    def walk(term: Term) -> Term:
+        while isinstance(term, Variable) and term in mapping:
+            term = mapping[term]
+        return term
+
+    for a, b in zip(left.args, right.args):
+        a, b = walk(a), walk(b)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            mapping[a] = b
+        elif isinstance(b, Variable):
+            mapping[b] = a
+        else:
+            raise UnificationError(f"cannot unify {a} with {b} in {left} / {right}")
+
+    # Flatten chains so the result is idempotent.
+    flat = {v: walk(t) for v, t in mapping.items()}
+    return Substitution(flat)

@@ -1,0 +1,234 @@
+"""Terms: constants, variables, and labeled nulls.
+
+The paper's chase (Definition 2) equates values with a *lexicographic
+order* in which
+
+    real constants  <  fresh constants (labeled nulls)  <  variables,
+
+fresh constants following "all other constants in the segment of the chase
+constructed so far".  The total order implemented by :func:`term_sort_key`
+realises exactly that convention: when the EGD rho_4 equates two terms the
+chase keeps the smaller one, and a merge of two distinct real constants is
+a chase failure.
+
+Terms are immutable, hashable and interned, so identity comparisons are
+cheap and instances can be freely shared between queries, chase instances
+and substitutions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Union
+
+__all__ = [
+    "Term",
+    "Constant",
+    "Variable",
+    "Null",
+    "NullFactory",
+    "term_sort_key",
+    "is_ground",
+]
+
+_CONSTANT_RE = re.compile(r"^[a-z0-9_][A-Za-z0-9_.'-]*$|^\"")
+_VARIABLE_RE = re.compile(r"^[A-Z_][A-Za-z0-9_]*$")
+
+
+class Term:
+    """Abstract base class of every term.
+
+    Concrete subclasses: :class:`Constant`, :class:`Variable` and
+    :class:`Null`.  The class itself is never instantiated.
+    """
+
+    __slots__ = ()
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_null(self) -> bool:
+        return isinstance(self, Null)
+
+
+class Constant(Term):
+    """A real (named) constant such as ``john`` or ``person``.
+
+    In F-logic constants name objects, classes *and* attributes alike —
+    that uniformity is precisely what makes meta-queries possible.
+    """
+
+    __slots__ = ("name",)
+    _interned: dict[str, "Constant"] = {}
+
+    def __new__(cls, name: str) -> "Constant":
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"constant name must be a non-empty string, got {name!r}")
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "name", name)
+        cls._interned[name] = obj
+        return obj
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Constant is immutable")
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("const", self.name))
+
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Constant) and other.name == self.name)
+
+
+class Variable(Term):
+    """A query variable such as ``X`` or ``Att``.
+
+    During the chase the variables of the chased query behave as values of
+    the canonical database; they sort *after* every constant and null so
+    that EGD repair prefers to keep constants.
+    """
+
+    __slots__ = ("name",)
+    _interned: dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str) -> "Variable":
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"variable name must be a non-empty string, got {name!r}")
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "name", name)
+        cls._interned[name] = obj
+        return obj
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Variable is immutable")
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Variable) and other.name == self.name)
+
+
+class Null(Term):
+    """A fresh constant (labeled null) invented by the existential rule rho_5.
+
+    Nulls carry a globally unique, monotonically increasing index; the
+    index order *is* the paper's "lexicographically follows all other
+    constants" order among fresh values.
+    """
+
+    __slots__ = ("index",)
+    _interned: dict[int, "Null"] = {}
+
+    def __new__(cls, index: int) -> "Null":
+        cached = cls._interned.get(index)
+        if cached is not None:
+            return cached
+        if not isinstance(index, int) or index < 0:
+            raise ValueError(f"null index must be a non-negative int, got {index!r}")
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "index", index)
+        cls._interned[index] = obj
+        return obj
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Null is immutable")
+
+    @property
+    def name(self) -> str:
+        return f"_v{self.index}"
+
+    def __repr__(self) -> str:
+        return f"Null({self.index})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("null", self.index))
+
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Null) and other.index == self.index)
+
+
+class NullFactory:
+    """Mints fresh :class:`Null` terms with chase-local indexes.
+
+    Each chase run owns a factory, so null indexes are deterministic for a
+    given query and rule application order — which makes chase traces
+    reproducible and testable.
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> Null:
+        """Return the next fresh null."""
+        return Null(next(self._counter))
+
+    def peek(self) -> int:
+        """Index the *next* call to :meth:`fresh` would use (for diagnostics)."""
+        nxt = next(self._counter)
+        self._counter = itertools.chain([nxt], self._counter)
+        return nxt
+
+
+# Kind ranks for the chase's lexicographic order (Definition 2):
+# constants < nulls < variables.
+_KIND_RANK = {Constant: 0, Null: 1, Variable: 2}
+
+
+def term_sort_key(term: Term) -> tuple:
+    """Sort key realizing the paper's lexicographic order on chase values.
+
+    Real constants sort first (alphabetically), then nulls (by creation
+    index, i.e. chase order), then variables (alphabetically).  EGD repair
+    replaces the larger term by the smaller one everywhere.
+    """
+    if isinstance(term, Constant):
+        return (0, term.name)
+    if isinstance(term, Null):
+        return (1, term.index)
+    if isinstance(term, Variable):
+        return (2, term.name)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def is_ground(term: Term) -> bool:
+    """True when *term* is a value (constant or null), not a variable."""
+    return not isinstance(term, Variable)
+
+
+def parse_term(token: str) -> Union[Constant, Variable]:
+    """Interpret a bare token using the paper's capitalization convention.
+
+    Capitalised identifiers (and ``_``-prefixed ones) are variables;
+    everything else is a constant.  Quoted strings are constants verbatim.
+    """
+    if _VARIABLE_RE.match(token):
+        return Variable(token)
+    return Constant(token)

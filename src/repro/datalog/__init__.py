@@ -1,0 +1,23 @@
+"""A from-scratch Datalog substrate: rules, programs, indexes, evaluation.
+
+This package knows nothing about F-logic; it is a generic bottom-up
+Datalog engine.  Sigma_FL's Datalog fragment is evaluated with it, and the
+chase and homomorphism engines reuse its indexed conjunction matcher.
+"""
+
+from .engine import EvaluationStats, derive_once, evaluate
+from .index import FactIndex
+from .matching import match_conjunction, order_by_selectivity
+from .program import Program
+from .rule import Rule
+
+__all__ = [
+    "Rule",
+    "Program",
+    "FactIndex",
+    "match_conjunction",
+    "order_by_selectivity",
+    "evaluate",
+    "derive_once",
+    "EvaluationStats",
+]

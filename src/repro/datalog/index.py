@@ -1,0 +1,138 @@
+"""Indexed fact storage.
+
+:class:`FactIndex` stores a set of atoms grouped by predicate, with
+secondary hash indexes on every (position, term) pair.  Pattern matching
+against the index — the inner loop of both the Datalog engine and the
+chase — therefore touches only the facts that agree with the pattern's
+bound positions instead of scanning whole relations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from ..core.atoms import Atom
+from ..core.substitution import Substitution
+from ..core.terms import Term, Variable
+
+__all__ = ["FactIndex"]
+
+
+class FactIndex:
+    """A mutable, indexed set of ground-or-frozen atoms.
+
+    The index is agnostic about whether atom arguments are constants,
+    nulls or variables: the chase stores query variables as values, and the
+    index treats them like any other term.  "Pattern" atoms passed to
+    :meth:`candidates` are different — *their* variables are wildcards to
+    be bound.
+    """
+
+    __slots__ = ("_by_predicate", "_position_index", "_size")
+
+    def __init__(self, atoms: Optional[Iterable[Atom]] = None):
+        self._by_predicate: dict[str, set[Atom]] = defaultdict(set)
+        # (predicate, position, term) -> set of atoms with `term` at `position`
+        self._position_index: dict[tuple[str, int, Term], set[Atom]] = defaultdict(set)
+        self._size = 0
+        if atoms:
+            for atom in atoms:
+                self.add(atom)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        """Insert *atom*; return True when it was not already present."""
+        bucket = self._by_predicate[atom.predicate]
+        if atom in bucket:
+            return False
+        bucket.add(atom)
+        for pos, term in enumerate(atom.args):
+            self._position_index[(atom.predicate, pos, term)].add(atom)
+        self._size += 1
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Insert many atoms; return how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom* if present; return True when something was removed."""
+        bucket = self._by_predicate.get(atom.predicate)
+        if not bucket or atom not in bucket:
+            return False
+        bucket.remove(atom)
+        for pos, term in enumerate(atom.args):
+            entry = self._position_index.get((atom.predicate, pos, term))
+            if entry is not None:
+                entry.discard(atom)
+                if not entry:
+                    del self._position_index[(atom.predicate, pos, term)]
+        self._size -= 1
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, atom: Atom) -> bool:
+        bucket = self._by_predicate.get(atom.predicate)
+        return bool(bucket) and atom in bucket
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for bucket in self._by_predicate.values():
+            yield from bucket
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def predicates(self) -> set[str]:
+        return {p for p, bucket in self._by_predicate.items() if bucket}
+
+    def facts(self, predicate: str) -> frozenset[Atom]:
+        """All stored atoms with the given predicate."""
+        return frozenset(self._by_predicate.get(predicate, ()))
+
+    def count(self, predicate: str) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    def candidates(
+        self, pattern: Atom, sigma: Substitution = Substitution.EMPTY
+    ) -> Iterable[Atom]:
+        """Facts that could match *pattern* under the partial binding *sigma*.
+
+        Uses the position index on the most selective bound position of the
+        (partially instantiated) pattern; an unconstrained pattern falls
+        back to the whole relation.  The result is a superset of the true
+        matches only in that unbound positions are not cross-checked —
+        callers complete the match with :func:`repro.core.match_atom`.
+        """
+        best: Optional[set[Atom]] = None
+        for pos, term in enumerate(pattern.args):
+            if isinstance(term, Variable):
+                term = sigma.get(term)
+                if term is None:
+                    continue
+            entry = self._position_index.get((pattern.predicate, pos, term))
+            if entry is None:
+                return ()
+            if best is None or len(entry) < len(best):
+                best = entry
+        if best is not None:
+            return best
+        return self._by_predicate.get(pattern.predicate, ())
+
+    def copy(self) -> "FactIndex":
+        """An independent copy (buckets are re-built; atoms are shared)."""
+        return FactIndex(self)
+
+    def to_frozenset(self) -> frozenset[Atom]:
+        return frozenset(self)
+
+    def __repr__(self) -> str:
+        per = ", ".join(
+            f"{p}:{len(b)}" for p, b in sorted(self._by_predicate.items()) if b
+        )
+        return f"FactIndex({self._size} facts; {per})"

@@ -1,0 +1,63 @@
+"""Datalog programs.
+
+A :class:`Program` bundles a set of rules with lookup structure (rules by
+head predicate, rules by body predicate) that the semi-naive engine needs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from .rule import Rule
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An immutable collection of Datalog rules."""
+
+    __slots__ = ("rules", "_by_head", "_by_body")
+
+    def __init__(self, rules: Iterable[Rule]):
+        rules = tuple(rules)
+        by_head: dict[str, list[Rule]] = defaultdict(list)
+        by_body: dict[str, list[Rule]] = defaultdict(list)
+        for rule in rules:
+            by_head[rule.head.predicate].append(rule)
+            for pred in rule.body_predicates():
+                if rule not in by_body[pred]:
+                    by_body[pred].append(rule)
+        object.__setattr__(self, "rules", rules)
+        object.__setattr__(self, "_by_head", dict(by_head))
+        object.__setattr__(self, "_by_body", dict(by_body))
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Program is immutable")
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_defining(self, predicate: str) -> tuple[Rule, ...]:
+        """Rules whose head predicate is *predicate*."""
+        return tuple(self._by_head.get(predicate, ()))
+
+    def rules_using(self, predicate: str) -> tuple[Rule, ...]:
+        """Rules whose body mentions *predicate* (semi-naive triggers)."""
+        return tuple(self._by_body.get(predicate, ()))
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one rule."""
+        return set(self._by_head)
+
+    def extend(self, more: Iterable[Rule]) -> "Program":
+        return Program(self.rules + tuple(more))
+
+    def __repr__(self) -> str:
+        return f"Program({len(self.rules)} rules)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

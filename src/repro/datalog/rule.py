@@ -1,0 +1,73 @@
+"""Datalog rules.
+
+A :class:`Rule` is a definite Horn clause ``head :- body`` with the usual
+safety requirement (every head variable occurs in the body).  The ten
+Datalog members of Sigma_FL (rho_1..rho_3, rho_6..rho_12) are rules in this
+sense; rho_4 (an EGD) and rho_5 (an existential TGD) live in
+:mod:`repro.dependencies`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.atoms import Atom
+from ..core.errors import QueryError
+from ..core.terms import Variable
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """An immutable definite clause ``head :- b1, ..., bn``."""
+
+    __slots__ = ("head", "body", "label", "_hash")
+
+    def __init__(self, head: Atom, body: Iterable[Atom], label: str = ""):
+        body = tuple(body)
+        if not body:
+            raise QueryError(f"rule for {head.predicate} has an empty body")
+        body_vars: set[Variable] = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        unsafe = head.variables() - body_vars
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise QueryError(
+                f"unsafe rule for {head.predicate}: head variables {names} "
+                "do not occur in the body"
+            )
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "label", label or head.predicate)
+        object.__setattr__(self, "_hash", hash((head, body)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("Rule is immutable")
+
+    def variables(self) -> set[Variable]:
+        out = set(self.head.variables())
+        for atom in self.body:
+            out |= atom.variables()
+        return out
+
+    def body_predicates(self) -> set[str]:
+        return {a.predicate for a in self.body}
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rule)
+            and self._hash == other._hash
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __repr__(self) -> str:
+        return f"Rule({self!s})"
+
+    def __str__(self) -> str:
+        body_inner = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body_inner}."

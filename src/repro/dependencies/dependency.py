@@ -1,0 +1,139 @@
+"""Tuple- and equality-generating dependencies.
+
+The chase literature (Maier–Mendelzon–Sagiv, Johnson–Klug, Fagin et al.)
+classifies constraints into
+
+* **TGDs** — ``body -> exists Z . head`` where the head is a conjunction of
+  atoms possibly using existential variables ``Z`` not bound by the body;
+  a TGD with no existential variables is *full* (a plain Datalog rule).
+* **EGDs** — ``body -> x = y`` equating two body variables.
+
+All of Sigma_FL fits: rho_4 is an EGD, rho_5 an existential (non-full)
+TGD, and the other ten are full TGDs.  The chase engine in
+:mod:`repro.chase` is written against these generic classes, so arbitrary
+dependency sets — not only Sigma_FL — can be chased (the paper's Section 5
+"future work" direction; see :mod:`repro.extensions`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..core.atoms import Atom
+from ..core.errors import QueryError
+from ..core.terms import Variable
+
+__all__ = ["TGD", "EGD", "Dependency"]
+
+
+class TGD:
+    """A tuple-generating dependency ``body -> exists Z . head``.
+
+    ``head`` is restricted to a single atom — all of Sigma_FL (and most of
+    the literature's normal forms) use single-atom heads, and the chase
+    graph's arc labelling (Definition 3) is simplest in that form.  A
+    multi-head TGD can always be split into single-head TGDs with the same
+    chase behaviour up to null naming.
+    """
+
+    __slots__ = ("head", "body", "label", "existential_vars", "_hash")
+
+    def __init__(self, head: Atom, body: Iterable[Atom], label: str = ""):
+        body = tuple(body)
+        if not body:
+            raise QueryError("TGD body must be non-empty")
+        body_vars: set[Variable] = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        existential = tuple(
+            sorted(head.variables() - body_vars, key=lambda v: v.name)
+        )
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "label", label or f"tgd_{head.predicate}")
+        object.__setattr__(self, "existential_vars", existential)
+        object.__setattr__(self, "_hash", hash((head, body)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("TGD is immutable")
+
+    @property
+    def is_full(self) -> bool:
+        """True when there are no existential head variables (Datalog rule)."""
+        return not self.existential_vars
+
+    def frontier(self) -> set[Variable]:
+        """Body variables shared with the head (the "exported" variables)."""
+        return self.head.variables() - set(self.existential_vars)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TGD)
+            and self._hash == other._hash
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __repr__(self) -> str:
+        return f"TGD({self!s})"
+
+    def __str__(self) -> str:
+        body_inner = ", ".join(str(a) for a in self.body)
+        if self.existential_vars:
+            exists = ", ".join(v.name for v in self.existential_vars)
+            return f"[{self.label}] {body_inner} -> exists {exists} . {self.head}"
+        return f"[{self.label}] {body_inner} -> {self.head}"
+
+
+class EGD:
+    """An equality-generating dependency ``body -> left = right``."""
+
+    __slots__ = ("body", "left", "right", "label", "_hash")
+
+    def __init__(
+        self, body: Iterable[Atom], left: Variable, right: Variable, label: str = ""
+    ):
+        body = tuple(body)
+        if not body:
+            raise QueryError("EGD body must be non-empty")
+        body_vars: set[Variable] = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        for var in (left, right):
+            if not isinstance(var, Variable) or var not in body_vars:
+                raise QueryError(
+                    f"EGD head variable {var} must be a body variable"
+                )
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "label", label or "egd")
+        object.__setattr__(self, "_hash", hash((body, left, right)))
+
+    def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
+        raise AttributeError("EGD is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EGD)
+            and self._hash == other._hash
+            and self.body == other.body
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __repr__(self) -> str:
+        return f"EGD({self!s})"
+
+    def __str__(self) -> str:
+        body_inner = ", ".join(str(a) for a in self.body)
+        return f"[{self.label}] {body_inner} -> {self.left} = {self.right}"
+
+
+Dependency = Union[TGD, EGD]

@@ -1,0 +1,159 @@
+"""Sigma_FL — the twelve rules of the F-logic Lite encoding (paper, Section 2).
+
+Each rule is built exactly as printed in the paper, using the same variable
+names, and carries the paper's label ``rho_i``:
+
+=====  =========================================================  ==========
+rule   statement                                                  kind
+=====  =========================================================  ==========
+rho1   member(V,T)    :- type(O,A,T), data(O,A,V)                 full TGD
+rho2   sub(C1,C2)     :- sub(C1,C3), sub(C3,C2)                   full TGD
+rho3   member(O,C1)   :- member(O,C), sub(C,C1)                   full TGD
+rho4   V = W          :- data(O,A,V), data(O,A,W), funct(A,O)     EGD
+rho5   exists V. data(O,A,V) :- mandatory(A,O)                    exist. TGD
+rho6   type(O,A,T)    :- member(O,C), type(C,A,T)                 full TGD
+rho7   type(C,A,T)    :- sub(C,C1), type(C1,A,T)                  full TGD
+rho8   type(C,A,T)    :- type(C,A,T1), sub(T1,T)                  full TGD
+rho9   mandatory(A,C) :- sub(C,C1), mandatory(A,C1)               full TGD
+rho10  mandatory(A,O) :- member(O,C), mandatory(A,C)              full TGD
+rho11  funct(A,C)     :- sub(C,C1), funct(A,C1)                   full TGD
+rho12  funct(A,O)     :- member(O,C), funct(A,C)                  full TGD
+=====  =========================================================  ==========
+
+The module exposes the individual rules (``RHO1`` ... ``RHO12``), the full
+set ``SIGMA_FL``, the Datalog-only fragment ``SIGMA_FL_MINUS`` used for the
+level-0 saturation of Section 4 (``Sigma_FL - {rho5}``; rho_4 is carried
+separately since it is not a TGD), and :func:`sigma_fl_datalog_program`
+which packages the ten full TGDs as a :class:`~repro.datalog.Program`.
+"""
+
+from __future__ import annotations
+
+from ..core.atoms import data, funct, mandatory, member, sub, type_
+from ..core.terms import Variable
+from ..datalog.program import Program
+from ..datalog.rule import Rule
+from .dependency import EGD, TGD, Dependency
+
+__all__ = [
+    "RHO1",
+    "RHO2",
+    "RHO3",
+    "RHO4",
+    "RHO5",
+    "RHO6",
+    "RHO7",
+    "RHO8",
+    "RHO9",
+    "RHO10",
+    "RHO11",
+    "RHO12",
+    "SIGMA_FL",
+    "SIGMA_FL_TGDS",
+    "SIGMA_FL_FULL_TGDS",
+    "SIGMA_FL_MINUS",
+    "sigma_fl_datalog_program",
+    "rule_by_label",
+]
+
+_O = Variable("O")
+_A = Variable("A")
+_V = Variable("V")
+_W = Variable("W")
+_T = Variable("T")
+_T1 = Variable("T1")
+_C = Variable("C")
+_C1 = Variable("C1")
+_C2 = Variable("C2")
+_C3 = Variable("C3")
+
+#: rho_1 — type correctness: a value of a typed attribute belongs to the type.
+RHO1 = TGD(member(_V, _T), (type_(_O, _A, _T), data(_O, _A, _V)), label="rho1")
+
+#: rho_2 — subclass transitivity.
+RHO2 = TGD(sub(_C1, _C2), (sub(_C1, _C3), sub(_C3, _C2)), label="rho2")
+
+#: rho_3 — membership propagates along the subclass relation.
+RHO3 = TGD(member(_O, _C1), (member(_O, _C), sub(_C, _C1)), label="rho3")
+
+#: rho_4 — functional attributes have at most one value (EGD).
+RHO4 = EGD(
+    (data(_O, _A, _V), data(_O, _A, _W), funct(_A, _O)),
+    _V,
+    _W,
+    label="rho4",
+)
+
+#: rho_5 — mandatory attributes have at least one value (existential TGD).
+RHO5 = TGD(data(_O, _A, _V), (mandatory(_A, _O),), label="rho5")
+
+#: rho_6 — members inherit attribute types from their classes.
+RHO6 = TGD(type_(_O, _A, _T), (member(_O, _C), type_(_C, _A, _T)), label="rho6")
+
+#: rho_7 — subclasses inherit attribute types from superclasses.
+RHO7 = TGD(type_(_C, _A, _T), (sub(_C, _C1), type_(_C1, _A, _T)), label="rho7")
+
+#: rho_8 — supertyping: a supertype of an attribute's type is also a type.
+RHO8 = TGD(type_(_C, _A, _T), (type_(_C, _A, _T1), sub(_T1, _T)), label="rho8")
+
+#: rho_9 — mandatory attributes are inherited by subclasses.
+RHO9 = TGD(mandatory(_A, _C), (sub(_C, _C1), mandatory(_A, _C1)), label="rho9")
+
+#: rho_10 — mandatory attributes are inherited by class members.
+RHO10 = TGD(mandatory(_A, _O), (member(_O, _C), mandatory(_A, _C)), label="rho10")
+
+#: rho_11 — the functional property is inherited by subclasses.
+RHO11 = TGD(funct(_A, _C), (sub(_C, _C1), funct(_A, _C1)), label="rho11")
+
+#: rho_12 — the functional property is inherited by class members.
+RHO12 = TGD(funct(_A, _O), (member(_O, _C), funct(_A, _C)), label="rho12")
+
+#: The complete Sigma_FL, in the paper's numbering order.
+SIGMA_FL: tuple[Dependency, ...] = (
+    RHO1,
+    RHO2,
+    RHO3,
+    RHO4,
+    RHO5,
+    RHO6,
+    RHO7,
+    RHO8,
+    RHO9,
+    RHO10,
+    RHO11,
+    RHO12,
+)
+
+#: All TGDs of Sigma_FL (everything but the EGD rho_4).
+SIGMA_FL_TGDS: tuple[TGD, ...] = tuple(d for d in SIGMA_FL if isinstance(d, TGD))
+
+#: The full (non-existential) TGDs — the Datalog fragment.
+SIGMA_FL_FULL_TGDS: tuple[TGD, ...] = tuple(d for d in SIGMA_FL_TGDS if d.is_full)
+
+#: ``Sigma_FL - {rho5}`` — Section 4's terminating "level 0" rule set.
+#: (rho_4 is included; the chase engine dispatches on its EGD type.)
+SIGMA_FL_MINUS: tuple[Dependency, ...] = tuple(d for d in SIGMA_FL if d is not RHO5)
+
+_BY_LABEL = {d.label: d for d in SIGMA_FL}
+
+
+def rule_by_label(label: str) -> Dependency:
+    """Look up a Sigma_FL rule by its paper label, e.g. ``"rho7"``."""
+    try:
+        return _BY_LABEL[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown Sigma_FL rule {label!r}; expected one of {sorted(_BY_LABEL)}"
+        ) from None
+
+
+def sigma_fl_datalog_program() -> Program:
+    """The ten full TGDs of Sigma_FL as a Datalog :class:`Program`.
+
+    This program is what the semi-naive engine runs to saturate a chase
+    instance (or an F-logic KB) with everything except functionality
+    repair (rho_4) and value invention (rho_5).
+    """
+    return Program(
+        Rule(tgd.head, tgd.body, label=tgd.label) for tgd in SIGMA_FL_FULL_TGDS
+    )

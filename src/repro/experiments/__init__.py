@@ -1,0 +1,68 @@
+"""The experiment harness — one module per row of DESIGN.md's index.
+
+``EXPERIMENTS`` maps experiment ids to their ``run`` callables; the CLI
+(``flq experiment E4``) and the benchmark suite both dispatch through it.
+"""
+
+from typing import Callable
+
+from . import (
+    e01_intro_containments,
+    e03_example1_head,
+    e04_figure1_graph,
+    e05_locality,
+    e06_lemma9,
+    e07_lemma11,
+    e08_bound_stability,
+    e09_scaling,
+    e10_baseline_gap,
+    e11_chase_growth,
+    e12_rdf_bridge,
+    e13_join_order,
+)
+from .tables import ExperimentReport, Table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "ExperimentReport", "Table"]
+
+#: Experiment id -> zero-config runner.  E1/E2 share a module (the two
+#: Section-1 examples are one table), as do E6 (Lemma 9 incl. Figure 2)
+#: and E7 (Lemma 11 incl. Figures 3-4).
+EXPERIMENTS: dict[str, Callable[[], ExperimentReport]] = {
+    "E1": e01_intro_containments.run,
+    "E2": e01_intro_containments.run,
+    "E3": e03_example1_head.run,
+    "E4": e04_figure1_graph.run,
+    "E5": e05_locality.run,
+    "E6": e06_lemma9.run,
+    "E7": e07_lemma11.run,
+    "E8": e08_bound_stability.run,
+    "E9": e09_scaling.run,
+    "E10": e10_baseline_gap.run,
+    "E11": e11_chase_growth.run,
+    "E12": e12_rdf_bridge.run,
+    "E13": e13_join_order.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id (``"E4"``)."""
+    key = experiment_id.upper()
+    try:
+        runner = EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+def run_all() -> list[ExperimentReport]:
+    """Run every experiment once (deduplicating shared modules)."""
+    seen: set[Callable] = set()
+    reports = []
+    for runner in EXPERIMENTS.values():
+        if runner in seen:
+            continue
+        seen.add(runner)
+        reports.append(runner())
+    return reports

@@ -1,0 +1,98 @@
+"""E6 — Lemma 9 / Figure 2: deep conjuncts fold into the first 2|q| levels.
+
+Lemma 9: any conjunct of ``chase(q)`` has a homomorphic image at level
+<= ``delta = 2 * |q|``.  We chase cyclic queries deep (far beyond delta)
+and validate the lemma two independent ways for every conjunct above
+delta: (a) *search* for the bounded image (``bounded_image``), and
+(b) *construct* it with the proof's own excision algorithm — primary
+path, equivalent pair, parallel-path clip (``excise``, Figure 2).  The
+paper predicts both succeed on every conjunct.
+"""
+
+from __future__ import annotations
+
+from ..chase.engine import chase
+from ..chase.excision import excise
+from ..chase.graph import ChaseGraph
+from ..chase.paths import bounded_image
+from ..workloads.corpus import EXAMPLE2_QUERY
+from ..workloads.query_gen import QueryGenParams, QueryGenerator
+from .tables import ExperimentReport, Table
+
+__all__ = ["run"]
+
+
+def run(*, depth_factor: int = 3, seed: int = 42) -> ExperimentReport:
+    corpus = [EXAMPLE2_QUERY]
+    for cycle_length in (2, 3):
+        gen = QueryGenerator(
+            seed + cycle_length,
+            QueryGenParams(
+                n_atoms=2 * cycle_length,
+                cycle_length=cycle_length,
+                head_arity=0,
+                constant_probability=0.0,
+            ),
+        )
+        corpus.append(gen.query(name=f"cycle{cycle_length}"))
+
+    table = Table(
+        "Lemma 9: images of deep conjuncts within delta = 2|q| levels",
+        [
+            "query",
+            "|q|",
+            "delta",
+            "chase depth",
+            "deep conjuncts",
+            "found by search",
+            "built by excision",
+        ],
+    )
+    all_ok = True
+    rows = []
+    for query in corpus:
+        delta = 2 * query.size
+        depth = depth_factor * delta
+        result = chase(query, max_level=depth, track_graph=True)
+        if result.failed or result.instance is None:
+            continue
+        instance = result.instance
+        graph = ChaseGraph.from_result(result)
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        found = sum(1 for a in deep if bounded_image(instance, a, delta) is not None)
+        constructed = sum(
+            1 for a in deep if excise(graph, instance, a, delta) is not None
+        )
+        ok = found == len(deep) and constructed == len(deep)
+        all_ok = all_ok and ok
+        table.add_row(
+            query.name, query.size, delta, depth, len(deep), found, constructed
+        )
+        rows.append(
+            {
+                "query": query.name,
+                "delta": delta,
+                "deep": len(deep),
+                "bounded_images": found,
+                "excisions": constructed,
+                "lemma_holds": ok,
+            }
+        )
+    summary = (
+        "Every conjunct above the delta bound admits a homomorphic image "
+        "within the bound — found by search AND rebuilt by the proof's "
+        "excision construction.  Lemma 9 validated on the corpus."
+        if all_ok
+        else "LEMMA 9 FALSIFIED on some instance — investigate!"
+    )
+    return ExperimentReport(
+        experiment_id="E6",
+        title="Lemma 9 — bounded homomorphic images (single conjuncts)",
+        tables=[table],
+        summary=summary,
+        data={"rows": rows, "all_hold": all_ok},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

@@ -1,0 +1,73 @@
+"""E8 — Theorem 12: the |q2|·delta bound is sufficient.
+
+Theorem 12 says the containment verdict at level bound ``|q2| * 2 * |q1|``
+equals the verdict over the full (possibly infinite) chase.  We cannot
+materialise the infinite chase, but we can check the practical corollary:
+*inflating the bound never flips a verdict*.  The experiment decides every
+corpus pair at 1x, 2x and 4x the theorem bound and reports disagreements
+(the paper predicts zero — a verdict that flips when the prefix grows
+would falsify the theorem on that instance).
+"""
+
+from __future__ import annotations
+
+from ..containment.bounded import ContainmentChecker, theorem12_bound
+from ..workloads.corpus import PAPER_CONTAINMENT_PAIRS
+from ..workloads.query_gen import QueryGenerator
+from .tables import ExperimentReport, Table
+
+__all__ = ["run"]
+
+
+def run(*, random_pairs: int = 20, seed: int = 11) -> ExperimentReport:
+    pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS]
+    gen = QueryGenerator(seed)
+    for _ in range(random_pairs):
+        pairs.append(gen.containment_pair())
+
+    table = Table(
+        "Theorem 12 bound stability: verdicts at 1x / 2x / 4x the bound",
+        ["pair", "bound", "verdict@1x", "verdict@2x", "verdict@4x", "stable"],
+    )
+    flips = 0
+    positives = 0
+    rows = []
+    for q1, q2 in pairs:
+        base = theorem12_bound(q1, q2)
+        checker = ContainmentChecker()
+        verdicts = [
+            checker.check(q1, q2, level_bound=base * factor).contained
+            for factor in (1, 2, 4)
+        ]
+        stable = len(set(verdicts)) == 1
+        if not stable:
+            flips += 1
+        if verdicts[0]:
+            positives += 1
+        table.add_row(
+            f"{q1.name} ⊆ {q2.name}", base, verdicts[0], verdicts[1], verdicts[2], stable
+        )
+        rows.append(
+            {
+                "pair": (q1.name, q2.name),
+                "bound": base,
+                "verdicts": verdicts,
+                "stable": stable,
+            }
+        )
+    summary = (
+        f"{len(pairs)} pairs ({positives} contained), {flips} verdict flips "
+        f"under bound inflation — "
+        f"{'consistent with Theorem 12' if flips == 0 else 'INCONSISTENT with Theorem 12!'}"
+    )
+    return ExperimentReport(
+        experiment_id="E8",
+        title="Theorem 12 — sufficiency of the |q2|·delta level bound",
+        tables=[table],
+        summary=summary,
+        data={"pairs": len(pairs), "flips": flips, "rows": rows},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

@@ -1,0 +1,108 @@
+"""E11 — chase growth and the restricted/oblivious ablation (D1).
+
+Two series per query:
+
+* **growth** — cumulative conjunct count per level.  Lemma 5's locality
+  means each infinite chain adds a constant number of conjuncts per cycle,
+  so growth should be *linear* in the level bound for cyclic queries and
+  flat (saturated) for acyclic ones.
+* **D1 ablation** — the same chase run obliviously (rho_5 fires even when
+  its head is already satisfied).  The oblivious chase is never smaller
+  and is the price of skipping the restricted-chase applicability check.
+"""
+
+from __future__ import annotations
+
+from ..chase.engine import chase
+from ..core.query import ConjunctiveQuery
+from ..workloads.corpus import EXAMPLE2_QUERY, INTRO_MANDATORY_Q
+from ..workloads.query_gen import QueryGenParams, QueryGenerator
+from .tables import ExperimentReport, Table
+
+__all__ = ["run"]
+
+
+def run(
+    *, levels: tuple[int, ...] = (4, 8, 12, 16, 20), seed: int = 23
+) -> ExperimentReport:
+    gen = QueryGenerator(
+        seed, QueryGenParams(n_atoms=6, cycle_length=2, head_arity=0)
+    )
+    # A query whose rho_5 trigger is already satisfied by a body data atom:
+    # the restricted chase blocks value invention at the entry point, the
+    # oblivious chase invents anyway — the purest D1 contrast.
+    from ..core.atoms import data as data_atom
+    from ..core.atoms import mandatory as mandatory_atom
+    from ..core.atoms import type_ as type_atom
+    from ..core.terms import Variable
+
+    a, t, w = Variable("A"), Variable("T"), Variable("W")
+    presatisfied = ConjunctiveQuery(
+        "q_presatisfied",
+        (),
+        (mandatory_atom(a, t), type_atom(t, a, t), data_atom(t, a, w)),
+    )
+    corpus = [EXAMPLE2_QUERY, INTRO_MANDATORY_Q, presatisfied, gen.query()]
+
+    growth = Table(
+        "Chase size vs level bound (restricted chase)",
+        ["query", *[f"L<={lvl}" for lvl in levels], "saturates"],
+    )
+    ablation = Table(
+        "D1 ablation: restricted vs oblivious chase size",
+        ["query", "level bound", "restricted", "oblivious", "inflation"],
+    )
+    rows = []
+    for query in corpus:
+        sizes = []
+        saturated = False
+        for bound in levels:
+            result = chase(query, max_level=bound)
+            sizes.append(result.size())
+            saturated = result.saturated
+        growth.add_row(query.name, *sizes, saturated)
+
+        bound = levels[len(levels) // 2]
+        restricted = chase(query, max_level=bound).size()
+        oblivious = chase(query, max_level=bound, restricted=False).size()
+        inflation = oblivious / max(restricted, 1)
+        ablation.add_row(query.name, bound, restricted, oblivious, f"{inflation:.2f}x")
+        rows.append(
+            {
+                "query": query.name,
+                "sizes": sizes,
+                "saturates": saturated,
+                "restricted": restricted,
+                "oblivious": oblivious,
+            }
+        )
+
+    # Linearity check on the cyclic queries: growth increments stabilise
+    # (bounded oscillation is expected — the cycle period need not divide
+    # the sampling stride of the level grid).
+    linear = True
+    for row in rows:
+        if row["saturates"]:
+            continue
+        diffs = [b - a for a, b in zip(row["sizes"], row["sizes"][1:])]
+        steady = diffs[1:] or diffs
+        if steady and max(steady) - min(steady) > 4:
+            linear = False
+    summary = (
+        "Cyclic chases grow linearly with the level bound (constant "
+        "conjuncts per cycle period — the Lemma-5 isolation of chains), "
+        "acyclic chases saturate; the oblivious chase is uniformly larger."
+        if linear
+        else "Growth increments are irregular — inspect the table."
+    )
+    return ExperimentReport(
+        experiment_id="E11",
+        title="Chase growth and restricted/oblivious ablation",
+        tables=[growth, ablation],
+        summary=summary,
+        data={"rows": rows, "levels": list(levels), "linear": linear},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

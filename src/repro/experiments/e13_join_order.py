@@ -1,0 +1,104 @@
+"""E13 — ablation D4: selectivity-ordered vs naive joins.
+
+Every hot loop of the system — Datalog rule bodies, chase trigger
+discovery, homomorphism search — matches conjunctions against an indexed
+instance.  DESIGN.md's D4 decision orders the conjuncts most-constrained-
+first; this ablation measures what that buys against naive left-to-right
+order on the paper's containment workload and on adversarially ordered
+chain queries (selective atom written last).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..containment.bounded import ContainmentChecker
+from ..core.atoms import member
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..homomorphism.search import find_homomorphism
+from ..workloads.corpus import PAPER_CONTAINMENT_PAIRS
+from ..workloads.ontology_gen import OntologyParams, generate_ontology
+from .tables import ExperimentReport, Table
+
+__all__ = ["run"]
+
+
+def _adversarial_chain(length: int) -> ConjunctiveQuery:
+    """member chain with the only selective (constant-anchored) atom last."""
+    variables = [Variable(f"N{i}") for i in range(length + 1)]
+    body = [member(variables[i], variables[i + 1]) for i in range(length)]
+    body.append(member(variables[0], Constant("class1")))
+    return ConjunctiveQuery("chain", (variables[0],), tuple(body))
+
+
+def _time_containment(reorder: bool) -> float:
+    start = time.perf_counter()
+    checker = ContainmentChecker(reorder_join=reorder)
+    for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS:
+        checker.check(q1, q2)
+    return time.perf_counter() - start
+
+
+def _time_evaluation(reorder: bool, query: ConjunctiveQuery, index) -> float:
+    start = time.perf_counter()
+    find_homomorphism(query, index, reorder=reorder)
+    return time.perf_counter() - start
+
+
+def run(*, chain_length: int = 7, repeats: int = 3, seed: int = 31) -> ExperimentReport:
+    table = Table(
+        "D4 ablation: most-constrained-first vs naive join order",
+        ["workload", "ordered sec", "naive sec", "speedup"],
+    )
+    rows = []
+
+    ordered = min(_time_containment(True) for _ in range(repeats))
+    naive = min(_time_containment(False) for _ in range(repeats))
+    table.add_row("paper containment pairs", ordered, naive, f"{naive / ordered:.2f}x")
+    rows.append({"workload": "containment", "ordered": ordered, "naive": naive})
+
+    ontology = generate_ontology(
+        seed, OntologyParams(n_classes=12, n_objects=120, mandatory_probability=0.0)
+    )
+    from ..flogic.kb import KnowledgeBase
+
+    kb = KnowledgeBase()
+    for atom in ontology.atoms:
+        kb.add(atom)
+    index = kb.materialise()
+    chain = _adversarial_chain(chain_length)
+    ordered_eval = min(
+        _time_evaluation(True, chain, index) for _ in range(repeats)
+    )
+    naive_eval = min(
+        _time_evaluation(False, chain, index) for _ in range(repeats)
+    )
+    table.add_row(
+        f"adversarial {chain_length}-chain over {len(index)}-fact KB",
+        ordered_eval,
+        naive_eval,
+        f"{naive_eval / max(ordered_eval, 1e-9):.2f}x",
+    )
+    rows.append(
+        {"workload": "chain", "ordered": ordered_eval, "naive": naive_eval}
+    )
+
+    speedup = naive_eval / max(ordered_eval, 1e-9)
+    summary = (
+        f"Selectivity ordering wins {speedup:.1f}x on the adversarial chain "
+        "(the naive order enumerates the whole member relation per hop); on "
+        "the small paper queries the two orders are comparable — the "
+        "heuristic's cost is negligible, its upside is large."
+    )
+    return ExperimentReport(
+        experiment_id="E13",
+        title="Ablation D4 — join-order heuristic",
+        tables=[table],
+        summary=summary,
+        data={"rows": rows, "chain_speedup": speedup},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().render())

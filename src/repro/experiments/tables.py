@@ -1,0 +1,90 @@
+"""Plain-text tables for experiment reports.
+
+Every experiment renders its results through :class:`Table`, so the
+benchmark harness output has one consistent look and EXPERIMENTS.md can
+quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table", "ExperimentReport"]
+
+
+class Table:
+    """A titled, column-aligned text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> "Table":
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([_format_cell(v) for v in values])
+        return self
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """What one experiment produces.
+
+    ``data`` holds the machine-readable results the tests and benchmarks
+    assert on; ``tables`` the human-readable rendering; ``summary`` the
+    one-paragraph take-away recorded in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    summary: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"[{self.experiment_id}] {self.title}", ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.summary:
+            parts.append(self.summary)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's core results (its Section-5 directions).
+
+* :mod:`weak_acyclicity` — chase-termination guarantee for *generic*
+  dependency sets (and the checkable fact that Sigma_FL itself is not
+  weakly acyclic, which is why the paper's bespoke bound is needed);
+* :mod:`unions` — containment of unions of conjunctive meta-queries;
+* :mod:`classify` — subsumption taxonomies of query sets (the
+  Description-Logic classification use case the paper cites).
+"""
+
+from .classify import Taxonomy, are_equivalent, classify_queries
+from .unions import UCQContainmentResult, UnionQuery, ucq_contained
+from .weak_acyclicity import (
+    DependencyGraph,
+    WeakAcyclicityReport,
+    analyse_weak_acyclicity,
+    build_dependency_graph,
+    is_weakly_acyclic,
+)
+
+__all__ = [
+    "is_weakly_acyclic",
+    "analyse_weak_acyclicity",
+    "build_dependency_graph",
+    "DependencyGraph",
+    "WeakAcyclicityReport",
+    "UnionQuery",
+    "ucq_contained",
+    "UCQContainmentResult",
+    "classify_queries",
+    "are_equivalent",
+    "Taxonomy",
+]

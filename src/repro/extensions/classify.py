@@ -1,0 +1,177 @@
+"""Query classification: the Description-Logic-style taxonomy use case.
+
+The paper's introduction cites *object classification* as a driving
+application of containment.  Given a set of meta-queries (e.g. service
+advertisements, view definitions, concept queries), classification
+computes the subsumption partial order among them:
+
+* **equivalence classes** — queries contained in each other;
+* the **Hasse diagram** of direct subsumptions between classes (the
+  transitive reduction of the containment order);
+* top/bottom elements (most general / most specific queries).
+
+Containment checks are pairwise Theorem-12 checks; one
+:class:`~repro.containment.bounded.ContainmentChecker` is shared so each
+query is chased once per distinct level bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..containment.bounded import ContainmentChecker
+from ..core.errors import QueryError
+from ..core.query import ConjunctiveQuery
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma_fl import SIGMA_FL
+
+__all__ = ["Taxonomy", "classify_queries", "are_equivalent"]
+
+
+def are_equivalent(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    *,
+    dependencies: Sequence[Dependency] = SIGMA_FL,
+    checker: Optional[ContainmentChecker] = None,
+) -> bool:
+    """``q1 ≡_Sigma q2``: containment in both directions."""
+    checker = checker or ContainmentChecker(dependencies)
+    return bool(checker.check(q1, q2)) and bool(checker.check(q2, q1))
+
+
+@dataclass
+class Taxonomy:
+    """The classification result.
+
+    ``classes`` are equivalence classes (each a tuple of queries, most
+    compact representative first); ``edges`` are direct subsumptions
+    ``(sub_index, super_index)`` between class indexes, forming the Hasse
+    diagram of the containment order.
+    """
+
+    queries: tuple[ConjunctiveQuery, ...]
+    classes: list[tuple[ConjunctiveQuery, ...]] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def representative(self, class_index: int) -> ConjunctiveQuery:
+        return self.classes[class_index][0]
+
+    def class_of(self, query: ConjunctiveQuery) -> int:
+        for i, members in enumerate(self.classes):
+            if query in members:
+                return i
+        raise KeyError(f"{query.name} was not classified")
+
+    def subsumers(self, query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+        """Direct subsumers (more general queries, one Hasse step up)."""
+        me = self.class_of(query)
+        return [self.representative(sup) for sub, sup in self.edges if sub == me]
+
+    def subsumees(self, query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+        """Direct subsumees (more specific queries, one Hasse step down)."""
+        me = self.class_of(query)
+        return [self.representative(sub) for sub, sup in self.edges if sup == me]
+
+    def roots(self) -> list[ConjunctiveQuery]:
+        """Most general classes (nothing subsumes them)."""
+        have_super = {sub for sub, _ in self.edges}
+        return [
+            self.representative(i)
+            for i in range(len(self.classes))
+            if i not in have_super
+        ]
+
+    def to_networkx(self):
+        """Hasse diagram as a ``networkx.DiGraph`` (edges point upward)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for i, members in enumerate(self.classes):
+            graph.add_node(i, queries=[q.name for q in members])
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def pretty(self) -> str:
+        lines = []
+        for i, members in enumerate(self.classes):
+            names = " ≡ ".join(q.name for q in members)
+            supers = [
+                self.representative(sup).name
+                for sub, sup in self.edges
+                if sub == i
+            ]
+            arrow = f"  ⊑  {', '.join(supers)}" if supers else "  (most general)"
+            lines.append(f"[{i}] {names}{arrow}")
+        return "\n".join(lines)
+
+
+def classify_queries(
+    queries: Sequence[ConjunctiveQuery],
+    *,
+    dependencies: Sequence[Dependency] = SIGMA_FL,
+    checker: Optional[ContainmentChecker] = None,
+) -> Taxonomy:
+    """Compute the containment taxonomy of *queries*.
+
+    All queries must share one arity.  Complexity is quadratic in the
+    number of queries times the cost of one containment check.
+    """
+    queries = tuple(queries)
+    if not queries:
+        return Taxonomy(queries=queries)
+    arity = queries[0].arity
+    for query in queries:
+        if query.arity != arity:
+            raise QueryError(
+                f"classification requires equal arity; {query.name} has "
+                f"{query.arity}, expected {arity}"
+            )
+    checker = checker or ContainmentChecker(dependencies)
+
+    n = len(queries)
+    contains = [[False] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            contains[i][j] = i == j or bool(checker.check(queries[i], queries[j]))
+
+    # Equivalence classes via mutual containment.
+    assigned = [-1] * n
+    classes: list[list[ConjunctiveQuery]] = []
+    for i in range(n):
+        if assigned[i] >= 0:
+            continue
+        members = [i]
+        assigned[i] = len(classes)
+        for j in range(i + 1, n):
+            if assigned[j] < 0 and contains[i][j] and contains[j][i]:
+                assigned[j] = len(classes)
+                members.append(j)
+        classes.append([queries[k] for k in members])
+
+    # Strict order between classes, then its transitive reduction.
+    m = len(classes)
+    reps = [queries[assigned.index(i)] for i in range(m)]
+    below = [[False] * m for _ in range(m)]
+    for a in range(m):
+        for b in range(m):
+            if a == b:
+                continue
+            ia = queries.index(reps[a])
+            ib = queries.index(reps[b])
+            below[a][b] = contains[ia][ib] and not contains[ib][ia]
+    edges = []
+    for a in range(m):
+        for b in range(m):
+            if not below[a][b]:
+                continue
+            # Direct edge iff no class strictly between.
+            if not any(below[a][c] and below[c][b] for c in range(m)):
+                edges.append((a, b))
+
+    return Taxonomy(
+        queries=queries,
+        classes=[tuple(members) for members in classes],
+        edges=edges,
+    )

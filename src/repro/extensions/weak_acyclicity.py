@@ -1,0 +1,170 @@
+"""Weak acyclicity — chase termination for *generic* dependency sets.
+
+The paper closes by asking for "a general class of queries [and
+constraints] for which our proof techniques still apply" (Section 5).
+The standard sufficient condition for chase termination over arbitrary
+TGD sets is **weak acyclicity** (Fagin, Kolaitis, Miller, Popa — the
+same [12] the paper's Theorem 4 leans on): build the *dependency graph*
+over (predicate, position) pairs,
+
+* a **regular edge** ``(R,i) -> (S,j)`` whenever some TGD propagates a
+  universally quantified variable from body position ``(R,i)`` to head
+  position ``(S,j)``;
+* a **special edge** ``(R,i) -> (S,k)`` whenever a TGD with a
+  universally quantified variable at body position ``(R,i)`` (exported
+  to the head) *invents* an existential value at head position ``(S,k)``;
+
+the set is weakly acyclic iff no cycle goes through a special edge, and
+then every chase terminates in polynomially many steps.
+
+Sigma_FL itself is **not** weakly acyclic — rho_5's invention at
+``data[2]`` feeds rho_1 into ``member[0]``, which flows back through
+rho_10/rho_6 into rho_5's trigger — which is exactly why the paper needs
+its bespoke Theorem-12 bound.  This module makes that observation
+checkable and gives users of the generic chase engine a termination
+guarantee for their own dependency sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.terms import Variable
+from ..dependencies.dependency import EGD, TGD, Dependency
+
+__all__ = [
+    "Position",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "is_weakly_acyclic",
+    "WeakAcyclicityReport",
+    "analyse_weak_acyclicity",
+]
+
+#: A (predicate, argument-index) pair.
+Position = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """The position graph with regular and special edges."""
+
+    positions: frozenset[Position]
+    regular_edges: frozenset[tuple[Position, Position]]
+    special_edges: frozenset[tuple[Position, Position]]
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` with a ``special`` flag."""
+        import networkx as nx
+
+        graph = nx.MultiDiGraph()
+        for position in self.positions:
+            graph.add_node(position)
+        for src, dst in self.regular_edges:
+            graph.add_edge(src, dst, special=False)
+        for src, dst in self.special_edges:
+            graph.add_edge(src, dst, special=True)
+        return graph
+
+
+def _variable_positions(atoms, var: Variable) -> list[Position]:
+    out = []
+    for atom in atoms:
+        for i, term in enumerate(atom.args):
+            if term == var:
+                out.append((atom.predicate, i))
+    return out
+
+
+def build_dependency_graph(dependencies: Sequence[Dependency]) -> DependencyGraph:
+    """The Fagin-et-al. position graph of a dependency set (EGDs ignored)."""
+    positions: set[Position] = set()
+    regular: set[tuple[Position, Position]] = set()
+    special: set[tuple[Position, Position]] = set()
+    for dep in dependencies:
+        if isinstance(dep, EGD):
+            continue
+        assert isinstance(dep, TGD)
+        head_atoms = (dep.head,)
+        for atom in dep.body + head_atoms:
+            for i in range(atom.arity):
+                positions.add((atom.predicate, i))
+        existential = set(dep.existential_vars)
+        body_vars = {
+            v for atom in dep.body for v in atom.variables()
+        }
+        for var in body_vars:
+            body_positions = _variable_positions(dep.body, var)
+            if var in dep.head.variables():
+                for src in body_positions:
+                    for dst in _variable_positions(head_atoms, var):
+                        regular.add((src, dst))
+            # Special edges only from variables exported to the head.
+            if var in dep.frontier():
+                for src in body_positions:
+                    for evar in existential:
+                        for dst in _variable_positions(head_atoms, evar):
+                            special.add((src, dst))
+    return DependencyGraph(
+        positions=frozenset(positions),
+        regular_edges=frozenset(regular),
+        special_edges=frozenset(special),
+    )
+
+
+def _cycles_through_special(graph: DependencyGraph) -> list[list[Position]]:
+    """Simple cycles of the position graph that use a special edge."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph()
+    for src, dst in graph.regular_edges | graph.special_edges:
+        nx_graph.add_edge(src, dst)
+    special = graph.special_edges
+    bad: list[list[Position]] = []
+    for cycle in nx.simple_cycles(nx_graph):
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        if any(edge in special for edge in edges):
+            bad.append(cycle)
+    return bad
+
+
+def is_weakly_acyclic(dependencies: Sequence[Dependency]) -> bool:
+    """True iff no position-graph cycle goes through a special edge."""
+    return not _cycles_through_special(build_dependency_graph(dependencies))
+
+
+@dataclass
+class WeakAcyclicityReport:
+    """Full analysis output: verdict plus the offending cycles."""
+
+    weakly_acyclic: bool
+    graph: DependencyGraph
+    offending_cycles: list[list[Position]]
+
+    def __str__(self) -> str:
+        if self.weakly_acyclic:
+            return (
+                "weakly acyclic: every chase with this dependency set "
+                "terminates (polynomially many steps)"
+            )
+        lines = ["NOT weakly acyclic; cycles through value invention:"]
+        for cycle in self.offending_cycles[:5]:
+            pretty = " -> ".join(f"{p}[{i}]" for p, i in cycle)
+            lines.append(f"  {pretty} -> (back to start)")
+        if len(self.offending_cycles) > 5:
+            lines.append(f"  ... and {len(self.offending_cycles) - 5} more")
+        return "\n".join(lines)
+
+
+def analyse_weak_acyclicity(
+    dependencies: Sequence[Dependency],
+) -> WeakAcyclicityReport:
+    """Build the graph, find the special cycles, return the full report."""
+    graph = build_dependency_graph(dependencies)
+    offending = _cycles_through_special(graph)
+    return WeakAcyclicityReport(
+        weakly_acyclic=not offending,
+        graph=graph,
+        offending_cycles=offending,
+    )

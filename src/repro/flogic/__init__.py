@@ -1,0 +1,65 @@
+"""The F-logic Lite language front end: parser, encoder, knowledge base."""
+
+from .ast import (
+    Cardinality,
+    DataAtom,
+    FLAtom,
+    FLFact,
+    FLProgram,
+    FLQuery,
+    FLRule,
+    FLStatement,
+    IsaAtom,
+    PredicateAtom,
+    SignatureAtom,
+    SubclassAtom,
+)
+from .encoding import (
+    decode_atom,
+    encode_atom,
+    encode_fact,
+    encode_program,
+    encode_query,
+    encode_rule,
+)
+from .kb import Answer, KnowledgeBase
+from .lexer import Token, TokenType, tokenize
+from .parser import Parser, parse_program, parse_statement
+from .printer import facts_to_flogic, program_to_flogic, query_to_flogic
+
+__all__ = [
+    # lexer / parser
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Parser",
+    "parse_program",
+    "parse_statement",
+    # ast
+    "Cardinality",
+    "IsaAtom",
+    "SubclassAtom",
+    "DataAtom",
+    "SignatureAtom",
+    "PredicateAtom",
+    "FLAtom",
+    "FLFact",
+    "FLRule",
+    "FLQuery",
+    "FLStatement",
+    "FLProgram",
+    # encoding
+    "encode_atom",
+    "encode_fact",
+    "encode_rule",
+    "encode_query",
+    "encode_program",
+    "decode_atom",
+    # printer
+    "facts_to_flogic",
+    "query_to_flogic",
+    "program_to_flogic",
+    # kb
+    "KnowledgeBase",
+    "Answer",
+]

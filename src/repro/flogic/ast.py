@@ -1,0 +1,184 @@
+"""Abstract syntax of F-logic Lite.
+
+The AST mirrors the paper's surface notation: ``o:c``, ``c::d``,
+``o[a->v]`` and signature molecules with optional ``{0:1}`` / ``{1:*}``
+cardinalities.  Raw P_FL predicates (``member(X, Y)``, ...) are also
+representable, so rule bodies can mix both notations exactly as the
+paper's low-level encoding section does.
+
+Terms in the AST are the library's core terms (:class:`Constant`,
+:class:`Variable`); the paper's ``_`` is expanded to a fresh variable by
+the parser, so anonymity never reaches the AST.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.terms import Term
+
+__all__ = [
+    "Cardinality",
+    "IsaAtom",
+    "SubclassAtom",
+    "DataAtom",
+    "SignatureAtom",
+    "PredicateAtom",
+    "FLAtom",
+    "FLRule",
+    "FLFact",
+    "FLQuery",
+    "FLProgram",
+    "FLStatement",
+]
+
+
+class Cardinality(enum.Enum):
+    """The two cardinality annotations of F-logic Lite."""
+
+    #: ``{1:*}`` — the attribute is mandatory (at least one value).
+    MANDATORY = "1:*"
+    #: ``{0:1}`` — the attribute is functional (at most one value).
+    FUNCTIONAL = "0:1"
+
+    def __str__(self) -> str:
+        return "{" + self.value + "}"
+
+
+@dataclass(frozen=True)
+class IsaAtom:
+    """``instance : cls`` — class membership."""
+
+    instance: Term
+    cls: Term
+
+    def __str__(self) -> str:
+        return f"{self.instance}:{self.cls}"
+
+
+@dataclass(frozen=True)
+class SubclassAtom:
+    """``child :: parent`` — the subclass relation."""
+
+    child: Term
+    parent: Term
+
+    def __str__(self) -> str:
+        return f"{self.child}::{self.parent}"
+
+
+@dataclass(frozen=True)
+class DataAtom:
+    """``host[attribute -> value]`` — an attribute value."""
+
+    host: Term
+    attribute: Term
+    value: Term
+
+    def __str__(self) -> str:
+        return f"{self.host}[{self.attribute}->{self.value}]"
+
+
+@dataclass(frozen=True)
+class SignatureAtom:
+    """``host[attribute {card} *=> type]`` — a signature.
+
+    ``value_type`` is ``None`` when the source wrote ``_`` *in a fact
+    position* (the paper's ``O[A {1:*} *=> _]``), meaning the statement
+    only asserts the cardinality.  In query bodies the parser replaces
+    ``_`` by a fresh variable instead, so ``None`` never means "match
+    anything" — it means "no type atom is asserted".
+    """
+
+    host: Term
+    attribute: Term
+    value_type: Optional[Term]
+    cardinality: Optional[Cardinality] = None
+
+    def __str__(self) -> str:
+        card = f" {self.cardinality} " if self.cardinality else ""
+        target = self.value_type if self.value_type is not None else "_"
+        return f"{self.host}[{self.attribute}{card}*=>{target}]"
+
+
+@dataclass(frozen=True)
+class PredicateAtom:
+    """A raw predicate application, e.g. ``member(X, person)``.
+
+    Used both for P_FL predicates written directly in rule bodies and for
+    rule heads such as ``q(A, B)``.
+    """
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+FLAtom = Union[IsaAtom, SubclassAtom, DataAtom, SignatureAtom, PredicateAtom]
+
+
+@dataclass(frozen=True)
+class FLFact:
+    """A statement asserted as true, e.g. ``john:student.``"""
+
+    atom: FLAtom
+
+    def __str__(self) -> str:
+        return f"{self.atom}."
+
+
+@dataclass(frozen=True)
+class FLRule:
+    """A conjunctive rule ``q(X, Y) :- body.``"""
+
+    head: PredicateAtom
+    body: tuple[FLAtom, ...]
+
+    def __str__(self) -> str:
+        body_inner = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body_inner}."
+
+
+@dataclass(frozen=True)
+class FLQuery:
+    """An ask-style query ``?- body.``
+
+    Its answer variables are the named variables of the body in order of
+    first occurrence (the conventional Prolog-style presentation).
+    """
+
+    body: tuple[FLAtom, ...]
+
+    def __str__(self) -> str:
+        body_inner = ", ".join(str(a) for a in self.body)
+        return f"?- {body_inner}."
+
+
+FLStatement = Union[FLFact, FLRule, FLQuery]
+
+
+@dataclass(frozen=True)
+class FLProgram:
+    """A parsed program: facts, rules and queries in source order."""
+
+    statements: tuple[FLStatement, ...]
+
+    def facts(self) -> tuple[FLFact, ...]:
+        return tuple(s for s in self.statements if isinstance(s, FLFact))
+
+    def rules(self) -> tuple[FLRule, ...]:
+        return tuple(s for s in self.statements if isinstance(s, FLRule))
+
+    def queries(self) -> tuple[FLQuery, ...]:
+        return tuple(s for s in self.statements if isinstance(s, FLQuery))
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)

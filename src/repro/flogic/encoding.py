@@ -1,0 +1,175 @@
+"""Encoding F-logic Lite syntax into the P_FL relational vocabulary.
+
+The translation follows the paper's Section 2 table exactly:
+
+==============================  ==========================================
+F-logic statement               P_FL atoms
+==============================  ==========================================
+``o : c``                       ``member(o, c)``
+``c1 :: c2``                    ``sub(c1, c2)``
+``o[a -> v]``                   ``data(o, a, v)``
+``o[a *=> t]``                  ``type(o, a, t)``
+``o[a {1:*} *=> t]``            ``mandatory(a, o)`` and ``type(o, a, t)``
+``o[a {1:*} *=> _]``            ``mandatory(a, o)``
+``o[a {0:1} *=> t]``            ``funct(a, o)`` and ``type(o, a, t)``
+``o[a {0:1} *=> _]``            ``funct(a, o)``
+==============================  ==========================================
+
+The inverse direction (:func:`decode_atom`) renders P_FL atoms back in
+F-logic notation for display.
+"""
+
+from __future__ import annotations
+
+import itertools
+from ..core.atoms import (
+    DATA,
+    FUNCT,
+    MANDATORY,
+    MEMBER,
+    SUB,
+    TYPE,
+    Atom,
+    data,
+    funct,
+    mandatory,
+    member,
+    sub,
+    type_,
+    validate_pfl_atom,
+)
+from ..core.errors import EncodingError
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Variable
+from .ast import (
+    Cardinality,
+    DataAtom,
+    FLAtom,
+    FLFact,
+    FLProgram,
+    FLQuery,
+    FLRule,
+    IsaAtom,
+    PredicateAtom,
+    SignatureAtom,
+    SubclassAtom,
+)
+
+__all__ = [
+    "encode_atom",
+    "encode_fact",
+    "encode_rule",
+    "encode_query",
+    "encode_program",
+    "decode_atom",
+]
+
+
+def encode_atom(atom: FLAtom) -> tuple[Atom, ...]:
+    """The P_FL atoms asserted by one F-logic AST atom."""
+    if isinstance(atom, IsaAtom):
+        return (member(atom.instance, atom.cls),)
+    if isinstance(atom, SubclassAtom):
+        return (sub(atom.child, atom.parent),)
+    if isinstance(atom, DataAtom):
+        return (data(atom.host, atom.attribute, atom.value),)
+    if isinstance(atom, SignatureAtom):
+        out: list[Atom] = []
+        if atom.cardinality is Cardinality.MANDATORY:
+            out.append(mandatory(atom.attribute, atom.host))
+        elif atom.cardinality is Cardinality.FUNCTIONAL:
+            out.append(funct(atom.attribute, atom.host))
+        if atom.value_type is not None:
+            out.append(type_(atom.host, atom.attribute, atom.value_type))
+        if not out:
+            raise EncodingError(
+                f"signature {atom} asserts neither a type nor a cardinality"
+            )
+        return tuple(out)
+    if isinstance(atom, PredicateAtom):
+        return (validate_pfl_atom(Atom(atom.predicate, atom.args)),)
+    raise EncodingError(f"cannot encode {atom!r}")
+
+
+def encode_fact(fact: FLFact) -> tuple[Atom, ...]:
+    """Encode a fact; the result must be ground."""
+    atoms = encode_atom(fact.atom)
+    for encoded in atoms:
+        if not encoded.is_ground:
+            raise EncodingError(f"fact {fact} contains variables: {encoded}")
+    return atoms
+
+
+def encode_rule(rule: FLRule) -> ConjunctiveQuery:
+    """Encode ``q(X,..) :- body.`` as a conjunctive query over P_FL."""
+    body: list[Atom] = []
+    for fl_atom in rule.body:
+        body.extend(encode_atom(fl_atom))
+    return ConjunctiveQuery(rule.head.predicate, rule.head.args, body).validate_pfl()
+
+
+def encode_query(query: FLQuery, name: str = "query") -> ConjunctiveQuery:
+    """Encode ``?- body.`` with the named body variables as the answer tuple.
+
+    Variables introduced by ``_`` (named ``_G<n>`` by the parser) stay
+    existential, matching the Prolog convention the paper's examples use.
+    """
+    body: list[Atom] = []
+    for fl_atom in query.body:
+        body.extend(encode_atom(fl_atom))
+    head: list[Variable] = []
+    seen: set[Variable] = set()
+    for atom in body:
+        for term in atom.args:
+            if (
+                isinstance(term, Variable)
+                and term not in seen
+                and not term.name.startswith("_G")
+            ):
+                seen.add(term)
+                head.append(term)
+    return ConjunctiveQuery(name, tuple(head), body).validate_pfl()
+
+
+def encode_program(
+    program: FLProgram,
+) -> tuple[tuple[Atom, ...], tuple[ConjunctiveQuery, ...], tuple[ConjunctiveQuery, ...]]:
+    """Encode a whole program: (facts, named rules, ask-queries)."""
+    facts: list[Atom] = []
+    rules: list[ConjunctiveQuery] = []
+    queries: list[ConjunctiveQuery] = []
+    ask_counter = itertools.count(1)
+    for statement in program.statements:
+        if isinstance(statement, FLFact):
+            facts.extend(encode_fact(statement))
+        elif isinstance(statement, FLRule):
+            rules.append(encode_rule(statement))
+        elif isinstance(statement, FLQuery):
+            queries.append(encode_query(statement, name=f"query{next(ask_counter)}"))
+        else:  # pragma: no cover - exhaustive over FLStatement
+            raise EncodingError(f"unknown statement {statement!r}")
+    return tuple(facts), tuple(rules), tuple(queries)
+
+
+def decode_atom(atom: Atom) -> str:
+    """Render one P_FL atom in F-logic surface notation."""
+    pred = atom.predicate
+    if pred == MEMBER:
+        o, c = atom.args
+        return f"{o}:{c}"
+    if pred == SUB:
+        c1, c2 = atom.args
+        return f"{c1}::{c2}"
+    if pred == DATA:
+        o, a, v = atom.args
+        return f"{o}[{a}->{v}]"
+    if pred == TYPE:
+        o, a, t = atom.args
+        return f"{o}[{a}*=>{t}]"
+    if pred == MANDATORY:
+        a, o = atom.args
+        return f"{o}[{a} {{1:*}} *=> _]"
+    if pred == FUNCT:
+        a, o = atom.args
+        return f"{o}[{a} {{0:1}} *=> _]"
+    raise EncodingError(f"not a P_FL atom: {atom}")

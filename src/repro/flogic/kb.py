@@ -1,0 +1,281 @@
+"""F-logic Lite knowledge bases.
+
+A :class:`KnowledgeBase` stores ground P_FL facts (loaded from F-logic
+source text or added programmatically), materialises the consequences of
+Sigma_FL, and answers conjunctive meta-queries over the materialised
+instance.  This is the "database side" of the paper: the object
+``q1(B) ⊆ q2(B)`` quantifies over exactly these databases — instances
+closed under Sigma_FL — and the property-based tests use KBs to validate
+containment verdicts against actual query evaluation.
+
+Materialisation runs the chase on the fact base: the Datalog rules and
+the functionality EGD always terminate, while the existential rule rho_5
+may not (cyclic mandatory attributes), so value invention is bounded by
+``max_invention_level``.  Answers that contain invented nulls are marked
+and can be excluded (*certain answers*).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..chase.engine import ChaseConfig, ChaseEngine
+from ..core.atoms import Atom, validate_pfl_atom
+from ..core.errors import ChaseFailure, EncodingError, ReproError
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Null, Term
+from ..datalog.index import FactIndex
+from ..dependencies.sigma_fl import SIGMA_FL
+from ..homomorphism.search import all_homomorphisms
+from .ast import FLAtom, FLFact, FLQuery, FLRule
+from .encoding import encode_atom, encode_query, encode_rule
+from .parser import parse_program
+
+__all__ = ["Answer", "KnowledgeBase"]
+
+
+class Answer(tuple):
+    """One answer tuple; ``certain`` is False when it contains invented nulls."""
+
+    __slots__ = ()
+
+    @property
+    def certain(self) -> bool:
+        return not any(isinstance(t, Null) for t in self)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(t) for t in self)
+        marker = "" if self.certain else " (uncertain)"
+        return f"({inner}){marker}"
+
+
+class KnowledgeBase:
+    """A mutable F-logic Lite fact base with Sigma_FL reasoning.
+
+    Parameters
+    ----------
+    max_invention_level:
+        Bound on the chase levels of value invention (rho_5) during
+        materialisation.  Cyclic mandatory attributes make the full chase
+        infinite; the default keeps one round of invented values, which is
+        enough for certain-answer query evaluation in all acyclic cases
+        and a sound under-approximation otherwise.
+    """
+
+    def __init__(self, *, max_invention_level: int = 4):
+        self._base_facts: list[Atom] = []
+        self._materialised: Optional[FactIndex] = None
+        self._instance = None  # the ChaseInstance behind _materialised
+        self._failed: Optional[str] = None
+        self.max_invention_level = max_invention_level
+
+    # -- loading ----------------------------------------------------------------
+
+    def add(self, fact: Union[Atom, FLAtom, str]) -> "KnowledgeBase":
+        """Add one fact: a P_FL atom, an AST atom, or F-logic source text."""
+        if isinstance(fact, str):
+            return self.load(fact)
+        if isinstance(fact, Atom):
+            atoms: Iterable[Atom] = (validate_pfl_atom(fact),)
+        else:
+            atoms = encode_atom(fact)
+        for atom in atoms:
+            if not atom.is_ground:
+                raise EncodingError(f"KB facts must be ground: {atom}")
+            self._base_facts.append(atom)
+        self._invalidate()
+        return self
+
+    def load(self, text: str) -> "KnowledgeBase":
+        """Parse and add every fact in *text* (rules/queries are rejected)."""
+        program = parse_program(text)
+        for statement in program.statements:
+            if isinstance(statement, FLFact):
+                for atom in encode_atom(statement.atom):
+                    if not atom.is_ground:
+                        raise EncodingError(f"KB facts must be ground: {atom}")
+                    self._base_facts.append(atom)
+            else:
+                raise EncodingError(
+                    f"only facts can be loaded into a KB, got: {statement}"
+                )
+        self._invalidate()
+        return self
+
+    def _invalidate(self) -> None:
+        self._materialised = None
+        self._instance = None
+        self._failed = None
+
+    # -- reasoning -----------------------------------------------------------------
+
+    @property
+    def base_facts(self) -> tuple[Atom, ...]:
+        return tuple(self._base_facts)
+
+    def schema_atoms(self) -> tuple[Atom, ...]:
+        """The schema-level facts: subclassing, signatures, cardinalities.
+
+        These are the atoms to pass as the ``schema`` of a *relative*
+        containment check (``is_contained(q1, q2, schema=kb.schema_atoms())``):
+        containment over every Sigma_FL database that shares this KB's
+        schema, whatever its data.
+        """
+        schema_predicates = {"sub", "type", "mandatory", "funct"}
+        return tuple(
+            a for a in self._base_facts if a.predicate in schema_predicates
+        )
+
+    def __len__(self) -> int:
+        return len(self._base_facts)
+
+    def materialise(self) -> FactIndex:
+        """The Sigma_FL closure of the fact base (cached until mutation).
+
+        Raises :class:`ChaseFailure` when the facts violate functionality
+        irreparably (two distinct constants for a functional attribute).
+        """
+        if self._failed is not None:
+            raise ChaseFailure(self._failed)
+        if self._materialised is not None:
+            return self._materialised
+        if not self._base_facts:
+            self._materialised = FactIndex()
+            return self._materialised
+        pseudo_query = ConjunctiveQuery("kb", (), self._base_facts)
+        engine = ChaseEngine(
+            SIGMA_FL, ChaseConfig(max_level=self.max_invention_level)
+        )
+        result = engine.run(pseudo_query)
+        if result.failed:
+            self._failed = (
+                "the knowledge base is inconsistent: a functional attribute "
+                "has two distinct values"
+            )
+            raise ChaseFailure(self._failed)
+        assert result.instance is not None
+        self._instance = result.instance
+        self._materialised = result.instance.index
+        return self._materialised
+
+    def is_consistent(self) -> bool:
+        """True when materialisation succeeds (functionality repairable)."""
+        try:
+            self.materialise()
+        except ChaseFailure:
+            return False
+        return True
+
+    # -- query answering ---------------------------------------------------------------
+
+    def ask(
+        self,
+        query: Union[ConjunctiveQuery, FLRule, FLQuery, str],
+        *,
+        certain_only: bool = False,
+    ) -> list[Answer]:
+        """Answers of a conjunctive meta-query over the materialised KB.
+
+        Accepts a :class:`ConjunctiveQuery` over P_FL, a parsed rule/query,
+        or F-logic source text (``?- body.`` or ``q(X) :- body.``).
+        Answers are deduplicated and sorted for deterministic output.
+        """
+        cq = self._coerce_query(query)
+        index = self.materialise()
+        answers: set[tuple[Term, ...]] = set()
+        for sigma in all_homomorphisms(cq, index):
+            answers.add(tuple(sigma.apply_term(t) for t in cq.head))
+        out = [Answer(t) for t in answers]
+        if certain_only:
+            out = [a for a in out if a.certain]
+        out.sort(key=lambda a: tuple(str(t) for t in a))
+        return out
+
+    def holds(self, query: Union[ConjunctiveQuery, FLRule, FLQuery, str]) -> bool:
+        """Boolean query: does the (possibly 0-ary) query have an answer?"""
+        return bool(self.ask(query))
+
+    def explain(self, fact: Union[Atom, str]):
+        """The derivation tree of an entailed fact.
+
+        *fact* is a ground P_FL atom or F-logic fact text (e.g.
+        ``"john:person."``).  Returns a
+        :class:`~repro.chase.instance.Derivation` whose leaves are base
+        facts and whose inner nodes name the Sigma_FL rule applied.
+        Raises :class:`ReproError` when the fact is not entailed.
+        """
+        if isinstance(fact, str):
+            from .parser import parse_statement
+
+            statement = parse_statement(fact)
+            if not isinstance(statement, FLFact):
+                raise ReproError(f"not a fact: {fact!r}")
+            atoms = encode_atom(statement.atom)
+            if len(atoms) != 1:
+                raise ReproError(
+                    f"{fact!r} encodes to {len(atoms)} atoms; explain one at a time"
+                )
+            atom = atoms[0]
+        else:
+            atom = validate_pfl_atom(fact)
+        index = self.materialise()
+        if atom not in index:
+            raise ReproError(f"{atom} is not entailed by the knowledge base")
+        assert self._instance is not None
+        return self._instance.derivation_of(atom)
+
+    @staticmethod
+    def _coerce_query(
+        query: Union[ConjunctiveQuery, FLRule, FLQuery, str]
+    ) -> ConjunctiveQuery:
+        if isinstance(query, ConjunctiveQuery):
+            return query.validate_pfl()
+        if isinstance(query, FLRule):
+            return encode_rule(query)
+        if isinstance(query, FLQuery):
+            return encode_query(query)
+        if isinstance(query, str):
+            from .parser import parse_statement
+
+            statement = parse_statement(query)
+            if isinstance(statement, FLRule):
+                return encode_rule(statement)
+            if isinstance(statement, FLQuery):
+                return encode_query(statement)
+            raise ReproError(f"not a query: {query!r}")
+        raise TypeError(f"cannot interpret {query!r} as a query")
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_flogic(self, *, materialised: bool = False) -> str:
+        """Render the KB as F-logic Lite source.
+
+        With ``materialised=True`` the Sigma_FL closure is rendered
+        instead of the base facts; conjuncts on invented values are
+        skipped (nulls have no surface syntax).
+        """
+        from .printer import facts_to_flogic
+
+        if materialised:
+            atoms = [a for a in self.materialise() if not a.nulls()]
+        else:
+            atoms = self._base_facts
+        return facts_to_flogic(atoms)
+
+    def save(self, path) -> None:
+        """Write the base facts to *path* as parseable F-logic source."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_flogic() + "\n")
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "KnowledgeBase":
+        """Load a KB from an F-logic fact file."""
+        from pathlib import Path
+
+        kb = cls(**kwargs)
+        kb.load(Path(path).read_text())
+        return kb
+
+    def __repr__(self) -> str:
+        return f"KnowledgeBase({len(self._base_facts)} base facts)"

@@ -1,0 +1,211 @@
+"""Tokenizer for the F-logic Lite surface syntax.
+
+The token language covers exactly what the paper uses:
+
+* membership ``john:student``, subclassing ``freshman::student``;
+* data molecules ``john[age->33]``;
+* signatures ``person[age*=>number]`` with optional cardinalities
+  ``{0:1}`` / ``{1:*}`` (the paper also writes ``{1,*}``; both separators
+  are accepted);
+* Datalog-style rules ``q(A,B) :- body.`` and queries ``?- body.``;
+* ``%`` and ``//`` line comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import ParseError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "identifier"          # lowercase-initial: constants, predicates
+    VARIABLE = "variable"         # capitalized or _-initial
+    ANON = "anonymous"            # a lone _
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    DOUBLE_COLON = "::"
+    IMPLIES = ":-"
+    QUERY = "?-"
+    ARROW = "->"
+    INHERITABLE_ARROW = "*=>"
+    PLAIN_ARROW = "=>"
+    STAR = "*"
+    EOF = "end of input"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type.name}({self.text!r})"
+
+
+_SIMPLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; terminates with a single EOF token.
+
+    Raises :class:`ParseError` on any character that starts no token.
+    """
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, col)
+
+    while i < n:
+        ch = text[i]
+        # -- whitespace and comments -------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        if ch == "%" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        # -- multi-character operators ------------------------------------
+        if text.startswith("*=>", i):
+            yield Token(TokenType.INHERITABLE_ARROW, "*=>", start_line, start_col)
+            i += 3
+            col += 3
+            continue
+        if text.startswith("=>", i):
+            yield Token(TokenType.PLAIN_ARROW, "=>", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if text.startswith("->", i):
+            yield Token(TokenType.ARROW, "->", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if text.startswith("::", i):
+            yield Token(TokenType.DOUBLE_COLON, "::", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if text.startswith(":-", i):
+            yield Token(TokenType.IMPLIES, ":-", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if text.startswith("?-", i):
+            yield Token(TokenType.QUERY, "?-", start_line, start_col)
+            i += 2
+            col += 2
+            continue
+        if ch == ":":
+            yield Token(TokenType.COLON, ":", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == "*":
+            yield Token(TokenType.STAR, "*", start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        # -- single-character punctuation ----------------------------------
+        if ch in _SIMPLE:
+            yield Token(_SIMPLE[ch], ch, start_line, start_col)
+            i += 1
+            col += 1
+            continue
+        # -- strings ---------------------------------------------------------
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise error("unterminated string literal")
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                    continue
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            value = "".join(buf)
+            yield Token(TokenType.STRING, value, start_line, start_col)
+            width = j + 1 - i
+            i = j + 1
+            col += width
+            continue
+        # -- numbers ----------------------------------------------------------
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                # A dot only joins the number when followed by a digit —
+                # otherwise it is the end-of-statement dot.
+                if text[j] == "." and not (j + 1 < n and text[j + 1].isdigit()):
+                    break
+                j += 1
+            lexeme = text[i:j]
+            yield Token(TokenType.NUMBER, lexeme, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        # -- identifiers and variables ------------------------------------------
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            lexeme = text[i:j]
+            if lexeme == "_":
+                kind = TokenType.ANON
+            elif lexeme[0].isupper() or lexeme[0] == "_":
+                kind = TokenType.VARIABLE
+            else:
+                kind = TokenType.IDENT
+            yield Token(kind, lexeme, start_line, start_col)
+            col += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+    yield Token(TokenType.EOF, "", line, col)

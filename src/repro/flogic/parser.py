@@ -1,0 +1,290 @@
+"""Recursive-descent parser for F-logic Lite.
+
+Grammar (terminals in quotes; ``*`` / ``+`` are repetition)::
+
+    program    := statement*
+    statement  := fact | rule | query
+    fact       := molecule '.'
+    rule       := predicate ':-' body '.'
+    query      := '?-' body '.'
+    body       := body_atom (',' body_atom)*
+    body_atom  := predicate | molecule
+    molecule   := term ( ':' term | '::' term | '[' spec (',' spec)* ']' )
+    spec       := term '->' term
+                | term card? '*=>' (term | '_')
+    card       := '{' bound (':' | ',') bound '}'        # {0:1} or {1:*}
+    predicate  := IDENT '(' (term (',' term)*)? ')'
+    term       := IDENT | VARIABLE | NUMBER | STRING | '_'
+
+The paper's ``_`` is context sensitive:
+
+* as a plain term it becomes a fresh variable (each occurrence distinct);
+* as the *type* of a signature that carries a cardinality it means "no
+  type asserted" (``O[A {1:*} *=> _]`` encodes to ``mandatory(A, O)``
+  alone, exactly as in the paper's encoding section);
+* as the type of a cardinality-free signature in a rule/query body it is
+  a fresh variable (``T3[B *=> _]`` from the paper's Section-1 example);
+  in a fact that form is rejected — it would assert nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core.errors import ParseError
+from ..core.terms import Constant, Term, Variable
+from .ast import (
+    Cardinality,
+    DataAtom,
+    FLAtom,
+    FLFact,
+    FLProgram,
+    FLQuery,
+    FLRule,
+    FLStatement,
+    IsaAtom,
+    PredicateAtom,
+    SignatureAtom,
+    SubclassAtom,
+)
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_program", "parse_statement", "Parser"]
+
+
+class Parser:
+    """One-pass recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._anon_counter = itertools.count(1)
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {token_type.value!r}, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, token_type: TokenType) -> Optional[Token]:
+        if self._peek().type is token_type:
+            return self._advance()
+        return None
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- entry points -----------------------------------------------------------
+
+    def parse_program(self) -> FLProgram:
+        statements: list[FLStatement] = []
+        while self._peek().type is not TokenType.EOF:
+            statements.extend(self.parse_statements())
+        return FLProgram(tuple(statements))
+
+    def parse_statements(self) -> list[FLStatement]:
+        """Parse one source statement.
+
+        A multi-spec molecule fact such as ``john[age->33, dept->cs].``
+        expands to one :class:`FLFact` per spec, hence the list return.
+        Rules and queries always yield exactly one statement.
+        """
+        if self._accept(TokenType.QUERY):
+            body = self._parse_body()
+            self._expect(TokenType.DOT)
+            return [FLQuery(tuple(body))]
+        first = self._parse_head_or_molecule()
+        if isinstance(first, PredicateAtom) and self._accept(TokenType.IMPLIES):
+            body = self._parse_body()
+            self._expect(TokenType.DOT)
+            return [FLRule(first, tuple(body))]
+        self._expect(TokenType.DOT)
+        atoms = first if isinstance(first, list) else [first]
+        return [FLFact(atom) for atom in atoms]
+
+    # -- grammar productions -------------------------------------------------------
+
+    def _parse_body(self) -> list[FLAtom]:
+        atoms: list[FLAtom] = []
+        while True:
+            parsed = self._parse_body_atom()
+            if isinstance(parsed, list):
+                atoms.extend(parsed)
+            else:
+                atoms.append(parsed)
+            if not self._accept(TokenType.COMMA):
+                return atoms
+
+    def _parse_body_atom(self):
+        return self._parse_head_or_molecule(in_body=True)
+
+    def _parse_head_or_molecule(self, in_body: bool = False):
+        """A predicate atom, or a molecule (possibly several atoms)."""
+        token = self._peek()
+        if token.type is TokenType.IDENT and self._peek(1).type is TokenType.LPAREN:
+            return self._parse_predicate()
+        host = self._parse_term(in_body=in_body)
+        if self._accept(TokenType.DOUBLE_COLON):
+            parent = self._parse_term(in_body=in_body)
+            return SubclassAtom(host, parent)
+        if self._accept(TokenType.COLON):
+            cls = self._parse_term(in_body=in_body)
+            return IsaAtom(host, cls)
+        if self._accept(TokenType.LBRACKET):
+            specs = [self._parse_spec(host, in_body)]
+            while self._accept(TokenType.COMMA):
+                specs.append(self._parse_spec(host, in_body))
+            self._expect(TokenType.RBRACKET)
+            return specs if len(specs) > 1 else specs[0]
+        raise self._error(
+            f"expected ':', '::' or '[' after term {host}, found {self._peek().text!r}"
+        )
+
+    def _parse_predicate(self) -> PredicateAtom:
+        name = self._expect(TokenType.IDENT).text
+        self._expect(TokenType.LPAREN)
+        args: list[Term] = []
+        if self._peek().type is not TokenType.RPAREN:
+            args.append(self._parse_term(in_body=True))
+            while self._accept(TokenType.COMMA):
+                args.append(self._parse_term(in_body=True))
+        self._expect(TokenType.RPAREN)
+        return PredicateAtom(name, tuple(args))
+
+    def _parse_spec(self, host: Term, in_body: bool) -> FLAtom:
+        attribute = self._parse_term(in_body=in_body)
+        cardinality = self._parse_cardinality()
+        if cardinality is None and self._accept(TokenType.ARROW):
+            value = self._parse_term(in_body=in_body)
+            return DataAtom(host, attribute, value)
+        if self._accept(TokenType.INHERITABLE_ARROW):
+            return self._parse_signature_target(host, attribute, cardinality, in_body)
+        if self._peek().type is TokenType.PLAIN_ARROW:
+            raise self._error(
+                "non-inheritable signatures (=>) are outside F-logic Lite; "
+                "use *=> instead"
+            )
+        raise self._error(
+            f"expected '->' or '*=>' in molecule spec, found {self._peek().text!r}"
+        )
+
+    def _parse_signature_target(
+        self,
+        host: Term,
+        attribute: Term,
+        cardinality: Optional[Cardinality],
+        in_body: bool,
+    ) -> SignatureAtom:
+        if self._accept(TokenType.ANON):
+            if cardinality is not None:
+                # O[A {1:*} *=> _]: cardinality only, no type atom.
+                return SignatureAtom(host, attribute, None, cardinality)
+            if in_body:
+                # T3[B *=> _]: "B has *some* type" — a fresh variable.
+                return SignatureAtom(host, attribute, self._fresh_variable(), None)
+            raise self._error(
+                "a signature fact with type _ and no cardinality asserts "
+                "nothing; give a type or a cardinality"
+            )
+        value_type = self._parse_term(in_body=in_body)
+        return SignatureAtom(host, attribute, value_type, cardinality)
+
+    def _parse_cardinality(self) -> Optional[Cardinality]:
+        if not self._accept(TokenType.LBRACE):
+            return None
+        low = self._parse_bound()
+        if not (self._accept(TokenType.COLON) or self._accept(TokenType.COMMA)):
+            raise self._error("expected ':' or ',' inside cardinality braces")
+        high = self._parse_bound()
+        self._expect(TokenType.RBRACE)
+        if (low, high) == ("1", "*"):
+            return Cardinality.MANDATORY
+        if (low, high) == ("0", "1"):
+            return Cardinality.FUNCTIONAL
+        raise self._error(
+            f"F-logic Lite admits only the cardinalities {{0:1}} and {{1:*}}, "
+            f"got {{{low}:{high}}}"
+        )
+
+    def _parse_bound(self) -> str:
+        if self._accept(TokenType.STAR):
+            return "*"
+        return self._expect(TokenType.NUMBER).text
+
+    def _parse_term(self, in_body: bool) -> Term:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Constant(token.text)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return Constant(token.text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Constant(token.text)
+        if token.type is TokenType.VARIABLE:
+            self._advance()
+            if not in_body:
+                raise ParseError(
+                    f"variable {token.text} is not allowed in a fact",
+                    token.line,
+                    token.column,
+                )
+            return Variable(token.text)
+        if token.type is TokenType.ANON:
+            self._advance()
+            if not in_body:
+                raise ParseError(
+                    "the anonymous term _ is not allowed in a fact",
+                    token.line,
+                    token.column,
+                )
+            return self._fresh_variable()
+        raise self._error(f"expected a term, found {token.text!r}")
+
+    def _fresh_variable(self) -> Variable:
+        return Variable(f"_G{next(self._anon_counter)}")
+
+
+def parse_program(text: str) -> FLProgram:
+    """Parse a whole F-logic Lite program (facts, rules and queries)."""
+    return Parser(text).parse_program()
+
+
+def parse_statement(text: str) -> FLStatement:
+    """Parse exactly one statement; trailing input is an error.
+
+    A multi-spec molecule fact expands to several statements — use
+    :func:`parse_program` for those.
+    """
+    parser = Parser(text)
+    statements = parser.parse_statements()
+    trailing = parser._peek()
+    if trailing.type is not TokenType.EOF:
+        raise ParseError(
+            f"unexpected input after statement: {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    if len(statements) != 1:
+        raise ParseError(
+            f"input expands to {len(statements)} statements; use parse_program"
+        )
+    return statements[0]

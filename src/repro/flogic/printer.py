@@ -1,0 +1,108 @@
+"""Pretty-printing P_FL content back into F-logic Lite source.
+
+:func:`decode_atom` (in :mod:`repro.flogic.encoding`) renders one atom;
+this module produces *programs*: fact bases grouped into compact
+molecules (one ``host[spec, spec, ...]`` per host where possible), and
+conjunctive queries as rules in the paper's syntax.  Everything printed
+here re-parses to the same P_FL content (tested by the round-trip
+property suite).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from ..core.atoms import DATA, FUNCT, MANDATORY, MEMBER, SUB, TYPE, Atom
+from ..core.errors import EncodingError
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Term
+
+__all__ = ["facts_to_flogic", "query_to_flogic", "program_to_flogic"]
+
+
+def _spec(atom: Atom) -> tuple[Term, str]:
+    """(host, rendered in-bracket spec) for a frame-style atom."""
+    if atom.predicate == DATA:
+        host, attr, value = atom.args
+        return host, f"{attr}->{value}"
+    if atom.predicate == TYPE:
+        host, attr, target = atom.args
+        return host, f"{attr}*=>{target}"
+    if atom.predicate == MANDATORY:
+        attr, host = atom.args
+        return host, f"{attr} {{1:*}} *=> _"
+    if atom.predicate == FUNCT:
+        attr, host = atom.args
+        return host, f"{attr} {{0:1}} *=> _"
+    raise EncodingError(f"not a frame-style atom: {atom}")
+
+
+def facts_to_flogic(atoms: Iterable[Atom], *, group: bool = True) -> str:
+    """Render ground P_FL atoms as an F-logic fact program.
+
+    With *group* (default), frame-style specs of one host are merged into
+    a single molecule; membership and subclassing always print one per
+    line.  Statement order is deterministic (sorted).
+    """
+    memberships: list[str] = []
+    subclasses: list[str] = []
+    frames: dict[Term, list[str]] = defaultdict(list)
+    singletons: list[str] = []
+    for atom in atoms:
+        if atom.predicate == MEMBER:
+            memberships.append(f"{atom.args[0]}:{atom.args[1]}.")
+        elif atom.predicate == SUB:
+            subclasses.append(f"{atom.args[0]}::{atom.args[1]}.")
+        else:
+            host, spec = _spec(atom)
+            if group:
+                frames[host].append(spec)
+            else:
+                singletons.append(f"{host}[{spec}].")
+    lines = sorted(subclasses) + sorted(memberships)
+    if group:
+        for host in sorted(frames, key=str):
+            specs = ", ".join(sorted(frames[host]))
+            lines.append(f"{host}[{specs}].")
+    else:
+        lines.extend(sorted(singletons))
+    return "\n".join(lines)
+
+
+def _molecule(atom: Atom) -> str:
+    """One body conjunct in F-logic notation (falls back to predicate form).
+
+    Frame atoms whose terms include variables print in molecule syntax;
+    membership and subclassing use ``:`` / ``::``.
+    """
+    if atom.predicate == MEMBER:
+        return f"{atom.args[0]}:{atom.args[1]}"
+    if atom.predicate == SUB:
+        return f"{atom.args[0]}::{atom.args[1]}"
+    host, spec = _spec(atom)
+    return f"{host}[{spec}]"
+
+
+def query_to_flogic(query: ConjunctiveQuery) -> str:
+    """Render a P_FL conjunctive query as an F-logic rule.
+
+    Example: ``q(A, B) :- T1[A*=>T2], T2::T3, T3[B*=>W1].``
+    """
+    head_inner = ", ".join(str(t) for t in query.head)
+    body_inner = ", ".join(_molecule(a) for a in query.body)
+    return f"{query.name}({head_inner}) :- {body_inner}."
+
+
+def program_to_flogic(
+    facts: Iterable[Atom] = (),
+    queries: Iterable[ConjunctiveQuery] = (),
+) -> str:
+    """Render facts and rules together, facts first."""
+    parts = []
+    fact_text = facts_to_flogic(facts)
+    if fact_text:
+        parts.append(fact_text)
+    for query in queries:
+        parts.append(query_to_flogic(query))
+    return "\n".join(parts)

@@ -1,0 +1,17 @@
+"""Homomorphism search between queries, instances and chase prefixes."""
+
+from .search import (
+    all_homomorphisms,
+    all_query_homomorphisms,
+    find_homomorphism,
+    find_query_homomorphism,
+    head_seed,
+)
+
+__all__ = [
+    "head_seed",
+    "all_homomorphisms",
+    "find_homomorphism",
+    "all_query_homomorphisms",
+    "find_query_homomorphism",
+]

@@ -1,0 +1,122 @@
+"""Homomorphism search (Definition 1).
+
+A homomorphism from a query ``q`` to a database ``B`` maps every constant
+of ``q`` to itself and every variable of ``q`` to a value of ``B`` such
+that each body conjunct lands on a tuple of ``B``.  For containment
+(Theorems 4 and 12) we additionally require the head of ``q2`` to land on
+the head of the chased ``q1``.
+
+The search is plain backtracking over the indexed instance, with the
+most-constrained-first ordering shared with the Datalog engine; the head
+condition is enforced *first* by seeding the substitution, which prunes
+the search drastically in the common case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core.errors import QueryError
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import Term, Variable
+from ..datalog.index import FactIndex
+from ..datalog.matching import match_conjunction
+
+__all__ = [
+    "head_seed",
+    "all_homomorphisms",
+    "find_homomorphism",
+    "find_query_homomorphism",
+    "all_query_homomorphisms",
+]
+
+
+def head_seed(
+    head: Sequence[Term], head_target: Sequence[Term]
+) -> Optional[Substitution]:
+    """The substitution forced by mapping *head* onto *head_target*.
+
+    Returns ``None`` when the mapping is impossible: a head constant that
+    differs from its target, or one head variable required to equal two
+    different targets.
+    """
+    if len(head) != len(head_target):
+        return None
+    bindings: dict[Variable, Term] = {}
+    for term, target in zip(head, head_target):
+        if isinstance(term, Variable):
+            bound = bindings.get(term)
+            if bound is None:
+                bindings[term] = target
+            elif bound != target:
+                return None
+        elif term != target:
+            return None
+    return Substitution(bindings)
+
+
+def all_homomorphisms(
+    query: ConjunctiveQuery,
+    index: FactIndex,
+    head_target: Optional[Sequence[Term]] = None,
+    *,
+    reorder: bool = True,
+) -> Iterator[Substitution]:
+    """Every homomorphism from *query* into *index*.
+
+    With *head_target* given, only homomorphisms sending the query head to
+    exactly that tuple are produced (the Theorem-4/12 side condition).
+    Without it, the generator enumerates the query's answers over *index*
+    viewed as a database.
+    """
+    if head_target is not None:
+        seed = head_seed(query.head, head_target)
+        if seed is None:
+            return
+    else:
+        seed = Substitution.EMPTY
+    yield from match_conjunction(query.body, index, seed, reorder=reorder)
+
+
+def find_homomorphism(
+    query: ConjunctiveQuery,
+    index: FactIndex,
+    head_target: Optional[Sequence[Term]] = None,
+    *,
+    reorder: bool = True,
+) -> Optional[Substitution]:
+    """The first homomorphism found, or ``None``."""
+    for sigma in all_homomorphisms(query, index, head_target, reorder=reorder):
+        return sigma
+    return None
+
+
+def _frozen_body_index(query: ConjunctiveQuery) -> FactIndex:
+    """The canonical database of a query: its body atoms, variables as values."""
+    return FactIndex(query.canonical_atoms())
+
+
+def all_query_homomorphisms(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Iterator[Substitution]:
+    """Query-to-query homomorphisms: body(source) -> body(target), head -> head.
+
+    This is the Chandra–Merlin containment witness ``target ⊆ source``
+    over constraint-free databases.  Queries must have equal arity.
+    """
+    if source.arity != target.arity:
+        raise QueryError(
+            f"arity mismatch: {source.name}/{source.arity} vs {target.name}/{target.arity}"
+        )
+    index = _frozen_body_index(target)
+    yield from all_homomorphisms(source, index, head_target=target.head)
+
+
+def find_query_homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Optional[Substitution]:
+    """First query-to-query homomorphism, or ``None``."""
+    for sigma in all_query_homomorphisms(source, target):
+        return sigma
+    return None

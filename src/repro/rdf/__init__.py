@@ -1,0 +1,37 @@
+"""RDF/SPARQL bridge: triples and BGP queries over the P_FL encoding."""
+
+from .bridge import (
+    RDFS_RESOURCE,
+    encode_bgp,
+    encode_graph,
+    encode_pattern,
+    encode_triple,
+)
+from .model import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    BGPQuery,
+    Graph,
+    Triple,
+    TriplePattern,
+    term,
+)
+
+__all__ = [
+    "Triple",
+    "TriplePattern",
+    "Graph",
+    "BGPQuery",
+    "term",
+    "RDF_TYPE",
+    "RDFS_SUBCLASSOF",
+    "RDFS_DOMAIN",
+    "RDFS_RANGE",
+    "RDFS_RESOURCE",
+    "encode_triple",
+    "encode_graph",
+    "encode_pattern",
+    "encode_bgp",
+]

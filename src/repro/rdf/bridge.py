@@ -1,0 +1,139 @@
+"""Translating RDF graphs and BGP queries into P_FL.
+
+The mapping interprets the RDFS core and leaves the rest as data:
+
+=============================  ==========================================
+triple                          P_FL atom(s)
+=============================  ==========================================
+``s rdf:type c``                ``member(s, c)``
+``c1 rdfs:subClassOf c2``       ``sub(c1, c2)``
+``p rdfs:domain c``             ``type(c, p, rdfs_resource)`` *
+``p rdfs:range t``              ``type(rdfs_resource, p, t)`` *
+``s p o`` (other)               ``data(s, p, o)``
+=============================  ==========================================
+
+\\* RDFS domain/range are *global* per property, while F-logic signatures
+are *per class*.  We bridge the gap with the distinguished class
+``rdfs_resource``: a range declaration types the property on the
+universal class, and a domain declaration asserts that whoever carries
+the property is typed — the closest Sigma_FL reading.  The bridge is
+intentionally partial (RDFS entailment and Sigma_FL are different
+theories); what the paper claims, and what we reproduce, is that the
+*meta-querying pattern* of SPARQL — variables in class/property position —
+is covered by the containment machinery, not that Sigma_FL equals RDFS.
+
+Triple *patterns* translate the same way; a variable in predicate
+position forces the generic ``data`` reading (the pattern could match any
+non-interpreted triple), which is exactly SPARQL's behaviour of matching
+the vocabulary triples as ordinary data.
+"""
+
+from __future__ import annotations
+
+from ..core.atoms import Atom, data, member, sub, type_
+from ..core.errors import EncodingError
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from .model import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    BGPQuery,
+    Graph,
+    Triple,
+    TriplePattern,
+)
+
+__all__ = [
+    "RDFS_RESOURCE",
+    "encode_triple",
+    "encode_graph",
+    "encode_pattern",
+    "encode_bgp",
+]
+
+#: The universal class used to host global domain/range signatures.
+RDFS_RESOURCE = Constant("rdfs_resource")
+
+
+def encode_triple(triple: Triple) -> tuple[Atom, ...]:
+    """P_FL atoms for one ground triple."""
+    s = Constant(triple.subject)
+    o = Constant(triple.object)
+    if triple.predicate == RDF_TYPE:
+        return (member(s, o),)
+    if triple.predicate == RDFS_SUBCLASSOF:
+        return (sub(s, o),)
+    if triple.predicate == RDFS_DOMAIN:
+        # p rdfs:domain c: anything with a p-value is a c.  Sigma_FL has no
+        # native domain constraint; we record the signature on the domain
+        # class so meta-queries can see it.
+        return (type_(o, s, RDFS_RESOURCE),)
+    if triple.predicate == RDFS_RANGE:
+        # p rdfs:range t: p-values are of type t, globally.  rho_1 then
+        # propagates membership to objects, via the universal class.
+        return (type_(RDFS_RESOURCE, s, o),)
+    p = Constant(triple.predicate)
+    return (data(s, p, o),)
+
+
+def encode_graph(graph: Graph, *, universal_membership: bool = True) -> list[Atom]:
+    """P_FL atoms for a whole graph.
+
+    With *universal_membership* every subject and object of a data triple
+    is made a member of ``rdfs_resource``, so the global range signature
+    reaches them through rho_6 — the standard RDFS reading.
+    """
+    atoms: list[Atom] = []
+    seen: set[Atom] = set()
+    entities: set[Constant] = set()
+
+    def emit(atom: Atom) -> None:
+        if atom not in seen:
+            seen.add(atom)
+            atoms.append(atom)
+
+    for triple in sorted(graph, key=lambda t: (t.subject, t.predicate, t.object)):
+        for atom in encode_triple(triple):
+            emit(atom)
+        if triple.predicate not in (RDFS_DOMAIN, RDFS_RANGE, RDFS_SUBCLASSOF):
+            entities.add(Constant(triple.subject))
+            if triple.predicate != RDF_TYPE:
+                entities.add(Constant(triple.object))
+    if universal_membership:
+        for entity in sorted(entities, key=str):
+            emit(member(entity, RDFS_RESOURCE))
+    return atoms
+
+
+def encode_pattern(pattern: TriplePattern) -> tuple[Atom, ...]:
+    """P_FL atoms for one triple pattern of a BGP."""
+    s, p, o = pattern.terms()
+    if isinstance(p, Variable):
+        # A variable predicate can only match data triples under this
+        # encoding; SPARQL users who want to range over rdf:type as well
+        # write it as a separate union branch (unions are outside the
+        # paper's conjunctive fragment).
+        return (data(s, p, o),)
+    if not isinstance(p, Constant):  # pragma: no cover - terms are Var/Const
+        raise EncodingError(f"unsupported predicate term: {p!r}")
+    if p.name == RDF_TYPE:
+        return (member(s, o),)
+    if p.name == RDFS_SUBCLASSOF:
+        return (sub(s, o),)
+    if p.name == RDFS_DOMAIN:
+        return (type_(o, s, RDFS_RESOURCE),)
+    if p.name == RDFS_RANGE:
+        return (type_(RDFS_RESOURCE, s, o),)
+    return (data(s, p, o),)
+
+
+def encode_bgp(query: BGPQuery) -> ConjunctiveQuery:
+    """A BGP SELECT as a conjunctive P_FL query (containment-ready)."""
+    body: list[Atom] = []
+    for pattern in query.patterns:
+        body.extend(encode_pattern(pattern))
+    if not body:
+        raise EncodingError(f"BGP query {query.name} has an empty pattern block")
+    return ConjunctiveQuery(query.name, tuple(query.projection), tuple(body))

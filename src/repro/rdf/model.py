@@ -1,0 +1,123 @@
+"""A minimal RDF data model.
+
+The paper argues (Section 1) that its results carry over to RDF and
+SPARQL, because RDF shares F-logic's meta-data features and SPARQL can
+query them.  This package substantiates the claim with a small, honest
+bridge: RDF triples and SPARQL-style basic graph patterns (BGPs) are
+translated into the P_FL vocabulary, after which the full Sigma_FL
+containment machinery applies.
+
+Only the RDFS vocabulary that has a Sigma_FL counterpart is interpreted;
+everything else is data.  This mirrors the paper's remark that the P_FL
+encoding "is also related to, but slightly different from, the usual
+encoding of RDF in first-order logic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from ..core.terms import Constant, Term, Variable
+
+__all__ = [
+    "RDF_TYPE",
+    "RDFS_SUBCLASSOF",
+    "RDFS_DOMAIN",
+    "RDFS_RANGE",
+    "Triple",
+    "TriplePattern",
+    "Graph",
+    "BGPQuery",
+    "term",
+]
+
+#: The interpreted RDFS vocabulary (CURIE-style names).
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASSOF = "rdfs:subClassOf"
+RDFS_DOMAIN = "rdfs:domain"
+RDFS_RANGE = "rdfs:range"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A ground RDF triple (subject, predicate, object) of IRIs/literals."""
+
+    subject: str
+    predicate: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A BGP triple pattern; each position is a term (variable or constant).
+
+    SPARQL's ``?x`` variables are represented by library
+    :class:`Variable` objects; IRIs and literals by :class:`Constant`.
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def terms(self) -> tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def __str__(self) -> str:
+        def show(t: Term) -> str:
+            return f"?{t}" if isinstance(t, Variable) else str(t)
+
+        return f"{show(self.subject)} {show(self.predicate)} {show(self.object)} ."
+
+
+class Graph:
+    """A set of ground triples."""
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: set[Triple] = set(triples)
+
+    def add(self, subject: str, predicate: str, object: str) -> "Graph":
+        self._triples.add(Triple(subject, predicate, object))
+        return self
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self._triples)} triples)"
+
+
+@dataclass(frozen=True)
+class BGPQuery:
+    """A SPARQL-style SELECT over one basic graph pattern.
+
+    ``projection`` lists the answer variables (SELECT clause);
+    ``patterns`` is the WHERE block.
+    """
+
+    name: str
+    projection: tuple[Variable, ...]
+    patterns: tuple[TriplePattern, ...]
+
+    def __str__(self) -> str:
+        proj = " ".join(f"?{v}" for v in self.projection)
+        where = " ".join(str(p) for p in self.patterns)
+        return f"SELECT {proj} WHERE {{ {where} }}"
+
+
+def term(value: Union[str, Term]) -> Term:
+    """Coerce a string to a term: ``?name`` becomes a variable."""
+    if isinstance(value, Term):
+        return value
+    if value.startswith("?") and len(value) > 1:
+        return Variable(value[1:])
+    return Constant(value)

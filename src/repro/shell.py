@@ -1,0 +1,190 @@
+"""An interactive F-logic Lite shell (``flq shell [KB_FILE]``).
+
+A small read–eval–print loop over a :class:`KnowledgeBase`:
+
+* ``john:student.`` — assert a fact (any F-logic Lite fact syntax);
+* ``?- X::person.`` — ask a query and print its answers;
+* ``q(X) :- X:person.`` — run a one-off rule-style query;
+* dot-commands for everything else::
+
+      .help                 this text
+      .facts                list the base facts
+      .schema               list the schema-level facts
+      .consistent           check functionality consistency
+      .explain FACT         derivation tree of an entailed fact
+      .save PATH            write the base facts to a file
+      .load PATH            load more facts from a file
+      .quit                 leave
+
+The shell is line-oriented and side-effect free until a statement parses
+completely, so a typo never corrupts the KB.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, TextIO
+
+from .core.errors import ReproError
+from .flogic.ast import FLFact, FLQuery, FLRule
+from .flogic.encoding import encode_atom
+from .flogic.kb import KnowledgeBase
+from .flogic.parser import parse_statement
+
+__all__ = ["Shell", "run_shell"]
+
+_PROMPT = "flq> "
+_BANNER = (
+    "F-logic Lite shell — facts end with '.', queries start with '?-', "
+    "'.help' for commands."
+)
+
+
+class Shell:
+    """The REPL engine, decoupled from stdin/stdout for testability."""
+
+    def __init__(self, kb: Optional[KnowledgeBase] = None, *, out: Optional[TextIO] = None):
+        import sys
+
+        self.kb = kb if kb is not None else KnowledgeBase()
+        self._out = out if out is not None else sys.stdout
+        self._commands: dict[str, Callable[[str], bool]] = {
+            ".help": self._cmd_help,
+            ".facts": self._cmd_facts,
+            ".schema": self._cmd_schema,
+            ".consistent": self._cmd_consistent,
+            ".explain": self._cmd_explain,
+            ".save": self._cmd_save,
+            ".load": self._cmd_load,
+            ".quit": self._cmd_quit,
+            ".exit": self._cmd_quit,
+        }
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _print(self, *parts) -> None:
+        print(*parts, file=self._out)
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; return False when the shell should exit."""
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("//"):
+            return True
+        if line.startswith("."):
+            name, _, argument = line.partition(" ")
+            command = self._commands.get(name)
+            if command is None:
+                self._print(f"unknown command {name!r}; try .help")
+                return True
+            return command(argument.strip())
+        try:
+            return self._handle_statement(line)
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return True
+
+    def _handle_statement(self, line: str) -> bool:
+        statement = parse_statement(line)
+        if isinstance(statement, FLFact):
+            for atom in encode_atom(statement.atom):
+                self.kb.add(atom)
+            self._print("ok")
+        elif isinstance(statement, (FLQuery, FLRule)):
+            answers = self.kb.ask(statement)
+            if not answers:
+                self._print("no")
+            elif len(answers) == 1 and len(answers[0]) == 0:
+                self._print("yes")
+            else:
+                for answer in answers:
+                    self._print("  ", answer)
+        return True
+
+    # -- dot commands -----------------------------------------------------------
+
+    def _cmd_help(self, _: str) -> bool:
+        self._print(__doc__.split("dot-commands for everything else::")[1].split("The shell")[0])
+        return True
+
+    def _cmd_facts(self, _: str) -> bool:
+        if not self.kb.base_facts:
+            self._print("(empty)")
+        else:
+            self._print(self.kb.to_flogic())
+        return True
+
+    def _cmd_schema(self, _: str) -> bool:
+        from .flogic.printer import facts_to_flogic
+
+        atoms = self.kb.schema_atoms()
+        self._print(facts_to_flogic(atoms) if atoms else "(no schema facts)")
+        return True
+
+    def _cmd_consistent(self, _: str) -> bool:
+        self._print("consistent" if self.kb.is_consistent() else "INCONSISTENT")
+        return True
+
+    def _cmd_explain(self, argument: str) -> bool:
+        if not argument:
+            self._print("usage: .explain FACT   (e.g. .explain john:person.)")
+            return True
+        try:
+            self._print(self.kb.explain(argument).pretty())
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def _cmd_save(self, argument: str) -> bool:
+        if not argument:
+            self._print("usage: .save PATH")
+            return True
+        self.kb.save(argument)
+        self._print(f"saved {len(self.kb)} facts to {argument}")
+        return True
+
+    def _cmd_load(self, argument: str) -> bool:
+        if not argument:
+            self._print("usage: .load PATH")
+            return True
+        try:
+            self.kb.load(Path(argument).read_text())
+            self._print(f"loaded; {len(self.kb)} facts total")
+        except (OSError, ReproError) as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def _cmd_quit(self, _: str) -> bool:
+        return False
+
+
+def run_shell(
+    kb: Optional[KnowledgeBase] = None,
+    *,
+    input_stream: Optional[TextIO] = None,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Run the REPL until EOF or ``.quit``; returns an exit code."""
+    import sys
+
+    input_stream = input_stream if input_stream is not None else sys.stdin
+    shell = Shell(kb, out=out)
+    shell._print(_BANNER)
+    interactive = input_stream is sys.stdin and sys.stdin.isatty()
+    for line in _lines(input_stream, shell, interactive):
+        if not shell.handle(line):
+            break
+    return 0
+
+
+def _lines(stream: TextIO, shell: Shell, interactive: bool):
+    while True:
+        if interactive:
+            try:
+                line = input(_PROMPT)
+            except EOFError:
+                return
+        else:
+            line = stream.readline()
+            if not line:
+                return
+        yield line

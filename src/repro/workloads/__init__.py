@@ -1,0 +1,32 @@
+"""Workloads: paper-example corpus and random query/ontology generators."""
+
+from .corpus import (
+    EXAMPLE1_QUERY,
+    EXAMPLE2_QUERY,
+    INTRO_JOINABLE_Q,
+    INTRO_JOINABLE_QQ,
+    INTRO_MANDATORY_Q,
+    INTRO_MANDATORY_QQ,
+    PAPER_CONTAINMENT_PAIRS,
+    PAPER_QUERIES,
+)
+from .ontology_gen import Ontology, OntologyParams, generate_ontology
+from .query_gen import QueryGenParams, QueryGenerator, random_query, specialize
+
+__all__ = [
+    "INTRO_JOINABLE_Q",
+    "INTRO_JOINABLE_QQ",
+    "INTRO_MANDATORY_Q",
+    "INTRO_MANDATORY_QQ",
+    "EXAMPLE1_QUERY",
+    "EXAMPLE2_QUERY",
+    "PAPER_CONTAINMENT_PAIRS",
+    "PAPER_QUERIES",
+    "QueryGenerator",
+    "QueryGenParams",
+    "random_query",
+    "specialize",
+    "Ontology",
+    "OntologyParams",
+    "generate_ontology",
+]

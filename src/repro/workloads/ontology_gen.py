@@ -1,0 +1,122 @@
+"""Random F-logic Lite ontologies (ground fact bases).
+
+Generates the database-side workloads: a class DAG, attribute signatures
+with mandatory/functional flags, objects with memberships and attribute
+values.  Output is a list of ground P_FL atoms, directly loadable into a
+:class:`~repro.flogic.kb.KnowledgeBase`, plus an F-logic source rendering
+for the parser round-trip tests.
+
+The generator is careful about consistency: functional attributes receive
+at most one explicitly stored value per object, so the generated KB never
+fails the chase (tests that want an inconsistent KB build one by hand).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.atoms import Atom, data, funct, mandatory, member, sub, type_
+from ..core.terms import Constant
+from ..flogic.encoding import decode_atom
+
+__all__ = ["OntologyParams", "Ontology", "generate_ontology"]
+
+
+@dataclass(frozen=True)
+class OntologyParams:
+    """Size and shape knobs of the random ontology."""
+
+    n_classes: int = 8
+    n_attributes: int = 6
+    n_objects: int = 12
+    subclass_density: float = 0.3
+    signatures_per_class: int = 2
+    mandatory_probability: float = 0.3
+    functional_probability: float = 0.3
+    values_per_object: int = 2
+    memberships_per_object: int = 1
+
+
+@dataclass
+class Ontology:
+    """A generated ontology: atoms plus handy views of its vocabulary."""
+
+    atoms: list[Atom]
+    classes: list[Constant]
+    attributes: list[Constant]
+    objects: list[Constant]
+    seed: int
+
+    def to_flogic(self) -> str:
+        """F-logic source text (one statement per line)."""
+        return "\n".join(f"{decode_atom(atom)}." for atom in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+def generate_ontology(
+    seed: int = 0, params: Optional[OntologyParams] = None
+) -> Ontology:
+    """Build one random, consistent ontology."""
+    params = params or OntologyParams()
+    rng = random.Random(seed)
+    classes = [Constant(f"class{i}") for i in range(1, params.n_classes + 1)]
+    attributes = [Constant(f"attr{i}") for i in range(1, params.n_attributes + 1)]
+    objects = [Constant(f"obj{i}") for i in range(1, params.n_objects + 1)]
+    values = [Constant(f"val{i}") for i in range(1, params.n_objects * 2 + 1)]
+
+    atoms: list[Atom] = []
+    seen: set[Atom] = set()
+
+    def emit(atom: Atom) -> None:
+        if atom not in seen:
+            seen.add(atom)
+            atoms.append(atom)
+
+    # Subclass DAG: edges only from lower to higher index, so acyclic.
+    for i, child in enumerate(classes):
+        for parent in classes[i + 1:]:
+            if rng.random() < params.subclass_density:
+                emit(sub(child, parent))
+
+    # Signatures.  Functional and mandatory flags are attached to the
+    # class; the type target is a random class.
+    functional_attrs: set[tuple[Constant, Constant]] = set()
+    for cls in classes:
+        for _ in range(params.signatures_per_class):
+            attr = rng.choice(attributes)
+            target = rng.choice(classes)
+            emit(type_(cls, attr, target))
+            if rng.random() < params.mandatory_probability:
+                emit(mandatory(attr, cls))
+            if rng.random() < params.functional_probability:
+                emit(funct(attr, cls))
+                functional_attrs.add((attr, cls))
+
+    # Objects: memberships and attribute values.
+    for obj in objects:
+        for _ in range(params.memberships_per_object):
+            emit(member(obj, rng.choice(classes)))
+        used_functional: set[Constant] = set()
+        for _ in range(params.values_per_object):
+            attr = rng.choice(attributes)
+            # Never store two values for an attribute that is functional
+            # anywhere — the chase would merge them (fine) or, with two
+            # distinct constants, fail (not what a "consistent" generator
+            # should produce).
+            if any((attr, cls) in functional_attrs for cls in classes):
+                if attr in used_functional:
+                    continue
+                used_functional.add(attr)
+            emit(data(obj, attr, rng.choice(values)))
+
+    return Ontology(
+        atoms=atoms,
+        classes=classes,
+        attributes=attributes,
+        objects=objects,
+        seed=seed,
+    )

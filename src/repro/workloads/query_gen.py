@@ -1,0 +1,206 @@
+"""Random conjunctive meta-queries over P_FL.
+
+The generator produces the workloads for experiments E5–E11: random query
+bodies with controllable size, variable sharing, constant density and —
+crucially — controllable *mandatory-type cycles*, the single feature that
+makes the Sigma_FL chase infinite (Section 4's analysis).
+
+Determinism: every generator takes an explicit seed; two runs with the
+same parameters produce identical queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.atoms import (
+    DATA,
+    FUNCT,
+    MANDATORY,
+    MEMBER,
+    P_FL_ARITIES,
+    SUB,
+    TYPE,
+    Atom,
+    mandatory,
+    type_,
+)
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+
+__all__ = ["QueryGenParams", "QueryGenerator", "random_query", "specialize"]
+
+
+@dataclass(frozen=True)
+class QueryGenParams:
+    """Knobs of the random query generator.
+
+    ``cycle_length`` > 0 plants a mandatory-type cycle of that many
+    classes (paper Section 4's infinite-chase pattern) in the body before
+    filling the rest with random atoms.
+    """
+
+    n_atoms: int = 5
+    n_variables: int = 6
+    n_constants: int = 2
+    constant_probability: float = 0.15
+    head_arity: int = 2
+    cycle_length: int = 0
+    predicate_weights: dict[str, float] = field(
+        default_factory=lambda: {
+            MEMBER: 1.0,
+            SUB: 1.0,
+            DATA: 1.0,
+            TYPE: 1.5,
+            MANDATORY: 0.7,
+            FUNCT: 0.5,
+        }
+    )
+
+
+class QueryGenerator:
+    """Seeded generator of random P_FL conjunctive queries."""
+
+    def __init__(self, seed: int = 0, params: QueryGenParams = QueryGenParams()):
+        self.params = params
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    # -- terms ------------------------------------------------------------------
+
+    def _variables(self) -> list[Variable]:
+        return [Variable(f"X{i}") for i in range(1, self.params.n_variables + 1)]
+
+    def _constants(self) -> list[Constant]:
+        return [Constant(f"c{i}") for i in range(1, self.params.n_constants + 1)]
+
+    def _pick_term(self, variables: Sequence[Variable], constants: Sequence[Constant]) -> Term:
+        if constants and self._rng.random() < self.params.constant_probability:
+            return self._rng.choice(list(constants))
+        return self._rng.choice(list(variables))
+
+    # -- atoms ------------------------------------------------------------------
+
+    def _random_atom(
+        self, variables: Sequence[Variable], constants: Sequence[Constant]
+    ) -> Atom:
+        weights = self.params.predicate_weights
+        predicates = list(weights)
+        predicate = self._rng.choices(
+            predicates, weights=[weights[p] for p in predicates]
+        )[0]
+        arity = P_FL_ARITIES[predicate]
+        args = tuple(self._pick_term(variables, constants) for _ in range(arity))
+        return Atom(predicate, args)
+
+    def _cycle_atoms(self, variables: Sequence[Variable]) -> list[Atom]:
+        """A mandatory-type cycle of ``cycle_length`` classes (Section 4)."""
+        k = self.params.cycle_length
+        classes = [Variable(f"CT{i}") for i in range(1, k + 1)]
+        attrs = [Variable(f"CA{i}") for i in range(1, k + 1)]
+        atoms: list[Atom] = []
+        for i in range(k):
+            nxt = classes[(i + 1) % k]
+            atoms.append(mandatory(attrs[i], classes[i]))
+            atoms.append(type_(classes[i], attrs[i], nxt))
+        return atoms
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, name: Optional[str] = None) -> ConjunctiveQuery:
+        """One random query with the generator's parameters."""
+        self._counter += 1
+        name = name or f"g{self._counter}"
+        variables = self._variables()
+        constants = self._constants()
+        body: list[Atom] = []
+        if self.params.cycle_length > 0:
+            body.extend(self._cycle_atoms(variables))
+        while len(body) < max(self.params.n_atoms, 1):
+            body.append(self._random_atom(variables, constants))
+        body_vars = sorted(
+            {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+        )
+        arity = min(self.params.head_arity, len(body_vars))
+        head = tuple(self._rng.sample(body_vars, arity)) if arity else ()
+        return ConjunctiveQuery(name, head, tuple(body))
+
+    def queries(self, count: int) -> list[ConjunctiveQuery]:
+        return [self.query() for _ in range(count)]
+
+    def containment_pair(
+        self, *, related_probability: float = 0.6
+    ) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+        """A pair (q1, q2) for containment experiments.
+
+        With *related_probability* the pair is built so containment is
+        plausible (q1 specialises q2); otherwise the queries are
+        independent, giving a mix of positive and negative instances.
+        """
+        q2 = self.query()
+        if self._rng.random() < related_probability:
+            q1 = specialize(q2, rng=self._rng)
+            return q1, q2
+        q1 = self.query()
+        if q1.arity != q2.arity:
+            arity = min(q1.arity, q2.arity)
+            q1 = q1.with_head(q1.head[:arity])
+            q2 = q2.with_head(q2.head[:arity])
+        return q1, q2
+
+
+def specialize(
+    query: ConjunctiveQuery, *, rng: random.Random, extra_atoms: int = 2
+) -> ConjunctiveQuery:
+    """A query contained in *query* over all databases.
+
+    Built by (possibly) identifying variables and appending fresh atoms —
+    both operations shrink the answer set, so classic containment (and a
+    fortiori Sigma_FL containment) holds by construction.  Used to salt
+    experiment corpora with known-positive instances.
+    """
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    mapping: dict[Variable, Term] = {}
+    if len(variables) >= 2 and rng.random() < 0.5:
+        merged, target = rng.sample(variables, 2)
+        if not any(
+            isinstance(t, Variable) and t == merged for t in query.head
+        ) or not any(isinstance(t, Variable) and t == target for t in query.head):
+            # Avoid head-variable merges that would change the head shape
+            # in ways the caller cannot predict; body merges suffice.
+            if merged not in query.head_variables():
+                mapping[merged] = target
+    from ..core.substitution import Substitution
+
+    specialised = query.apply(Substitution(mapping)) if mapping else query
+    gen = QueryGenerator(
+        seed=rng.randrange(1 << 30),
+        params=QueryGenParams(
+            n_atoms=extra_atoms,
+            n_variables=max(2, len(variables) // 2),
+            head_arity=0,
+        ),
+    )
+    filler = gen.query()
+    body = specialised.body + filler.body
+    return ConjunctiveQuery(f"{query.name}_spec", specialised.head, body)
+
+
+def random_query(
+    seed: int = 0,
+    *,
+    n_atoms: int = 5,
+    n_variables: int = 6,
+    head_arity: int = 2,
+    cycle_length: int = 0,
+) -> ConjunctiveQuery:
+    """One-shot convenience wrapper around :class:`QueryGenerator`."""
+    params = QueryGenParams(
+        n_atoms=n_atoms,
+        n_variables=n_variables,
+        head_arity=head_arity,
+        cycle_length=cycle_length,
+    )
+    return QueryGenerator(seed, params).query()

@@ -1,0 +1,146 @@
+"""Unit tests for mandatory-cycle detection and termination prediction."""
+
+import pytest
+
+from repro.analysis.cycles import (
+    find_mandatory_cycles,
+    has_mandatory_cycle,
+    predict_chase_termination,
+    probe_termination,
+)
+from repro.core.atoms import data, funct, mandatory, member, sub, type_
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+
+A, B, T, U, V, O = (Variable(n) for n in "A B T U V O".split())
+
+
+class TestCycleDetection:
+    def test_self_loop(self):
+        atoms = [mandatory(A, T), type_(T, A, T)]
+        cycles = find_mandatory_cycles(atoms)
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 1
+
+    def test_two_cycle(self):
+        atoms = [
+            mandatory(A, T),
+            type_(T, A, U),
+            mandatory(B, U),
+            type_(U, B, T),
+        ]
+        cycles = find_mandatory_cycles(atoms)
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 2
+
+    def test_mandatory_without_matching_type_no_cycle(self):
+        atoms = [mandatory(A, T), type_(T, B, T)]  # different attribute
+        assert not has_mandatory_cycle(atoms)
+
+    def test_type_chain_without_mandatory_no_cycle(self):
+        atoms = [type_(T, A, U), type_(U, B, T)]
+        assert not has_mandatory_cycle(atoms)
+
+    def test_open_chain_no_cycle(self):
+        atoms = [mandatory(A, T), type_(T, A, U), mandatory(B, U), type_(U, B, V)]
+        assert not has_mandatory_cycle(atoms)
+
+    def test_each_simple_cycle_reported_once(self):
+        atoms = [
+            mandatory(A, T),
+            type_(T, A, U),
+            mandatory(B, U),
+            type_(U, B, T),
+            mandatory(A, U),   # a second edge U -> T via A? needs type(U,A,T)
+        ]
+        cycles = find_mandatory_cycles(atoms)
+        assert len(cycles) == 1
+
+    def test_two_disjoint_cycles(self):
+        c1, c2 = Constant("c1"), Constant("c2")
+        a1, a2 = Constant("a1"), Constant("a2")
+        atoms = [
+            mandatory(a1, c1),
+            type_(c1, a1, c1),
+            mandatory(a2, c2),
+            type_(c2, a2, c2),
+        ]
+        assert len(find_mandatory_cycles(atoms)) == 2
+
+    def test_max_cycles_caps_enumeration(self):
+        c1, c2 = Constant("c1"), Constant("c2")
+        a1, a2 = Constant("a1"), Constant("a2")
+        atoms = [
+            mandatory(a1, c1),
+            type_(c1, a1, c1),
+            mandatory(a2, c2),
+            type_(c2, a2, c2),
+        ]
+        assert len(find_mandatory_cycles(atoms, max_cycles=1)) == 1
+
+    def test_cycle_str_shows_hops(self):
+        cycles = find_mandatory_cycles([mandatory(A, T), type_(T, A, T)])
+        assert "-[A]->" in str(cycles[0])
+
+
+class TestTerminationPrediction:
+    def test_example2_not_guaranteed(self, example2_query):
+        report = predict_chase_termination(example2_query)
+        assert not report.guaranteed_terminating
+        assert report.cycles
+
+    def test_acyclic_guaranteed(self, example1_query):
+        report = predict_chase_termination(example1_query)
+        assert report.guaranteed_terminating
+
+    def test_cycle_visible_only_after_saturation(self):
+        """The cycle emerges at level 0 via rho9 (mandatory inheritance)."""
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                mandatory(A, U),     # on the superclass
+                sub(T, U),           # T subclass of U
+                type_(T, A, T),      # typed back into T
+            ),
+        )
+        # No syntactic cycle in the body itself...
+        assert not has_mandatory_cycle(q.body)
+        # ...but rho9 derives mandatory(A, T), closing the loop.
+        report = predict_chase_termination(q)
+        assert not report.guaranteed_terminating
+
+    def test_failed_chase_counts_as_terminating(self):
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, Constant("x")),
+                data(O, A, Constant("y")),
+                funct(A, O),
+            ),
+        )
+        report = predict_chase_termination(q)
+        assert report.failed and report.guaranteed_terminating
+
+    def test_report_str(self, example2_query):
+        text = str(predict_chase_termination(example2_query))
+        assert "cycles" in text
+
+
+class TestProbe:
+    def test_probe_agrees_on_acyclic(self, example1_query):
+        assert probe_termination(example1_query)
+
+    def test_probe_detects_infinite(self, example2_query):
+        assert not probe_termination(example2_query, max_level=12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_prediction_sound_for_guaranteed(self, seed):
+        """guaranteed_terminating=True must imply the probe saturates."""
+        from repro.workloads import random_query
+
+        q = random_query(seed, n_atoms=5)
+        report = predict_chase_termination(q)
+        if report.guaranteed_terminating and not report.failed:
+            assert probe_termination(q, max_level=24)

@@ -1,0 +1,74 @@
+"""Unit tests for chase statistics and the locality checker."""
+
+from repro.analysis.stats import check_locality, collect_chase_stats
+from repro.chase.engine import chase
+from repro.chase.graph import ChaseGraph
+from repro.core.atoms import data, funct, member
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+
+O, A, C = Variable("O"), Variable("A"), Variable("C")
+
+
+class TestCollectStats:
+    def test_counts_match_instance(self, example2_query):
+        result = chase(example2_query, max_level=8)
+        stats = collect_chase_stats(result)
+        assert stats.total_conjuncts == result.size()
+        assert stats.max_level == result.level_reached
+        assert sum(stats.conjuncts_per_level.values()) == stats.total_conjuncts
+        assert sum(stats.conjuncts_per_predicate.values()) == stats.total_conjuncts
+
+    def test_initial_rule_counted(self, example2_query):
+        result = chase(example2_query, max_level=4)
+        stats = collect_chase_stats(result)
+        assert stats.conjuncts_per_rule["initial"] == example2_query.size
+
+    def test_growth_series_cumulative(self, example2_query):
+        result = chase(example2_query, max_level=6)
+        stats = collect_chase_stats(result)
+        series = stats.growth_per_level()
+        assert series[0][0] == 0
+        assert series[-1][1] == stats.total_conjuncts
+        counts = [n for _, n in series]
+        assert counts == sorted(counts)
+
+    def test_failed_chase_stats(self):
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, Constant("x")),
+                data(O, A, Constant("y")),
+                funct(A, O),
+            ),
+        )
+        stats = collect_chase_stats(chase(q))
+        assert stats.failed and stats.total_conjuncts == 0
+
+    def test_str_rendering(self, example2_query):
+        stats = collect_chase_stats(chase(example2_query, max_level=4))
+        text = str(stats)
+        assert "conjuncts" in text and "per level" in text
+
+
+class TestLocality:
+    def test_example2_no_violations(self, example2_query):
+        result = chase(example2_query, max_level=10, track_graph=True)
+        graph = ChaseGraph.from_result(result)
+        assert check_locality(graph) == []
+
+    def test_paper_corpus_no_violations(self):
+        from repro.workloads import PAPER_QUERIES
+
+        for query in PAPER_QUERIES:
+            result = chase(query, max_level=8, track_graph=True)
+            if result.failed:
+                continue
+            graph = ChaseGraph.from_result(result)
+            assert check_locality(graph) == [], f"violation for {query.name}"
+
+    def test_saturated_acyclic_graph_trivially_local(self):
+        q = ConjunctiveQuery("q", (), (member(O, C),))
+        graph = ChaseGraph.from_result(chase(q, track_graph=True))
+        assert check_locality(graph) == []

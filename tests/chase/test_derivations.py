@@ -1,0 +1,108 @@
+"""Unit tests for derivation trees (chase provenance)."""
+
+import pytest
+
+from repro.chase import Derivation, chase
+from repro.core.atoms import member, sub, type_, data
+from repro.core.errors import ReproError
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.flogic import KnowledgeBase
+
+O, C, D, E, A, T = (Variable(n) for n in "O C D E A T".split())
+
+
+class TestInstanceDerivations:
+    def test_initial_conjunct_is_leaf(self):
+        q = ConjunctiveQuery("q", (), (member(O, C),))
+        result = chase(q)
+        derivation = result.instance.derivation_of(member(O, C))
+        assert derivation.rule == "initial"
+        assert derivation.premises == ()
+        assert derivation.depth() == 0
+
+    def test_one_step_derivation(self):
+        q = ConjunctiveQuery("q", (), (member(O, C), sub(C, D)))
+        result = chase(q)
+        derivation = result.instance.derivation_of(member(O, D))
+        assert derivation.rule == "rho3"
+        premise_atoms = {p.atom for p in derivation.premises}
+        assert premise_atoms == {member(O, C), sub(C, D)}
+        assert derivation.depth() == 1
+
+    def test_nested_derivation(self):
+        q = ConjunctiveQuery(
+            "q", (), (member(O, C), sub(C, D), sub(D, E))
+        )
+        result = chase(q)
+        derivation = result.instance.derivation_of(member(O, E))
+        assert derivation.depth() >= 2
+        leaves = _leaves(derivation)
+        assert leaves <= set(q.body)
+
+    def test_pretty_output(self):
+        q = ConjunctiveQuery("q", (), (member(O, C), sub(C, D)))
+        result = chase(q)
+        text = result.instance.derivation_of(member(O, D)).pretty()
+        assert "[rho3] from:" in text and "[initial]" in text
+
+    def test_derivation_through_invented_value(self):
+        from repro.core.atoms import mandatory
+
+        q = ConjunctiveQuery("q", (), (mandatory(A, O),))
+        result = chase(q)
+        data_atom = next(a for a in result.atoms() if a.predicate == "data")
+        derivation = result.instance.derivation_of(data_atom)
+        assert derivation.rule == "rho5"
+        assert derivation.premises[0].atom == mandatory(A, O)
+
+
+def _leaves(derivation: Derivation) -> set:
+    if not derivation.premises:
+        return {derivation.atom}
+    out = set()
+    for premise in derivation.premises:
+        out |= _leaves(premise)
+    return out
+
+
+class TestKBExplain:
+    @pytest.fixture
+    def kb(self):
+        return KnowledgeBase().load(
+            """
+            freshman::student. student::person.
+            john:freshman.
+            person[age*=>number].
+            john[age->33].
+            """
+        )
+
+    def test_explain_base_fact(self, kb):
+        derivation = kb.explain("john:freshman.")
+        assert derivation.rule == "initial"
+
+    def test_explain_derived_membership(self, kb):
+        derivation = kb.explain("john:person.")
+        assert derivation.rule == "rho3"
+        leaves = _leaves(derivation)
+        assert all(leaf in set(kb.base_facts) for leaf in leaves)
+
+    def test_explain_type_correctness_chain(self, kb):
+        derivation = kb.explain("33:number.")
+        assert derivation.rule == "rho1"
+        assert derivation.depth() >= 2
+
+    def test_explain_atom_object(self, kb):
+        from repro.core.terms import Constant
+
+        derivation = kb.explain(member(Constant("john"), Constant("student")))
+        assert derivation.rule == "rho3"
+
+    def test_unentailed_fact_raises(self, kb):
+        with pytest.raises(ReproError):
+            kb.explain("john:robot.")
+
+    def test_non_fact_input_raises(self, kb):
+        with pytest.raises(ReproError):
+            kb.explain("q(X) :- X:person.")

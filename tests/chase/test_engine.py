@@ -1,0 +1,224 @@
+"""Unit tests for the chase engine: both phases, EGDs, budgets, ablations."""
+
+import pytest
+
+from repro.chase.engine import ChaseConfig, ChaseEngine, chase
+from repro.core.atoms import data, funct, mandatory, member, sub, type_
+from repro.core.errors import ChaseBudgetExceeded
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.dependencies import SIGMA_FL, SIGMA_FL_MINUS
+
+A, T, U, O, C, V1, V2, W = (
+    Variable("A"),
+    Variable("T"),
+    Variable("U"),
+    Variable("O"),
+    Variable("C"),
+    Variable("V1"),
+    Variable("V2"),
+    Variable("W"),
+)
+
+
+class TestLevelZero:
+    def test_subclass_transitivity_saturates_at_level_zero(self):
+        q = ConjunctiveQuery(
+            "q", (), (sub(Variable("C1"), Variable("C2")), sub(Variable("C2"), Variable("C3")))
+        )
+        result = chase(q)
+        assert result.saturated
+        derived = sub(Variable("C1"), Variable("C3"))
+        assert derived in result.atoms()
+        assert result.instance.level_of(derived) == 0
+
+    def test_membership_propagation(self):
+        q = ConjunctiveQuery("q", (), (member(O, C), sub(C, Variable("D"))))
+        result = chase(q)
+        assert member(O, Variable("D")) in result.atoms()
+
+    def test_type_inheritance_chain(self):
+        q = ConjunctiveQuery(
+            "q", (), (member(O, C), sub(C, Variable("D")), type_(Variable("D"), A, T))
+        )
+        result = chase(q)
+        atoms = result.atoms()
+        assert type_(C, A, T) in atoms      # rho7
+        assert type_(O, A, T) in atoms      # rho6 via rho7 or directly
+        assert result.instance.level_of(type_(O, A, T)) == 0
+
+    def test_no_applicable_rules_keeps_body(self):
+        q = ConjunctiveQuery("q", (), (data(O, A, V1),))
+        result = chase(q)
+        assert result.atoms() == frozenset({data(O, A, V1)})
+        assert result.saturated
+
+    def test_rule_application_counters(self):
+        q = ConjunctiveQuery("q", (), (member(O, C), sub(C, Variable("D"))))
+        result = chase(q)
+        assert result.rule_applications.get("rho3") == 1
+
+
+class TestEGD:
+    def test_functional_merges_values(self):
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (data(O, A, V1), data(O, A, V2), funct(A, O)),
+        )
+        result = chase(q)
+        assert not result.failed
+        assert len([a for a in result.atoms() if a.predicate == "data"]) == 1
+
+    def test_functional_constant_clash_fails_chase(self):
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, Constant("red")),
+                data(O, A, Constant("blue")),
+                funct(A, O),
+            ),
+        )
+        result = chase(q)
+        assert result.failed
+        assert result.instance is None
+        assert result.atoms() == frozenset()
+
+    def test_egd_through_inheritance(self):
+        """funct on the class reaches the member via rho12 before merging."""
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, V1),
+                data(O, A, Constant("k")),
+                funct(A, C),
+                member(O, C),
+            ),
+        )
+        result = chase(q)
+        assert not result.failed
+        assert data(O, A, Constant("k")) in result.atoms()
+        assert data(O, A, V1) not in result.atoms()
+
+    def test_merge_cascade(self):
+        """Merging V1=V2 can enable a second merge."""
+        B = Variable("B")
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, V1),
+                data(O, A, V2),
+                funct(A, O),
+                data(V1, B, W),
+                data(V2, B, Variable("W2")),
+                funct(B, V1),
+            ),
+        )
+        result = chase(q)
+        assert not result.failed
+        # After V2 -> V1, the two data(V1,B,...) atoms merge W2 -> W.
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert len(data_atoms) == 2
+
+
+class TestExistentialPhase:
+    def test_rho5_invents_null(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, O),))
+        result = chase(q)
+        assert result.saturated
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert len(data_atoms) == 1
+        assert data_atoms[0].args[2].is_null
+        assert result.instance.level_of(data_atoms[0]) == 1
+
+    def test_restricted_blocks_when_satisfied(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, O), data(O, A, W)))
+        result = chase(q)
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert len(data_atoms) == 1  # no invention
+
+    def test_oblivious_invents_anyway(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, O), data(O, A, W)))
+        result = chase(q, restricted=False)
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert len(data_atoms) == 2
+
+    def test_level_bound_truncates_cyclic_chase(self):
+        q = ConjunctiveQuery(
+            "q", (), (mandatory(A, T), type_(T, A, T))
+        )
+        result = chase(q, max_level=6)
+        assert not result.failed
+        assert not result.saturated
+        assert result.level_reached <= 6
+
+    def test_unbounded_cyclic_chase_hits_step_budget(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, T), type_(T, A, T)))
+        with pytest.raises(ChaseBudgetExceeded):
+            chase(q, max_steps=50)
+
+    def test_distinct_nulls_for_distinct_triggers(self):
+        q = ConjunctiveQuery(
+            "q", (), (mandatory(A, O), mandatory(A, C), sub(O, C))
+        )
+        result = chase(q)
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        nulls = {a.args[2] for a in data_atoms}
+        assert len(nulls) == len(data_atoms) >= 2
+
+    def test_level_increments_along_chain(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, T), type_(T, A, T)))
+        result = chase(q, max_level=7)
+        inst = result.instance
+        levels = {}
+        for atom in inst:
+            levels.setdefault(atom.predicate, []).append(inst.level_of(atom))
+        assert min(levels["data"]) == 1
+        assert min(lvl for lvl in levels["member"] if lvl > 0) == 2
+
+
+class TestGenericDependencies:
+    def test_sigma_minus_never_invents(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, O),))
+        result = chase(q, dependencies=SIGMA_FL_MINUS)
+        assert result.saturated
+        assert all(a.predicate != "data" for a in result.atoms())
+
+    def test_custom_dependency_set(self):
+        from repro.dependencies import TGD
+
+        X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+        # p(X,Y) -> exists Z p(Y,Z): the classic infinite chase.
+        from repro.core.atoms import Atom
+
+        p = lambda s, t: Atom("p", (s, t))
+        dep = TGD(p(Y, Z), (p(X, Y),), label="succ")
+        q = ConjunctiveQuery("q", (), (p(Variable("A0"), Variable("B0")),))
+        result = chase(q, dependencies=(dep,), max_level=5)
+        assert not result.saturated
+        assert result.size() == 6  # initial + 5 invented hops
+
+
+class TestResultObject:
+    def test_head_preserved_without_egd(self):
+        q = ConjunctiveQuery("q", (O,), (member(O, C),))
+        result = chase(q)
+        assert result.head == (O,)
+
+    def test_repr_mentions_status(self):
+        q = ConjunctiveQuery("q", (), (member(O, C),))
+        assert "saturated" in repr(chase(q))
+
+    def test_elapsed_recorded(self):
+        q = ConjunctiveQuery("q", (), (member(O, C),))
+        assert chase(q).elapsed_seconds >= 0
+
+    def test_engine_reuse(self):
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_level=4))
+        q1 = ConjunctiveQuery("q1", (), (member(O, C),))
+        q2 = ConjunctiveQuery("q2", (), (mandatory(A, O),))
+        r1, r2 = engine.run(q1), engine.run(q2)
+        assert r1.saturated and r2.saturated

@@ -1,0 +1,118 @@
+"""Chase engine edge cases: budgets, merges across phases, head handling."""
+
+import pytest
+
+from repro.chase.engine import ChaseConfig, ChaseEngine, chase
+from repro.core.atoms import Atom, data, funct, mandatory, member, sub, type_
+from repro.core.errors import ChaseBudgetExceeded
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Null, Variable
+
+A, B, T, U, O, C, V, W = (Variable(n) for n in "A B T U O C V W".split())
+
+
+class TestBudgets:
+    def test_phase1_budget_respected(self):
+        # Large subclass clique: quadratic closure, tiny budget.
+        atoms = [
+            sub(Variable(f"S{i}"), Variable(f"S{i+1}")) for i in range(20)
+        ]
+        q = ConjunctiveQuery("q", (), tuple(atoms))
+        with pytest.raises(ChaseBudgetExceeded):
+            chase(q, max_steps=10)
+
+    def test_zero_level_bound_keeps_level0_only(self):
+        q = ConjunctiveQuery("q", (), (mandatory(A, O), member(O, C)))
+        result = chase(q, max_level=0)
+        assert result.level_reached == 0
+        assert not result.saturated  # rho5 was suppressed
+        assert all(a.predicate != "data" for a in result.atoms())
+
+    def test_level0_rules_unbounded_by_max_level(self):
+        """Section 4: Sigma^- saturation is all level 0, even at bound 0."""
+        q = ConjunctiveQuery(
+            "q", (), (sub(T, U), sub(U, Variable("U2")), member(O, T))
+        )
+        result = chase(q, max_level=0)
+        assert sub(T, Variable("U2")) in result.atoms()
+        assert member(O, Variable("U2")) in result.atoms()
+        assert result.saturated
+
+
+class TestMergeInteractions:
+    def test_merge_of_null_into_constant(self):
+        """rho5 invents a value, then the EGD merges it with a constant."""
+        k = Constant("k")
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                mandatory(A, O),
+                funct(A, O),
+                data(O, A, k),
+            ),
+        )
+        result = chase(q)
+        # Restricted rho5 never fires (data exists), so only the constant.
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert data_atoms == [data(O, A, k)]
+
+    def test_oblivious_invention_merged_back_by_egd(self):
+        k = Constant("k")
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (mandatory(A, O), funct(A, O), data(O, A, k)),
+        )
+        result = chase(q, restricted=False)
+        assert not result.failed
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        # The invented null merged into k: one data conjunct remains.
+        assert data_atoms == [data(O, A, k)]
+
+    def test_merge_cascade_across_levels(self):
+        """A null invented at level 1 is merged with a body variable."""
+        q = ConjunctiveQuery(
+            "q",
+            (V,),
+            (mandatory(A, O), funct(A, O), data(O, A, V)),
+        )
+        result = chase(q, restricted=False)
+        assert not result.failed
+        # V survives the merge (variables lose to nulls? no: nulls < vars
+        # lexicographically, so the null wins).  Head must follow.
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert len(data_atoms) == 1
+        survivor = data_atoms[0].args[2]
+        assert result.head == (survivor,)
+
+    def test_head_constant_untouched(self):
+        q = ConjunctiveQuery("q", (Constant("k"),), (member(O, C),))
+        result = chase(q)
+        assert result.head == (Constant("k"),)
+
+
+class TestConfig:
+    def test_engine_is_reusable_across_queries(self):
+        engine = ChaseEngine(config=ChaseConfig(max_level=2))
+        q1 = ConjunctiveQuery("q1", (), (mandatory(A, O),))
+        q2 = ConjunctiveQuery("q2", (), (mandatory(B, C),))
+        r1 = engine.run(q1)
+        r2 = engine.run(q2)
+        # Null indices restart per run: both runs invent _v1.
+        nulls1 = {n for a in r1.atoms() for n in a.nulls()}
+        nulls2 = {n for a in r2.atoms() for n in a.nulls()}
+        assert nulls1 == nulls2 == {Null(1)}
+
+    def test_config_is_frozen(self):
+        config = ChaseConfig()
+        with pytest.raises(Exception):
+            config.max_level = 5  # type: ignore[misc]
+
+    def test_no_reorder_same_chase_modulo_levels(self):
+        q = ConjunctiveQuery(
+            "q", (), (mandatory(A, T), type_(T, A, T))
+        )
+        fast = chase(q, max_level=6, reorder_join=True)
+        slow = chase(q, max_level=6, reorder_join=False)
+        assert fast.atoms() == slow.atoms()

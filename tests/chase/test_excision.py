@@ -1,0 +1,119 @@
+"""Unit tests for the constructive Lemma-9 excision."""
+
+import pytest
+
+from repro.chase import ChaseGraph, chase
+from repro.chase.excision import backward_primary_path, excise
+from repro.chase.paths import bounded_image, equivalent, is_primary_path
+from repro.core.atoms import member
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.workloads import EXAMPLE2_QUERY
+
+
+@pytest.fixture(scope="module")
+def chased():
+    result = chase(EXAMPLE2_QUERY, max_level=18, track_graph=True)
+    return result, ChaseGraph.from_result(result)
+
+
+class TestBackwardPrimaryPath:
+    def test_level0_conjunct_has_empty_path(self, chased):
+        result, graph = chased
+        for atom in graph.nodes_at_level(0):
+            assert backward_primary_path(graph, atom) == []
+
+    def test_path_reaches_level0(self, chased):
+        result, graph = chased
+        deep = [a for a in graph.nodes() if graph.level(a) >= 6]
+        for atom in deep[:5]:
+            path = backward_primary_path(graph, atom)
+            assert path is not None
+            assert graph.level(path[0].source) == 0
+            assert path[-1].target == atom
+
+    def test_path_is_primary(self, chased):
+        result, graph = chased
+        deep = [a for a in graph.nodes() if graph.level(a) >= 6]
+        for atom in deep[:5]:
+            path = backward_primary_path(graph, atom)
+            assert is_primary_path(path)
+
+    def test_arcs_chain(self, chased):
+        result, graph = chased
+        atom = max(graph.nodes(), key=graph.level)
+        path = backward_primary_path(graph, atom)
+        for first, second in zip(path, path[1:]):
+            assert first.target == second.source
+
+
+class TestExcise:
+    def test_all_deep_conjuncts_excisable(self, chased):
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        assert deep
+        for atom in deep:
+            trace = excise(graph, instance, atom, delta)
+            assert trace is not None, f"excision failed for {atom}"
+            assert graph.level(trace.result) <= delta
+
+    def test_result_equivalent_to_start(self, chased):
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        for atom in deep[:6]:
+            trace = excise(graph, instance, atom, delta)
+            assert equivalent(trace.start, trace.result)
+
+    def test_agrees_with_search_based_lemma9(self, chased):
+        """Both the construction and the search find a bounded image."""
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        for atom in deep:
+            constructive = excise(graph, instance, atom, delta)
+            searched = bounded_image(instance, atom, delta)
+            assert (constructive is not None) == (searched is not None)
+
+    def test_levels_saved_accounting(self, chased):
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        atom = max(instance, key=instance.level_of)
+        trace = excise(graph, instance, atom, delta)
+        assert trace.total_levels_saved == graph.level(atom) - graph.level(
+            trace.result
+        )
+
+    def test_shallow_conjunct_trivial_trace(self, chased):
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        shallow = graph.nodes_at_level(1)[0]
+        trace = excise(graph, instance, shallow, delta)
+        assert trace.clips == []
+        assert trace.result == shallow
+
+    def test_pretty_trace(self, chased):
+        result, graph = chased
+        instance = result.instance
+        delta = 2 * EXAMPLE2_QUERY.size
+        atom = max(instance, key=instance.level_of)
+        text = excise(graph, instance, atom, delta).pretty()
+        assert "clip [" in text and "final:" in text
+
+    def test_none_without_graph_arcs(self):
+        """Excision needs graph tracking; an arc-free graph yields None."""
+        q = ConjunctiveQuery(
+            "q", (), (member(Variable("O"), Variable("C")),)
+        )
+        result = chase(q, track_graph=True)
+        graph = ChaseGraph.from_result(result)
+        # Every conjunct is at level 0 here, so excision is trivially done.
+        atom = member(Variable("O"), Variable("C"))
+        trace = excise(graph, result.instance, atom, 2)
+        assert trace.result == atom

@@ -1,0 +1,124 @@
+"""Unit tests for the chase graph (Definition 3)."""
+
+import pytest
+
+from repro.chase.engine import chase
+from repro.chase.graph import ChaseGraph
+from repro.core.atoms import Atom, data, mandatory, member, sub, type_
+from repro.core.errors import ReproError
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Null, Variable
+
+A, T, U, O, C = (Variable(n) for n in "A T U O C".split())
+
+
+@pytest.fixture
+def example2_graph(example2_query):
+    result = chase(example2_query, max_level=8, track_graph=True)
+    return ChaseGraph.from_result(result)
+
+
+class TestConstruction:
+    def test_from_result_requires_tracking(self, example2_query):
+        result = chase(example2_query, max_level=6, track_graph=False)
+        with pytest.raises(ReproError):
+            ChaseGraph.from_result(result)
+
+    def test_from_failed_chase_raises(self):
+        from repro.core.atoms import funct
+        from repro.core.terms import Constant
+
+        q = ConjunctiveQuery(
+            "q",
+            (),
+            (
+                data(O, A, Constant("x")),
+                data(O, A, Constant("y")),
+                funct(A, O),
+            ),
+        )
+        result = chase(q, track_graph=True)
+        assert result.failed
+        with pytest.raises(ReproError):
+            ChaseGraph.from_result(result)
+
+    def test_nodes_are_conjuncts(self, example2_graph, example2_query):
+        for atom in example2_query.body:
+            assert atom in example2_graph
+
+    def test_saturated_untracked_body_only_graph_allowed(self):
+        q = ConjunctiveQuery("q", (), (data(O, A, Variable("V")),))
+        result = chase(q, track_graph=False)
+        graph = ChaseGraph.from_result(result)  # nothing derived: fine
+        assert len(graph) == 1
+
+
+class TestArcs:
+    def test_primary_arcs_span_one_level(self, example2_graph):
+        for arc in example2_graph.primary_arcs():
+            assert arc.target_level == arc.source_level + 1
+
+    def test_secondary_arcs_do_not(self, example2_graph):
+        for arc in example2_graph.secondary_arcs():
+            assert arc.target_level != arc.source_level + 1
+
+    def test_rho5_arc_from_mandatory_to_data(self, example2_graph):
+        v1 = Null(1)
+        arcs = example2_graph.arcs_into(data(T, A, v1))
+        assert any(arc.rule == "rho5" and arc.source == mandatory(A, T) for arc in arcs)
+
+    def test_parents_excludes_cross_arcs(self, example2_graph):
+        v1 = Null(1)
+        parents = example2_graph.parents(Atom("member", (v1, T)))
+        assert data(T, A, v1) in parents
+
+    def test_primary_parent(self, example2_graph):
+        v1 = Null(1)
+        parent = example2_graph.primary_parent(Atom("member", (v1, T)))
+        assert parent == data(T, A, v1)
+
+    def test_arcs_out_of(self, example2_graph):
+        outgoing = example2_graph.arcs_out_of(mandatory(A, T))
+        assert any(arc.rule == "rho5" for arc in outgoing)
+
+    def test_no_duplicate_arcs(self, example2_graph):
+        seen = set()
+        for arc in example2_graph.arcs():
+            key = (arc.source, arc.target, arc.rule, arc.cross)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestLevels:
+    def test_levels_match_instance(self, example2_query):
+        result = chase(example2_query, max_level=6, track_graph=True)
+        graph = ChaseGraph.from_result(result)
+        for atom in graph.nodes():
+            assert graph.level(atom) == result.instance.level_of(atom)
+
+    def test_nodes_at_level_partition(self, example2_graph):
+        total = sum(
+            len(example2_graph.nodes_at_level(lvl))
+            for lvl in range(example2_graph.max_level() + 1)
+        )
+        assert total == len(example2_graph)
+
+    def test_rule_labels(self, example2_graph):
+        assert example2_graph.rule(mandatory(A, T)) == "initial"
+
+
+class TestExport:
+    def test_to_networkx(self, example2_graph):
+        nx_graph = example2_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == len(example2_graph)
+        assert nx_graph.number_of_edges() == len(example2_graph.arcs())
+        # Node attributes preserved.
+        some_node = str(mandatory(A, T))
+        assert nx_graph.nodes[some_node]["level"] == 0
+
+    def test_pretty_table_mentions_levels(self, example2_graph):
+        text = example2_graph.pretty_table(max_level=3)
+        assert "level 0:" in text and "level 3:" in text
+
+    def test_repr(self, example2_graph):
+        assert "nodes" in repr(example2_graph)

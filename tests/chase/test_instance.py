@@ -1,0 +1,146 @@
+"""Unit tests for the chase instance: provenance, levels, EGD merges."""
+
+import pytest
+
+from repro.chase.instance import INITIAL_RULE_LABEL, ChaseInstance
+from repro.core.atoms import Atom, data, funct, member
+from repro.core.errors import ChaseFailure
+from repro.core.terms import Constant, Null, Variable
+
+X, Y = Variable("X"), Variable("Y")
+V1, V2 = Variable("V1"), Variable("V2")
+a, b = Constant("a"), Constant("b")
+
+
+def fresh_instance(atoms=(), head=()):
+    return ChaseInstance(atoms, head, track_graph=True)
+
+
+class TestAdd:
+    def test_initial_atoms_are_level_zero(self):
+        inst = fresh_instance([member(X, Y)])
+        assert inst.level_of(member(X, Y)) == 0
+        assert inst.rule_of(member(X, Y)) == INITIAL_RULE_LABEL
+
+    def test_add_with_provenance(self):
+        inst = fresh_instance([member(X, Y)])
+        parent = inst.node_id(member(X, Y))
+        node = inst.add(data(X, Y, V1), level=1, rule="rho5", parents=(parent,))
+        assert node is not None
+        assert inst.level_of(data(X, Y, V1)) == 1
+        assert inst.rule_of(data(X, Y, V1)) == "rho5"
+
+    def test_add_duplicate_returns_none(self):
+        inst = fresh_instance([member(X, Y)])
+        assert inst.add(member(X, Y), level=1, rule="rho3", parents=()) is None
+        assert inst.level_of(member(X, Y)) == 0  # original metadata kept
+
+    def test_duplicate_with_cross_flag_records_cross_arc(self):
+        inst = fresh_instance([member(X, Y)])
+        inst.add(
+            member(X, Y), level=1, rule="rho3", parents=(), cross_if_present=True
+        )
+        crosses = [arc for arc in inst.arcs() if arc.cross]
+        assert len(crosses) == 1 and crosses[0].rule == "rho3"
+
+    def test_arcs_recorded_for_generated(self):
+        inst = fresh_instance([member(X, Y)])
+        parent = inst.node_id(member(X, Y))
+        inst.add(data(X, Y, V1), level=1, rule="rho5", parents=(parent,))
+        arcs = [arc for arc in inst.arcs() if not arc.cross]
+        assert len(arcs) == 1
+        assert arcs[0].parent_ids == (parent,)
+
+    def test_membership_and_len(self):
+        inst = fresh_instance([member(X, Y)])
+        assert member(X, Y) in inst
+        assert len(inst) == 1
+
+    def test_atoms_up_to_level(self):
+        inst = fresh_instance([member(X, Y)])
+        inst.add(data(X, Y, V1), level=3, rule="rho5", parents=(1,))
+        assert inst.atoms_up_to_level(0) == [member(X, Y)]
+        assert set(inst.atoms_up_to_level(3)) == {member(X, Y), data(X, Y, V1)}
+
+
+class TestMerge:
+    def test_variable_merges_into_constant(self):
+        inst = fresh_instance([data(X, Y, V1), data(X, Y, a)])
+        inst.merge(V1, a)
+        assert data(X, Y, a) in inst
+        assert data(X, Y, V1) not in inst
+
+    def test_lexicographic_preference_null_over_variable(self):
+        n = Null(1)
+        inst = fresh_instance([Atom("data", (X, Y, n)), data(X, Y, V1)])
+        inst.merge(n, V1)
+        assert Atom("data", (X, Y, n)) in inst
+        assert data(X, Y, V1) not in inst
+
+    def test_variable_merge_alphabetical(self):
+        inst = fresh_instance([data(X, Y, V1), data(X, Y, V2)])
+        inst.merge(V2, V1)
+        assert data(X, Y, V1) in inst  # V1 < V2
+
+    def test_constant_clash_fails(self):
+        inst = fresh_instance([data(X, Y, a), data(X, Y, b)])
+        with pytest.raises(ChaseFailure):
+            inst.merge(a, b)
+
+    def test_merge_same_term_noop(self):
+        inst = fresh_instance([data(X, Y, V1)])
+        assert inst.merge(V1, V1) is False
+
+    def test_head_rewritten(self):
+        inst = ChaseInstance([data(X, Y, V1), data(X, Y, V2)], head=(V1, V2))
+        inst.merge(V1, V2)
+        assert inst.head == (V1, V1)
+
+    def test_collapsed_conjuncts_keep_min_level(self):
+        inst = fresh_instance([data(X, Y, V1)])
+        inst.add(data(X, Y, V2), level=5, rule="rho5", parents=(1,))
+        inst.merge(V1, V2)
+        assert inst.level_of(data(X, Y, V1)) == 0
+
+    def test_resolve_term_follows_chain(self):
+        inst = fresh_instance([data(X, Y, V1), data(X, Y, V2), data(X, Y, a)])
+        inst.merge(V1, V2)   # V2 -> V1
+        inst.merge(V1, a)    # V1 -> a
+        assert inst.resolve_term(V2) == a
+
+    def test_dirty_tracks_rewritten_atoms(self):
+        inst = fresh_instance([data(X, Y, V1), member(V1, V2)])
+        inst.drain_dirty()
+        inst.merge(V1, a)
+        dirty = set(inst.drain_dirty())
+        assert data(X, Y, a) in dirty
+        assert member(a, V2) in dirty
+
+    def test_drain_dirty_resets(self):
+        inst = fresh_instance([data(X, Y, V1)])
+        inst.merge(V1, a)
+        inst.drain_dirty()
+        assert inst.drain_dirty() == []
+
+    def test_node_identity_survives_rewrite(self):
+        inst = fresh_instance([data(X, Y, V1)])
+        node = inst.node_id(data(X, Y, V1))
+        inst.merge(V1, a)
+        assert inst.atom_of(node) == data(X, Y, a)
+        assert inst.node_id(data(X, Y, a)) == node
+
+    def test_merge_term_in_multiple_positions(self):
+        inst = fresh_instance([Atom("data", (V1, V1, V1))])
+        inst.merge(V1, a)
+        assert Atom("data", (a, a, a)) in inst
+
+
+class TestDisplay:
+    def test_pretty_contains_levels_and_rules(self):
+        inst = fresh_instance([member(X, Y)])
+        text = inst.pretty()
+        assert "L0" in text and INITIAL_RULE_LABEL in text
+
+    def test_repr(self):
+        inst = fresh_instance([member(X, Y)])
+        assert "1 conjuncts" in repr(inst)

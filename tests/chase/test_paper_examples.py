@@ -1,0 +1,97 @@
+"""The paper's Examples 1 and 2, asserted in detail."""
+
+from repro.chase.engine import chase
+from repro.core.atoms import Atom, data, funct, mandatory, member, type_
+from repro.core.terms import Null, Variable
+
+A, T, U, O, C = (Variable(n) for n in "A T U O C".split())
+V1, V2 = Variable("V1"), Variable("V2")
+
+
+class TestExample1:
+    """q(V1,V2) :- data(O,A,V1), data(O,A,V2), funct(A,C), member(O,C)."""
+
+    def test_head_becomes_diagonal(self, example1_query):
+        result = chase(example1_query)
+        assert result.head == (V1, V1)
+
+    def test_funct_propagated_by_rho12(self, example1_query):
+        result = chase(example1_query)
+        assert funct(A, O) in result.atoms()
+        assert result.instance.rule_of(funct(A, O)) == "rho12"
+
+    def test_data_atoms_collapse(self, example1_query):
+        result = chase(example1_query)
+        data_atoms = [a for a in result.atoms() if a.predicate == "data"]
+        assert data_atoms == [data(O, A, V1)]
+
+    def test_v2_eliminated_everywhere(self, example1_query):
+        result = chase(example1_query)
+        for atom in result.atoms():
+            assert V2 not in atom.args
+
+    def test_chase_saturates_and_stays_level_zero(self, example1_query):
+        result = chase(example1_query)
+        assert result.saturated
+        assert result.level_reached == 0
+
+    def test_exact_final_conjunct_set(self, example1_query):
+        """The chased body the paper prints (modulo the duplicate data atom)."""
+        result = chase(example1_query)
+        assert result.atoms() == frozenset(
+            {data(O, A, V1), funct(A, O), funct(A, C), member(O, C)}
+        )
+
+
+class TestExample2:
+    """q() :- mandatory(A,T), type(T,A,T), sub(T,U) — the Figure-1 chase."""
+
+    def test_chase_does_not_saturate(self, example2_query):
+        result = chase(example2_query, max_level=10)
+        assert not result.saturated and not result.failed
+
+    def test_level0_contains_rho8_supertype(self, example2_query):
+        result = chase(example2_query, max_level=4)
+        assert type_(T, A, U) in result.atoms()
+        assert result.instance.level_of(type_(T, A, U)) == 0
+
+    def test_figure1_chain_first_cycle(self, example2_query):
+        result = chase(example2_query, max_level=6)
+        inst = result.instance
+        v1 = Null(1)
+        chain = {
+            data(T, A, v1): ("rho5", 1),
+            Atom("member", (v1, T)): ("rho1", 2),
+            Atom("type", (v1, A, T)): ("rho6", 3),
+            Atom("mandatory", (A, v1)): ("rho10", 3),
+        }
+        for atom, (rule, level) in chain.items():
+            assert atom in inst.atoms(), f"missing {atom}"
+            assert inst.rule_of(atom) == rule
+            assert inst.level_of(atom) == level
+
+    def test_figure1_branch_member_v1_U(self, example2_query):
+        """The branch the paper attributes to rho_3 (we may reach it via
+        rho_1 on type(T,A,U) first; either way it must exist)."""
+        result = chase(example2_query, max_level=6)
+        v1 = Null(1)
+        assert Atom("member", (v1, U)) in result.atoms()
+
+    def test_second_cycle_repeats_pattern(self, example2_query):
+        result = chase(example2_query, max_level=9)
+        v1, v2 = Null(1), Null(2)
+        assert Atom("data", (v1, A, v2)) in result.atoms()
+        assert Atom("member", (v2, T)) in result.atoms()
+        assert Atom("type", (v2, A, T)) in result.atoms()
+
+    def test_nulls_never_merged(self, example2_query):
+        """The chain's nulls are distinct: no funct is present to merge them."""
+        result = chase(example2_query, max_level=9)
+        nulls = set()
+        for atom in result.atoms():
+            nulls |= atom.nulls()
+        assert len(nulls) >= 3
+
+    def test_growth_is_periodic(self, example2_query):
+        sizes = [chase(example2_query, max_level=k).size() for k in (6, 9, 12)]
+        assert sizes[1] - sizes[0] == sizes[2] - sizes[1]

@@ -1,0 +1,204 @@
+"""Unit tests for equivalence, primary paths and bounded images."""
+
+import pytest
+
+from repro.chase.engine import chase
+from repro.chase.graph import ChaseGraph
+from repro.chase.paths import (
+    bounded_image,
+    bounded_image_of_set,
+    equivalent,
+    follow_parallel,
+    generalize_conjuncts,
+    is_primary_path,
+    parallel_paths,
+    primary_path_arcs,
+    primary_path_to,
+)
+from repro.core.atoms import Atom, data, member, type_
+from repro.core.terms import Constant, Null, Variable
+
+A, T, U, O = (Variable(n) for n in "A T U O".split())
+c1, c2 = Constant("c1"), Constant("c2")
+
+
+class TestEquivalence:
+    """Definition 6: agree on components that are real constants."""
+
+    def test_same_constants_equivalent(self):
+        assert equivalent(member(c1, c2), member(c1, c2))
+
+    def test_different_constants_not_equivalent(self):
+        assert not equivalent(member(c1, c2), member(c2, c2))
+
+    def test_variables_and_nulls_unconstrained(self):
+        assert equivalent(
+            Atom("data", (T, A, Null(1))), Atom("data", (Null(2), A, Null(3)))
+        )
+
+    def test_constant_vs_variable_not_equivalent(self):
+        assert not equivalent(member(c1, T), member(T, T))
+
+    def test_different_predicates_not_equivalent(self):
+        assert not equivalent(member(T, U), Atom("sub", (T, U)))
+
+    def test_figure1_chain_conjuncts_equivalent(self):
+        """data(T,A,v1) ~ data(v1,A,v2): the repetition Lemma 9 exploits."""
+        assert equivalent(
+            Atom("data", (T, A, Null(1))), Atom("data", (Null(1), A, Null(2)))
+        )
+
+    def test_reflexive_and_symmetric(self):
+        a1 = Atom("data", (T, A, Null(1)))
+        a2 = Atom("data", (Null(5), A, c1))
+        assert equivalent(a1, a1)
+        assert equivalent(a1, a2) == equivalent(a2, a1)
+
+
+@pytest.fixture
+def example2_chased(example2_query):
+    return chase(example2_query, max_level=12, track_graph=True)
+
+
+@pytest.fixture
+def example2_graph(example2_chased):
+    return ChaseGraph.from_result(example2_chased)
+
+
+class TestPrimaryPaths:
+    def test_paths_from_mandatory_follow_chain(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        paths = list(primary_path_arcs(example2_graph, mandatory(A, T)))
+        assert paths, "the rho5 arc should start a primary path"
+        # The first hop is mandatory -> data via rho5 (level 0 -> 1).
+        assert paths[0][0].rule == "rho5"
+
+    def test_type_conjunct_starts_via_plus_two_hop(self, example2_graph):
+        """Definition 7(ii): a path may leave type(...) with a +2-level arc."""
+        v1 = Null(1)
+        start = Atom("type", (v1, A, T))  # level 3
+        paths = list(primary_path_arcs(example2_graph, start))
+        assert any(
+            p[0].target_level == example2_graph.level(start) + 2 for p in paths
+        )
+
+    def test_primary_path_to_finds_descendant(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        v2 = Null(2)
+        target = Atom("member", (v2, T))
+        path = primary_path_to(example2_graph, mandatory(A, T), target)
+        assert path is not None
+        assert path[-1].target == target
+        assert is_primary_path(path)
+
+    def test_primary_path_to_respects_max_length(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        v3 = Null(3)
+        target = Atom("member", (v3, T))
+        assert (
+            primary_path_to(example2_graph, mandatory(A, T), target, max_length=2)
+            is None
+        )
+
+    def test_is_primary_path_rejects_disconnected(self, example2_graph):
+        arcs = list(example2_graph.primary_arcs())
+        if len(arcs) >= 2:
+            # Find two arcs that do not chain.
+            for arc1 in arcs:
+                for arc2 in arcs:
+                    if arc1.target != arc2.source:
+                        assert not is_primary_path([arc1, arc2])
+                        return
+
+    def test_empty_path_is_primary(self):
+        assert is_primary_path([])
+
+
+class TestParallelPaths:
+    def test_equal_labels_are_parallel(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        v1, v2 = Null(1), Null(2)
+        path1 = primary_path_to(
+            example2_graph, mandatory(A, T), Atom("member", (v1, T))
+        )
+        path2 = primary_path_to(
+            example2_graph, Atom("mandatory", (A, v1)), Atom("member", (v2, T))
+        )
+        assert path1 is not None and path2 is not None
+        assert parallel_paths(path1, path2)
+
+    def test_different_lengths_not_parallel(self, example2_graph):
+        arcs = example2_graph.primary_arcs()
+        assert not parallel_paths(arcs[:1], arcs[:2])
+
+    def test_follow_parallel_reruns_labels(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        v1 = Null(1)
+        path1 = primary_path_to(
+            example2_graph, mandatory(A, T), Atom("member", (v1, T))
+        )
+        labels = [arc.rule for arc in path1]
+        rerun = follow_parallel(example2_graph, Atom("mandatory", (A, v1)), labels)
+        assert rerun is not None
+        assert [arc.rule for arc in rerun] == labels
+
+    def test_follow_parallel_fails_on_bogus_labels(self, example2_graph):
+        from repro.core.atoms import mandatory
+
+        assert follow_parallel(example2_graph, mandatory(A, T), ["rho99"]) is None
+
+
+class TestGeneralize:
+    def test_constants_kept_variables_replaced(self):
+        pattern, mapping = generalize_conjuncts((data(c1, A, Null(1)),))
+        atom = pattern[0]
+        assert atom.args[0] == c1
+        assert atom.args[1].is_variable and atom.args[2].is_variable
+        assert mapping[A] == atom.args[1]
+
+    def test_shared_terms_shared_pattern_vars(self):
+        pattern, _ = generalize_conjuncts(
+            (data(T, A, Null(1)), member(Null(1), T))
+        )
+        assert pattern[0].args[2] == pattern[1].args[0]
+        assert pattern[0].args[0] == pattern[1].args[1]
+
+
+class TestBoundedImages:
+    def test_lemma9_deep_conjunct_folds(self, example2_chased, example2_query):
+        inst = example2_chased.instance
+        delta = 2 * example2_query.size
+        deep = [a for a in inst if inst.level_of(a) > delta]
+        assert deep, "chase should be deeper than delta"
+        for atom in deep:
+            image = bounded_image(inst, atom, delta)
+            assert image is not None
+            assert inst.level_of(image) <= delta
+            assert equivalent(atom, image)
+
+    def test_lemma11_pair_folds_jointly(self, example2_chased, example2_query):
+        inst = example2_chased.instance
+        delta = 2 * example2_query.size
+        deep = sorted(
+            (a for a in inst if inst.level_of(a) > delta),
+            key=lambda a: inst.level_of(a),
+        )
+        pair = deep[:2]
+        found = bounded_image_of_set(inst, pair, 2 * delta)
+        assert found is not None
+        _, images = found
+        for image in images:
+            assert inst.level_of(image) <= 2 * delta
+
+    def test_bounded_image_none_when_bound_too_small(self, example2_chased):
+        inst = example2_chased.instance
+        v3 = Null(3)
+        deep_atom = Atom("data", (v3, A, Null(4)))
+        if deep_atom in inst:
+            # Level bound 0 has no data conjunct at all in example 2.
+            assert bounded_image(inst, deep_atom, 0) is None

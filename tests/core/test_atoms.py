@@ -1,0 +1,118 @@
+"""Unit tests for atoms and the P_FL schema."""
+
+import pytest
+
+from repro.core.atoms import (
+    P_FL,
+    P_FL_ARITIES,
+    Atom,
+    data,
+    funct,
+    mandatory,
+    member,
+    sub,
+    type_,
+    validate_pfl_atom,
+)
+from repro.core.errors import ArityError, SchemaError
+from repro.core.terms import Constant, Null, Variable
+
+
+class TestAtomBasics:
+    def test_construction_and_accessors(self):
+        atom = Atom("member", (Constant("john"), Constant("student")))
+        assert atom.predicate == "member"
+        assert atom.arity == 2
+        assert atom[0] == Constant("john")
+        assert list(atom) == [Constant("john"), Constant("student")]
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("member", ("john", "student"))  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        a = member("john", "student")
+        b = member("john", "student")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != member("mary", "student")
+
+    def test_atoms_with_different_predicates_differ(self):
+        assert member("a", "b") != sub("a", "b")
+
+    def test_immutability(self):
+        atom = member("john", "student")
+        with pytest.raises(AttributeError):
+            atom.predicate = "sub"  # type: ignore[misc]
+
+    def test_str(self):
+        assert str(data("john", "age", "33")) == "data(john, age, 33)"
+
+    def test_variables_constants_nulls(self):
+        atom = Atom("data", (Constant("o"), Variable("A"), Null(1)))
+        assert atom.variables() == {Variable("A")}
+        assert atom.constants() == {Constant("o")}
+        assert atom.nulls() == {Null(1)}
+
+    def test_is_ground(self):
+        assert member("john", "student").is_ground
+        assert Atom("member", (Constant("j"), Null(1))).is_ground
+        assert not member("john", Variable("C")).is_ground
+
+
+class TestPFLSchema:
+    def test_schema_has_six_predicates(self):
+        assert P_FL == {"member", "sub", "data", "type", "mandatory", "funct"}
+
+    def test_arities_match_paper(self):
+        assert P_FL_ARITIES == {
+            "member": 2,
+            "sub": 2,
+            "data": 3,
+            "type": 3,
+            "mandatory": 2,
+            "funct": 2,
+        }
+
+    def test_validate_accepts_well_formed(self):
+        atom = member("john", "student")
+        assert validate_pfl_atom(atom) is atom
+
+    def test_validate_rejects_unknown_predicate(self):
+        with pytest.raises(SchemaError):
+            validate_pfl_atom(Atom("likes", (Constant("a"), Constant("b"))))
+
+    def test_validate_rejects_wrong_arity(self):
+        with pytest.raises(ArityError):
+            validate_pfl_atom(Atom("member", (Constant("a"),)))
+
+
+class TestConvenienceConstructors:
+    def test_capitalisation_convention(self):
+        atom = member("X", "person")
+        assert atom.args == (Variable("X"), Constant("person"))
+
+    def test_terms_pass_through(self):
+        x = Variable("X")
+        assert member(x, "c").args[0] is x
+
+    def test_all_constructors_produce_valid_pfl(self):
+        atoms = [
+            member("o", "c"),
+            sub("c", "d"),
+            data("o", "a", "v"),
+            type_("o", "a", "t"),
+            mandatory("a", "o"),
+            funct("a", "o"),
+        ]
+        for atom in atoms:
+            validate_pfl_atom(atom)
+
+    def test_mandatory_argument_order_is_attribute_first(self):
+        """The paper writes mandatory(A, O) — attribute first."""
+        atom = mandatory("age", "person")
+        assert atom.args == (Constant("age"), Constant("person"))
+
+    def test_rejects_uncoercible(self):
+        with pytest.raises(TypeError):
+            member(3.14, "c")  # type: ignore[arg-type]

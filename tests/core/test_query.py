@@ -1,0 +1,142 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, member, sub, type_
+from repro.core.errors import QueryError
+from repro.core.query import ConjunctiveQuery, fresh_variable_namer
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def q_simple() -> ConjunctiveQuery:
+    return ConjunctiveQuery("q", (X,), (member(X, Y), sub(Y, Z)))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        q = q_simple()
+        assert q.name == "q"
+        assert q.arity == 1
+        assert q.size == 2 == len(q)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("q", (X,), ())
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("q", (Variable("W"),), (member(X, Y),))
+
+    def test_head_constants_allowed(self):
+        q = ConjunctiveQuery("q", (Constant("c"),), (member(X, Y),))
+        assert q.arity == 1
+
+    def test_boolean_query_allowed(self):
+        q = ConjunctiveQuery("q", (), (member(X, Y),))
+        assert q.arity == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("", (X,), (member(X, Y),))
+
+    def test_non_atom_body_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("q", (), ("member(X,Y)",))  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            q_simple().name = "p"  # type: ignore[misc]
+
+
+class TestStructure:
+    def test_variables(self):
+        assert q_simple().variables() == {X, Y, Z}
+
+    def test_head_and_existential_split(self):
+        q = q_simple()
+        assert q.head_variables() == {X}
+        assert q.existential_variables() == {Y, Z}
+
+    def test_constants(self):
+        q = ConjunctiveQuery("q", (), (member(X, Constant("person")),))
+        assert q.constants() == {Constant("person")}
+
+    def test_predicates(self):
+        assert q_simple().predicates() == {"member", "sub"}
+
+    def test_size_is_paper_cardinality(self):
+        """|q| counts body conjuncts — the measure in delta = 2|q|."""
+        q = ConjunctiveQuery(
+            "q", (), (member(X, Y), member(X, Y), sub(Y, Z))
+        )
+        assert q.size == 3  # duplicates in the tuple still count
+
+
+class TestValidatePfl:
+    def test_accepts_pfl_body(self):
+        assert q_simple().validate_pfl() is not None
+
+    def test_rejects_non_pfl_predicate(self):
+        q = ConjunctiveQuery("q", (), (Atom("likes", (X, Y)),))
+        with pytest.raises(Exception):
+            q.validate_pfl()
+
+
+class TestTransformations:
+    def test_apply_rewrites_head_and_body(self):
+        sigma = Substitution({X: Constant("john")})
+        q = q_simple().apply(sigma)
+        assert q.head == (Constant("john"),)
+        assert q.body[0] == member(Constant("john"), Y)
+
+    def test_rename_apart_avoids_taken(self):
+        q = q_simple()
+        renamed, sigma = q.rename_apart({X, Y})
+        assert renamed.variables().isdisjoint({X, Y}) or Z in renamed.variables()
+        assert X not in renamed.variables()
+        assert Y not in renamed.variables()
+        # Semantically the same query: renaming is a bijection.
+        assert renamed.size == q.size
+
+    def test_rename_apart_no_clash_is_identity_mapping(self):
+        q = q_simple()
+        renamed, sigma = q.rename_apart(set())
+        assert renamed == q
+        assert len(sigma) == 0
+
+    def test_with_body_and_with_head(self):
+        q = q_simple()
+        q2 = q.with_body((member(X, Y),))
+        assert q2.size == 1 and q2.head == q.head
+        q3 = q.with_head(())
+        assert q3.arity == 0 and q3.body == q.body
+
+    def test_canonical_atoms_is_body(self):
+        q = q_simple()
+        assert q.canonical_atoms() == q.body
+
+
+class TestEqualityDisplay:
+    def test_equality(self):
+        assert q_simple() == q_simple()
+
+    def test_body_order_matters_for_identity(self):
+        q1 = ConjunctiveQuery("q", (), (member(X, Y), sub(Y, Z)))
+        q2 = ConjunctiveQuery("q", (), (sub(Y, Z), member(X, Y)))
+        assert q1 != q2  # distinct objects; semantic equality is containment both ways
+
+    def test_str_roundtrippable_shape(self):
+        text = str(q_simple())
+        assert text == "q(X) :- member(X, Y), sub(Y, Z)."
+
+    def test_hashable(self):
+        assert len({q_simple(), q_simple()}) == 1
+
+
+class TestNamer:
+    def test_fresh_variable_namer_sequence(self):
+        namer = fresh_variable_namer("T")
+        assert [next(namer).name for _ in range(3)] == ["T1", "T2", "T3"]

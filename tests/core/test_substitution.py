@@ -1,0 +1,143 @@
+"""Unit tests for substitutions, matching and unification."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, member
+from repro.core.errors import SubstitutionError, UnificationError
+from repro.core.substitution import Substitution, match_atom, unify_atoms
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubstitutionBasics:
+    def test_empty_is_shared_and_empty(self):
+        assert len(Substitution.EMPTY) == 0
+        assert Substitution.EMPTY.apply_term(X) == X
+
+    def test_apply_term(self):
+        sigma = Substitution({X: a})
+        assert sigma.apply_term(X) == a
+        assert sigma.apply_term(Y) == Y
+        assert sigma.apply_term(a) == a
+
+    def test_apply_atom(self):
+        sigma = Substitution({X: a, Y: b})
+        assert sigma.apply_atom(member(X, Y)) == member(a, b)
+
+    def test_apply_atom_empty_returns_same_object(self):
+        atom = member(X, Y)
+        assert Substitution.EMPTY.apply_atom(atom) is atom
+
+    def test_rejects_non_variable_keys(self):
+        with pytest.raises(SubstitutionError):
+            Substitution({a: b})  # type: ignore[dict-item]
+
+    def test_rejects_non_term_values(self):
+        with pytest.raises(SubstitutionError):
+            Substitution({X: "a"})  # type: ignore[dict-item]
+
+    def test_mapping_protocol(self):
+        sigma = Substitution({X: a})
+        assert X in sigma
+        assert sigma[X] == a
+        assert sigma.get(Y) is None
+        assert set(sigma.domain()) == {X}
+
+
+class TestBindCompose:
+    def test_bind_returns_new(self):
+        base = Substitution({X: a})
+        extended = base.bind(Y, b)
+        assert Y not in base
+        assert extended[Y] == b
+
+    def test_bind_same_value_is_noop(self):
+        sigma = Substitution({X: a})
+        assert sigma.bind(X, a) is sigma
+
+    def test_bind_conflict_raises(self):
+        with pytest.raises(SubstitutionError):
+            Substitution({X: a}).bind(X, b)
+
+    def test_compose_applies_left_then_right(self):
+        """(other ∘ self)(x) = other(self(x))."""
+        first = Substitution({X: Y})
+        second = Substitution({Y: a})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == a
+
+    def test_compose_keeps_right_only_bindings(self):
+        first = Substitution({X: a})
+        second = Substitution({Y: b})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == a
+        assert composed.apply_term(Y) == b
+
+    def test_compose_matches_sequential_application_on_atoms(self):
+        first = Substitution({X: Y, Z: a})
+        second = Substitution({Y: b})
+        atom = data(X, Z, Y)
+        assert first.compose(second).apply_atom(atom) == second.apply_atom(
+            first.apply_atom(atom)
+        )
+
+    def test_restrict(self):
+        sigma = Substitution({X: a, Y: b})
+        assert sigma.restrict([X]) == Substitution({X: a})
+
+
+class TestMatchAtom:
+    def test_simple_match(self):
+        sigma = match_atom(member(X, Y), member(a, b))
+        assert sigma is not None
+        assert sigma[X] == a and sigma[Y] == b
+
+    def test_predicate_mismatch(self):
+        assert match_atom(member(X, Y), data(a, b, a)) is None
+
+    def test_constant_position_must_agree(self):
+        assert match_atom(member(a, Y), member(b, b)) is None
+        assert match_atom(member(a, Y), member(a, b)) is not None
+
+    def test_repeated_variable_must_match_equal_terms(self):
+        assert match_atom(member(X, X), member(a, b)) is None
+        sigma = match_atom(member(X, X), member(a, a))
+        assert sigma is not None and sigma[X] == a
+
+    def test_extends_base_consistently(self):
+        base = Substitution({X: a})
+        assert match_atom(member(X, Y), member(b, b), base) is None
+        sigma = match_atom(member(X, Y), member(a, b), base)
+        assert sigma is not None and sigma[Y] == b
+
+    def test_base_unchanged_when_no_new_bindings(self):
+        base = Substitution({X: a, Y: b})
+        assert match_atom(member(X, Y), member(a, b), base) is base
+
+    def test_null_values_match_variables(self):
+        sigma = match_atom(member(X, Y), Atom("member", (Null(1), a)))
+        assert sigma is not None and sigma[X] == Null(1)
+
+
+class TestUnifyAtoms:
+    def test_unifies_variables_both_sides(self):
+        sigma = unify_atoms(member(X, a), member(b, Y))
+        assert sigma.apply_atom(member(X, a)) == sigma.apply_atom(member(b, Y))
+
+    def test_occurs_free_chain_flattening(self):
+        sigma = unify_atoms(data(X, Y, Z), data(Y, Z, a))
+        atom = sigma.apply_atom(data(X, Y, Z))
+        assert atom == data(a, a, a)
+
+    def test_constant_clash_raises(self):
+        with pytest.raises(UnificationError):
+            unify_atoms(member(a, X), member(b, X))
+
+    def test_predicate_clash_raises(self):
+        with pytest.raises(UnificationError):
+            unify_atoms(member(X, Y), data(X, Y, Z))
+
+    def test_identical_atoms_unify_empty(self):
+        assert len(unify_atoms(member(X, Y), member(X, Y))) == 0

@@ -1,0 +1,144 @@
+"""Unit tests for the term kernel: interning, ordering, null minting."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    is_ground,
+    parse_term,
+    term_sort_key,
+)
+
+
+class TestConstant:
+    def test_interning_returns_identical_object(self):
+        assert Constant("john") is Constant("john")
+
+    def test_distinct_names_distinct_objects(self):
+        assert Constant("john") != Constant("mary")
+
+    def test_str_is_name(self):
+        assert str(Constant("person")) == "person"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Constant("")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            Constant(42)  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        c = Constant("john")
+        with pytest.raises(AttributeError):
+            c.name = "mary"  # type: ignore[misc]
+
+    def test_kind_flags(self):
+        c = Constant("john")
+        assert c.is_constant and not c.is_variable and not c.is_null
+
+    def test_hash_stable_across_interning(self):
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+
+class TestVariable:
+    def test_interning(self):
+        assert Variable("X") is Variable("X")
+
+    def test_kind_flags(self):
+        x = Variable("X")
+        assert x.is_variable and not x.is_constant and not x.is_null
+
+    def test_variable_and_constant_differ_even_with_same_name(self):
+        assert Variable("x") != Constant("x")
+        assert hash(Variable("x")) != hash(Constant("x"))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Variable("X").name = "Y"  # type: ignore[misc]
+
+
+class TestNull:
+    def test_interning_by_index(self):
+        assert Null(3) is Null(3)
+
+    def test_name_rendering(self):
+        assert str(Null(7)) == "_v7"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Null(-1)
+
+    def test_kind_flags(self):
+        n = Null(1)
+        assert n.is_null and not n.is_constant and not n.is_variable
+
+
+class TestNullFactory:
+    def test_fresh_monotone(self):
+        factory = NullFactory()
+        first, second, third = factory.fresh(), factory.fresh(), factory.fresh()
+        assert (first.index, second.index, third.index) == (1, 2, 3)
+
+    def test_custom_start(self):
+        assert NullFactory(start=10).fresh().index == 10
+
+    def test_peek_does_not_consume(self):
+        factory = NullFactory()
+        assert factory.peek() == 1
+        assert factory.fresh().index == 1
+        assert factory.peek() == 2
+
+    def test_independent_factories(self):
+        a, b = NullFactory(), NullFactory()
+        assert a.fresh().index == b.fresh().index == 1
+
+
+class TestOrdering:
+    """The Definition-2 lexicographic order: constants < nulls < variables."""
+
+    def test_constant_before_null(self):
+        assert term_sort_key(Constant("zzz")) < term_sort_key(Null(0))
+
+    def test_null_before_variable(self):
+        assert term_sort_key(Null(999)) < term_sort_key(Variable("A"))
+
+    def test_constants_alphabetical(self):
+        assert term_sort_key(Constant("apple")) < term_sort_key(Constant("banana"))
+
+    def test_nulls_by_creation_index(self):
+        assert term_sort_key(Null(1)) < term_sort_key(Null(2))
+
+    def test_variables_alphabetical(self):
+        assert term_sort_key(Variable("A")) < term_sort_key(Variable("B"))
+
+    def test_sort_key_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            term_sort_key("john")  # type: ignore[arg-type]
+
+    def test_egd_merge_preference_order(self):
+        """sorted() with the key picks the survivor the chase must keep."""
+        terms = [Variable("V"), Null(5), Constant("c")]
+        assert sorted(terms, key=term_sort_key)[0] == Constant("c")
+
+
+class TestHelpers:
+    def test_is_ground(self):
+        assert is_ground(Constant("a"))
+        assert is_ground(Null(1))
+        assert not is_ground(Variable("X"))
+
+    def test_parse_term_capitalised_is_variable(self):
+        assert parse_term("Att") == Variable("Att")
+
+    def test_parse_term_underscore_prefix_is_variable(self):
+        assert parse_term("_x") == Variable("_x")
+
+    def test_parse_term_lowercase_is_constant(self):
+        assert parse_term("john") == Constant("john")
+
+    def test_parse_term_numericish_is_constant(self):
+        assert parse_term("33") == Constant("33")

@@ -1,0 +1,128 @@
+"""Unit tests for the semi-naive Datalog engine."""
+
+import pytest
+
+from repro.core.atoms import Atom, member, sub
+from repro.core.errors import ChaseBudgetExceeded, QueryError
+from repro.core.terms import Constant, Variable
+from repro.datalog.engine import EvaluationStats, derive_once, evaluate
+from repro.datalog.index import FactIndex
+from repro.datalog.program import Program
+from repro.datalog.rule import Rule
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def tc_program() -> Program:
+    """Transitive closure of sub/2 (rho_2 in miniature)."""
+    return Program([Rule(sub(X, Z), (sub(X, Y), sub(Y, Z)), label="trans")])
+
+
+def chain_facts(n: int) -> list[Atom]:
+    return [sub(Constant(f"c{i}"), Constant(f"c{i+1}")) for i in range(n)]
+
+
+class TestRule:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(sub(X, Variable("W")), (sub(X, Y),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(sub(X, Y), ())
+
+    def test_str(self):
+        rule = Rule(sub(X, Z), (sub(X, Y), sub(Y, Z)))
+        assert str(rule) == "sub(X, Z) :- sub(X, Y), sub(Y, Z)."
+
+    def test_label_defaults_to_head_predicate(self):
+        assert Rule(sub(X, Z), (sub(X, Y), sub(Y, Z))).label == "sub"
+
+
+class TestProgram:
+    def test_lookup_by_head_and_body(self):
+        program = tc_program()
+        assert len(program.rules_defining("sub")) == 1
+        assert len(program.rules_using("sub")) == 1
+        assert program.rules_defining("member") == ()
+
+    def test_idb_predicates(self):
+        assert tc_program().idb_predicates() == {"sub"}
+
+    def test_extend(self):
+        extra = Rule(member(X, Y), (member(X, Z), sub(Z, Y)), label="m")
+        extended = tc_program().extend([extra])
+        assert len(extended) == 2
+
+    def test_rule_used_once_per_body_predicate(self):
+        rule = Rule(sub(X, Z), (sub(X, Y), sub(Y, Z)))
+        program = Program([rule])
+        assert program.rules_using("sub") == (rule,)
+
+
+class TestEvaluate:
+    def test_transitive_closure_of_chain(self):
+        n = 6
+        index = evaluate(tc_program(), chain_facts(n))
+        # n*(n+1)/2 pairs in the closure of a length-n chain.
+        assert index.count("sub") == n * (n + 1) // 2
+
+    def test_closure_contains_long_hop(self):
+        index = evaluate(tc_program(), chain_facts(5))
+        assert sub(Constant("c0"), Constant("c5")) in index
+
+    def test_no_rules_returns_facts(self):
+        facts = chain_facts(3)
+        index = evaluate(Program([]), facts)
+        assert set(index) == set(facts)
+
+    def test_empty_facts(self):
+        index = evaluate(tc_program(), [])
+        assert len(index) == 0
+
+    def test_stats_recorded(self):
+        stats = EvaluationStats()
+        evaluate(tc_program(), chain_facts(4), stats=stats)
+        assert stats.derived_facts == 6  # closure(4-chain) adds C(4,2)=6
+        assert stats.rule_firings >= stats.derived_facts
+        assert "trans" in stats.firings_per_rule
+
+    def test_max_iterations_budget(self):
+        with pytest.raises(ChaseBudgetExceeded):
+            evaluate(tc_program(), chain_facts(10), max_iterations=1)
+
+    def test_idempotent(self):
+        once = evaluate(tc_program(), chain_facts(5))
+        twice = evaluate(tc_program(), list(once))
+        assert set(once) == set(twice)
+
+    def test_mutual_recursion(self):
+        p = lambda x, y: Atom("p", (x, y))
+        q = lambda x, y: Atom("q", (x, y))
+        program = Program(
+            [
+                Rule(p(X, Y), (q(X, Y),), label="p_from_q"),
+                Rule(q(X, Z), (p(X, Y), p(Y, Z)), label="q_from_pp"),
+            ]
+        )
+        facts = [q(Constant("a"), Constant("b")), q(Constant("b"), Constant("c"))]
+        index = evaluate(program, facts)
+        assert p(Constant("a"), Constant("c")) in index or q(
+            Constant("a"), Constant("c")
+        ) in index
+
+
+class TestDeriveOnce:
+    def test_only_delta_driven_derivations(self):
+        program = tc_program()
+        facts = chain_facts(3)
+        index = FactIndex(facts)
+        new = derive_once(program, index, [facts[0]])
+        # Only joins that touch sub(c0,c1): the pair (c0,c2).
+        assert new == [sub(Constant("c0"), Constant("c2"))]
+
+    def test_existing_facts_not_rederived(self):
+        program = tc_program()
+        index = FactIndex(chain_facts(2) + [sub(Constant("c0"), Constant("c2"))])
+        new = derive_once(program, index, list(index))
+        assert new == []

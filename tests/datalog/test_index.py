@@ -1,0 +1,109 @@
+"""Unit tests for the indexed fact store."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, member, sub
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+from repro.datalog.index import FactIndex
+
+X = Variable("X")
+j, s, p = Constant("john"), Constant("student"), Constant("person")
+
+
+class TestAddDiscard:
+    def test_add_new_returns_true(self):
+        index = FactIndex()
+        assert index.add(member(j, s)) is True
+        assert len(index) == 1
+
+    def test_add_duplicate_returns_false(self):
+        index = FactIndex([member(j, s)])
+        assert index.add(member(j, s)) is False
+        assert len(index) == 1
+
+    def test_add_all_counts_new(self):
+        index = FactIndex([member(j, s)])
+        added = index.add_all([member(j, s), sub(s, p)])
+        assert added == 1
+        assert len(index) == 2
+
+    def test_discard_present(self):
+        index = FactIndex([member(j, s)])
+        assert index.discard(member(j, s)) is True
+        assert len(index) == 0
+        assert member(j, s) not in index
+
+    def test_discard_absent(self):
+        index = FactIndex()
+        assert index.discard(member(j, s)) is False
+
+    def test_discard_then_candidates_empty(self):
+        index = FactIndex([member(j, s)])
+        index.discard(member(j, s))
+        assert list(index.candidates(member(j, X))) == []
+
+
+class TestLookup:
+    def test_contains_and_iter(self):
+        atoms = {member(j, s), sub(s, p)}
+        index = FactIndex(atoms)
+        assert set(index) == atoms
+        assert member(j, s) in index
+        assert member(j, p) not in index
+
+    def test_facts_by_predicate(self):
+        index = FactIndex([member(j, s), sub(s, p)])
+        assert index.facts("member") == frozenset({member(j, s)})
+        assert index.facts("nothing") == frozenset()
+
+    def test_count_and_predicates(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        assert index.count("member") == 2
+        assert index.predicates() == {"member"}
+
+    def test_bool(self):
+        assert not FactIndex()
+        assert FactIndex([member(j, s)])
+
+
+class TestCandidates:
+    def test_bound_position_narrows(self):
+        index = FactIndex([member(j, s), member(j, p), member(Constant("m"), s)])
+        got = set(index.candidates(member(j, X)))
+        assert got == {member(j, s), member(j, p)}
+
+    def test_unbound_pattern_returns_whole_relation(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        got = set(index.candidates(member(Variable("A"), Variable("B"))))
+        assert len(got) == 2
+
+    def test_binding_from_substitution_used(self):
+        index = FactIndex([member(j, s), member(Constant("m"), s)])
+        sigma = Substitution({X: j})
+        got = set(index.candidates(member(X, Variable("C")), sigma))
+        assert got == {member(j, s)}
+
+    def test_no_matching_bound_value_returns_empty(self):
+        index = FactIndex([member(j, s)])
+        assert list(index.candidates(member(Constant("zoe"), X))) == []
+
+    def test_most_selective_position_chosen(self):
+        # j appears in many facts at position 0; s only once at position 1.
+        atoms = [member(j, Constant(f"c{i}")) for i in range(10)] + [member(j, s)]
+        index = FactIndex(atoms)
+        got = list(index.candidates(member(j, s)))
+        assert got == [member(j, s)]
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        index = FactIndex([member(j, s)])
+        clone = index.copy()
+        clone.add(sub(s, p))
+        assert len(index) == 1
+        assert len(clone) == 2
+
+    def test_to_frozenset(self):
+        index = FactIndex([member(j, s)])
+        assert index.to_frozenset() == frozenset({member(j, s)})

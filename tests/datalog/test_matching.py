@@ -1,0 +1,124 @@
+"""Unit tests for conjunction matching (the shared join algorithm)."""
+
+from repro.core.atoms import data, member, sub
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Null, Variable
+from repro.datalog.index import FactIndex
+from repro.datalog.matching import match_conjunction, order_by_selectivity
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def small_index() -> FactIndex:
+    return FactIndex(
+        [
+            member(a, b),
+            member(b, c),
+            sub(b, c),
+            sub(c, c),
+            data(a, b, c),
+        ]
+    )
+
+
+class TestBasicMatching:
+    def test_single_atom_all_matches(self):
+        got = list(match_conjunction((member(X, Y),), small_index()))
+        assert len(got) == 2
+
+    def test_join_via_shared_variable(self):
+        got = list(match_conjunction((member(X, Y), sub(Y, Z)), small_index()))
+        images = {(s[X], s[Y], s[Z]) for s in got}
+        assert images == {(a, b, c), (b, c, c)}
+
+    def test_no_match(self):
+        got = list(match_conjunction((member(c, X),), small_index()))
+        assert got == []
+
+    def test_base_substitution_restricts(self):
+        base = Substitution({X: a})
+        got = list(match_conjunction((member(X, Y),), small_index(), base))
+        assert len(got) == 1 and got[0][Y] == b
+
+    def test_empty_conjunction_yields_base(self):
+        base = Substitution({X: a})
+        got = list(match_conjunction((), small_index(), base))
+        assert got == [base]
+
+    def test_reorder_false_same_results(self):
+        atoms = (member(X, Y), sub(Y, Z), data(X, Y, Z))
+        fast = set(
+            tuple(sorted((v.name, str(t)) for v, t in s.items()))
+            for s in match_conjunction(atoms, small_index(), reorder=True)
+        )
+        slow = set(
+            tuple(sorted((v.name, str(t)) for v, t in s.items()))
+            for s in match_conjunction(atoms, small_index(), reorder=False)
+        )
+        assert fast == slow
+
+
+class TestRequiredFact:
+    def test_only_matches_using_the_fact(self):
+        index = small_index()
+        got = list(
+            match_conjunction(
+                (member(X, Y), sub(Y, Z)), index, required_fact=sub(b, c)
+            )
+        )
+        # sub(Y,Z) must be sub(b,c): Y=b, Z=c; member(X,b) gives X=a.
+        assert len(got) == 1
+        assert (got[0][X], got[0][Y], got[0][Z]) == (a, b, c)
+
+    def test_fact_not_matching_any_atom(self):
+        got = list(
+            match_conjunction((member(X, Y),), small_index(), required_fact=data(a, b, c))
+        )
+        assert got == []
+
+    def test_fact_matching_multiple_positions_deduplicated(self):
+        index = FactIndex([member(a, a)])
+        got = list(
+            match_conjunction(
+                (member(X, Y), member(Y, X)), index, required_fact=member(a, a)
+            )
+        )
+        assert len(got) == 1
+
+    def test_semi_naive_completeness(self):
+        """Every full match that uses the fact is found via required_fact."""
+        index = small_index()
+        atoms = (member(X, Y), sub(Y, Z))
+        full = {
+            (s[X], s[Y], s[Z]) for s in match_conjunction(atoms, index)
+        }
+        via_delta = set()
+        for fact in index:
+            for s in match_conjunction(atoms, index, required_fact=fact):
+                via_delta.add((s[X], s[Y], s[Z]))
+        assert via_delta == full
+
+
+class TestTermFilter:
+    def test_filter_vetoes_bindings(self):
+        index = FactIndex([member(a, b), member(Null(1), b)])
+        no_nulls = lambda var, term: not term.is_null
+        got = list(
+            match_conjunction((member(X, Y),), index, term_filter=no_nulls)
+        )
+        assert len(got) == 1 and got[0][X] == a
+
+
+class TestOrdering:
+    def test_order_by_selectivity_prefers_bound_atoms(self):
+        index = small_index()
+        atoms = [member(X, Y), sub(b, Z)]
+        ordered = order_by_selectivity(atoms, index)
+        assert ordered[0] == sub(b, Z)  # one bound position beats zero
+
+    def test_order_preserves_multiset(self):
+        index = small_index()
+        atoms = [member(X, Y), sub(Y, Z), data(X, Y, Z)]
+        ordered = order_by_selectivity(atoms, index)
+        assert sorted(map(str, ordered)) == sorted(map(str, atoms))

@@ -1,0 +1,135 @@
+"""Unit tests for the dependency model and the Sigma_FL rule set."""
+
+import pytest
+
+from repro.core.atoms import data, funct, mandatory, member, sub, type_
+from repro.core.errors import QueryError
+from repro.core.terms import Variable
+from repro.dependencies import (
+    EGD,
+    RHO1,
+    RHO4,
+    RHO5,
+    SIGMA_FL,
+    SIGMA_FL_FULL_TGDS,
+    SIGMA_FL_MINUS,
+    SIGMA_FL_TGDS,
+    TGD,
+    rule_by_label,
+    sigma_fl_datalog_program,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestTGD:
+    def test_full_tgd_has_no_existentials(self):
+        tgd = TGD(member(X, Y), (member(X, Z), sub(Z, Y)))
+        assert tgd.is_full
+        assert tgd.existential_vars == ()
+
+    def test_existential_detected(self):
+        tgd = TGD(data(X, Y, Z), (mandatory(Y, X),))
+        assert not tgd.is_full
+        assert tgd.existential_vars == (Z,)
+
+    def test_frontier(self):
+        tgd = TGD(data(X, Y, Z), (mandatory(Y, X),))
+        assert tgd.frontier() == {X, Y}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            TGD(member(X, Y), ())
+
+    def test_str_mentions_exists_for_existential(self):
+        tgd = TGD(data(X, Y, Z), (mandatory(Y, X),), label="t")
+        assert "exists Z" in str(tgd)
+
+
+class TestEGD:
+    def test_head_variables_must_be_in_body(self):
+        with pytest.raises(QueryError):
+            EGD((data(X, Y, Z),), Z, Variable("W"))
+
+    def test_valid_egd(self):
+        egd = EGD((data(X, Y, Z), data(X, Y, Variable("W"))), Z, Variable("W"))
+        assert egd.left == Z
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            EGD((), X, Y)
+
+
+class TestSigmaFL:
+    def test_twelve_rules(self):
+        assert len(SIGMA_FL) == 12
+
+    def test_labels_are_paper_numbering(self):
+        assert [d.label for d in SIGMA_FL] == [f"rho{i}" for i in range(1, 13)]
+
+    def test_exactly_one_egd(self):
+        egds = [d for d in SIGMA_FL if isinstance(d, EGD)]
+        assert egds == [RHO4]
+
+    def test_exactly_one_existential_tgd(self):
+        existential = [d for d in SIGMA_FL_TGDS if not d.is_full]
+        assert existential == [RHO5]
+
+    def test_ten_full_tgds(self):
+        assert len(SIGMA_FL_FULL_TGDS) == 10
+
+    def test_sigma_minus_excludes_rho5_only(self):
+        assert len(SIGMA_FL_MINUS) == 11
+        assert RHO5 not in SIGMA_FL_MINUS
+        assert RHO4 in SIGMA_FL_MINUS
+
+    def test_rho1_shape_matches_paper(self):
+        """member(V,T) :- type(O,A,T), data(O,A,V)."""
+        assert RHO1.head.predicate == "member"
+        assert [a.predicate for a in RHO1.body] == ["type", "data"]
+        # The value position of data is the member position 0.
+        assert RHO1.head.args[0] == RHO1.body[1].args[2]
+        # The type position of type is the class position 1.
+        assert RHO1.head.args[1] == RHO1.body[0].args[2]
+
+    def test_rho4_equates_the_two_values(self):
+        assert RHO4.left != RHO4.right
+        value_positions = {RHO4.body[0].args[2], RHO4.body[1].args[2]}
+        assert value_positions == {RHO4.left, RHO4.right}
+
+    def test_rho5_invents_the_value(self):
+        assert RHO5.head.predicate == "data"
+        assert RHO5.existential_vars == (RHO5.head.args[2],)
+
+    def test_rule_by_label(self):
+        assert rule_by_label("rho7") is SIGMA_FL[6]
+
+    def test_rule_by_label_unknown(self):
+        with pytest.raises(KeyError):
+            rule_by_label("rho99")
+
+    def test_datalog_program_has_ten_rules(self):
+        program = sigma_fl_datalog_program()
+        assert len(program) == 10
+        assert program.rules_defining("data") == ()  # rho5 is not Datalog
+
+    @pytest.mark.parametrize(
+        "label,head_pred,body_preds",
+        [
+            ("rho1", "member", ["type", "data"]),
+            ("rho2", "sub", ["sub", "sub"]),
+            ("rho3", "member", ["member", "sub"]),
+            ("rho6", "type", ["member", "type"]),
+            ("rho7", "type", ["sub", "type"]),
+            ("rho8", "type", ["type", "sub"]),
+            ("rho9", "mandatory", ["sub", "mandatory"]),
+            ("rho10", "mandatory", ["member", "mandatory"]),
+            ("rho11", "funct", ["sub", "funct"]),
+            ("rho12", "funct", ["member", "funct"]),
+        ],
+    )
+    def test_full_tgd_shapes(self, label, head_pred, body_preds):
+        rule = rule_by_label(label)
+        assert isinstance(rule, TGD)
+        assert rule.head.predicate == head_pred
+        assert [a.predicate for a in rule.body] == body_preds

@@ -1,0 +1,154 @@
+"""Every experiment must run and make its paper-matching claim hold.
+
+These are the repo's "reproduction regression tests": if a code change
+breaks a paper result, the corresponding experiment's data dict flips a
+flag and the test here fails.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.tables import ExperimentReport, Table
+
+
+class TestHarness:
+    def test_registry_covers_e1_to_e13(self):
+        expected = {f"E{i}" for i in list(range(1, 14))}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive_lookup(self):
+        assert run_experiment("e3").experiment_id == "E3"
+
+    def test_table_rendering(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, True)
+        text = table.render()
+        assert "a" in text and "yes" in text
+
+    def test_table_row_arity_checked(self):
+        table = Table("t", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_report_render_contains_tables_and_summary(self):
+        report = run_experiment("E3")
+        text = report.render()
+        assert "[E3]" in text and report.summary in text
+
+
+class TestE1E2:
+    def test_all_paper_verdicts_match(self):
+        report = run_experiment("E1")
+        assert report.data["matches"] == len(report.data["results"]) == 4
+
+    def test_positive_pairs_invisible_classically(self):
+        report = run_experiment("E1")
+        for row in report.data["results"]:
+            if row["expected_sigma"]:
+                assert row["sigma"] and not row["classic"]
+
+
+class TestE3:
+    def test_head_rewrite_reproduced(self):
+        report = run_experiment("E3")
+        assert report.data["head_matches_paper"]
+        assert report.data["funct_derived_by_rho12"]
+        assert report.data["head_after"] == ("V1", "V1")
+
+
+class TestE4:
+    def test_figure1_chain_and_branch(self):
+        report = run_experiment("E4")
+        assert report.data["chain_found"]
+        assert report.data["branch_found"]
+        assert not report.data["saturated"]  # the chase is infinite
+
+    def test_graph_has_all_arc_kinds(self):
+        report = run_experiment("E4")
+        assert report.data["primary_arcs"] > 0
+        assert report.data["secondary_arcs"] > 0
+        assert report.data["cross_arcs"] > 0
+
+
+class TestE5:
+    def test_no_locality_violations(self):
+        report = run_experiment("E5")
+        assert report.data["violations"] == 0
+        assert report.data["secondary_arcs"] > 0  # the check was not vacuous
+
+
+class TestE6E7:
+    def test_lemma9_holds(self):
+        report = run_experiment("E6")
+        assert report.data["all_hold"]
+        assert any(row["deep"] > 0 for row in report.data["rows"])
+
+    def test_lemma11_holds(self):
+        report = run_experiment("E7")
+        assert report.data["all_hold"]
+        assert report.data["rows"]
+
+
+class TestE8:
+    def test_no_verdict_flips(self):
+        report = run_experiment("E8")
+        assert report.data["flips"] == 0
+        assert report.data["pairs"] >= 20
+
+
+class TestE9:
+    def test_rows_and_monotone_bounds(self):
+        report = run_experiment("E9")
+        rows = report.data["rows"]
+        assert len(rows) >= 3
+        bounds = [r["bound"] for r in rows]
+        assert bounds == sorted(bounds)
+
+
+class TestE10:
+    def test_classic_never_exceeds_sigma(self):
+        report = run_experiment("E10")
+        assert report.data["classic_only"] == 0
+
+    def test_sigma_only_pairs_exist(self):
+        report = run_experiment("E10")
+        assert report.data["sigma_only"] >= 2  # at least the paper's pairs
+
+
+class TestE11:
+    def test_growth_linear_and_ablation_inflates(self):
+        report = run_experiment("E11")
+        assert report.data["linear"]
+        rows = {r["query"]: r for r in report.data["rows"]}
+        assert rows["q_presatisfied"]["oblivious"] > rows["q_presatisfied"]["restricted"]
+
+    def test_acyclic_query_saturates(self):
+        report = run_experiment("E11")
+        rows = {r["query"]: r for r in report.data["rows"]}
+        assert rows["q_mandatory"]["saturates"]
+
+
+class TestE12:
+    def test_bgp_verdicts_match(self):
+        report = run_experiment("E12")
+        assert report.data["all_match"]
+
+
+class TestE13:
+    def test_join_order_ablation(self):
+        report = run_experiment("E13")
+        rows = {r["workload"]: r for r in report.data["rows"]}
+        # On the adversarial chain the heuristic must win clearly.
+        chain = rows["chain"]
+        assert chain["ordered"] < chain["naive"]
+
+
+class TestRunAll:
+    def test_run_all_unique_reports(self):
+        reports = run_all()
+        assert len(reports) == 12  # E1/E2 share one module
+        assert all(isinstance(r, ExperimentReport) for r in reports)

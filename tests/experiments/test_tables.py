@@ -1,0 +1,70 @@
+"""Unit tests for the experiment table/report rendering."""
+
+import pytest
+
+from repro.experiments.tables import ExperimentReport, Table, _format_cell
+
+
+class TestFormatting:
+    def test_bool_renders_yes_no(self):
+        assert _format_cell(True) == "yes"
+        assert _format_cell(False) == "no"
+
+    def test_float_rendering(self):
+        assert _format_cell(0.0) == "0"
+        assert _format_cell(0.25) == "0.25"
+        assert _format_cell(1.0) == "1"
+        assert "e" in _format_cell(0.00001)
+
+    def test_other_types_via_str(self):
+        assert _format_cell(12) == "12"
+        assert _format_cell("text") == "text"
+
+
+class TestTable:
+    def test_alignment(self):
+        table = Table("t", ["col", "x"])
+        table.add_row("a-long-cell", 1)
+        table.add_row("b", 22)
+        lines = table.render().splitlines()
+        # Header underline, then rows all the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_title_underlined(self):
+        table = Table("My Title", ["a"])
+        lines = table.render().splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+    def test_len(self):
+        table = Table("t", ["a"])
+        assert len(table) == 0
+        table.add_row(1)
+        assert len(table) == 1
+
+    def test_add_row_returns_self_for_chaining(self):
+        table = Table("t", ["a"])
+        assert table.add_row(1).add_row(2) is table
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a", "b"]).add_row(1)
+
+
+class TestReport:
+    def test_render_order(self):
+        table = Table("tbl", ["a"])
+        table.add_row(1)
+        report = ExperimentReport(
+            experiment_id="EX",
+            title="demo",
+            tables=[table],
+            summary="the end",
+        )
+        text = report.render()
+        assert text.index("[EX]") < text.index("tbl") < text.index("the end")
+
+    def test_str_equals_render(self):
+        report = ExperimentReport(experiment_id="EX", title="demo")
+        assert str(report) == report.render()

@@ -1,0 +1,123 @@
+"""Unit tests for the weak-acyclicity analyser."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, mandatory, member, sub
+from repro.core.terms import Variable
+from repro.dependencies import (
+    EGD,
+    SIGMA_FL,
+    SIGMA_FL_FULL_TGDS,
+    SIGMA_FL_MINUS,
+    TGD,
+)
+from repro.extensions.weak_acyclicity import (
+    analyse_weak_acyclicity,
+    build_dependency_graph,
+    is_weakly_acyclic,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+p = lambda *args: Atom("p", args)
+q = lambda *args: Atom("q", args)
+
+
+class TestGraphConstruction:
+    def test_regular_edges_from_propagation(self):
+        tgd = TGD(q(X, Y), (p(X, Y),), label="copy")
+        graph = build_dependency_graph([tgd])
+        assert (("p", 0), ("q", 0)) in graph.regular_edges
+        assert (("p", 1), ("q", 1)) in graph.regular_edges
+        assert not graph.special_edges
+
+    def test_special_edges_from_invention(self):
+        tgd = TGD(q(X, Z), (p(X, Y),), label="invent")
+        graph = build_dependency_graph([tgd])
+        assert (("p", 0), ("q", 1)) in graph.special_edges
+        # Y is not exported: no special edge from p[1].
+        assert (("p", 1), ("q", 1)) not in graph.special_edges
+
+    def test_egds_ignored(self):
+        egd = EGD((p(X, Y), p(X, Z)), Y, Z)
+        graph = build_dependency_graph([egd])
+        assert not graph.regular_edges and not graph.special_edges
+
+    def test_networkx_export_flags_special(self):
+        tgd = TGD(q(X, Z), (p(X, Y),))
+        nx_graph = build_dependency_graph([tgd]).to_networkx()
+        specials = [
+            d for _, _, d in nx_graph.edges(data=True) if d["special"]
+        ]
+        assert specials
+
+
+class TestVerdicts:
+    def test_full_tgds_always_weakly_acyclic_here(self):
+        assert is_weakly_acyclic(SIGMA_FL_FULL_TGDS)
+
+    def test_sigma_minus_weakly_acyclic(self):
+        assert is_weakly_acyclic(SIGMA_FL_MINUS)
+
+    def test_sigma_fl_not_weakly_acyclic(self):
+        """The paper's infinite chase, found structurally."""
+        report = analyse_weak_acyclicity(SIGMA_FL)
+        assert not report.weakly_acyclic
+        # The offending loop runs through rho_5's invention position.
+        flattened = {pos for cycle in report.offending_cycles for pos in cycle}
+        assert ("data", 2) in flattened
+
+    def test_self_inventing_tgd_cyclic(self):
+        tgd = TGD(p(Y, Z), (p(X, Y),), label="succ")
+        assert not is_weakly_acyclic([tgd])
+
+    def test_two_rule_invention_cycle(self):
+        """The invented value flows back into the inventing rule's frontier."""
+        t1 = TGD(q(X, Z), (p(X, Y),), label="invent")
+        t2 = TGD(p(Y, X), (q(X, Y),), label="swap_back")
+        assert not is_weakly_acyclic([t1, t2])
+
+    def test_two_rule_no_feedback_is_acyclic(self):
+        """If the null never reaches the inventing frontier, WA holds —
+        and indeed the restricted chase terminates."""
+        t1 = TGD(q(X, Z), (p(X, Y),), label="invent")
+        t2 = TGD(p(X, Y), (q(X, Y),), label="copy_back")
+        assert is_weakly_acyclic([t1, t2])
+
+        from repro.chase.engine import chase
+        from repro.core.query import ConjunctiveQuery
+
+        query = ConjunctiveQuery("qq", (), (p(X, Y),))
+        assert chase(query, dependencies=(t1, t2)).saturated
+
+    def test_invention_without_feedback_acyclic(self):
+        t1 = TGD(q(X, Z), (p(X, Y),), label="invent_only")
+        assert is_weakly_acyclic([t1])
+
+    def test_report_str(self):
+        good = analyse_weak_acyclicity(SIGMA_FL_MINUS)
+        assert "terminates" in str(good)
+        bad = analyse_weak_acyclicity(SIGMA_FL)
+        assert "NOT weakly acyclic" in str(bad)
+
+
+class TestAgreementWithChase:
+    def test_weakly_acyclic_sets_saturate(self):
+        """A weakly acyclic set's chase saturates without a level bound."""
+        from repro.chase.engine import chase
+        from repro.core.query import ConjunctiveQuery
+
+        t1 = TGD(q(X, Z), (p(X, Y),), label="invent_once")
+        query = ConjunctiveQuery("qq", (), (p(X, Y),))
+        assert is_weakly_acyclic([t1])
+        result = chase(query, dependencies=(t1,))
+        assert result.saturated
+
+    def test_non_weakly_acyclic_sigma_fl_matches_cycle_analysis(self):
+        """Structural WA verdict agrees with the P_FL-specific analyser
+        on the paper's Example 2."""
+        from repro.analysis.cycles import predict_chase_termination
+        from repro.workloads import EXAMPLE2_QUERY
+
+        assert not is_weakly_acyclic(SIGMA_FL)
+        report = predict_chase_termination(EXAMPLE2_QUERY)
+        assert not report.guaranteed_terminating

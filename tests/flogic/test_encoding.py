@@ -1,0 +1,149 @@
+"""Unit tests for the F-logic <-> P_FL encoding."""
+
+import pytest
+
+from repro.core.atoms import data, funct, mandatory, member, sub, type_
+from repro.core.errors import EncodingError
+from repro.core.terms import Constant, Variable
+from repro.flogic.ast import (
+    Cardinality,
+    DataAtom,
+    IsaAtom,
+    PredicateAtom,
+    SignatureAtom,
+    SubclassAtom,
+)
+from repro.flogic.encoding import (
+    decode_atom,
+    encode_atom,
+    encode_program,
+    encode_query,
+    encode_rule,
+)
+from repro.flogic.parser import parse_program, parse_statement
+
+j, s, p, n = (Constant(x) for x in ("john", "student", "person", "number"))
+age = Constant("age")
+
+
+class TestEncodeAtom:
+    def test_isa(self):
+        assert encode_atom(IsaAtom(j, s)) == (member(j, s),)
+
+    def test_subclass(self):
+        assert encode_atom(SubclassAtom(s, p)) == (sub(s, p),)
+
+    def test_data(self):
+        assert encode_atom(DataAtom(j, age, Constant("33"))) == (
+            data(j, age, Constant("33")),
+        )
+
+    def test_signature_type_only(self):
+        assert encode_atom(SignatureAtom(p, age, n)) == (type_(p, age, n),)
+
+    def test_signature_mandatory_with_type(self):
+        got = encode_atom(SignatureAtom(p, age, n, Cardinality.MANDATORY))
+        assert set(got) == {mandatory(age, p), type_(p, age, n)}
+
+    def test_signature_functional_with_type(self):
+        got = encode_atom(SignatureAtom(p, age, n, Cardinality.FUNCTIONAL))
+        assert set(got) == {funct(age, p), type_(p, age, n)}
+
+    def test_signature_cardinality_only(self):
+        got = encode_atom(SignatureAtom(p, age, None, Cardinality.MANDATORY))
+        assert got == (mandatory(age, p),)
+
+    def test_signature_nothing_asserted_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_atom(SignatureAtom(p, age, None, None))
+
+    def test_predicate_atom_validated(self):
+        assert encode_atom(PredicateAtom("member", (j, s))) == (member(j, s),)
+        with pytest.raises(Exception):
+            encode_atom(PredicateAtom("likes", (j, s)))
+
+
+class TestEncodeRuleQuery:
+    def test_paper_rule_encodes_to_three_atoms(self):
+        rule = parse_statement("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].")
+        cq = encode_rule(rule)
+        assert cq.name == "q"
+        assert cq.arity == 2
+        assert [a.predicate for a in cq.body] == ["type", "sub", "type"]
+
+    def test_mandatory_molecule_encodes_one_atom(self):
+        rule = parse_statement("q(A,C) :- C[A {1,*} *=> _].")
+        cq = encode_rule(rule)
+        assert [a.predicate for a in cq.body] == ["mandatory"]
+
+    def test_query_head_is_named_vars_in_order(self):
+        ask = parse_statement("?- student[Att*=>string], john[Att->Val].")
+        cq = encode_query(ask)
+        assert [t.name for t in cq.head] == ["Att", "Val"]
+
+    def test_query_anonymous_vars_not_projected(self):
+        ask = parse_statement("?- _:Class.")
+        cq = encode_query(ask)
+        assert [t.name for t in cq.head] == ["Class"]
+
+    def test_encode_program_partitions(self):
+        program = parse_program(
+            """
+            john:student.
+            q(X) :- X:person.
+            ?- X::person.
+            """
+        )
+        facts, rules, queries = encode_program(program)
+        assert facts == (member(j, Constant("student")),)
+        assert len(rules) == 1 and rules[0].name == "q"
+        assert len(queries) == 1 and queries[0].name == "query1"
+
+    def test_fact_with_variable_rejected_on_encode(self):
+        from repro.flogic.ast import FLFact
+
+        bad = FLFact(IsaAtom(Variable("X"), s))
+        from repro.flogic.encoding import encode_fact
+
+        with pytest.raises(EncodingError):
+            encode_fact(bad)
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "atom,expected",
+        [
+            (member(j, s), "john:student"),
+            (sub(s, p), "student::person"),
+            (data(j, age, Constant("33")), "john[age->33]"),
+            (type_(p, age, n), "person[age*=>number]"),
+            (mandatory(age, p), "person[age {1:*} *=> _]"),
+            (funct(age, p), "person[age {0:1} *=> _]"),
+        ],
+    )
+    def test_decode_forms(self, atom, expected):
+        assert decode_atom(atom) == expected
+
+    def test_decode_rejects_non_pfl(self):
+        from repro.core.atoms import Atom
+
+        with pytest.raises(EncodingError):
+            decode_atom(Atom("likes", (j, s)))
+
+    @pytest.mark.parametrize(
+        "atom",
+        [
+            member(j, s),
+            sub(s, p),
+            data(j, age, Constant("33")),
+            type_(p, age, n),
+            mandatory(age, p),
+            funct(age, p),
+        ],
+    )
+    def test_decode_parse_encode_roundtrip(self, atom):
+        """decode -> parse -> encode gives back the original atom."""
+        text = decode_atom(atom) + "."
+        program = parse_program(text)
+        facts, _, _ = encode_program(program)
+        assert atom in facts

@@ -1,0 +1,158 @@
+"""Unit tests for the F-logic Lite knowledge base."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, funct, member
+from repro.core.errors import ChaseFailure, EncodingError, ReproError
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.flogic.kb import Answer, KnowledgeBase
+
+
+class TestLoading:
+    def test_add_pfl_atom(self):
+        kb = KnowledgeBase().add(member(Constant("j"), Constant("c")))
+        assert len(kb) == 1
+
+    def test_add_source_text(self):
+        kb = KnowledgeBase().add("john:student.")
+        assert len(kb) == 1
+
+    def test_load_multiple(self):
+        kb = KnowledgeBase().load("a::b. b::c. x:a.")
+        assert len(kb) == 3
+
+    def test_rules_rejected_in_load(self):
+        with pytest.raises(EncodingError):
+            KnowledgeBase().load("q(X) :- X:c.")
+
+    def test_unground_atom_rejected(self):
+        with pytest.raises(EncodingError):
+            KnowledgeBase().add(member(Variable("X"), Constant("c")))
+
+    def test_base_facts_exposed(self):
+        kb = KnowledgeBase().load("john:student.")
+        assert kb.base_facts == (member(Constant("john"), Constant("student")),)
+
+
+class TestReasoning:
+    def test_subclass_transitivity(self, university_kb):
+        assert university_kb.holds("?- freshman::person.")
+
+    def test_membership_inheritance(self, university_kb):
+        assert university_kb.holds("?- john:person.")
+
+    def test_type_correctness_rho1(self, university_kb):
+        # john[age->33] and person[age*=>number] entail 33:number.
+        assert university_kb.holds("?- 33:number.")
+
+    def test_type_inheritance_to_members(self, university_kb):
+        # john inherits person's age signature.
+        assert university_kb.holds("?- john[age*=>number].")
+
+    def test_materialise_cached(self, university_kb):
+        first = university_kb.materialise()
+        second = university_kb.materialise()
+        assert first is second
+
+    def test_mutation_invalidates_cache(self, university_kb):
+        first = university_kb.materialise()
+        university_kb.add("zoe:student.")
+        second = university_kb.materialise()
+        assert first is not second
+        assert university_kb.holds("?- zoe:person.")
+
+    def test_empty_kb(self):
+        kb = KnowledgeBase()
+        assert len(kb.materialise()) == 0
+        assert kb.ask("?- X:person.") == []
+
+
+class TestConsistency:
+    def test_consistent_kb(self, university_kb):
+        assert university_kb.is_consistent()
+
+    def test_functional_violation_detected(self):
+        kb = KnowledgeBase().load(
+            """
+            person[age {0:1} *=> number].
+            john:person.
+            john[age->33].
+            john[age->44].
+            """
+        )
+        assert not kb.is_consistent()
+        with pytest.raises(ChaseFailure):
+            kb.materialise()
+
+    def test_failure_cached_until_mutation(self):
+        kb = KnowledgeBase()
+        kb.add(funct(Constant("a"), Constant("o")))
+        kb.add(data(Constant("o"), Constant("a"), Constant("x")))
+        kb.add(data(Constant("o"), Constant("a"), Constant("y")))
+        assert not kb.is_consistent()
+        assert not kb.is_consistent()  # cached failure path
+
+
+class TestAsk:
+    def test_paper_meta_query_subclasses(self, university_kb):
+        answers = university_kb.ask("?- X::person.")
+        names = {str(a[0]) for a in answers}
+        assert names == {"freshman", "student", "employee"}
+
+    def test_paper_meta_query_signatures(self, university_kb):
+        answers = university_kb.ask("?- student[Att*=>string].")
+        names = {str(a[0]) for a in answers}
+        assert names == {"name", "major"}
+
+    def test_paper_mixed_query(self, university_kb):
+        answers = university_kb.ask("?- student[Att*=>string], john[Att->Val].")
+        got = {(str(a[0]), str(a[1])) for a in answers}
+        assert got == {("name", "John Doe"), ("major", "CS")}
+
+    def test_rule_style_query(self, university_kb):
+        answers = university_kb.ask("q(X) :- X:person.")
+        assert {str(a[0]) for a in answers} >= {"john", "mary"}
+
+    def test_conjunctive_query_object(self, university_kb):
+        X = Variable("X")
+        q = ConjunctiveQuery("q", (X,), (member(X, Constant("person")),))
+        assert university_kb.ask(q)
+
+    def test_certain_only_filters_invented(self):
+        kb = KnowledgeBase().load(
+            """
+            person[name {1:*} *=> string].
+            bob:person.
+            """
+        )
+        all_answers = kb.ask("?- bob[name->V].")
+        certain = kb.ask("?- bob[name->V].", certain_only=True)
+        assert len(all_answers) == 1 and not all_answers[0].certain
+        assert certain == []
+
+    def test_answers_sorted_deterministically(self, university_kb):
+        first = university_kb.ask("?- X::person.")
+        second = university_kb.ask("?- X::person.")
+        assert first == second == sorted(first, key=lambda a: str(a[0]))
+
+    def test_fact_string_rejected_as_query(self, university_kb):
+        with pytest.raises(ReproError):
+            university_kb.ask("john:student.")
+
+    def test_unknown_type_rejected(self, university_kb):
+        with pytest.raises(TypeError):
+            university_kb.ask(42)  # type: ignore[arg-type]
+
+
+class TestAnswer:
+    def test_certain_flag(self):
+        from repro.core.terms import Null
+
+        assert Answer((Constant("a"),)).certain
+        assert not Answer((Null(1),)).certain
+
+    def test_repr_marks_uncertain(self):
+        from repro.core.terms import Null
+
+        assert "(uncertain)" in repr(Answer((Null(1),)))

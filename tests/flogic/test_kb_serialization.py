@@ -1,0 +1,55 @@
+"""Unit tests for knowledge-base serialisation (save/load/to_flogic)."""
+
+import pytest
+
+from repro.flogic import KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    return KnowledgeBase().load(
+        """
+        student::person.
+        john:student.
+        person[age {0:1} *=> number].
+        john[age->33].
+        """
+    )
+
+
+class TestToFlogic:
+    def test_base_rendering_roundtrips(self, kb):
+        clone = KnowledgeBase().load(kb.to_flogic())
+        assert set(clone.base_facts) == set(kb.base_facts)
+
+    def test_materialised_rendering_includes_entailments(self, kb):
+        text = kb.to_flogic(materialised=True)
+        assert "john:person." in text          # rho3
+        assert "33:number." in text            # rho1
+
+    def test_materialised_rendering_skips_nulls(self):
+        kb = KnowledgeBase().load(
+            "person[ssn {1:*} *=> string]. ada:person."
+        )
+        text = kb.to_flogic(materialised=True)
+        assert "_v" not in text
+
+    def test_materialised_rendering_reparses(self, kb):
+        clone = KnowledgeBase().load(kb.to_flogic(materialised=True))
+        assert clone.is_consistent()
+        assert clone.holds("?- john:person.")
+
+
+class TestSaveLoad:
+    def test_save_then_from_file(self, kb, tmp_path):
+        path = tmp_path / "kb.flq"
+        kb.save(path)
+        loaded = KnowledgeBase.from_file(path)
+        assert set(loaded.base_facts) == set(kb.base_facts)
+        assert loaded.holds("?- john:person.")
+
+    def test_from_file_kwargs(self, kb, tmp_path):
+        path = tmp_path / "kb.flq"
+        kb.save(path)
+        loaded = KnowledgeBase.from_file(path, max_invention_level=2)
+        assert loaded.max_invention_level == 2

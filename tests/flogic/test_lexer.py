@@ -1,0 +1,117 @@
+"""Unit tests for the F-logic Lite tokenizer."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.flogic.lexer import TokenType, tokenize
+
+
+def types(text: str) -> list[TokenType]:
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text: str) -> list[str]:
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_membership(self):
+        assert types("john:student.") == [
+            TokenType.IDENT,
+            TokenType.COLON,
+            TokenType.IDENT,
+            TokenType.DOT,
+        ]
+
+    def test_subclass_double_colon(self):
+        assert types("a::b") == [
+            TokenType.IDENT,
+            TokenType.DOUBLE_COLON,
+            TokenType.IDENT,
+        ]
+
+    def test_implies_vs_colon(self):
+        assert types(":- :")[0] == TokenType.IMPLIES
+        assert types(":- :")[1] == TokenType.COLON
+
+    def test_query_prefix(self):
+        assert types("?- X:c.")[0] == TokenType.QUERY
+
+    def test_data_arrow(self):
+        assert TokenType.ARROW in types("john[age->33]")
+
+    def test_inheritable_arrow(self):
+        assert TokenType.INHERITABLE_ARROW in types("person[age*=>number]")
+
+    def test_plain_arrow_lexed_separately(self):
+        assert TokenType.PLAIN_ARROW in types("person[age=>number]")
+
+    def test_star_alone(self):
+        assert types("{1:*}") == [
+            TokenType.LBRACE,
+            TokenType.NUMBER,
+            TokenType.COLON,
+            TokenType.STAR,
+            TokenType.RBRACE,
+        ]
+
+    def test_variables_vs_constants(self):
+        got = types("X att Att _x _")
+        assert got == [
+            TokenType.VARIABLE,
+            TokenType.IDENT,
+            TokenType.VARIABLE,
+            TokenType.VARIABLE,
+            TokenType.ANON,
+        ]
+
+    def test_numbers(self):
+        assert texts("33 3.14") == ["33", "3.14"]
+
+    def test_number_followed_by_statement_dot(self):
+        got = tokenize("john[age->33].")
+        kinds = [t.type for t in got]
+        assert kinds[-2] == TokenType.DOT  # the dot survives as punctuation
+
+
+class TestStringsAndComments:
+    def test_single_quoted_string(self):
+        tokens = list(tokenize("'John Doe'"))
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "John Doe"
+
+    def test_double_quoted_string(self):
+        assert list(tokenize('"hi"'))[0].text == "hi"
+
+    def test_escaped_quote(self):
+        assert list(tokenize(r"'it\'s'"))[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize("'oops"))
+
+    def test_percent_comment_skipped(self):
+        assert types("% a comment\njohn:c.") == [
+            TokenType.IDENT,
+            TokenType.COLON,
+            TokenType.IDENT,
+            TokenType.DOT,
+        ]
+
+    def test_double_slash_comment(self):
+        assert types("// note\nx:y.")[0] == TokenType.IDENT
+
+
+class TestPositionsAndErrors:
+    def test_line_and_column_tracked(self):
+        tokens = list(tokenize("a:b.\nc:d."))
+        second_line = [t for t in tokens if t.line == 2]
+        assert second_line and second_line[0].text == "c"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            list(tokenize("a @ b"))
+        assert "@" in str(err.value)
+
+    def test_eof_always_last(self):
+        assert list(tokenize(""))[-1].type is TokenType.EOF

@@ -1,0 +1,184 @@
+"""Unit tests for the F-logic Lite parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.terms import Constant, Variable
+from repro.flogic.ast import (
+    Cardinality,
+    DataAtom,
+    FLFact,
+    FLQuery,
+    FLRule,
+    IsaAtom,
+    PredicateAtom,
+    SignatureAtom,
+    SubclassAtom,
+)
+from repro.flogic.parser import parse_program, parse_statement
+
+
+class TestFacts:
+    def test_membership_fact(self):
+        stmt = parse_statement("john:student.")
+        assert isinstance(stmt, FLFact)
+        assert stmt.atom == IsaAtom(Constant("john"), Constant("student"))
+
+    def test_subclass_fact(self):
+        stmt = parse_statement("freshman::student.")
+        assert stmt.atom == SubclassAtom(Constant("freshman"), Constant("student"))
+
+    def test_data_fact(self):
+        stmt = parse_statement("john[age->33].")
+        assert stmt.atom == DataAtom(Constant("john"), Constant("age"), Constant("33"))
+
+    def test_signature_fact_with_type(self):
+        stmt = parse_statement("person[age*=>number].")
+        atom = stmt.atom
+        assert isinstance(atom, SignatureAtom)
+        assert atom.value_type == Constant("number")
+        assert atom.cardinality is None
+
+    def test_signature_with_mandatory_cardinality(self):
+        stmt = parse_statement("person[name {1:*} *=> string].")
+        assert stmt.atom.cardinality is Cardinality.MANDATORY
+
+    def test_signature_with_functional_cardinality(self):
+        stmt = parse_statement("person[age {0:1} *=> number].")
+        assert stmt.atom.cardinality is Cardinality.FUNCTIONAL
+
+    def test_paper_comma_cardinality_variant(self):
+        """The paper writes {1,*} in one example; both separators parse."""
+        stmt = parse_statement("person[name {1,*} *=> string].")
+        assert stmt.atom.cardinality is Cardinality.MANDATORY
+
+    def test_signature_fact_cardinality_only(self):
+        stmt = parse_statement("person[name {1:*} *=> _].")
+        assert stmt.atom.value_type is None
+        assert stmt.atom.cardinality is Cardinality.MANDATORY
+
+    def test_signature_fact_bare_anon_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("person[name *=> _].")
+
+    def test_unsupported_cardinality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("person[kids {2:3} *=> person].")
+
+    def test_plain_arrow_rejected_with_hint(self):
+        with pytest.raises(ParseError) as err:
+            parse_statement("person[age=>number].")
+        assert "F-logic Lite" in str(err.value)
+
+    def test_variable_in_fact_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("X:student.")
+
+    def test_multi_spec_molecule_expands(self):
+        program = parse_program("john[age->33, dept->cs].")
+        assert len(program.statements) == 2
+        assert all(isinstance(s, FLFact) for s in program.statements)
+
+    def test_quoted_string_value(self):
+        stmt = parse_statement("john[name->'John Doe'].")
+        assert stmt.atom.value == Constant("John Doe")
+
+    def test_raw_predicate_fact(self):
+        stmt = parse_statement("member(john, student).")
+        assert stmt.atom == PredicateAtom(
+            "member", (Constant("john"), Constant("student"))
+        )
+
+
+class TestRules:
+    def test_paper_joinable_rule(self):
+        stmt = parse_statement("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].")
+        assert isinstance(stmt, FLRule)
+        assert stmt.head.predicate == "q"
+        assert stmt.head.args == (Variable("A"), Variable("B"))
+        assert len(stmt.body) == 3
+        # The trailing _ became a fresh variable (cardinality-free body sig).
+        last = stmt.body[-1]
+        assert isinstance(last, SignatureAtom)
+        assert last.value_type is not None and last.value_type.is_variable
+
+    def test_cardinality_anon_in_body_drops_type(self):
+        stmt = parse_statement("q(A) :- Class[A {1,*} *=> _].")
+        sig = stmt.body[0]
+        assert sig.value_type is None
+        assert sig.cardinality is Cardinality.MANDATORY
+
+    def test_mixed_predicate_and_molecule_body(self):
+        stmt = parse_statement("q(O) :- member(O, C), C[age*=>number].")
+        assert isinstance(stmt.body[0], PredicateAtom)
+        assert isinstance(stmt.body[1], SignatureAtom)
+
+    def test_anonymous_variables_distinct(self):
+        stmt = parse_statement("q(A) :- T[A*=>_], U[A*=>_].")
+        first = stmt.body[0].value_type
+        second = stmt.body[1].value_type
+        assert first != second
+
+    def test_multi_spec_molecule_in_body(self):
+        stmt = parse_statement("q(O) :- O[age->A, name->N].")
+        assert len(stmt.body) == 2
+
+    def test_isa_in_body(self):
+        stmt = parse_statement("q(X) :- X:person.")
+        assert isinstance(stmt.body[0], IsaAtom)
+
+
+class TestQueries:
+    def test_ask_query(self):
+        stmt = parse_statement("?- X::person.")
+        assert isinstance(stmt, FLQuery)
+        assert isinstance(stmt.body[0], SubclassAtom)
+
+    def test_ask_with_multiple_atoms(self):
+        stmt = parse_statement("?- student[Att*=>string], john[Att->Val].")
+        assert len(stmt.body) == 2
+
+    def test_anon_member_query(self):
+        stmt = parse_statement("?- _:Class.")
+        isa = stmt.body[0]
+        assert isa.instance.is_variable  # expanded to fresh variable
+
+
+class TestProgramsAndErrors:
+    def test_program_with_all_statement_kinds(self):
+        program = parse_program(
+            """
+            % facts
+            john:student.
+            q(X) :- X:student.
+            ?- X:person.
+            """
+        )
+        assert len(program.facts()) == 1
+        assert len(program.rules()) == 1
+        assert len(program.queries()) == 1
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("john:student")
+
+    def test_trailing_garbage_single_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("a:b. c:d.")
+
+    def test_parse_statement_rejects_multi_expansion(self):
+        with pytest.raises(ParseError):
+            parse_statement("john[a->1, b->2].")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("a:b.\nc:::d.")
+        assert err.value.line == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_str_of_parsed_statement_reparses(self):
+        stmt = parse_statement("q(A,B) :- T1[A*=>T2], T2::T3.")
+        again = parse_statement(str(stmt))
+        assert str(again) == str(stmt)

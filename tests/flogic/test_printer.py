@@ -1,0 +1,109 @@
+"""Unit tests for the F-logic pretty-printer."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, funct, mandatory, member, sub, type_
+from repro.core.errors import EncodingError
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.flogic import (
+    encode_program,
+    encode_rule,
+    facts_to_flogic,
+    parse_program,
+    parse_statement,
+    program_to_flogic,
+    query_to_flogic,
+)
+
+j, p, n, age, name = (Constant(x) for x in ("john", "person", "number", "age", "name"))
+
+
+class TestFactsToFlogic:
+    def test_memberships_and_subclasses_one_per_line(self):
+        text = facts_to_flogic([member(j, p), sub(p, Constant("agent"))])
+        assert "john:person." in text
+        assert "person::agent." in text
+
+    def test_frame_specs_grouped_per_host(self):
+        atoms = [
+            data(j, age, Constant("33")),
+            data(j, name, Constant("jd")),
+            type_(p, age, n),
+        ]
+        text = facts_to_flogic(atoms)
+        john_lines = [line for line in text.splitlines() if line.startswith("john[")]
+        assert len(john_lines) == 1
+        assert "age->33" in john_lines[0] and "name->jd" in john_lines[0]
+
+    def test_ungrouped_mode(self):
+        atoms = [data(j, age, Constant("33")), data(j, name, Constant("jd"))]
+        text = facts_to_flogic(atoms, group=False)
+        assert len(text.splitlines()) == 2
+
+    def test_cardinality_atoms_render(self):
+        text = facts_to_flogic([mandatory(name, p), funct(age, p)])
+        assert "name {1:*} *=> _" in text
+        assert "age {0:1} *=> _" in text
+
+    def test_roundtrip_through_parser(self):
+        atoms = [
+            member(j, p),
+            sub(p, Constant("agent")),
+            data(j, age, Constant("33")),
+            type_(p, age, n),
+            mandatory(name, p),
+            funct(age, p),
+        ]
+        text = facts_to_flogic(atoms)
+        facts, _, _ = encode_program(parse_program(text))
+        assert set(facts) == set(atoms)
+
+    def test_rejects_non_pfl(self):
+        with pytest.raises(EncodingError):
+            facts_to_flogic([Atom("likes", (j, p))])
+
+    def test_deterministic(self):
+        atoms = [member(j, p), sub(p, Constant("agent")), data(j, age, Constant("1"))]
+        assert facts_to_flogic(atoms) == facts_to_flogic(reversed(atoms))
+
+
+class TestQueryToFlogic:
+    def test_paper_query_renders_as_molecules(self):
+        q = encode_rule(
+            parse_statement("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>W].")
+        )
+        text = query_to_flogic(q)
+        assert text == "q(A, B) :- T1[A*=>T2], T2::T3, T3[B*=>W]."
+
+    def test_cardinality_molecules(self):
+        q = encode_rule(parse_statement("q(A,C) :- C[A {1,*} *=> _], O:C."))
+        text = query_to_flogic(q)
+        assert "{1:*} *=> _" in text and "O:C" in text
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>W].",
+            "q(V1,V2) :- data(O,A,V1), data(O,A,V2), funct(A,C), member(O,C).",
+            "q(O) :- O:C, C[A {0:1} *=> T].",
+        ],
+    )
+    def test_roundtrip(self, source):
+        q = encode_rule(parse_statement(source))
+        text = query_to_flogic(q)
+        again = encode_rule(parse_statement(text))
+        assert set(again.body) == set(q.body)
+        assert again.head == q.head
+
+
+class TestProgramToFlogic:
+    def test_facts_then_rules(self):
+        q = encode_rule(parse_statement("q(X) :- X:person."))
+        text = program_to_flogic([member(j, p)], [q])
+        lines = text.splitlines()
+        assert lines[0] == "john:person."
+        assert lines[-1].startswith("q(X)")
+
+    def test_empty(self):
+        assert program_to_flogic() == ""

@@ -1,0 +1,122 @@
+"""Unit tests for the homomorphism engine."""
+
+import pytest
+
+from repro.core.atoms import Atom, data, member, sub
+from repro.core.errors import QueryError
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Null, Variable
+from repro.datalog.index import FactIndex
+from repro.homomorphism import (
+    all_homomorphisms,
+    all_query_homomorphisms,
+    find_homomorphism,
+    find_query_homomorphism,
+    head_seed,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestHeadSeed:
+    def test_binds_head_variables(self):
+        seed = head_seed((X, Y), (a, b))
+        assert seed is not None and seed[X] == a and seed[Y] == b
+
+    def test_repeated_variable_consistent(self):
+        assert head_seed((X, X), (a, a)) is not None
+        assert head_seed((X, X), (a, b)) is None
+
+    def test_constant_must_equal_target(self):
+        assert head_seed((a,), (a,)) is not None
+        assert head_seed((a,), (b,)) is None
+
+    def test_arity_mismatch(self):
+        assert head_seed((X,), (a, b)) is None
+
+    def test_empty_heads(self):
+        seed = head_seed((), ())
+        assert seed is not None and len(seed) == 0
+
+
+class TestInstanceHomomorphisms:
+    def index(self):
+        return FactIndex([member(a, b), member(b, c), sub(b, c)])
+
+    def test_enumerates_answers(self):
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        answers = {s[X] for s in all_homomorphisms(q, self.index())}
+        assert answers == {a, b}
+
+    def test_head_target_filters(self):
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        got = list(all_homomorphisms(q, self.index(), head_target=(b,)))
+        assert len(got) == 1 and got[0][X] == b
+
+    def test_impossible_head_target_short_circuits(self):
+        q = ConjunctiveQuery("q", (a,), (member(X, Y),))
+        assert list(all_homomorphisms(q, self.index(), head_target=(c,))) == []
+
+    def test_find_returns_first_or_none(self):
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), sub(Y, Z)))
+        assert find_homomorphism(q, self.index()) is not None
+        q_bad = ConjunctiveQuery("q", (X,), (member(X, a),))
+        assert find_homomorphism(q_bad, self.index()) is None
+
+    def test_variables_may_map_to_nulls(self):
+        index = FactIndex([Atom("member", (Null(1), a))])
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        sigma = find_homomorphism(q, index)
+        assert sigma is not None and sigma[X] == Null(1)
+
+    def test_constants_never_map_to_nulls(self):
+        index = FactIndex([Atom("member", (Null(1), a))])
+        q = ConjunctiveQuery("q", (), (member(b, a),))
+        assert find_homomorphism(q, index) is None
+
+
+class TestQueryHomomorphisms:
+    def test_identity_homomorphism_exists(self):
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        assert find_query_homomorphism(q, q) is not None
+
+    def test_specialisation_direction(self):
+        """q2 = q1 + extra atom: hom q1 -> q2 exists (q2 contained in q1)."""
+        q1 = ConjunctiveQuery("q1", (X,), (member(X, Y),))
+        q2 = ConjunctiveQuery("q2", (X,), (member(X, Y), sub(Y, Z)))
+        assert find_query_homomorphism(q1, q2) is not None
+        assert find_query_homomorphism(q2, q1) is None
+
+    def test_head_must_map_to_head(self):
+        q1 = ConjunctiveQuery("q1", (X,), (member(X, Y),))
+        q2 = ConjunctiveQuery("q2", (Y,), (member(X, Y),))
+        # body(q1) maps into body(q2), but head X must land on q2's head Y.
+        sigma = find_query_homomorphism(q1, q2)
+        assert sigma is None
+
+    def test_constant_heads(self):
+        q1 = ConjunctiveQuery("q1", (a,), (member(a, Y),))
+        q2 = ConjunctiveQuery("q2", (a,), (member(a, b),))
+        assert find_query_homomorphism(q1, q2) is not None
+
+    def test_arity_mismatch_raises(self):
+        q1 = ConjunctiveQuery("q1", (X,), (member(X, Y),))
+        q2 = ConjunctiveQuery("q2", (X, Y), (member(X, Y),))
+        with pytest.raises(QueryError):
+            find_query_homomorphism(q1, q2)
+
+    def test_shared_variable_names_no_leak(self):
+        """q and target may reuse names; matching treats target vars as values."""
+        q1 = ConjunctiveQuery("q1", (X,), (member(X, Y),))
+        q2 = ConjunctiveQuery("q2", (Y,), (member(Y, X),))
+        sigma = find_query_homomorphism(q1, q2)
+        assert sigma is not None
+        assert sigma[X] == Y and sigma[Y] == X
+
+    def test_all_query_homomorphisms_counts(self):
+        q1 = ConjunctiveQuery("q1", (), (member(X, Y),))
+        q2 = ConjunctiveQuery(
+            "q2", (), (member(a, b), member(b, c))
+        )
+        assert len(list(all_query_homomorphisms(q1, q2))) == 2

@@ -1,0 +1,148 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def pair_file(tmp_path):
+    path = tmp_path / "pair.flq"
+    path.write_text(
+        "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].\n"
+        "qq(A,B) :- T1[A*=>T2], T2[B*=>_].\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def kb_file(tmp_path):
+    path = tmp_path / "kb.flq"
+    path.write_text(
+        "student::person.\njohn:student.\nperson[name {1:*} *=> string].\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def cyclic_file(tmp_path):
+    path = tmp_path / "cyc.flq"
+    path.write_text("q() :- C[A {1,*} *=> _], C[A *=> C].\n")
+    return str(path)
+
+
+class TestCheck:
+    def test_positive_containment_exit_zero(self, pair_file, capsys):
+        assert main(["check", pair_file]) == 0
+        out = capsys.readouterr().out
+        assert "⊆" in out and "classic" in out
+
+    def test_negative_containment_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "neg.flq"
+        path.write_text(
+            "q(A) :- T1[A*=>T2].\nqq(A) :- T1[A*=>T2], T2::T3.\n"
+        )
+        assert main(["check", str(path)]) == 1
+
+    def test_single_rule_is_an_error(self, tmp_path):
+        path = tmp_path / "one.flq"
+        path.write_text("q(A) :- T1[A*=>T2].\n")
+        assert main(["check", str(path)]) == 2
+
+    def test_level_bound_flag(self, pair_file):
+        assert main(["check", pair_file, "--level-bound", "3"]) == 0
+
+
+class TestChase:
+    def test_chase_prints_levels(self, pair_file, capsys):
+        assert main(["chase", pair_file]) == 0
+        out = capsys.readouterr().out
+        assert "L0" in out
+
+    def test_chase_graph_flag(self, cyclic_file, capsys):
+        assert main(["chase", cyclic_file, "--graph", "--max-level", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "level 0:" in out
+
+    def test_failed_chase_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "fail.flq"
+        path.write_text(
+            "q() :- data(O, A, red), data(O, A, blue), funct(A, O).\n"
+        )
+        assert main(["chase", str(path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestAsk:
+    def test_answers_printed(self, kb_file, capsys):
+        assert main(["ask", kb_file, "?- X:person."]) == 0
+        assert "john" in capsys.readouterr().out
+
+    def test_no_answers_exit_one(self, kb_file):
+        assert main(["ask", kb_file, "?- X:robot."]) == 1
+
+    def test_certain_flag_filters_invented(self, kb_file, capsys):
+        assert main(["ask", kb_file, "?- john[name->V]."]) == 0
+        assert main(["ask", kb_file, "?- john[name->V].", "--certain"]) == 1
+
+
+class TestMinimize:
+    def test_reducible_rule_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "redundant.flq"
+        path.write_text("q(O) :- member(O, C), sub(C, D), member(O, D).\n")
+        assert main(["minimize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 -> 2 conjuncts" in out
+
+    def test_minimal_rule_exit_one(self, pair_file):
+        assert main(["minimize", pair_file]) == 1
+
+
+class TestClassify:
+    def test_taxonomy_printed(self, tmp_path, capsys):
+        path = tmp_path / "taxo.flq"
+        path.write_text(
+            "qa(O, C) :- member(O, C).\n"
+            "qb(O, C) :- member(O, D), sub(D, C).\n"
+        )
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(most general)" in out and "⊑" in out
+
+
+class TestExplain:
+    def test_derivation_printed(self, kb_file, capsys):
+        assert main(["explain", kb_file, "john:person."]) == 0
+        out = capsys.readouterr().out
+        assert "[rho3]" in out and "[initial]" in out
+
+    def test_unentailed_fact_error(self, kb_file, capsys):
+        assert main(["explain", kb_file, "john:robot."]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOther:
+    def test_termination_cyclic_exit_one(self, cyclic_file, capsys):
+        assert main(["termination", cyclic_file]) == 1
+        assert "cycle" in capsys.readouterr().out
+
+    def test_termination_acyclic_exit_zero(self, pair_file):
+        assert main(["termination", pair_file]) == 0
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "E3"]) == 0
+        assert "[E3]" in capsys.readouterr().out
+
+    def test_parse_error_reported_as_repro_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.flq"
+        path.write_text("q(A) :- ???.\n")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_shell_subcommand_scripted(self, kb_file, capsys, monkeypatch):
+        import io
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("?- X:person.\n.quit\n"))
+        assert main(["shell", kb_file]) == 0
+        assert "john" in capsys.readouterr().out

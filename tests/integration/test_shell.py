@@ -1,0 +1,126 @@
+"""Integration tests for the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.flogic import KnowledgeBase
+from repro.shell import Shell, run_shell
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    return Shell(out=out), out
+
+
+def feed(shell_pair, *lines):
+    shell, out = shell_pair
+    for line in lines:
+        alive = shell.handle(line)
+        if not alive:
+            return out.getvalue(), False
+    return out.getvalue(), True
+
+
+class TestStatements:
+    def test_assert_fact(self, shell):
+        text, alive = feed(shell, "john:student.")
+        assert "ok" in text and alive
+        assert len(shell[0].kb) == 1
+
+    def test_ask_query_with_answers(self, shell):
+        text, _ = feed(shell, "john:student.", "student::person.", "?- X:person.")
+        assert "john" in text
+
+    def test_ask_query_without_answers(self, shell):
+        text, _ = feed(shell, "?- X:person.")
+        assert "no" in text
+
+    def test_boolean_query_yes(self, shell):
+        text, _ = feed(shell, "a:b.", "?- a:b.")
+        assert "yes" in text
+
+    def test_rule_style_query(self, shell):
+        text, _ = feed(shell, "a:b.", "q(X) :- X:b.")
+        assert "a" in text
+
+    def test_parse_error_reported_not_fatal(self, shell):
+        text, alive = feed(shell, "q(A :-", "a:b.")
+        assert "error" in text and alive
+        assert len(shell[0].kb) == 1
+
+    def test_blank_and_comment_lines_ignored(self, shell):
+        text, alive = feed(shell, "", "   ", "% comment", "// comment")
+        assert alive and text == ""
+
+
+class TestDotCommands:
+    def test_help(self, shell):
+        text, _ = feed(shell, ".help")
+        assert ".facts" in text and ".quit" in text
+
+    def test_facts_empty_and_filled(self, shell):
+        text, _ = feed(shell, ".facts")
+        assert "(empty)" in text
+        text, _ = feed(shell, "a:b.", ".facts")
+        assert "a:b." in text
+
+    def test_schema(self, shell):
+        text, _ = feed(shell, "b::c.", "x:b.", ".schema")
+        assert "b::c." in text and "x:b" not in text.split(".schema")[-1]
+
+    def test_consistent(self, shell):
+        text, _ = feed(shell, ".consistent")
+        assert "consistent" in text
+
+    def test_explain(self, shell):
+        text, _ = feed(
+            shell, "a:b.", "b::c.", ".explain a:c."
+        )
+        assert "[rho3]" in text
+
+    def test_explain_usage(self, shell):
+        text, _ = feed(shell, ".explain")
+        assert "usage" in text
+
+    def test_save_and_load(self, shell, tmp_path):
+        path = tmp_path / "dump.flq"
+        text, _ = feed(shell, "a:b.", f".save {path}")
+        assert "saved 1 facts" in text
+        fresh = Shell(out=io.StringIO())
+        fresh.handle(f".load {path}")
+        assert len(fresh.kb) == 1
+
+    def test_load_missing_file(self, shell):
+        text, _ = feed(shell, ".load /nonexistent/nope.flq")
+        assert "error" in text
+
+    def test_unknown_command(self, shell):
+        text, _ = feed(shell, ".bogus")
+        assert "unknown command" in text
+
+    def test_quit_stops(self, shell):
+        _, alive = feed(shell, ".quit")
+        assert not alive
+
+
+class TestRunShell:
+    def test_scripted_session(self):
+        source = io.StringIO(
+            "john:student.\nstudent::person.\n?- X:person.\n.quit\n"
+        )
+        out = io.StringIO()
+        code = run_shell(input_stream=source, out=out)
+        assert code == 0
+        assert "john" in out.getvalue()
+
+    def test_eof_terminates(self):
+        out = io.StringIO()
+        assert run_shell(input_stream=io.StringIO(""), out=out) == 0
+
+    def test_preloaded_kb(self):
+        kb = KnowledgeBase().load("a:b.")
+        out = io.StringIO()
+        run_shell(kb, input_stream=io.StringIO("?- X:b.\n"), out=out)
+        assert "a" in out.getvalue()

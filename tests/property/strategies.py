@@ -1,0 +1,53 @@
+"""Hypothesis strategies for terms, atoms, substitutions and queries."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.atoms import P_FL_ARITIES, Atom
+from repro.core.query import ConjunctiveQuery
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Null, Variable
+
+constants = st.sampled_from([Constant(f"c{i}") for i in range(6)])
+variables = st.sampled_from([Variable(f"X{i}") for i in range(6)])
+nulls = st.sampled_from([Null(i) for i in range(1, 5)])
+
+terms = st.one_of(constants, variables, nulls)
+values = st.one_of(constants, nulls)  # ground terms
+
+
+@st.composite
+def pfl_atoms(draw, term_strategy=terms):
+    predicate = draw(st.sampled_from(sorted(P_FL_ARITIES)))
+    arity = P_FL_ARITIES[predicate]
+    args = tuple(draw(term_strategy) for _ in range(arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def ground_pfl_atoms(draw):
+    return draw(pfl_atoms(term_strategy=values))
+
+
+@st.composite
+def substitutions(draw):
+    keys = draw(st.lists(variables, unique=True, max_size=4))
+    return Substitution({k: draw(terms) for k in keys})
+
+
+@st.composite
+def conjunctive_queries(draw, max_atoms: int = 4):
+    body = tuple(
+        draw(pfl_atoms(term_strategy=st.one_of(constants, variables)))
+        for _ in range(draw(st.integers(1, max_atoms)))
+    )
+    body_vars = sorted(
+        {v for atom in body for v in atom.variables()}, key=lambda v: v.name
+    )
+    if body_vars:
+        arity = draw(st.integers(0, min(2, len(body_vars))))
+        head = tuple(draw(st.permutations(body_vars))[:arity])
+    else:
+        head = ()
+    return ConjunctiveQuery("h", head, body)

@@ -1,0 +1,134 @@
+"""Property-based tests for chase invariants.
+
+The central invariant: a *saturated* chase result is a model of the
+dependency set — no full TGD can derive a new conjunct, the EGD has no
+violating pair, and every mandatory attribute has a value (restricted
+rho_5 satisfaction).  Hypothesis drives this over random queries.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import chase
+from repro.core.atoms import DATA, FUNCT, MANDATORY
+from repro.core.errors import ChaseBudgetExceeded
+from repro.datalog.matching import match_conjunction
+from repro.dependencies import RHO4, RHO5, SIGMA_FL_FULL_TGDS
+from repro.homomorphism.search import find_homomorphism
+
+from .strategies import conjunctive_queries
+
+CHASE_SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def run_chase(query):
+    """Chase with a generous level bound; skip budget blow-ups."""
+    try:
+        return chase(query, max_level=16, max_steps=20_000)
+    except ChaseBudgetExceeded:
+        assume(False)
+
+
+class TestModelProperty:
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_full_tgds_satisfied_when_saturated(self, query):
+        result = run_chase(query)
+        assume(not result.failed and result.saturated)
+        index = result.instance.index
+        for tgd in SIGMA_FL_FULL_TGDS:
+            for sigma in match_conjunction(tgd.body, index):
+                assert sigma.apply_atom(tgd.head) in index, (
+                    f"{tgd.label} violated by {sigma}"
+                )
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_egd_satisfied(self, query):
+        result = run_chase(query)
+        assume(not result.failed)
+        index = result.instance.index
+        for sigma in match_conjunction(RHO4.body, index):
+            assert sigma.apply_term(RHO4.left) == sigma.apply_term(RHO4.right)
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_mandatory_attributes_have_values_when_saturated(self, query):
+        result = run_chase(query)
+        assume(not result.failed and result.saturated)
+        index = result.instance.index
+        for fact in index.facts(MANDATORY):
+            attr, host = fact.args
+            has_value = any(
+                d.args[0] == host and d.args[1] == attr for d in index.facts(DATA)
+            )
+            assert has_value, f"mandatory({attr},{host}) has no data value"
+
+
+class TestStructuralInvariants:
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_query_maps_into_own_chase(self, query):
+        """Theorem 4's easy direction: q ⊆ q via the chase."""
+        result = run_chase(query)
+        assume(not result.failed)
+        witness = find_homomorphism(
+            query, result.instance.index, head_target=result.head
+        )
+        assert witness is not None
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_levels_within_bound(self, query):
+        result = run_chase(query)
+        assume(not result.failed)
+        assert result.level_reached <= 16
+        for atom in result.instance:
+            assert 0 <= result.instance.level_of(atom) <= 16
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=4))
+    def test_chase_deterministic(self, query):
+        first = run_chase(query)
+        second = run_chase(query)
+        if first.failed:
+            assert second.failed
+        else:
+            assert first.atoms() == second.atoms()
+            assert first.head == second.head
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=3))
+    def test_funct_never_violated_with_two_values(self, query):
+        """After the chase, a functional attribute has at most one value."""
+        result = run_chase(query)
+        assume(not result.failed)
+        index = result.instance.index
+        functional = {(f.args[0], f.args[1]) for f in index.facts(FUNCT)}
+        for attr, host in functional:
+            values = {
+                d.args[2]
+                for d in index.facts(DATA)
+                if d.args[0] == host and d.args[1] == attr
+            }
+            assert len(values) <= 1
+
+    @CHASE_SETTINGS
+    @given(conjunctive_queries(max_atoms=3))
+    def test_oblivious_contains_restricted(self, query):
+        """The oblivious chase derives a superset, up to null renaming.
+
+        We compare sizes per predicate, which is renaming-invariant.
+        """
+        try:
+            restricted = chase(query, max_level=8, max_steps=20_000)
+            oblivious = chase(
+                query, max_level=8, max_steps=20_000, restricted=False
+            )
+        except ChaseBudgetExceeded:
+            assume(False)
+        assume(not restricted.failed and not oblivious.failed)
+        for predicate in ("member", "sub", "data", "type", "mandatory", "funct"):
+            assert oblivious.instance.index.count(
+                predicate
+            ) >= restricted.instance.index.count(predicate)

@@ -1,0 +1,125 @@
+"""Property-based tests for the core kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.errors import UnificationError
+from repro.core.substitution import Substitution, match_atom, unify_atoms
+from repro.core.terms import Variable
+from repro.datalog.index import FactIndex
+from repro.datalog.matching import match_conjunction
+
+from .strategies import (
+    conjunctive_queries,
+    ground_pfl_atoms,
+    pfl_atoms,
+    substitutions,
+    terms,
+    variables,
+)
+
+
+class TestSubstitutionLaws:
+    @given(substitutions(), pfl_atoms())
+    def test_application_preserves_shape(self, sigma, atom):
+        image = sigma.apply_atom(atom)
+        assert image.predicate == atom.predicate
+        assert image.arity == atom.arity
+
+    @given(substitutions(), substitutions(), pfl_atoms())
+    def test_compose_is_sequential_application(self, s1, s2, atom):
+        assert s1.compose(s2).apply_atom(atom) == s2.apply_atom(s1.apply_atom(atom))
+
+    @given(substitutions(), pfl_atoms())
+    def test_empty_compose_identity(self, sigma, atom):
+        lhs = sigma.compose(Substitution.EMPTY)
+        rhs = Substitution.EMPTY.compose(sigma)
+        assert lhs.apply_atom(atom) == rhs.apply_atom(atom) == sigma.apply_atom(atom)
+
+    @given(substitutions())
+    def test_restrict_subset_of_domain(self, sigma):
+        sub = sigma.restrict(list(sigma.domain())[:1])
+        assert sub.domain() <= sigma.domain()
+
+
+class TestMatchingProperties:
+    @given(pfl_atoms(), ground_pfl_atoms())
+    def test_match_is_sound(self, pattern, fact):
+        sigma = match_atom(pattern, fact)
+        if sigma is not None:
+            assert sigma.apply_atom(pattern) == fact
+
+    @given(ground_pfl_atoms())
+    def test_ground_atom_matches_itself_empty(self, fact):
+        sigma = match_atom(fact, fact)
+        assert sigma is not None
+        assert sigma.apply_atom(fact) == fact
+
+    @given(pfl_atoms(), pfl_atoms())
+    def test_unify_produces_unifier(self, left, right):
+        try:
+            sigma = unify_atoms(left, right)
+        except UnificationError:
+            return
+        assert sigma.apply_atom(left) == sigma.apply_atom(right)
+
+    @given(pfl_atoms(), pfl_atoms())
+    def test_unifier_idempotent(self, left, right):
+        try:
+            sigma = unify_atoms(left, right)
+        except UnificationError:
+            return
+        once = sigma.apply_atom(left)
+        assert sigma.apply_atom(once) == once
+
+
+class TestIndexProperties:
+    @given(st.lists(ground_pfl_atoms(), max_size=20))
+    def test_index_models_a_set(self, atoms):
+        index = FactIndex(atoms)
+        assert set(index) == set(atoms)
+        assert len(index) == len(set(atoms))
+
+    @given(st.lists(ground_pfl_atoms(), max_size=15), st.lists(ground_pfl_atoms(), max_size=5))
+    def test_discard_inverse_of_add(self, base, removed):
+        index = FactIndex(base)
+        for atom in removed:
+            index.discard(atom)
+        assert set(index) == set(base) - set(removed)
+
+    @given(st.lists(ground_pfl_atoms(), max_size=20), pfl_atoms())
+    def test_candidates_lose_no_matches(self, atoms, pattern):
+        """Index-pruned matching equals brute force."""
+        index = FactIndex(atoms)
+        via_candidates = {
+            fact
+            for fact in index.candidates(pattern)
+            if match_atom(pattern, fact) is not None
+        }
+        brute = {fact for fact in set(atoms) if match_atom(pattern, fact) is not None}
+        assert via_candidates == brute
+
+
+class TestConjunctionProperties:
+    @settings(max_examples=40)
+    @given(conjunctive_queries(max_atoms=3), st.lists(ground_pfl_atoms(), max_size=12))
+    def test_every_match_maps_body_into_index(self, query, atoms):
+        index = FactIndex(atoms)
+        for sigma in match_conjunction(query.body, index):
+            for atom in query.body:
+                assert sigma.apply_atom(atom) in index
+
+    @settings(max_examples=40)
+    @given(conjunctive_queries(max_atoms=2), st.lists(ground_pfl_atoms(), max_size=10))
+    def test_reorder_invariance(self, query, atoms):
+        index = FactIndex(atoms)
+        fast = {
+            tuple(sorted((v.name, str(t)) for v, t in s.items()))
+            for s in match_conjunction(query.body, index, reorder=True)
+        }
+        slow = {
+            tuple(sorted((v.name, str(t)) for v, t in s.items()))
+            for s in match_conjunction(query.body, index, reorder=False)
+        }
+        assert fast == slow

@@ -1,0 +1,76 @@
+"""Property-based tests: constructive excision vs bounded-image search."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import ChaseGraph, chase
+from repro.chase.excision import excise
+from repro.chase.paths import bounded_image, equivalent
+from repro.core.errors import ChaseBudgetExceeded
+from repro.workloads import QueryGenParams, QueryGenerator
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+def cyclic_chase(seed: int, cycle_length: int):
+    params = QueryGenParams(
+        n_atoms=2 * cycle_length,
+        cycle_length=cycle_length,
+        head_arity=0,
+        constant_probability=0.0,
+    )
+    query = QueryGenerator(seed, params).query()
+    delta = 2 * query.size
+    try:
+        result = chase(query, max_level=3 * delta, track_graph=True)
+    except ChaseBudgetExceeded:
+        assume(False)
+    assume(not result.failed)
+    return query, result, delta
+
+
+class TestExcisionProperties:
+    @SETTINGS
+    @given(st.integers(0, 500), st.integers(1, 3))
+    def test_excision_succeeds_wherever_search_does(self, seed, cycle_length):
+        query, result, delta = cyclic_chase(seed, cycle_length)
+        instance = result.instance
+        graph = ChaseGraph.from_result(result)
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        for atom in deep:
+            searched = bounded_image(instance, atom, delta)
+            constructed = excise(graph, instance, atom, delta)
+            assert (searched is None) == (constructed is None)
+            if constructed is not None:
+                assert graph.level(constructed.result) <= delta
+                assert equivalent(atom, constructed.result)
+
+    @SETTINGS
+    @given(st.integers(0, 500), st.integers(1, 2))
+    def test_excision_levels_strictly_decrease(self, seed, cycle_length):
+        query, result, delta = cyclic_chase(seed, cycle_length)
+        instance = result.instance
+        graph = ChaseGraph.from_result(result)
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        assume(deep)
+        atom = max(deep, key=instance.level_of)
+        trace = excise(graph, instance, atom, delta)
+        assume(trace is not None)
+        levels = [graph.level(trace.start)] + [
+            graph.level(clip.after) for clip in trace.clips
+        ]
+        assert all(a > b for a, b in zip(levels, levels[1:]))
+
+    @SETTINGS
+    @given(st.integers(0, 500))
+    def test_clip_pairs_are_equivalent(self, seed):
+        query, result, delta = cyclic_chase(seed, 2)
+        instance = result.instance
+        graph = ChaseGraph.from_result(result)
+        deep = [a for a in instance if instance.level_of(a) > delta]
+        assume(deep)
+        trace = excise(graph, instance, deep[-1], delta)
+        assume(trace is not None and trace.clips)
+        for clip in trace.clips:
+            assert equivalent(clip.upper, clip.lower)
+            assert clip.levels_saved > 0

@@ -1,0 +1,97 @@
+"""Additional RDF bridge coverage: graph API, schema corner cases."""
+
+import pytest
+
+from repro.core.terms import Constant, Variable
+from repro.flogic.kb import KnowledgeBase
+from repro.rdf import (
+    RDFS_RESOURCE,
+    BGPQuery,
+    Graph,
+    Triple,
+    TriplePattern,
+    encode_graph,
+    encode_pattern,
+    term,
+)
+
+
+class TestGraphAPI:
+    def test_add_is_chainable_and_deduplicates(self):
+        g = Graph().add("a", "p", "b").add("a", "p", "b")
+        assert len(g) == 1
+
+    def test_contains(self):
+        g = Graph().add("a", "p", "b")
+        assert Triple("a", "p", "b") in g
+        assert Triple("a", "p", "c") not in g
+
+    def test_iteration(self):
+        triples = {Triple("a", "p", "b"), Triple("c", "q", "d")}
+        g = Graph(triples)
+        assert set(g) == triples
+
+    def test_repr(self):
+        assert "2 triples" in repr(Graph().add("a", "p", "b").add("c", "q", "d"))
+
+    def test_triple_str(self):
+        assert str(Triple("a", "p", "b")) == "a p b ."
+
+
+class TestEncodingCornerCases:
+    def test_subclass_chain_entails_transitively(self):
+        g = (
+            Graph()
+            .add("a", "rdfs:subClassOf", "b")
+            .add("b", "rdfs:subClassOf", "c")
+            .add("x", "rdf:type", "a")
+        )
+        kb = KnowledgeBase()
+        for atom in encode_graph(g):
+            kb.add(atom)
+        assert kb.holds("?- x:c.")
+
+    def test_domain_declaration_encodes_signature(self):
+        g = Graph().add("age", "rdfs:domain", "person")
+        atoms = encode_graph(g)
+        assert any(
+            a.predicate == "type"
+            and a.args[0] == Constant("person")
+            and a.args[2] == RDFS_RESOURCE
+            for a in atoms
+        )
+
+    def test_rdf_type_objects_not_made_resources(self):
+        """Class terms of rdf:type triples are not data entities."""
+        g = Graph().add("x", "rdf:type", "person")
+        atoms = encode_graph(g)
+        member_atoms = [a for a in atoms if a.predicate == "member"]
+        # x:person and x:rdfs_resource, but not person:rdfs_resource.
+        targets = {str(a.args[1]) for a in member_atoms if str(a.args[0]) == "person"}
+        assert targets == set()
+
+    def test_pattern_with_constant_subject(self):
+        pattern = TriplePattern(term("john"), term("rdf:type"), term("?c"))
+        encoded = encode_pattern(pattern)[0]
+        assert encoded.args[0] == Constant("john")
+        assert isinstance(encoded.args[1], Variable)
+
+    def test_schema_pattern_positions(self):
+        pattern = TriplePattern(term("?c"), term("rdfs:subClassOf"), term("?d"))
+        encoded = encode_pattern(pattern)[0]
+        assert encoded.predicate == "sub"
+
+    def test_range_pattern(self):
+        pattern = TriplePattern(term("?p"), term("rdfs:range"), term("?t"))
+        # Predicate is a constant rdfs:range: interpreted structurally.
+        encoded = encode_pattern(
+            TriplePattern(term("age"), term("rdfs:range"), term("?t"))
+        )[0]
+        assert encoded.predicate == "type"
+        assert encoded.args[0] == RDFS_RESOURCE
+
+    def test_bgp_str(self):
+        x = Variable("x")
+        q = BGPQuery("q", (x,), (TriplePattern(x, term("p"), term("o")),))
+        assert "SELECT ?x" in str(q)
+        assert "WHERE" in str(q)
