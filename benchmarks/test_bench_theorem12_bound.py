@@ -35,3 +35,31 @@ class TestTheorem12Bound:
         result = benchmark(decide)
         assert result.contained
         assert result.level_bound == theorem12_bound(EXAMPLE2_QUERY, q2)
+
+    def test_inflated_recheck_is_extend_only(self, benchmark):
+        """Re-checking at 4x the bound must extend the stored chase, never
+        re-run it: the ChaseStore counters show zero extra full chases."""
+        from repro.flogic import encode_rule, parse_statement
+
+        # Example 2's chase is infinite, so the 1x prefix cannot already
+        # cover the 4x bound — the re-check genuinely needs deeper levels.
+        q2 = encode_rule(
+            parse_statement("qq() :- data(X1, A1, Y1), data(Y1, A1, Z1).")
+        )
+        base = theorem12_bound(EXAMPLE2_QUERY, q2)
+
+        def check_then_recheck_inflated():
+            checker = ContainmentChecker()
+            first = checker.check(EXAMPLE2_QUERY, q2, level_bound=base)
+            inflated = checker.check(EXAMPLE2_QUERY, q2, level_bound=4 * base)
+            return checker, first, inflated
+
+        checker, first, inflated = benchmark(check_then_recheck_inflated)
+        assert first.contained == inflated.contained
+        assert first.chase_outcome == "full-chase"
+        assert inflated.chase_outcome == "cache-extend"
+        stats = checker.stats
+        assert stats.full_chases == 1, f"re-chase detected: {stats}"
+        assert stats.extensions == 1
+        run = checker.store.peek(EXAMPLE2_QUERY)
+        assert run is not None and run.bound >= 4 * base

@@ -1,9 +1,9 @@
 """The chase: instances, the Definition-2 engine, the chase graph and paths."""
 
-from .engine import ChaseConfig, ChaseEngine, ChaseResult, chase
+from .engine import ChaseConfig, ChaseEngine, ChaseResult, ChaseRun, chase
 from .excision import Clip, ExcisionTrace, backward_primary_path, excise
 from .graph import ChaseGraph, GraphArc
-from .instance import Arc, ChaseInstance, Derivation, INITIAL_RULE_LABEL
+from .instance import Arc, ChaseInstance, Derivation, INITIAL_RULE_LABEL, LevelPrefixView
 from .paths import (
     bounded_image,
     bounded_image_of_set,
@@ -21,7 +21,9 @@ __all__ = [
     "ChaseEngine",
     "ChaseConfig",
     "ChaseResult",
+    "ChaseRun",
     "ChaseInstance",
+    "LevelPrefixView",
     "Arc",
     "Derivation",
     "INITIAL_RULE_LABEL",

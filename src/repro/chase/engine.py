@@ -38,13 +38,13 @@ from ..core.atoms import Atom
 from ..core.errors import ChaseBudgetExceeded, ChaseFailure
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
-from ..core.terms import NullFactory, Term, Variable
+from ..core.terms import NullFactory, Term, Variable, term_sort_key
 from ..datalog.matching import match_conjunction
 from ..dependencies.dependency import EGD, TGD, Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
 from .instance import ChaseInstance
 
-__all__ = ["ChaseConfig", "ChaseResult", "ChaseEngine", "chase"]
+__all__ = ["ChaseConfig", "ChaseResult", "ChaseEngine", "ChaseRun", "chase"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,9 @@ class ChaseResult:
     level_reached: int
     elapsed_seconds: float
     rule_applications: dict[str, int] = field(default_factory=dict)
+    #: How many incremental prefix extensions produced this result (0 for a
+    #: single fresh run; see :class:`ChaseRun`).
+    extensions: int = 0
 
     @property
     def head(self) -> tuple[Term, ...]:
@@ -147,6 +150,16 @@ class ChaseEngine:
 
     # -- public API ----------------------------------------------------------
 
+    def start(self, query: ConjunctiveQuery) -> "ChaseRun":
+        """Open a resumable chase session for *query*.
+
+        Nothing is chased until :meth:`ChaseRun.extend_to` is called; the
+        returned run checkpoints its frontier between extensions, so
+        growing a bound-``b`` prefix to ``b' > b`` costs only the new
+        levels.
+        """
+        return ChaseRun(self, query)
+
     def run(self, query: ConjunctiveQuery) -> ChaseResult:
         """Chase *query*; chase failure is reported in the result, not raised.
 
@@ -154,36 +167,7 @@ class ChaseEngine:
         that signals a configuration problem (an unbounded chase of a
         cyclic query), not a property of the query.
         """
-        start = time.perf_counter()
-        instance = ChaseInstance(
-            query.canonical_atoms(), query.head, track_graph=self.config.track_graph
-        )
-        nulls = NullFactory()
-        counters: dict[str, int] = {}
-        try:
-            self._saturate_level_zero(instance, counters)
-            saturated = self._existential_phase(instance, nulls, counters)
-        except ChaseFailure:
-            return ChaseResult(
-                query=query,
-                instance=None,
-                failed=True,
-                saturated=True,
-                steps=sum(counters.values()),
-                level_reached=0,
-                elapsed_seconds=time.perf_counter() - start,
-                rule_applications=counters,
-            )
-        return ChaseResult(
-            query=query,
-            instance=instance,
-            failed=False,
-            saturated=saturated,
-            steps=sum(counters.values()),
-            level_reached=instance.max_level(),
-            elapsed_seconds=time.perf_counter() - start,
-            rule_applications=counters,
-        )
+        return self.start(query).extend_to(self.config.max_level).result()
 
     # -- phase 1: Sigma minus existential rules, everything at level 0 --------
 
@@ -223,91 +207,6 @@ class ChaseEngine:
             additions = [a for a in additions if a in instance]
             additions.extend(instance.drain_dirty())
             delta = additions
-
-    # -- phase 2: full dependency set with level accounting --------------------
-
-    def _existential_phase(
-        self,
-        instance: ChaseInstance,
-        nulls: NullFactory,
-        counters: dict[str, int],
-    ) -> bool:
-        """Run the leveled phase; return True when the chase saturated."""
-        config = self.config
-        all_tgds = self._full_tgds + self._existential_tgds
-        truncated = False
-        delta: list[Atom] = list(instance)
-        while delta:
-            additions: list[Atom] = []
-            for fact in delta:
-                if fact not in instance:
-                    continue
-                for tgd in all_tgds:
-                    matches = list(
-                        match_conjunction(
-                            tgd.body,
-                            instance.index,
-                            required_fact=fact,
-                            reorder=config.reorder_join,
-                        )
-                    )
-                    for sigma in matches:
-                        added = self._apply_tgd(instance, tgd, sigma, nulls)
-                        if added is not None:
-                            if added is _LEVEL_CAPPED:
-                                truncated = True
-                                continue
-                            counters[tgd.label] = counters.get(tgd.label, 0) + 1
-                            additions.append(added)
-                            self._check_step_budget(counters)
-            self._egd_fixpoint(instance, delta=additions)
-            additions = [a for a in additions if a in instance]
-            additions.extend(instance.drain_dirty())
-            delta = additions
-        return not truncated
-
-    def _apply_tgd(
-        self,
-        instance: ChaseInstance,
-        tgd: TGD,
-        sigma: Substitution,
-        nulls: NullFactory,
-    ):
-        """One Definition-2 rule-(2) step.
-
-        Returns the added conjunct, ``None`` when the rule was not
-        applicable (head already present — a cross-arc is recorded), or the
-        ``_LEVEL_CAPPED`` sentinel when the application was suppressed by
-        the level bound.
-        """
-        # The trigger may predate an EGD merge executed earlier in this
-        # round; re-check that its body image still exists.
-        body_imgs = [sigma.apply_atom(b) for b in tgd.body]
-        if any(img not in instance for img in body_imgs):
-            return None
-        parents = self._parent_ids(instance, sigma, tgd)
-        level = 1 + max(instance.level_of_id(p) for p in parents)
-        if tgd.is_full:
-            head_img = sigma.apply_atom(tgd.head)
-            if head_img in instance:
-                instance.record_cross_arc(parents, head_img, tgd.label)
-                return None
-        else:
-            pattern = sigma.apply_atom(tgd.head)
-            if self.config.restricted:
-                witness = self._find_head_witness(
-                    instance, pattern, set(tgd.existential_vars)
-                )
-                if witness is not None:
-                    # Definition 3(4)(ii): the extension mu' exists; record
-                    # the cross-arc and do not fire.
-                    instance.record_cross_arc(parents, witness, tgd.label)
-                    return None
-            head_img = self._instantiate_nulls(pattern, tgd, nulls)
-        if self.config.max_level is not None and level > self.config.max_level:
-            return _LEVEL_CAPPED
-        instance.add(head_img, level=level, rule=tgd.label, parents=parents)
-        return head_img
 
     @staticmethod
     def _find_head_witness(
@@ -449,6 +348,271 @@ class _LevelCapped:
 
 
 _LEVEL_CAPPED = _LevelCapped()
+
+
+class ChaseRun:
+    """A resumable chase session: chase once, extend incrementally.
+
+    Created by :meth:`ChaseEngine.start`.  The run owns every piece of
+    state a chase needs to continue where it stopped — the instance (with
+    its union-find of EGD merges), the null factory, the per-rule counters
+    and, crucially, the **checkpointed frontier**: every trigger whose
+    head level exceeded the last bound is kept as a pending trigger
+    instead of being discarded.  :meth:`extend_to` replays that frontier
+    under the new bound and resumes the semi-naive rounds, so extending a
+    bound-``b`` prefix to ``b' > b`` performs only the work of levels
+    ``b+1 .. b'`` — never a re-run from scratch.
+
+    Pending triggers store their homomorphism *as captured*; replay
+    resolves every bound term through the instance's merge map first, so a
+    trigger survives EGD rewrites that happened after it was checkpointed
+    (exactly as the rewritten conjunct would have re-fed the semi-naive
+    delta in a fresh run).
+    """
+
+    def __init__(self, engine: ChaseEngine, query: ConjunctiveQuery):
+        self.engine = engine
+        self.query = query
+        self.instance = ChaseInstance(
+            query.canonical_atoms(),
+            query.head,
+            track_graph=engine.config.track_graph,
+        )
+        self.nulls = NullFactory()
+        self.counters: dict[str, int] = {}
+        self.failed = False
+        self.saturated = False
+        #: Highest level bound chased so far; -1 until the first extension.
+        self.bound = -1
+        #: Number of incremental extensions after the initial chase.
+        self.extensions = 0
+        self.elapsed_seconds = 0.0
+        self._level_zero_done = False
+        self._started = False
+        self._pending: dict[tuple, tuple[TGD, Substitution]] = {}
+        self._snapshot: Optional[ChaseResult] = None
+
+    # -- state queries -------------------------------------------------------
+
+    @property
+    def pending_triggers(self) -> int:
+        """Size of the checkpointed frontier (triggers beyond the bound)."""
+        return len(self._pending)
+
+    def covers(self, level_bound: Optional[int]) -> bool:
+        """Whether this run already answers questions at *level_bound*.
+
+        A failed or saturated run covers every bound (the full chase is a
+        prefix of itself); otherwise the run covers bounds up to the one
+        it was extended to.  ``None`` asks for the unbounded chase.
+        """
+        if self.failed or self.saturated:
+            return True
+        if level_bound is None:
+            return False
+        return level_bound <= self.bound
+
+    # -- extension -----------------------------------------------------------
+
+    def extend_to(self, level_bound: Optional[int]) -> "ChaseRun":
+        """Ensure the prefix holds every conjunct up to *level_bound*.
+
+        Idempotent when the run already covers the bound.  ``None`` chases
+        to saturation (which raises :class:`ChaseBudgetExceeded` on cyclic
+        queries, as a fresh unbounded run would).  Chase failure is
+        recorded on the run, not raised.
+        """
+        if self.covers(level_bound):
+            return self
+        start = time.perf_counter()
+        is_extension = self._started
+        try:
+            if not self._level_zero_done:
+                self.engine._saturate_level_zero(self.instance, self.counters)
+                self._level_zero_done = True
+            self._existential_rounds(level_bound)
+            if level_bound is not None:
+                self.bound = level_bound
+            else:
+                self.bound = max(self.bound, self.instance.max_level())
+        except ChaseFailure:
+            self.failed = True
+            self.saturated = True
+            self._pending.clear()
+        finally:
+            if is_extension:
+                self.extensions += 1
+            self._started = True
+            self.elapsed_seconds += time.perf_counter() - start
+            self._snapshot = None
+        return self
+
+    def result(self) -> ChaseResult:
+        """A :class:`ChaseResult` snapshot of the run's current state.
+
+        The same object is returned until the next extension, so callers
+        caching on identity (the containment checker does) see one result
+        per reached bound.  The instance inside is the live one — restrict
+        through :meth:`ChaseInstance.up_to_level` when a smaller prefix is
+        needed.
+        """
+        if self._snapshot is None:
+            if self.failed:
+                self._snapshot = ChaseResult(
+                    query=self.query,
+                    instance=None,
+                    failed=True,
+                    saturated=True,
+                    steps=sum(self.counters.values()),
+                    level_reached=0,
+                    elapsed_seconds=self.elapsed_seconds,
+                    rule_applications=self.counters,
+                    extensions=self.extensions,
+                )
+            else:
+                self._snapshot = ChaseResult(
+                    query=self.query,
+                    instance=self.instance,
+                    failed=False,
+                    saturated=self.saturated,
+                    steps=sum(self.counters.values()),
+                    level_reached=self.instance.max_level(),
+                    elapsed_seconds=self.elapsed_seconds,
+                    rule_applications=self.counters,
+                    extensions=self.extensions,
+                )
+        return self._snapshot
+
+    # -- the leveled phase, resumable ---------------------------------------
+
+    def _existential_rounds(self, level_bound: Optional[int]) -> None:
+        engine = self.engine
+        instance = self.instance
+        config = engine.config
+        all_tgds = engine._full_tgds + engine._existential_tgds
+
+        # Replay the checkpointed frontier under the (larger) new bound.
+        pending = list(self._pending.values())
+        self._pending = {}
+        additions: list[Atom] = []
+        for tgd, sigma in pending:
+            self._fire(tgd, self._resolve_sigma(sigma), level_bound, additions)
+        if not self._started:
+            delta: list[Atom] = list(instance)
+        else:
+            engine._egd_fixpoint(instance, delta=additions)
+            additions = [a for a in additions if a in instance]
+            additions.extend(instance.drain_dirty())
+            delta = additions
+
+        while delta:
+            additions = []
+            for fact in delta:
+                if fact not in instance:
+                    continue
+                for tgd in all_tgds:
+                    matches = list(
+                        match_conjunction(
+                            tgd.body,
+                            instance.index,
+                            required_fact=fact,
+                            reorder=config.reorder_join,
+                        )
+                    )
+                    for sigma in matches:
+                        self._fire(tgd, sigma, level_bound, additions)
+            engine._egd_fixpoint(instance, delta=additions)
+            additions = [a for a in additions if a in instance]
+            additions.extend(instance.drain_dirty())
+            delta = additions
+        self.saturated = not self._pending
+
+    def _fire(
+        self,
+        tgd: TGD,
+        sigma: Substitution,
+        level_bound: Optional[int],
+        additions: list[Atom],
+    ) -> None:
+        added = self._apply_tgd(tgd, sigma, level_bound)
+        if added is None or added is _LEVEL_CAPPED:
+            return
+        self.counters[tgd.label] = self.counters.get(tgd.label, 0) + 1
+        additions.append(added)
+        self.engine._check_step_budget(self.counters)
+
+    def _apply_tgd(self, tgd: TGD, sigma: Substitution, level_bound: Optional[int]):
+        """One Definition-2 rule-(2) step.
+
+        Returns the added conjunct, ``None`` when the rule was not
+        applicable (head already present — a cross-arc is recorded), or
+        the ``_LEVEL_CAPPED`` sentinel when the application was suppressed
+        by the level bound — in which case the trigger is checkpointed for
+        the next extension.
+        """
+        instance = self.instance
+        engine = self.engine
+        # The trigger may predate an EGD merge executed earlier in this
+        # round; re-check that its body image still exists.
+        body_imgs = [sigma.apply_atom(b) for b in tgd.body]
+        if any(img not in instance for img in body_imgs):
+            return None
+        parents = engine._parent_ids(instance, sigma, tgd)
+        level = 1 + max(instance.level_of_id(p) for p in parents)
+        if tgd.is_full:
+            head_img = sigma.apply_atom(tgd.head)
+            if head_img in instance:
+                instance.record_cross_arc(parents, head_img, tgd.label)
+                return None
+        else:
+            pattern = sigma.apply_atom(tgd.head)
+            if engine.config.restricted:
+                witness = engine._find_head_witness(
+                    instance, pattern, set(tgd.existential_vars)
+                )
+                if witness is not None:
+                    # Definition 3(4)(ii): the extension mu' exists; record
+                    # the cross-arc and do not fire.
+                    instance.record_cross_arc(parents, witness, tgd.label)
+                    return None
+            head_img = engine._instantiate_nulls(pattern, tgd, self.nulls)
+        if level_bound is not None and level > level_bound:
+            self._pend(tgd, sigma)
+            return _LEVEL_CAPPED
+        instance.add(head_img, level=level, rule=tgd.label, parents=parents)
+        return head_img
+
+    # -- frontier checkpointing ----------------------------------------------
+
+    def _pend(self, tgd: TGD, sigma: Substitution) -> None:
+        resolved = self._resolve_sigma(sigma)
+        key = (
+            tgd.label,
+            tuple(
+                sorted(
+                    ((v.name, term_sort_key(resolved[v])) for v in resolved),
+                )
+            ),
+        )
+        self._pending.setdefault(key, (tgd, resolved))
+
+    def _resolve_sigma(self, sigma: Substitution) -> Substitution:
+        """Rewrite a checkpointed trigger through the EGD merge map."""
+        resolved = {v: self.instance.resolve_term(t) for v, t in sigma.items()}
+        if all(resolved[v] == sigma[v] for v in resolved):
+            return sigma
+        return Substitution(resolved)
+
+    def __repr__(self) -> str:
+        status = (
+            "failed"
+            if self.failed
+            else ("saturated" if self.saturated else f"bound {self.bound}")
+        )
+        return (
+            f"ChaseRun({self.query.name}: {status}, {len(self.instance)} conjuncts, "
+            f"{self.extensions} extensions, {self.pending_triggers} pending)"
+        )
 
 
 def chase(

@@ -27,7 +27,13 @@ from ..core.errors import ChaseFailure
 from ..core.terms import Constant, Term, term_sort_key
 from ..datalog.index import FactIndex
 
-__all__ = ["Arc", "Derivation", "ChaseInstance", "INITIAL_RULE_LABEL"]
+__all__ = [
+    "Arc",
+    "Derivation",
+    "ChaseInstance",
+    "LevelPrefixView",
+    "INITIAL_RULE_LABEL",
+]
 
 #: Rule label used for the conjuncts the chase starts from (body of q).
 INITIAL_RULE_LABEL = "initial"
@@ -148,6 +154,16 @@ class ChaseInstance:
     def atoms_up_to_level(self, bound: int) -> list[Atom]:
         """Current conjuncts whose level does not exceed *bound*."""
         return [a for a in self._index if self.level_of(a) <= bound]
+
+    def up_to_level(self, bound: int) -> "LevelPrefixView":
+        """A read-only, index-protocol view of the first *bound* levels.
+
+        O(1) to construct — nothing is copied; matching filters lazily by
+        level.  The view is a snapshot *by reference*: it stays correct
+        only while the instance is not mutated, so take it fresh per
+        search (the containment checker does).
+        """
+        return LevelPrefixView(self, bound)
 
     def arcs(self) -> tuple[Arc, ...]:
         """All recorded chase-graph arcs (ids are raw; resolve via atom_of)."""
@@ -332,3 +348,85 @@ class ChaseInstance:
         width = max((len(r[1]) for r in rows), default=10)
         lines = [f"  L{lvl:<3} {text:<{width}}  [{rule}]" for lvl, text, rule in rows]
         return "\n".join(lines)
+
+
+class LevelPrefixView:
+    """The first ``bound`` levels of a chase instance, as a fact index.
+
+    Implements the read side of the :class:`~repro.datalog.index.FactIndex`
+    protocol (``candidates``, ``count``, ``facts``, containment, iteration)
+    by filtering the instance's backing index through its level map — the
+    homomorphism search and conjunction matcher run against it unchanged.
+    Construction copies nothing; per-predicate counts are memoised on
+    first use, so the selectivity join-order heuristic stays cheap.
+    """
+
+    __slots__ = ("_instance", "_bound", "_counts", "_len")
+
+    def __init__(self, instance: ChaseInstance, bound: int):
+        self._instance = instance
+        self._bound = bound
+        self._counts: dict[str, int] = {}
+        self._len: Optional[int] = None
+
+    @property
+    def bound(self) -> int:
+        return self._bound
+
+    def _visible(self, atom: Atom) -> bool:
+        return self._instance.level_of(atom) <= self._bound
+
+    # -- FactIndex read protocol -------------------------------------------
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._instance.index and self._visible(atom)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return (a for a in self._instance.index if self._visible(a))
+
+    def __len__(self) -> int:
+        if self._len is None:
+            self._len = sum(1 for _ in self)
+        return self._len
+
+    def __bool__(self) -> bool:
+        return any(True for _ in self)
+
+    def predicates(self) -> set[str]:
+        return {p for p in self._instance.index.predicates() if self.count(p)}
+
+    def facts(self, predicate: str) -> frozenset[Atom]:
+        return frozenset(
+            a for a in self._instance.index.facts(predicate) if self._visible(a)
+        )
+
+    def count(self, predicate: str) -> int:
+        cached = self._counts.get(predicate)
+        if cached is None:
+            cached = sum(
+                1
+                for a in self._instance.index.facts(predicate)
+                if self._visible(a)
+            )
+            self._counts[predicate] = cached
+        return cached
+
+    def candidates(self, pattern: Atom, sigma=None) -> Iterable[Atom]:
+        from ..core.substitution import Substitution
+
+        if sigma is None:
+            sigma = Substitution.EMPTY
+        return (
+            a
+            for a in self._instance.index.candidates(pattern, sigma)
+            if self._visible(a)
+        )
+
+    def to_frozenset(self) -> frozenset[Atom]:
+        return frozenset(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"LevelPrefixView(levels<={self._bound} of "
+            f"{len(self._instance)}-conjunct instance)"
+        )

@@ -69,14 +69,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 2
     checker = ContainmentChecker()
     q1 = queries[0]
+    # Batch pipeline: q1 is chased once to the largest bound any q2 needs,
+    # and every verdict is answered against a level view of that prefix.
+    results = checker.check_all(
+        [(q1, q2) for q2 in queries[1:]], level_bound=args.level_bound
+    )
     status = 0
-    for q2 in queries[1:]:
-        result = checker.check(q1, q2, level_bound=args.level_bound)
+    for q2, result in zip(queries[1:], results):
         classic = contained_classic(q1, q2)
         print(result.explain())
         print(f"  (classic, constraint-free verdict: {classic.contained})")
         if not result.contained:
             status = 1
+    if args.stats:
+        print(f"chase store: {checker.stats}")
     return status
 
 
@@ -182,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the Theorem-12 chase level bound",
+    )
+    p_check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print chase-store hit/miss/extend counters after the verdicts",
     )
     p_check.set_defaults(func=_cmd_check)
 

@@ -4,6 +4,7 @@ from .bounded import ContainmentChecker, is_contained, theorem12_bound
 from .classic import contained_classic
 from .minimize import MinimizationResult, minimize_query
 from .result import ContainmentReason, ContainmentResult
+from .store import ChaseStore, StoreStats
 
 __all__ = [
     "is_contained",
@@ -14,4 +15,6 @@ __all__ = [
     "ContainmentReason",
     "minimize_query",
     "MinimizationResult",
+    "ChaseStore",
+    "StoreStats",
 ]

@@ -14,6 +14,15 @@ deterministic realisation of the paper's NP algorithm: the
 nondeterministic guess of Theorem 13 becomes backtracking, and a positive
 answer carries the polynomial certificate (the witness homomorphism and
 the prefix it maps into).
+
+Chase work is shared through a :class:`~repro.containment.store.ChaseStore`
+session: chases are keyed on the query's canonical (alpha-invariant) form
+and stored as resumable :class:`~repro.chase.engine.ChaseRun` objects, so
+a check at a larger bound *extends* the stored prefix instead of
+re-chasing, and rename-apart variants of one query share a single chase.
+:meth:`ContainmentChecker.check_all` batches many pairs: pairs are grouped
+by ``q1``, each group is chased once to the maximum required bound, and
+every ``q2`` is answered against a level-restricted view of that prefix.
 """
 
 from __future__ import annotations
@@ -21,15 +30,15 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional, Sequence
 
-from ..chase.engine import ChaseConfig, ChaseEngine, ChaseResult
+from ..chase.engine import ChaseResult
 from ..core.atoms import Atom
 from ..core.errors import QueryError
 from ..core.query import ConjunctiveQuery
-from ..datalog.index import FactIndex
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
 from ..homomorphism.search import find_homomorphism
 from .result import ContainmentReason, ContainmentResult
+from .store import ChaseStore
 
 __all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
 
@@ -53,6 +62,11 @@ class ContainmentChecker:
         Forwarded to the chase and homomorphism engines (ablation D4).
     max_steps:
         Forwarded to the chase engine's safety valve.
+    store:
+        An existing :class:`ChaseStore` to draw chases from.  Pass one
+        store to several checkers (or to minimisation / UCQ containment)
+        to share the chase pool; by default the checker owns a private
+        store configured from the other parameters.
     """
 
     def __init__(
@@ -61,40 +75,40 @@ class ContainmentChecker:
         *,
         reorder_join: bool = True,
         max_steps: Optional[int] = 200_000,
+        store: Optional[ChaseStore] = None,
     ):
-        self.dependencies = tuple(dependencies)
+        if store is None:
+            store = ChaseStore(
+                dependencies, reorder_join=reorder_join, max_steps=max_steps
+            )
+        self.store = store
+        self.dependencies = store.dependencies
         self.reorder_join = reorder_join
         self.max_steps = max_steps
-        self._chase_cache: dict[tuple[ConjunctiveQuery, int], ChaseResult] = {}
+
+    @property
+    def stats(self):
+        """The shared store's hit/miss/extend counters."""
+        return self.store.stats
 
     # -- chase -------------------------------------------------------------
 
     def chase_prefix(self, query: ConjunctiveQuery, level_bound: int) -> ChaseResult:
-        """Chase *query* up to *level_bound* levels (cached per checker).
+        """Chase *query* up to *level_bound* levels via the shared store.
 
-        A cached result computed with a bound ``b >= level_bound`` that
-        *saturated* is reused directly: the full chase is a prefix of
-        itself at every bound.
+        Lookup is one O(1) probe keyed on the query's canonical form — a
+        cached prefix computed at a larger bound (or one that saturated or
+        failed) is reused directly, and a prefix computed at a *smaller*
+        bound is incrementally extended, never re-chased.
         """
-        hit = self._chase_cache.get((query, level_bound))
-        if hit is not None:
-            return hit
-        for (cached_query, cached_bound), result in self._chase_cache.items():
-            if cached_query == query and (
-                result.saturated or result.failed or cached_bound >= level_bound
-            ):
-                return result
-        engine = ChaseEngine(
-            self.dependencies,
-            ChaseConfig(
-                max_level=level_bound,
-                max_steps=self.max_steps,
-                reorder_join=self.reorder_join,
-            ),
-        )
-        result = engine.run(query)
-        self._chase_cache[(query, level_bound)] = result
+        result, _ = self._chase_for(query, level_bound)
         return result
+
+    def _chase_for(
+        self, query: ConjunctiveQuery, level_bound: Optional[int]
+    ) -> tuple[ChaseResult, str]:
+        run, outcome = self.store.run_for(query, level_bound)
+        return run.result(), outcome
 
     # -- decision ------------------------------------------------------------
 
@@ -120,25 +134,91 @@ class ContainmentChecker:
         universal for exactly those databases.  ``q1 ⊆ q2`` relative to a
         schema is weaker than absolute containment: e.g. ``B:book``
         implies ``B:publication`` only relative to a schema containing
-        ``book::publication``.
+        ``book::publication``.  The conjoined schema is part of the
+        chase-cache key, so checks against different schemas never share
+        (or contaminate) a cached prefix.
         """
-        if schema is not None:
-            schema_atoms = tuple(schema)
-            for atom in schema_atoms:
-                if not atom.is_ground:
-                    raise QueryError(
-                        f"schema atoms must be ground, got {atom}"
-                    )
-            if schema_atoms:
-                q1 = q1.with_body(q1.body + schema_atoms)
+        q1 = self._apply_schema(q1, schema)
+        self._require_equal_arity(q1, q2)
+        start = time.perf_counter()
+        bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
+        chase_result, outcome = self._chase_for(q1, bound)
+        return self._decide(q1, q2, bound, chase_result, outcome, start)
+
+    def check_all(
+        self,
+        pairs: Iterable[tuple[ConjunctiveQuery, ConjunctiveQuery]],
+        *,
+        level_bound: Optional[int] = None,
+        schema: Optional[Iterable[Atom]] = None,
+    ) -> list[ContainmentResult]:
+        """Decide many ``q1 ⊆ q2`` pairs, chasing each distinct ``q1`` once.
+
+        The batch pipeline groups pairs by the canonical form of ``q1``,
+        chases each group's query a single time to the *maximum* bound any
+        of its pairs needs, and answers every ``q2`` against a level view
+        of that one prefix.  Results come back in input order and are
+        identical (verdict-wise) to calling :meth:`check` per pair — the
+        batch only reorganises the chase work.
+        """
+        schema_atoms = tuple(schema) if schema is not None else None
+        prepared: list[tuple[ConjunctiveQuery, ConjunctiveQuery, int]] = []
+        for q1, q2 in pairs:
+            q1 = self._apply_schema(q1, schema_atoms)
+            self._require_equal_arity(q1, q2)
+            bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
+            prepared.append((q1, q2, bound))
+
+        groups: dict[tuple, list[int]] = {}
+        for i, (q1, _, _) in enumerate(prepared):
+            groups.setdefault(q1.canonical_key(), []).append(i)
+
+        results: list[Optional[ContainmentResult]] = [None] * len(prepared)
+        for indexes in groups.values():
+            max_bound = max(prepared[i][2] for i in indexes)
+            representative = prepared[indexes[0]][0]
+            chase_result, outcome = self._chase_for(representative, max_bound)
+            for i in indexes:
+                q1, q2, bound = prepared[i]
+                start = time.perf_counter()
+                results[i] = self._decide(
+                    q1, q2, bound, chase_result, outcome, start
+                )
+        return [r for r in results if r is not None]
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _apply_schema(
+        q1: ConjunctiveQuery, schema: Optional[Iterable[Atom]]
+    ) -> ConjunctiveQuery:
+        if schema is None:
+            return q1
+        schema_atoms = tuple(schema)
+        for atom in schema_atoms:
+            if not atom.is_ground:
+                raise QueryError(f"schema atoms must be ground, got {atom}")
+        if not schema_atoms:
+            return q1
+        return q1.with_body(q1.body + schema_atoms)
+
+    @staticmethod
+    def _require_equal_arity(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> None:
         if q1.arity != q2.arity:
             raise QueryError(
                 f"containment requires equal arity: "
                 f"{q1.name}/{q1.arity} vs {q2.name}/{q2.arity}"
             )
-        start = time.perf_counter()
-        bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
-        chase_result = self.chase_prefix(q1, bound)
+
+    def _decide(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        chase_result: ChaseResult,
+        outcome: str,
+        start: float,
+    ) -> ContainmentResult:
         if chase_result.failed:
             return ContainmentResult(
                 q1=q1,
@@ -148,12 +228,14 @@ class ContainmentChecker:
                 chase_result=chase_result,
                 level_bound=bound,
                 elapsed_seconds=time.perf_counter() - start,
+                chase_outcome=outcome,
             )
         assert chase_result.instance is not None
         # The chase may have been produced under a larger cached bound;
-        # restrict the search to the first `bound` levels regardless.
+        # restrict the search to the first `bound` levels regardless.  The
+        # restriction is a zero-copy level view of the shared instance.
         if chase_result.level_reached > bound:
-            prefix = FactIndex(chase_result.instance.atoms_up_to_level(bound))
+            prefix = chase_result.instance.up_to_level(bound)
         else:
             prefix = chase_result.instance.index
         witness = find_homomorphism(
@@ -170,6 +252,7 @@ class ContainmentChecker:
                 chase_result=chase_result,
                 level_bound=bound,
                 elapsed_seconds=elapsed,
+                chase_outcome=outcome,
             )
         return ContainmentResult(
             q1=q1,
@@ -179,6 +262,7 @@ class ContainmentChecker:
             chase_result=chase_result,
             level_bound=bound,
             elapsed_seconds=elapsed,
+            chase_outcome=outcome,
         )
 
 

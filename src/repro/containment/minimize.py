@@ -40,6 +40,10 @@ class MinimizationResult:
     minimized: ConjunctiveQuery
     removed: list = field(default_factory=list)
     checks: int = 0
+    #: Chase-store counter deltas accrued by this minimisation run
+    #: (``hits`` / ``misses`` / ``extensions`` / ``evictions``), showing how
+    #: much chase work the candidate checks shared.
+    store_stats: dict = field(default_factory=dict)
 
     @property
     def reduced(self) -> bool:
@@ -72,6 +76,7 @@ def minimize_query(
     orphan a head variable is never dropped.
     """
     checker = checker or ContainmentChecker(dependencies)
+    stats_before = checker.stats.as_dict()
     body = list(query.body)
     removed = []
     checks = 0
@@ -96,9 +101,13 @@ def minimize_query(
                 removed.append(atom)
                 changed = True
                 break
+    stats_after = checker.stats.as_dict()
     return MinimizationResult(
         original=query,
         minimized=query.with_body(tuple(body)),
         removed=removed,
         checks=checks,
+        store_stats={
+            key: stats_after[key] - stats_before[key] for key in stats_after
+        },
     )

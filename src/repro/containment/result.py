@@ -46,6 +46,11 @@ class ContainmentResult:
     chase_result: Optional["ChaseResult"] = None
     level_bound: Optional[int] = None
     elapsed_seconds: float = 0.0
+    #: How the chase prefix was obtained: ``"full-chase"`` (fresh run),
+    #: ``"cache-hit"`` (stored prefix already covered the bound) or
+    #: ``"cache-extend"`` (stored prefix incrementally extended).  ``None``
+    #: when the decision did not go through a :class:`ChaseStore`.
+    chase_outcome: Optional[str] = None
 
     def __bool__(self) -> bool:
         return self.contained

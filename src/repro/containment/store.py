@@ -1,0 +1,169 @@
+"""The shared chase store: one chase per query, extended on demand.
+
+Every containment decision chases ``q1`` to some level bound.  The naive
+discipline — one chase per (*query object*, bound) — re-runs the chase
+whenever a larger bound is requested and misses alpha-equivalent queries
+entirely.  :class:`ChaseStore` fixes both:
+
+* runs are keyed by :meth:`ConjunctiveQuery.canonical_key`, so
+  rename-apart variants of the same query share one chase;
+* the stored value is a resumable :class:`~repro.chase.engine.ChaseRun`,
+  so a request at a larger bound *extends* the existing prefix instead of
+  re-chasing (the E8 bound-stability sweep at x2/x4 bounds pays only for
+  the new levels);
+* the store is LRU-bounded and counts hits, misses, extensions and
+  evictions — the observability the experiment tables surface.
+
+The store is the unit of sharing: hand one instance to several
+:class:`~repro.containment.bounded.ContainmentChecker` objects (or to
+:func:`~repro.containment.minimize.minimize_query`, UCQ containment, the
+batch pipeline ...) and they all draw from the same chase pool.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..chase.engine import ChaseConfig, ChaseEngine, ChaseRun
+from ..core.query import ConjunctiveQuery
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma_fl import SIGMA_FL
+
+__all__ = ["ChaseStore", "StoreStats", "OUTCOME_FULL", "OUTCOME_HIT", "OUTCOME_EXTEND"]
+
+#: A fresh chase was run (first time this canonical query is seen).
+OUTCOME_FULL = "full-chase"
+#: The stored prefix already covered the requested bound.
+OUTCOME_HIT = "cache-hit"
+#: The stored prefix was incrementally extended to the requested bound.
+OUTCOME_EXTEND = "cache-extend"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/extend/evict counters of one :class:`ChaseStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    extensions: int = 0
+    evictions: int = 0
+
+    @property
+    def full_chases(self) -> int:
+        """Chases run from scratch — one per distinct canonical query."""
+        return self.misses
+
+    @property
+    def reuses(self) -> int:
+        """Requests served without a fresh chase (hits + extensions)."""
+        return self.hits + self.extensions
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.extensions
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "extensions": self.extensions,
+            "evictions": self.evictions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.requests} chase requests: {self.misses} full, "
+            f"{self.extensions} extended, {self.hits} hits "
+            f"({self.evictions} evictions)"
+        )
+
+
+class ChaseStore:
+    """Canonical-keyed, LRU-bounded pool of resumable chase runs.
+
+    Parameters
+    ----------
+    dependencies:
+        The constraint set every stored chase uses; defaults to Sigma_FL.
+    capacity:
+        Maximum number of runs kept; the least recently used run is
+        evicted beyond it.  ``None`` disables eviction.
+    reorder_join / max_steps:
+        Forwarded to the chase engine.
+    """
+
+    def __init__(
+        self,
+        dependencies: Sequence[Dependency] = SIGMA_FL,
+        *,
+        capacity: Optional[int] = 128,
+        reorder_join: bool = True,
+        max_steps: Optional[int] = 200_000,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.dependencies = tuple(dependencies)
+        self.capacity = capacity
+        self.engine = ChaseEngine(
+            self.dependencies,
+            ChaseConfig(max_steps=max_steps, reorder_join=reorder_join),
+        )
+        self._runs: "OrderedDict[tuple, ChaseRun]" = OrderedDict()
+        self.stats = StoreStats()
+
+    # -- the one lookup path -------------------------------------------------
+
+    def run_for(
+        self, query: ConjunctiveQuery, level_bound: Optional[int]
+    ) -> tuple[ChaseRun, str]:
+        """The chase run for *query*, covering *level_bound* levels.
+
+        Returns the run together with how the request was served: a
+        :data:`OUTCOME_FULL` fresh chase, a pure :data:`OUTCOME_HIT`, or
+        an incremental :data:`OUTCOME_EXTEND` of the stored prefix.
+        Lookup is a single O(1) dict probe on the canonical key — there
+        is no linear scan over cached entries.
+        """
+        key = query.canonical_key()
+        run = self._runs.get(key)
+        if run is None:
+            self.stats.misses += 1
+            run = self.engine.start(query)
+            run.extend_to(level_bound)
+            self._runs[key] = run
+            outcome = OUTCOME_FULL
+        elif not run.covers(level_bound):
+            self.stats.extensions += 1
+            run.extend_to(level_bound)
+            outcome = OUTCOME_EXTEND
+        else:
+            self.stats.hits += 1
+            outcome = OUTCOME_HIT
+        self._runs.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._runs) > self.capacity:
+                self._runs.popitem(last=False)
+                self.stats.evictions += 1
+        return run, outcome
+
+    # -- inspection ----------------------------------------------------------
+
+    def peek(self, query: ConjunctiveQuery) -> Optional[ChaseRun]:
+        """The stored run for *query*, without counters or LRU effects."""
+        return self._runs.get(query.canonical_key())
+
+    def __contains__(self, query: ConjunctiveQuery) -> bool:
+        return query.canonical_key() in self._runs
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def clear(self) -> None:
+        """Drop every stored run (counters are kept)."""
+        self._runs.clear()
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else str(self.capacity)
+        return f"ChaseStore({len(self._runs)}/{cap} runs; {self.stats})"

@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 from .atoms import Atom, validate_pfl_atom
 from .errors import QueryError
 from .substitution import Substitution
-from .terms import Constant, Term, Variable
+from .terms import Constant, Null, Term, Variable
 
 __all__ = ["ConjunctiveQuery", "fresh_variable_namer"]
 
@@ -49,7 +49,7 @@ class ConjunctiveQuery:
         objects yet semantically interchangeable everywhere in the library.
     """
 
-    __slots__ = ("name", "head", "body", "_hash")
+    __slots__ = ("name", "head", "body", "_hash", "_canonical")
 
     def __init__(self, name: str, head: Sequence[Term], body: Iterable[Atom]):
         head = tuple(head)
@@ -75,6 +75,7 @@ class ConjunctiveQuery:
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "body", body)
         object.__setattr__(self, "_hash", hash((name, head, body)))
+        object.__setattr__(self, "_canonical", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("ConjunctiveQuery is immutable")
@@ -181,6 +182,70 @@ class ConjunctiveQuery:
         values, so this is simply the body tuple.
         """
         return self.body
+
+    # -- canonical form -------------------------------------------------------
+
+    def canonical_key(self) -> tuple:
+        """A hashable key invariant under variable renaming (alpha-equivalence).
+
+        Two queries receive the same key exactly when one is the other with
+        its variables bijectively renamed (possibly after reordering body
+        conjuncts) — i.e. when they denote the *same* conjunction.  The key
+        is what chase caches index on, so that ``q(X) :- member(X, C)`` and
+        ``p(Y) :- member(Y, D)`` share one chase.
+
+        Construction: body conjuncts are sorted by a variable-free
+        signature (predicate plus the pattern of constants/nulls), then
+        every variable is renamed to its first-occurrence ordinal over the
+        head followed by the sorted body.  The query *name* is deliberately
+        excluded — it never affects containment semantics.  The key is
+        injective up to renaming: it spells out the full head pattern and
+        every conjunct, so a collision implies alpha-equivalence.
+        """
+        cached = self._canonical
+        if cached is not None:
+            return cached
+
+        def signature(atom: Atom) -> tuple:
+            return (
+                atom.predicate,
+                tuple(
+                    ("v",)
+                    if isinstance(t, Variable)
+                    else ("c", t.name)
+                    if isinstance(t, Constant)
+                    else ("n", t.index)
+                    for t in atom.args
+                ),
+            )
+
+        ordered = sorted(self.body, key=signature)
+        mapping: dict[Variable, int] = {}
+
+        def key_term(term: Term) -> tuple:
+            if isinstance(term, Variable):
+                ordinal = mapping.get(term)
+                if ordinal is None:
+                    ordinal = mapping[term] = len(mapping)
+                return ("v", ordinal)
+            if isinstance(term, Constant):
+                return ("c", term.name)
+            assert isinstance(term, Null)
+            return ("n", term.index)
+
+        head_key = tuple(key_term(t) for t in self.head)
+        body_key = tuple(
+            (atom.predicate, tuple(key_term(t) for t in atom.args))
+            for atom in ordered
+        )
+        key = (head_key, body_key)
+        object.__setattr__(self, "_canonical", key)
+        return key
+
+    @property
+    def canonical_hash(self) -> int:
+        """``hash(self.canonical_key())`` — equal for alpha-equivalent queries."""
+        return hash(self.canonical_key())
 
     # -- equality / display ---------------------------------------------------
 

@@ -63,6 +63,8 @@ class FactIndex:
         if not bucket or atom not in bucket:
             return False
         bucket.remove(atom)
+        if not bucket:
+            del self._by_predicate[atom.predicate]
         for pos, term in enumerate(atom.args):
             entry = self._position_index.get((atom.predicate, pos, term))
             if entry is not None:

@@ -11,7 +11,11 @@ guess.  Our deterministic realisation should therefore show
   NP-hard without constraints).
 
 The experiment sweeps |q1| and |q2| over random acyclic and cyclic
-workloads and reports wall-clock per phase.
+workloads and reports wall-clock per phase.  The chase phase runs as a
+resumable :class:`~repro.chase.engine.ChaseRun` session built in two
+steps — first to half the Theorem-12 bound, then extended to the full
+bound — so the table also splits chase time into the prefix cost and the
+marginal cost of the second half (the increment a cached session saves).
 """
 
 from __future__ import annotations
@@ -31,9 +35,14 @@ __all__ = ["run"]
 def _measure_pair(q1, q2) -> dict:
     bound = theorem12_bound(q1, q2)
     engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_level=bound))
+    run = engine.start(q1)
     t0 = time.perf_counter()
-    chase_result = engine.run(q1)
-    t_chase = time.perf_counter() - t0
+    run.extend_to(bound // 2)
+    t_half = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run.extend_to(bound)
+    t_extend = time.perf_counter() - t0
+    chase_result = run.result()
     witness = None
     t_hom = 0.0
     if not chase_result.failed:
@@ -46,7 +55,9 @@ def _measure_pair(q1, q2) -> dict:
     return {
         "bound": bound,
         "chase_size": chase_result.size(),
-        "chase_seconds": t_chase,
+        "chase_seconds": t_half + t_extend,
+        "half_seconds": t_half,
+        "extend_seconds": t_extend,
         "hom_seconds": t_hom,
         "contained": witness is not None or chase_result.failed,
     }
@@ -67,6 +78,7 @@ def run(
             "bound",
             "avg chase size",
             "avg chase sec",
+            "avg extend sec",
             "avg hom sec",
             "contained",
         ],
@@ -74,6 +86,7 @@ def run(
     rows = []
     for size in sizes:
         chase_secs = []
+        extend_secs = []
         hom_secs = []
         chase_sizes = []
         contained_count = 0
@@ -90,6 +103,7 @@ def run(
             m = _measure_pair(q1, q2)
             bound = m["bound"]
             chase_secs.append(m["chase_seconds"])
+            extend_secs.append(m["extend_seconds"])
             hom_secs.append(m["hom_seconds"])
             chase_sizes.append(m["chase_size"])
             contained_count += int(m["contained"])
@@ -99,6 +113,7 @@ def run(
             "bound": bound,
             "avg_chase_size": sum(chase_sizes) / n,
             "avg_chase_seconds": sum(chase_secs) / n,
+            "avg_extend_seconds": sum(extend_secs) / n,
             "avg_hom_seconds": sum(hom_secs) / n,
             "contained": contained_count,
         }
@@ -109,6 +124,7 @@ def run(
             bound,
             round(row["avg_chase_size"], 1),
             row["avg_chase_seconds"],
+            row["avg_extend_seconds"],
             row["avg_hom_seconds"],
             f"{contained_count}/{n}",
         )
@@ -123,7 +139,10 @@ def run(
         f"Chase-phase time grew {ratio:.1f}x while |q| grew {size_ratio:.1f}x "
         f"(bound grows quadratically in |q|): consistent with the polynomial "
         f"chase-prefix construction of Theorem 13; the homomorphism phase "
-        f"remains the potentially exponential component."
+        f"remains the potentially exponential component.  'avg extend sec' "
+        f"is the marginal cost of growing each session from half the bound "
+        f"to the full bound — the work an incremental re-check pays instead "
+        f"of a full re-chase."
     )
     return ExperimentReport(
         experiment_id="E9",

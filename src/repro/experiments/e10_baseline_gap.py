@@ -25,9 +25,11 @@ def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
         pairs.append(gen.containment_pair())
 
     checker = ContainmentChecker()
+    # One batch call: pairs sharing a q1 (up to renaming) share one chase.
+    sigma_results = checker.check_all(pairs)
     both = classic_only = sigma_only = neither = 0
-    for q1, q2 in pairs:
-        sigma = checker.check(q1, q2).contained
+    for (q1, q2), sigma_result in zip(pairs, sigma_results):
+        sigma = sigma_result.contained
         classic = contained_classic(q1, q2).contained
         if sigma and classic:
             both += 1
@@ -52,12 +54,14 @@ def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
         table.add_row(label, count, f"{100 * count / total:.1f}%")
 
     sigma_total = both + sigma_only
+    stats = checker.stats
     summary = (
         f"Of {sigma_total} contained pairs, {sigma_only} "
         f"({100 * sigma_only / max(sigma_total, 1):.0f}%) hold only under "
         "Sigma_FL — the containments the classic test cannot see. "
         f"Classic-only count is {classic_only} (must be 0: classic "
-        "containment implies constrained containment)."
+        "containment implies constrained containment). "
+        f"Chase store: {stats}."
     )
     return ExperimentReport(
         experiment_id="E10",
@@ -70,6 +74,7 @@ def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
             "sigma_only": sigma_only,
             "classic_only": classic_only,
             "neither": neither,
+            "store": stats.as_dict(),
         },
     )
 

@@ -128,15 +128,19 @@ def ucq_contained(
             f"arity mismatch: {u1.name}/{u1.arity} vs {u2.name}/{u2.arity}"
         )
     checker = checker or ContainmentChecker(dependencies)
+    # Batch the full disjunct x candidate cross product: every pair with the
+    # same left disjunct shares one chase (check_all groups by q1 and chases
+    # it once to the largest Theorem-12 bound any candidate needs).
+    pairs = [(disjunct, candidate) for disjunct in u1 for candidate in u2]
+    verdicts = iter(checker.check_all(pairs))
     coverage: dict[str, Optional[tuple[str, ContainmentResult]]] = {}
     contained = True
     for disjunct in u1:
         cover: Optional[tuple[str, ContainmentResult]] = None
         for candidate in u2:
-            result = checker.check(disjunct, candidate)
-            if result.contained:
+            result = next(verdicts)
+            if result.contained and cover is None:
                 cover = (candidate.name, result)
-                break
         coverage[disjunct.name] = cover
         if cover is None:
             contained = False

@@ -1,0 +1,133 @@
+"""Unit tests for resumable chase sessions (ChaseRun)."""
+
+import pytest
+
+from repro.chase.engine import ChaseConfig, ChaseEngine, chase
+from repro.core.atoms import data, funct, member, sub
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.workloads.corpus import EXAMPLE2_QUERY, INTRO_JOINABLE_Q
+
+O, A, X, Y = (Variable(n) for n in "O A X Y".split())
+
+FAILING_QUERY = ConjunctiveQuery(
+    "q_clash",
+    (),
+    (
+        data(O, A, Constant("red")),
+        data(O, A, Constant("blue")),
+        funct(A, O),
+    ),
+)
+
+
+def make_engine(**config):
+    return ChaseEngine(SIGMA_FL, ChaseConfig(**config)) if config else ChaseEngine(SIGMA_FL)
+
+
+class TestExtendTo:
+    def test_incremental_matches_fresh_size(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(3)
+        run.extend_to(6)
+        run.extend_to(12)
+        fresh = chase(EXAMPLE2_QUERY, max_level=12)
+        incremental = run.result()
+        assert incremental.size() == fresh.size()
+        assert incremental.instance.max_level() == fresh.instance.max_level()
+
+    def test_extension_counter_counts_growing_calls_only(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(3)
+        assert run.extensions == 0  # the first build is not an extension
+        run.extend_to(6)
+        assert run.extensions == 1
+        run.extend_to(6)  # covered: no work, no counter bump
+        assert run.extensions == 1
+        run.extend_to(2)  # smaller bound is already covered
+        assert run.extensions == 1
+
+    def test_covers(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        assert not run.covers(0)
+        run.extend_to(4)
+        assert run.covers(4) and run.covers(0)
+        assert not run.covers(5)
+        assert not run.covers(None)  # None means "unbounded"
+
+    def test_saturated_run_covers_everything(self):
+        run = make_engine().start(INTRO_JOINABLE_Q)
+        run.extend_to(5)
+        assert run.saturated
+        assert run.covers(10_000) and run.covers(None)
+        assert not run.pending_triggers
+
+    def test_cyclic_run_keeps_pending_triggers(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(4)
+        assert not run.saturated
+        assert run.pending_triggers > 0
+
+    def test_result_snapshot_identity(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(4)
+        first = run.result()
+        assert run.result() is first  # cached while the run is unchanged
+        size_at_4 = first.size()
+        run.extend_to(8)
+        second = run.result()
+        assert second is not first
+        assert second.size() > size_at_4
+
+    def test_result_reports_extensions(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(2)
+        run.extend_to(4)
+        assert run.result().extensions == 1
+
+    def test_failed_chase(self):
+        run = make_engine().start(FAILING_QUERY)
+        run.extend_to(3)
+        assert run.failed
+        assert run.covers(10_000)  # failure is terminal: nothing to extend
+        result = run.result()
+        assert result.failed and result.instance is None
+
+    def test_run_matches_engine_run(self):
+        engine = make_engine(max_level=6)
+        via_run = engine.run(EXAMPLE2_QUERY)
+        session = engine.start(EXAMPLE2_QUERY)
+        session.extend_to(6)
+        assert via_run.size() == session.result().size()
+
+    def test_elapsed_accumulates(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(2)
+        t1 = run.elapsed_seconds
+        run.extend_to(6)
+        assert run.elapsed_seconds > t1 > 0.0
+
+
+class TestLevelPrefixView:
+    def test_view_matches_manual_level_filter(self):
+        """The view is exactly the level-filtered atom set of its own
+        instance.  (It need not equal a *fresh* chase at the lower bound:
+        EGD merges triggered by deeper levels may collapse two shallow
+        atoms into one, so the deeper run's prefix can be smaller.)"""
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(8)
+        instance = run.result().instance
+        view = instance.up_to_level(3)
+        expected = {a for a in instance.index if instance.level_of(a) <= 3}
+        assert set(view) == expected
+        assert len(view) == len(expected)
+        assert view.to_frozenset() == frozenset(expected)
+
+    def test_view_is_zero_copy_window(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(6)
+        instance = run.result().instance
+        view = instance.up_to_level(2)
+        assert all(instance.level_of(atom) <= 2 for atom in view)
+        assert len(view) < len(instance.index)

@@ -102,3 +102,27 @@ class TestMinimize:
         )
         result = minimize_query(q)
         assert member(O, D) not in result.minimized.body
+
+    def test_store_stats_surfaced(self):
+        """Minimisation reports the chase-store counter deltas its
+        candidate checks accrued."""
+        q = ConjunctiveQuery(
+            "q", (O,), (member(O, C), sub(C, D), member(O, D))
+        )
+        result = minimize_query(q)
+        assert set(result.store_stats) == {
+            "hits", "misses", "extensions", "evictions"
+        }
+        assert result.store_stats["misses"] > 0  # at least one fresh chase
+
+    def test_shared_checker_stats_are_deltas(self):
+        from repro.containment import ContainmentChecker
+
+        checker = ContainmentChecker()
+        q = ConjunctiveQuery("q", (O,), (member(O, C), sub(C, D), member(O, D)))
+        first = minimize_query(q, checker=checker)
+        second = minimize_query(q, checker=checker)
+        # The second run replays the same candidates against a warm store:
+        # it must not be charged the first run's misses.
+        assert second.store_stats["misses"] <= first.store_stats["misses"]
+        assert second.store_stats["hits"] >= first.store_stats["misses"]

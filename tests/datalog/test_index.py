@@ -107,3 +107,52 @@ class TestCopy:
     def test_to_frozenset(self):
         index = FactIndex([member(j, s)])
         assert index.to_frozenset() == frozenset({member(j, s)})
+
+
+class TestBucketHygiene:
+    """Regression: discard must not leave empty predicate buckets behind."""
+
+    def test_discard_last_atom_removes_bucket(self):
+        index = FactIndex([member(j, s)])
+        index.discard(member(j, s))
+        assert "member" not in index.predicates()
+        assert index._by_predicate == {}
+        assert index._position_index == {}
+
+    def test_discard_keeps_nonempty_bucket(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        index.discard(member(j, s))
+        assert index.predicates() == {"member"}
+
+    def test_no_empty_buckets_after_merge_heavy_chase(self):
+        """An EGD-merge-heavy chase discards and rewrites many atoms; the
+        surviving index must hold no empty buckets or position entries."""
+        from repro.chase.engine import chase
+        from repro.core.atoms import funct
+        from repro.core.query import ConjunctiveQuery
+
+        names = "O A1 A2 A3 V1 W1 V2 W2 V3 W3 C".split()
+        O, A1, A2, A3, V1, W1, V2, W2, V3, W3, C = (Variable(n) for n in names)
+        # Three functional attributes, each with two values, forces three
+        # EGD merges; the member/sub atoms over the merged values force
+        # rewrites (discard + re-add) on top of the plain removals.
+        merge_heavy = ConjunctiveQuery(
+            "q_merges",
+            (),
+            (
+                data(O, A1, V1), data(O, A1, W1), funct(A1, O),
+                data(O, A2, V2), data(O, A2, W2), funct(A2, O),
+                data(O, A3, V3), data(O, A3, W3), funct(A3, O),
+                member(V1, C), member(W1, C), sub(V2, W2), member(V3, C),
+            ),
+        )
+        result = chase(merge_heavy, max_level=8)
+        assert not result.failed
+        index = result.instance.index
+        for predicate, bucket in index._by_predicate.items():
+            assert bucket, f"empty bucket survived for {predicate!r}"
+        for key, entry in index._position_index.items():
+            assert entry, f"empty position entry survived for {key!r}"
+        assert index.predicates() == {
+            p for p in index._by_predicate if index._by_predicate[p]
+        }

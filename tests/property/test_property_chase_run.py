@@ -1,0 +1,169 @@
+"""Property tests: incremental chase extension ≡ fresh chase.
+
+The tentpole invariant of resumable sessions: for any query and bounds
+``b < b'``, chasing to ``b`` and then extending the same session to
+``b'`` must produce an instance atom-for-atom equal — up to a bijective
+renaming of the invented nulls — to a fresh chase run straight to ``b'``.
+Null *indices* may differ (the resumed run burns indices in a different
+order than the straight run), which is exactly why equality is checked
+modulo a null bijection.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import ChaseConfig, ChaseEngine
+from repro.core.errors import ChaseBudgetExceeded
+from repro.core.terms import Null
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.workloads.corpus import EXAMPLE2_QUERY, PAPER_QUERIES
+from repro.workloads.query_gen import QueryGenerator
+
+from .strategies import conjunctive_queries
+
+RUN_SETTINGS = settings(max_examples=25, deadline=None)
+
+MAX_STEPS = 20_000
+
+
+def _shape(atom):
+    """The atom with every null collapsed to a placeholder."""
+    return (
+        atom.predicate,
+        tuple("⊥" if isinstance(t, Null) else t for t in atom.args),
+    )
+
+
+def _match_atom(a, b, fwd, bwd):
+    """Extend the null bijection so *a* maps to *b*, or return None."""
+    if a.predicate != b.predicate or len(a.args) != len(b.args):
+        return None
+    fwd, bwd = dict(fwd), dict(bwd)
+    for s, t in zip(a.args, b.args):
+        s_null, t_null = isinstance(s, Null), isinstance(t, Null)
+        if s_null != t_null:
+            return None
+        if not s_null:
+            if s != t:
+                return None
+            continue
+        if fwd.get(s, t) != t or bwd.get(t, s) != s:
+            return None
+        fwd[s], bwd[t] = t, s
+    return fwd, bwd
+
+
+def equal_up_to_null_renaming(atoms_a, atoms_b) -> bool:
+    """True iff some null bijection maps one atom set onto the other."""
+    a, b = sorted(atoms_a, key=str), sorted(atoms_b, key=str)
+    if len(a) != len(b):
+        return False
+    if sorted(map(_shape, a), key=str) != sorted(map(_shape, b), key=str):
+        return False
+
+    def backtrack(i, remaining, fwd, bwd):
+        if i == len(a):
+            return not remaining
+        for j, cand in enumerate(remaining):
+            extended = _match_atom(a[i], cand, fwd, bwd)
+            if extended is None:
+                continue
+            if backtrack(i + 1, remaining[:j] + remaining[j + 1 :], *extended):
+                return True
+        return False
+
+    return backtrack(0, b, {}, {})
+
+
+def _chase_pair(query, b, b_prime):
+    """(incremental run at b→b', fresh run at b') or None on budget blowup."""
+    try:
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        session = engine.start(query)
+        session.extend_to(b)
+        session.extend_to(b_prime)
+        fresh_engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        fresh = fresh_engine.start(query)
+        fresh.extend_to(b_prime)
+    except ChaseBudgetExceeded:
+        return None
+    return session, fresh
+
+
+def assert_equivalent(query, b, b_prime, *, hypothesis_driven=True):
+    pair = _chase_pair(query, b, b_prime)
+    if pair is None:
+        if hypothesis_driven:
+            assume(False)  # discard budget blowups inside hypothesis runs
+        raise AssertionError(f"chase budget exceeded on corpus query {query}")
+    session, fresh = pair
+    assert session.failed == fresh.failed
+    if session.failed:
+        return
+    incremental = session.result().instance
+    straight = fresh.result().instance
+    assert equal_up_to_null_renaming(
+        incremental.index.to_frozenset(), straight.index.to_frozenset()
+    ), (
+        f"extend_to({b})→extend_to({b_prime}) diverged from a fresh chase "
+        f"at {b_prime} on {query}"
+    )
+
+
+class TestHelperSanity:
+    def test_identical_sets_match(self):
+        atoms = set(EXAMPLE2_QUERY.body)
+        assert equal_up_to_null_renaming(atoms, atoms)
+
+    def test_different_sizes_do_not_match(self):
+        atoms = list(EXAMPLE2_QUERY.body)
+        assert not equal_up_to_null_renaming(atoms, atoms[:-1])
+
+    def test_null_permutation_matches(self):
+        from repro.core.atoms import data, sub
+
+        n1, n2, n3 = Null(1), Null(2), Null(3)
+        a = {data(n1, n2, n3), sub(n1, n2)}
+        b = {data(n3, n1, n2), sub(n3, n1)}
+        assert equal_up_to_null_renaming(a, b)
+
+    def test_inconsistent_null_sharing_rejected(self):
+        from repro.core.atoms import sub
+
+        n1, n2, n3 = Null(1), Null(2), Null(3)
+        a = {sub(n1, n1)}  # one null, twice
+        b = {sub(n2, n3)}  # two distinct nulls
+        assert not equal_up_to_null_renaming(a, b)
+
+
+class TestIncrementalEqualsFresh:
+    @RUN_SETTINGS
+    @given(conjunctive_queries(max_atoms=4), st.integers(0, 3), st.integers(1, 5))
+    def test_random_hypothesis_queries(self, query, b, delta):
+        assert_equivalent(query, b, b + delta)
+
+    @RUN_SETTINGS
+    @given(st.integers(0, 2 ** 31), st.integers(0, 3), st.integers(1, 4))
+    def test_generated_corpus_queries(self, seed, b, delta):
+        query = QueryGenerator(seed).query()
+        assert_equivalent(query, b, b + delta)
+
+    def test_paper_corpus_queries(self):
+        for query in PAPER_QUERIES:
+            assert_equivalent(query, 2, 6, hypothesis_driven=False)
+
+    def test_example2_deep_extension(self):
+        assert_equivalent(EXAMPLE2_QUERY, 1, 10, hypothesis_driven=False)
+
+    def test_multi_step_extension_chain(self):
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        session = engine.start(EXAMPLE2_QUERY)
+        for bound in (1, 2, 4, 7, 11):
+            session.extend_to(bound)
+        fresh_engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        fresh = fresh_engine.start(EXAMPLE2_QUERY)
+        fresh.extend_to(11)
+        assert equal_up_to_null_renaming(
+            session.result().instance.index.to_frozenset(),
+            fresh.result().instance.index.to_frozenset(),
+        )
