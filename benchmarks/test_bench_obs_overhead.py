@@ -1,0 +1,122 @@
+"""Guard: disabled observability must cost < 3% of a containment decision.
+
+The instrumented call sites fall in two classes:
+
+* **coarse spans** — an unconditional ``with tracer.span(...)`` per phase
+  (chase extension, semi-naive round, EGD fixpoint, store lookup, hom
+  search, containment check).  Against the no-op tracer this is one
+  method call returning a shared stateless object plus a no-op
+  enter/exit.
+* **hot-path guards** — a single ``tracer.enabled`` attribute check per
+  chase trigger (the only per-trigger cost when disabled).
+
+Rather than benchmark two build states of the code (there is no
+un-instrumented build to compare against), the guard bounds the damage
+from first principles: count how many instrumentation sites an enabled
+run of the reference decision actually passes through, measure the
+per-site cost of the no-op primitives in a tight loop, and require
+
+    sites * max(noop_span_cost, enabled_check_cost) < 3% * decision_time.
+
+This is an over-estimate of the true overhead (it prices every site at
+the dearest primitive), so passing it implies the < 3% acceptance bar.
+Written against plain pytest on purpose — CI runs it without the
+pytest-benchmark plugin.
+"""
+
+import time
+
+import pytest
+
+from repro.containment.bounded import ContainmentChecker
+from repro.obs import NOOP_TRACER, Observability, Tracer
+from repro.workloads.corpus import EXAMPLE2_QUERY, INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ
+
+#: Reference workload: the Section-1 pair plus a decision against the
+#: Figure-1 infinite chase — both chase and hom-search phases exercised.
+PAIRS = (
+    (INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ),
+    (INTRO_JOINABLE_QQ, INTRO_JOINABLE_Q),
+    (EXAMPLE2_QUERY, EXAMPLE2_QUERY),
+)
+
+OVERHEAD_BUDGET = 0.03
+
+
+def _decide_all(obs=None):
+    checker = ContainmentChecker(obs=obs)
+    return [checker.check(q1, q2) for q1, q2 in PAIRS]
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _per_call(fn, n=50_000):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n
+
+
+class TestNoopTracerIsFree:
+    def test_default_observability_records_nothing(self):
+        results = _decide_all()
+        assert all(isinstance(r.contained, bool) for r in results)
+        assert NOOP_TRACER.spans == ()
+        assert NOOP_TRACER.as_dicts() == []
+
+    def test_enabled_run_counts_instrumentation_sites(self):
+        obs = Observability.on()
+        _decide_all(obs)
+        spans = sum(1 for _ in obs.tracer.walk())
+        assert spans > 0
+        names = {span.name for _, span in obs.tracer.walk()}
+        assert {"containment.check", "store.lookup", "chase.extend", "hom.search"} <= names
+
+
+class TestOverheadGuard:
+    def test_disabled_overhead_under_three_percent(self):
+        # 1. The real cost of the reference decision, no observability.
+        decision_s = _best_of(_decide_all)
+
+        # 2. How many sites an identical (enabled) run passes through:
+        #    every recorded span was one `with tracer.span(...)` site, and
+        #    per-trigger guards are bounded by the trigger spans recorded.
+        obs = Observability.on()
+        _decide_all(obs)
+        sites = sum(1 for _ in obs.tracer.walk())
+        assert sites > 0
+
+        # 3. Per-site cost of the disabled primitives, measured hot.
+        noop_span_s = _per_call(lambda: NOOP_TRACER.span("x", a=1).__exit__(None, None, None))
+        guard_s = _per_call(lambda: NOOP_TRACER.enabled)
+        per_site_s = max(noop_span_s, guard_s)
+
+        worst_case_overhead = sites * per_site_s
+        ratio = worst_case_overhead / decision_s
+        assert ratio < OVERHEAD_BUDGET, (
+            f"no-op observability overhead bound {ratio:.2%} exceeds "
+            f"{OVERHEAD_BUDGET:.0%}: {sites} sites x {per_site_s * 1e9:.0f}ns "
+            f"against a {decision_s * 1e3:.2f}ms decision"
+        )
+
+    def test_metrics_publication_is_segment_batched(self):
+        """Metric publication must scale with extend segments, not triggers."""
+        obs = Observability.on()
+        _decide_all(obs)
+        dump = obs.metrics.as_dict()["counters"]
+        triggers = sum(dump.get("chase.triggers", {}).values())
+        segments = dump.get("chase.extend_segments", 0)
+        assert triggers > 0 and segments > 0
+        # Far fewer publication events than trigger firings.
+        assert segments < max(triggers, 2)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -64,6 +64,12 @@ from .core import (
     type_,
 )
 from .dependencies import SIGMA_FL, SIGMA_FL_MINUS, rule_by_label
+from .obs import (
+    ContainmentProvenance,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -101,6 +107,11 @@ __all__ = [
     "contained_classic",
     "ContainmentResult",
     "ContainmentReason",
+    # observability
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
+    "ContainmentProvenance",
     # errors
     "ReproError",
     "QueryError",

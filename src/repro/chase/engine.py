@@ -42,6 +42,7 @@ from ..core.terms import NullFactory, Term, Variable, term_sort_key
 from ..datalog.matching import match_conjunction
 from ..dependencies.dependency import EGD, TGD, Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
+from ..obs import OBS_OFF, Observability
 from .instance import ChaseInstance
 
 __all__ = ["ChaseConfig", "ChaseResult", "ChaseEngine", "ChaseRun", "chase"]
@@ -104,6 +105,10 @@ class ChaseResult:
     #: How many incremental prefix extensions produced this result (0 for a
     #: single fresh run; see :class:`ChaseRun`).
     extensions: int = 0
+    #: Wall-clock of each extension segment, in order.  Disjoint windows:
+    #: ``elapsed_seconds == sum(segment_seconds)``, so no second of chase
+    #: work is ever attributed to two segments.
+    segment_seconds: tuple[float, ...] = ()
 
     @property
     def head(self) -> tuple[Term, ...]:
@@ -135,8 +140,10 @@ class ChaseEngine:
         self,
         dependencies: Sequence[Dependency] = SIGMA_FL,
         config: ChaseConfig = ChaseConfig(),
+        obs: Optional[Observability] = None,
     ):
         self.config = config
+        self.obs = obs if obs is not None else OBS_OFF
         self.dependencies = tuple(dependencies)
         self._egds: tuple[EGD, ...] = tuple(
             d for d in self.dependencies if isinstance(d, EGD)
@@ -298,19 +305,25 @@ class ChaseEngine:
         facts: Optional[list[Atom]] = list(delta) if delta is not None else None
         if facts is not None and not facts:
             return
-        while True:
-            changed = self._egd_round(instance, facts)
-            dirty = instance.drain_dirty()
-            if not changed and not dirty:
-                return
-            # Re-check incrementally against the conjuncts the merges rewrote.
-            facts = dirty if dirty else []
-            if not facts and not changed:
-                return
-            if not facts:
-                # Changed but nothing dirtied (pure collapses): one full
-                # re-check guarantees the fixpoint.
-                facts = None
+        tracer = self.obs.tracer
+        merges_before = instance.merges
+        with tracer.span("egd.merge") as span:
+            while True:
+                changed = self._egd_round(instance, facts)
+                dirty = instance.drain_dirty()
+                if not changed and not dirty:
+                    break
+                # Re-check incrementally against the conjuncts the merges
+                # rewrote.
+                facts = dirty if dirty else []
+                if not facts and not changed:
+                    break
+                if not facts:
+                    # Changed but nothing dirtied (pure collapses): one full
+                    # re-check guarantees the fixpoint.
+                    facts = None
+            if tracer.enabled:
+                span.add("merges", instance.merges - merges_before)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -387,10 +400,21 @@ class ChaseRun:
         #: Number of incremental extensions after the initial chase.
         self.extensions = 0
         self.elapsed_seconds = 0.0
+        #: Per-segment wall-clock; ``elapsed_seconds`` is exactly its sum.
+        self.segment_seconds: list[float] = []
         self._level_zero_done = False
         self._started = False
         self._pending: dict[tuple, tuple[TGD, Substitution]] = {}
         self._snapshot: Optional[ChaseResult] = None
+        self._tracer = engine.obs.tracer
+        self._metrics = engine.obs.metrics
+        # Last-published snapshots, so metric publication at segment
+        # boundaries emits deltas and never double-counts across extends.
+        self._published_counters: dict[str, int] = {}
+        self._published_levels: dict[int, int] = {}
+        self._published_nulls = 0
+        self._published_merges = 0
+        self._published_conjuncts = 0
 
     # -- state queries -------------------------------------------------------
 
@@ -424,27 +448,51 @@ class ChaseRun:
         """
         if self.covers(level_bound):
             return self
-        start = time.perf_counter()
         is_extension = self._started
-        try:
-            if not self._level_zero_done:
-                self.engine._saturate_level_zero(self.instance, self.counters)
-                self._level_zero_done = True
-            self._existential_rounds(level_bound)
-            if level_bound is not None:
-                self.bound = level_bound
-            else:
-                self.bound = max(self.bound, self.instance.max_level())
-        except ChaseFailure:
-            self.failed = True
-            self.saturated = True
-            self._pending.clear()
-        finally:
-            if is_extension:
-                self.extensions += 1
-            self._started = True
-            self.elapsed_seconds += time.perf_counter() - start
-            self._snapshot = None
+        tracer = self._tracer
+        with tracer.span(
+            "chase.extend",
+            query=self.query.name,
+            bound="saturation" if level_bound is None else level_bound,
+            segment=len(self.segment_seconds),
+        ) as span:
+            start = time.perf_counter()
+            try:
+                if not self._level_zero_done:
+                    with tracer.span("chase.level", level=0, phase="sigma-minus") as lz:
+                        self.engine._saturate_level_zero(self.instance, self.counters)
+                        if tracer.enabled:
+                            lz.set(conjuncts=len(self.instance))
+                    self._level_zero_done = True
+                self._existential_rounds(level_bound)
+                if level_bound is not None:
+                    self.bound = level_bound
+                else:
+                    self.bound = max(self.bound, self.instance.max_level())
+            except ChaseFailure:
+                self.failed = True
+                self.saturated = True
+                self._pending.clear()
+            finally:
+                # Each segment is timed by its own disjoint window, so a
+                # resumed run never re-counts time attributed to a prior
+                # segment: elapsed_seconds is exactly sum(segment_seconds).
+                segment = time.perf_counter() - start
+                self.segment_seconds.append(segment)
+                self.elapsed_seconds += segment
+                if is_extension:
+                    self.extensions += 1
+                self._started = True
+                self._snapshot = None
+                self._publish_metrics()
+                if tracer.enabled:
+                    span.set(
+                        seconds=segment,
+                        failed=self.failed,
+                        saturated=self.saturated,
+                        conjuncts=len(self.instance),
+                        pending=len(self._pending),
+                    )
         return self
 
     def result(self) -> ChaseResult:
@@ -468,6 +516,7 @@ class ChaseRun:
                     elapsed_seconds=self.elapsed_seconds,
                     rule_applications=self.counters,
                     extensions=self.extensions,
+                    segment_seconds=tuple(self.segment_seconds),
                 )
             else:
                 self._snapshot = ChaseResult(
@@ -480,8 +529,51 @@ class ChaseRun:
                     elapsed_seconds=self.elapsed_seconds,
                     rule_applications=self.counters,
                     extensions=self.extensions,
+                    segment_seconds=tuple(self.segment_seconds),
                 )
         return self._snapshot
+
+    # -- metrics publication --------------------------------------------------
+
+    def _publish_metrics(self) -> None:
+        """Publish segment deltas into the metrics registry.
+
+        Runs once per :meth:`extend_to` segment, never per trigger, so the
+        chase hot path stays free of registry lookups; the ``_published_*``
+        snapshots guarantee a resumed run contributes each firing, null and
+        merge to the process-wide totals exactly once.
+        """
+        metrics = self._metrics
+        if metrics is None:
+            return
+        for rule, count in self.counters.items():
+            delta = count - self._published_counters.get(rule, 0)
+            if delta:
+                metrics.counter("chase.triggers", rule=rule).inc(delta)
+                self._published_counters[rule] = count
+        nulls = self.nulls.peek() - 1
+        if nulls > self._published_nulls:
+            metrics.counter("chase.nulls_invented").inc(nulls - self._published_nulls)
+            self._published_nulls = nulls
+        merges = self.instance.merges
+        if merges > self._published_merges:
+            metrics.counter("egd.rewrites").inc(merges - self._published_merges)
+            self._published_merges = merges
+        conjuncts = len(self.instance)
+        if conjuncts > self._published_conjuncts:
+            metrics.counter("chase.conjuncts_added").inc(
+                conjuncts - self._published_conjuncts
+            )
+        self._published_conjuncts = conjuncts
+        metrics.counter("chase.extend_segments").inc()
+        if not self.failed:
+            histogram = metrics.histogram("chase.level_of_conjunct")
+            levels = self.instance.level_histogram()
+            for level, count in levels.items():
+                delta = count - self._published_levels.get(level, 0)
+                if delta > 0:
+                    histogram.observe(level, delta)
+            self._published_levels = levels
 
     # -- the leveled phase, resumable ---------------------------------------
 
@@ -505,25 +597,35 @@ class ChaseRun:
             additions.extend(instance.drain_dirty())
             delta = additions
 
+        tracer = self._tracer
+        round_no = 0
         while delta:
-            additions = []
-            for fact in delta:
-                if fact not in instance:
-                    continue
-                for tgd in all_tgds:
-                    matches = list(
-                        match_conjunction(
-                            tgd.body,
-                            instance.index,
-                            required_fact=fact,
-                            reorder=config.reorder_join,
+            round_no += 1
+            with tracer.span("chase.level", round=round_no, phase="existential") as sp:
+                additions = []
+                for fact in delta:
+                    if fact not in instance:
+                        continue
+                    for tgd in all_tgds:
+                        matches = list(
+                            match_conjunction(
+                                tgd.body,
+                                instance.index,
+                                required_fact=fact,
+                                reorder=config.reorder_join,
+                            )
                         )
+                        for sigma in matches:
+                            self._fire(tgd, sigma, level_bound, additions)
+                engine._egd_fixpoint(instance, delta=additions)
+                additions = [a for a in additions if a in instance]
+                additions.extend(instance.drain_dirty())
+                if tracer.enabled:
+                    sp.set(
+                        delta=len(delta),
+                        added=len(additions),
+                        level=instance.max_level(),
                     )
-                    for sigma in matches:
-                        self._fire(tgd, sigma, level_bound, additions)
-            engine._egd_fixpoint(instance, delta=additions)
-            additions = [a for a in additions if a in instance]
-            additions.extend(instance.drain_dirty())
             delta = additions
         self.saturated = not self._pending
 
@@ -534,7 +636,18 @@ class ChaseRun:
         level_bound: Optional[int],
         additions: list[Atom],
     ) -> None:
-        added = self._apply_tgd(tgd, sigma, level_bound)
+        tracer = self._tracer
+        if tracer.enabled:
+            # Single cached-attribute check keeps the disabled hot path to
+            # one branch per trigger.
+            with tracer.span("chase.trigger", rule=tgd.label) as sp:
+                added = self._apply_tgd(tgd, sigma, level_bound)
+                sp.set(
+                    fired=added is not None and added is not _LEVEL_CAPPED,
+                    capped=added is _LEVEL_CAPPED,
+                )
+        else:
+            added = self._apply_tgd(tgd, sigma, level_bound)
         if added is None or added is _LEVEL_CAPPED:
             return
         self.counters[tgd.label] = self.counters.get(tgd.label, 0) + 1
@@ -618,11 +731,13 @@ class ChaseRun:
 def chase(
     query: ConjunctiveQuery,
     dependencies: Sequence[Dependency] = SIGMA_FL,
+    obs: Optional[Observability] = None,
     **config_kwargs,
 ) -> ChaseResult:
     """Convenience wrapper: chase *query* with a one-off engine.
 
     Keyword arguments are passed through to :class:`ChaseConfig`, e.g.
-    ``chase(q, max_level=12, track_graph=True)``.
+    ``chase(q, max_level=12, track_graph=True)``; *obs* wires the run to
+    an :class:`~repro.obs.Observability` sink.
     """
-    return ChaseEngine(dependencies, ChaseConfig(**config_kwargs)).run(query)
+    return ChaseEngine(dependencies, ChaseConfig(**config_kwargs), obs=obs).run(query)

@@ -105,6 +105,10 @@ class ChaseInstance:
         self._track_graph = track_graph
         self._dirty: list[Atom] = []
         self._parents: dict[int, tuple[int, ...]] = {}
+        #: EGD merges executed (term pairs actually equated) and conjunct
+        #: collapses they caused — the ``egd.rewrites`` observability feed.
+        self.merges = 0
+        self.collapses = 0
         self.head: tuple[Term, ...] = tuple(head)
         for atom in atoms:
             self.add(atom, level=0, rule=INITIAL_RULE_LABEL, parents=())
@@ -154,6 +158,37 @@ class ChaseInstance:
     def atoms_up_to_level(self, bound: int) -> list[Atom]:
         """Current conjuncts whose level does not exceed *bound*."""
         return [a for a in self._index if self.level_of(a) <= bound]
+
+    def level_histogram(self, bound: Optional[int] = None) -> dict[int, int]:
+        """Conjunct count per level (restricted to ``level <= bound`` if given).
+
+        The per-level growth profile Lemma 5 predicts to be linear for
+        cyclic queries; the provenance payload and the metrics publisher
+        both read it.
+        """
+        histogram: dict[int, int] = {}
+        for atom in self._index:
+            level = self.level_of(atom)
+            if bound is not None and level > bound:
+                continue
+            histogram[level] = histogram.get(level, 0) + 1
+        return histogram
+
+    def firing_sequence(self) -> tuple[tuple[str, int], ...]:
+        """``(rule, level)`` per surviving non-initial conjunct, in firing order.
+
+        Node ids are allocated in rule-application order, so the sequence
+        is reconstructed for free from the provenance maps — no recording
+        happens during the chase.  Conjuncts rewritten away by EGD merges
+        are absent (their aliased node keeps the earliest derivation).
+        """
+        rows = []
+        for node_id in sorted(self._id_atom):
+            rule = self._rule[node_id]
+            if rule == INITIAL_RULE_LABEL:
+                continue
+            rows.append((rule, self._level[node_id]))
+        return tuple(rows)
 
     def up_to_level(self, bound: int) -> "LevelPrefixView":
         """A read-only, index-protocol view of the first *bound* levels.
@@ -266,6 +301,7 @@ class ChaseInstance:
                 f"EGD equated distinct constants {left} and {right}: chase fails"
             )
         keep, lose = sorted((left, right), key=term_sort_key)
+        self.merges += 1
         self._merged_into[lose] = keep
         affected = list(self._term_atoms.pop(lose, ()))
         for old_atom in affected:
@@ -294,6 +330,7 @@ class ChaseInstance:
             existing = self._resolve_id(existing)
             if existing == node:
                 return
+            self.collapses += 1
             keep_id, drop_id = sorted(
                 (existing, node), key=lambda i: (self._level[i], i)
             )

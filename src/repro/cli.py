@@ -3,11 +3,13 @@
 Installed as ``flq`` (F-Logic Queries); also runnable as
 ``python -m repro``.  Subcommands:
 
-``flq check FILE``
+``flq check FILE [--explain] [--trace FILE] [--metrics FILE]``
     FILE holds two or more rules; check containment of the first in each
-    of the others (under Sigma_FL and classically).
+    of the others (under Sigma_FL and classically).  ``--explain`` prints
+    decision provenance; ``--trace``/``--metrics`` export the span tree
+    and the metrics registry.
 
-``flq chase FILE [--max-level N] [--graph]``
+``flq chase FILE [--max-level N] [--graph] [--trace FILE] [--metrics FILE]``
     Chase the first rule in FILE and print the instance (and graph).
 
 ``flq ask KB_FILE QUERY``
@@ -25,8 +27,10 @@ Installed as ``flq`` (F-Logic Queries); also runnable as
 ``flq classify FILE``
     Compute the containment taxonomy of the rules in FILE.
 
-``flq explain KB_FILE FACT``
-    Print the Sigma_FL derivation tree of an entailed fact.
+``flq explain KB_FILE [FACT]``
+    Print the Sigma_FL derivation tree of an entailed fact — or, when
+    FACT is omitted, the containment provenance (witness chase levels,
+    rule-firing sequence) of the first rule against the others.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from .core.query import ConjunctiveQuery
 from .flogic.encoding import encode_query, encode_rule
 from .flogic.kb import KnowledgeBase
 from .flogic.parser import parse_program
+from .obs import MetricsRegistry, Observability, Tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -62,12 +67,58 @@ def _load_queries(path: str) -> list[ConjunctiveQuery]:
     return queries
 
 
+def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
+    """An Observability sink when ``--trace``/``--metrics`` was given.
+
+    Returns ``None`` (so downstream code keeps the zero-cost no-op
+    default) when neither flag is present.
+    """
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if trace is None and metrics is None:
+        return None
+    return Observability(
+        tracer=Tracer() if trace is not None else None,
+        metrics=MetricsRegistry() if metrics is not None else None,
+    )
+
+
+def _export_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
+    """Write the trace / metrics files the flags asked for."""
+    if obs is None:
+        return
+    trace = getattr(args, "trace", None)
+    if trace is not None and obs.tracer.enabled:
+        obs.tracer.write(trace)
+        print(f"trace written to {trace}", file=sys.stderr)
+    metrics = getattr(args, "metrics", None)
+    if metrics is not None and obs.metrics is not None:
+        obs.metrics.write_json(metrics)
+        print(f"metrics written to {metrics}", file=sys.stderr)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="export a span trace (JSON, or CSV when FILE ends in .csv)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="export counters/gauges/histograms as JSON",
+    )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     queries = _load_queries(args.file)
     if len(queries) < 2:
         print("need at least two rules to check containment", file=sys.stderr)
         return 2
-    checker = ContainmentChecker()
+    obs = _make_obs(args)
+    checker = ContainmentChecker(obs=obs)
     q1 = queries[0]
     # Batch pipeline: q1 is chased once to the largest bound any q2 needs,
     # and every verdict is answered against a level view of that prefix.
@@ -79,16 +130,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
         classic = contained_classic(q1, q2)
         print(result.explain())
         print(f"  (classic, constraint-free verdict: {classic.contained})")
+        if args.explain:
+            provenance = result.explain_data()
+            if provenance is not None:
+                for line in provenance.pretty().splitlines():
+                    print(f"  {line}")
         if not result.contained:
             status = 1
     if args.stats:
         print(f"chase store: {checker.stats}")
+    _export_obs(args, obs)
     return status
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
     query = _load_queries(args.file)[0]
-    result = chase(query, max_level=args.max_level, track_graph=args.graph)
+    obs = _make_obs(args)
+    result = chase(
+        query, max_level=args.max_level, track_graph=args.graph, obs=obs
+    )
+    _export_obs(args, obs)
     print(repr(result))
     if result.failed:
         print("chase FAILED: the query is unsatisfiable under Sigma_FL")
@@ -155,6 +216,25 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if args.fact is None:
+        # Containment-provenance mode: the file holds rules; explain why
+        # the first is (not) contained in each of the others.
+        queries = _load_queries(args.kb)
+        if len(queries) < 2:
+            print(
+                "explain without a FACT needs a file with two or more rules",
+                file=sys.stderr,
+            )
+            return 2
+        checker = ContainmentChecker()
+        q1 = queries[0]
+        status = 0
+        for q2 in queries[1:]:
+            result = checker.check(q1, q2, explain=True)
+            print(result.provenance.pretty())
+            if not result.contained:
+                status = 1
+        return status
     kb = KnowledgeBase()
     kb.load(Path(args.kb).read_text())
     derivation = kb.explain(args.fact)
@@ -194,12 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print chase-store hit/miss/extend counters after the verdicts",
     )
+    p_check.add_argument(
+        "--explain",
+        action="store_true",
+        help="print decision provenance (witness levels, rule firings) per verdict",
+    )
+    _add_obs_flags(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_chase = sub.add_parser("chase", help="chase a query and print the instance")
     p_chase.add_argument("file", help="file whose first rule is chased")
     p_chase.add_argument("--max-level", type=int, default=12)
     p_chase.add_argument("--graph", action="store_true", help="print the chase graph")
+    _add_obs_flags(p_chase)
     p_chase.set_defaults(func=_cmd_chase)
 
     p_ask = sub.add_parser("ask", help="answer a query over an F-logic fact base")
@@ -226,9 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_cls.add_argument("file", help="file of same-arity rules")
     p_cls.set_defaults(func=_cmd_classify)
 
-    p_exp2 = sub.add_parser("explain", help="derivation tree of an entailed fact")
-    p_exp2.add_argument("kb", help="file of F-logic facts")
-    p_exp2.add_argument("fact", help="fact text, e.g. 'john:person.'")
+    p_exp2 = sub.add_parser(
+        "explain",
+        help=(
+            "derivation tree of an entailed fact, or (without FACT) "
+            "containment provenance for the rules in the file"
+        ),
+    )
+    p_exp2.add_argument("kb", help="file of F-logic facts (or rules, without FACT)")
+    p_exp2.add_argument(
+        "fact",
+        nargs="?",
+        default=None,
+        help="fact text, e.g. 'john:person.'; omit for containment provenance",
+    )
     p_exp2.set_defaults(func=_cmd_explain)
 
     p_shell = sub.add_parser("shell", help="interactive F-logic Lite shell")

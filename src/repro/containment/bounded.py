@@ -36,7 +36,8 @@ from ..core.errors import QueryError
 from ..core.query import ConjunctiveQuery
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
-from ..homomorphism.search import find_homomorphism
+from ..homomorphism.search import SearchStats, find_homomorphism
+from ..obs import Observability
 from .result import ContainmentReason, ContainmentResult
 from .store import ChaseStore
 
@@ -67,6 +68,12 @@ class ContainmentChecker:
         store to several checkers (or to minimisation / UCQ containment)
         to share the chase pool; by default the checker owns a private
         store configured from the other parameters.
+    obs:
+        Observability sink: every :meth:`check` opens a
+        ``containment.check`` span, the witness search a nested
+        ``hom.search`` span, and the homomorphism node/backtrack counters
+        feed the metrics registry.  When the checker builds its own store,
+        the store (and hence the chase engine) inherits the sink.
     """
 
     def __init__(
@@ -76,12 +83,17 @@ class ContainmentChecker:
         reorder_join: bool = True,
         max_steps: Optional[int] = 200_000,
         store: Optional[ChaseStore] = None,
+        obs: Optional[Observability] = None,
     ):
         if store is None:
             store = ChaseStore(
-                dependencies, reorder_join=reorder_join, max_steps=max_steps
+                dependencies,
+                reorder_join=reorder_join,
+                max_steps=max_steps,
+                obs=obs,
             )
         self.store = store
+        self.obs = obs if obs is not None else store.obs
         self.dependencies = store.dependencies
         self.reorder_join = reorder_join
         self.max_steps = max_steps
@@ -119,12 +131,17 @@ class ContainmentChecker:
         *,
         level_bound: Optional[int] = None,
         schema: Optional[Iterable[Atom]] = None,
+        explain: bool = False,
     ) -> ContainmentResult:
         """Decide ``q1 ⊆_Sigma q2``.
 
         *level_bound* overrides the Theorem-12 bound — used by the E8
         bound-stability experiment and required for non-Sigma_FL
         dependency sets.
+
+        *explain* attaches a decision-provenance payload to the result
+        (witness chase levels, per-level fact counts, rule-firing
+        sequence); see :meth:`ContainmentResult.explain_data`.
 
         *schema* makes the containment **relative**: the quantification
         runs over databases that satisfy Sigma_FL *and contain the given
@@ -140,10 +157,22 @@ class ContainmentChecker:
         """
         q1 = self._apply_schema(q1, schema)
         self._require_equal_arity(q1, q2)
-        start = time.perf_counter()
-        bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
-        chase_result, outcome = self._chase_for(q1, bound)
-        return self._decide(q1, q2, bound, chase_result, outcome, start)
+        tracer = self.obs.tracer
+        with tracer.span("containment.check", q1=q1.name, q2=q2.name) as span:
+            start = time.perf_counter()
+            bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
+            chase_result, outcome = self._chase_for(q1, bound)
+            result = self._decide(
+                q1, q2, bound, chase_result, outcome, start, explain=explain
+            )
+            if tracer.enabled:
+                span.set(
+                    contained=result.contained,
+                    reason=result.reason.value,
+                    bound=bound,
+                    chase_outcome=outcome,
+                )
+        return result
 
     def check_all(
         self,
@@ -174,16 +203,26 @@ class ContainmentChecker:
             groups.setdefault(q1.canonical_key(), []).append(i)
 
         results: list[Optional[ContainmentResult]] = [None] * len(prepared)
+        tracer = self.obs.tracer
         for indexes in groups.values():
             max_bound = max(prepared[i][2] for i in indexes)
             representative = prepared[indexes[0]][0]
             chase_result, outcome = self._chase_for(representative, max_bound)
             for i in indexes:
                 q1, q2, bound = prepared[i]
-                start = time.perf_counter()
-                results[i] = self._decide(
-                    q1, q2, bound, chase_result, outcome, start
-                )
+                with tracer.span(
+                    "containment.check", q1=q1.name, q2=q2.name, batch=True
+                ) as span:
+                    start = time.perf_counter()
+                    results[i] = self._decide(
+                        q1, q2, bound, chase_result, outcome, start
+                    )
+                    if tracer.enabled:
+                        span.set(
+                            contained=results[i].contained,
+                            reason=results[i].reason.value,
+                            bound=bound,
+                        )
         return [r for r in results if r is not None]
 
     # -- helpers -------------------------------------------------------------
@@ -218,9 +257,14 @@ class ContainmentChecker:
         chase_result: ChaseResult,
         outcome: str,
         start: float,
+        *,
+        explain: bool = False,
     ) -> ContainmentResult:
+        metrics = self.obs.metrics
+        if metrics is not None:
+            metrics.counter("containment.checks").inc()
         if chase_result.failed:
-            return ContainmentResult(
+            result = ContainmentResult(
                 q1=q1,
                 q2=q2,
                 contained=True,
@@ -230,6 +274,9 @@ class ContainmentChecker:
                 elapsed_seconds=time.perf_counter() - start,
                 chase_outcome=outcome,
             )
+            if explain:
+                result.explain_data()
+            return result
         assert chase_result.instance is not None
         # The chase may have been produced under a larger cached bound;
         # restrict the search to the first `bound` levels regardless.  The
@@ -238,12 +285,31 @@ class ContainmentChecker:
             prefix = chase_result.instance.up_to_level(bound)
         else:
             prefix = chase_result.instance.index
-        witness = find_homomorphism(
-            q2, prefix, head_target=chase_result.head, reorder=self.reorder_join
+        tracer = self.obs.tracer
+        search_stats = (
+            SearchStats() if (tracer.enabled or metrics is not None) else None
         )
+        with tracer.span("hom.search", source=q2.name, target=q1.name) as span:
+            witness = find_homomorphism(
+                q2,
+                prefix,
+                head_target=chase_result.head,
+                reorder=self.reorder_join,
+                stats=search_stats,
+            )
+            if tracer.enabled and search_stats is not None:
+                span.set(
+                    found=witness is not None,
+                    nodes=search_stats.nodes,
+                    backtracks=search_stats.backtracks,
+                )
+        if metrics is not None and search_stats is not None:
+            metrics.counter("hom.searches").inc()
+            metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
+            metrics.counter("hom.backtracks").inc(search_stats.backtracks)
         elapsed = time.perf_counter() - start
         if witness is not None:
-            return ContainmentResult(
+            result = ContainmentResult(
                 q1=q1,
                 q2=q2,
                 contained=True,
@@ -254,16 +320,20 @@ class ContainmentChecker:
                 elapsed_seconds=elapsed,
                 chase_outcome=outcome,
             )
-        return ContainmentResult(
-            q1=q1,
-            q2=q2,
-            contained=False,
-            reason=ContainmentReason.NO_HOMOMORPHISM,
-            chase_result=chase_result,
-            level_bound=bound,
-            elapsed_seconds=elapsed,
-            chase_outcome=outcome,
-        )
+        else:
+            result = ContainmentResult(
+                q1=q1,
+                q2=q2,
+                contained=False,
+                reason=ContainmentReason.NO_HOMOMORPHISM,
+                chase_result=chase_result,
+                level_bound=bound,
+                elapsed_seconds=elapsed,
+                chase_outcome=outcome,
+            )
+        if explain:
+            result.explain_data()
+        return result
 
 
 def is_contained(

@@ -18,6 +18,7 @@ from ..core.substitution import Substitution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..chase.engine import ChaseResult
+    from ..obs.provenance import ContainmentProvenance
 
 __all__ = ["ContainmentReason", "ContainmentResult"]
 
@@ -51,9 +52,26 @@ class ContainmentResult:
     #: ``"cache-extend"`` (stored prefix incrementally extended).  ``None``
     #: when the decision did not go through a :class:`ChaseStore`.
     chase_outcome: Optional[str] = None
+    #: Decision provenance (witness levels, per-level fact counts, rule
+    #: firing sequence), attached by ``ContainmentChecker.check(...,
+    #: explain=True)`` or built lazily by :meth:`explain_data`.
+    provenance: Optional["ContainmentProvenance"] = None
 
     def __bool__(self) -> bool:
         return self.contained
+
+    def explain_data(self) -> Optional["ContainmentProvenance"]:
+        """The structured provenance payload, built on first request.
+
+        Returns ``None`` only when no chase evidence is attached (a
+        constraint-free Theorem-4 style result).  The payload is cached on
+        the result, so repeated calls are free.
+        """
+        if self.provenance is None:
+            from ..obs.provenance import build_provenance
+
+            self.provenance = build_provenance(self)
+        return self.provenance
 
     @property
     def delta(self) -> Optional[int]:

@@ -12,7 +12,12 @@ entirely.  :class:`ChaseStore` fixes both:
   re-chasing (the E8 bound-stability sweep at x2/x4 bounds pays only for
   the new levels);
 * the store is LRU-bounded and counts hits, misses, extensions and
-  evictions — the observability the experiment tables surface.
+  evictions — the observability the experiment tables surface.  With an
+  :class:`~repro.obs.Observability` sink attached, the same counters are
+  mirrored into its :class:`~repro.obs.MetricsRegistry` (as
+  ``store.requests{outcome=...}``, ``store.evictions`` and the
+  ``store.live_entries`` gauge) and each lookup opens a ``store.lookup``
+  span.
 
 The store is the unit of sharing: hand one instance to several
 :class:`~repro.containment.bounded.ContainmentChecker` objects (or to
@@ -23,13 +28,14 @@ batch pipeline ...) and they all draw from the same chase pool.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..chase.engine import ChaseConfig, ChaseEngine, ChaseRun
 from ..core.query import ConjunctiveQuery
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
+from ..obs import OBS_OFF, MetricsRegistry, Observability
 
 __all__ = ["ChaseStore", "StoreStats", "OUTCOME_FULL", "OUTCOME_HIT", "OUTCOME_EXTEND"]
 
@@ -43,12 +49,23 @@ OUTCOME_EXTEND = "cache-extend"
 
 @dataclass
 class StoreStats:
-    """Hit/miss/extend/evict counters of one :class:`ChaseStore`."""
+    """Hit/miss/extend/evict counters of one :class:`ChaseStore`.
+
+    The plain integer fields remain the source of truth (and stay
+    directly assignable, as older callers expect); when a *registry* is
+    bound via :meth:`bind`, the ``record_*`` mutators additionally mirror
+    every event into process-wide metrics.
+    """
 
     hits: int = 0
     misses: int = 0
     extensions: int = 0
     evictions: int = 0
+    #: Runs currently held by the store (entries added minus evicted/cleared).
+    live_entries: int = 0
+    registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def full_chases(self) -> int:
@@ -64,12 +81,52 @@ class StoreStats:
     def requests(self) -> int:
         return self.hits + self.misses + self.extensions
 
+    # -- mirrored mutators ---------------------------------------------------
+
+    def bind(self, registry: Optional[MetricsRegistry]) -> "StoreStats":
+        """Attach a metrics registry; subsequent events are mirrored into it."""
+        self.registry = registry
+        if registry is not None:
+            registry.gauge("store.live_entries").set(self.live_entries)
+        return self
+
+    def record_hit(self) -> None:
+        self.hits += 1
+        if self.registry is not None:
+            self.registry.counter("store.requests", outcome="hit").inc()
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        if self.registry is not None:
+            self.registry.counter("store.requests", outcome="miss").inc()
+
+    def record_extension(self) -> None:
+        self.extensions += 1
+        if self.registry is not None:
+            self.registry.counter("store.requests", outcome="extend").inc()
+
+    def record_eviction(self, n: int = 1) -> None:
+        self.evictions += n
+        if self.registry is not None:
+            self.registry.counter("store.evictions").inc(n)
+
+    def entry_added(self) -> None:
+        self.live_entries += 1
+        if self.registry is not None:
+            self.registry.gauge("store.live_entries").set(self.live_entries)
+
+    def entry_removed(self, n: int = 1) -> None:
+        self.live_entries -= n
+        if self.registry is not None:
+            self.registry.gauge("store.live_entries").set(self.live_entries)
+
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "extensions": self.extensions,
             "evictions": self.evictions,
+            "live_entries": self.live_entries,
         }
 
     def __str__(self) -> str:
@@ -92,6 +149,11 @@ class ChaseStore:
         evicted beyond it.  ``None`` disables eviction.
     reorder_join / max_steps:
         Forwarded to the chase engine.
+    obs:
+        Observability sink.  The owned chase engine inherits it (so
+        stored chases emit ``chase.*`` spans and metrics), each lookup
+        opens a ``store.lookup`` span, and :attr:`stats` mirrors into its
+        metrics registry.
     """
 
     def __init__(
@@ -101,17 +163,20 @@ class ChaseStore:
         capacity: Optional[int] = 128,
         reorder_join: bool = True,
         max_steps: Optional[int] = 200_000,
+        obs: Optional[Observability] = None,
     ):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
         self.dependencies = tuple(dependencies)
         self.capacity = capacity
+        self.obs = obs if obs is not None else OBS_OFF
         self.engine = ChaseEngine(
             self.dependencies,
             ChaseConfig(max_steps=max_steps, reorder_join=reorder_join),
+            obs=self.obs,
         )
         self._runs: "OrderedDict[tuple, ChaseRun]" = OrderedDict()
-        self.stats = StoreStats()
+        self.stats = StoreStats().bind(self.obs.metrics)
 
     # -- the one lookup path -------------------------------------------------
 
@@ -126,26 +191,32 @@ class ChaseStore:
         Lookup is a single O(1) dict probe on the canonical key — there
         is no linear scan over cached entries.
         """
-        key = query.canonical_key()
-        run = self._runs.get(key)
-        if run is None:
-            self.stats.misses += 1
-            run = self.engine.start(query)
-            run.extend_to(level_bound)
-            self._runs[key] = run
-            outcome = OUTCOME_FULL
-        elif not run.covers(level_bound):
-            self.stats.extensions += 1
-            run.extend_to(level_bound)
-            outcome = OUTCOME_EXTEND
-        else:
-            self.stats.hits += 1
-            outcome = OUTCOME_HIT
-        self._runs.move_to_end(key)
-        if self.capacity is not None:
-            while len(self._runs) > self.capacity:
-                self._runs.popitem(last=False)
-                self.stats.evictions += 1
+        tracer = self.obs.tracer
+        with tracer.span("store.lookup", query=query.name) as span:
+            key = query.canonical_key()
+            run = self._runs.get(key)
+            if run is None:
+                self.stats.record_miss()
+                run = self.engine.start(query)
+                run.extend_to(level_bound)
+                self._runs[key] = run
+                self.stats.entry_added()
+                outcome = OUTCOME_FULL
+            elif not run.covers(level_bound):
+                self.stats.record_extension()
+                run.extend_to(level_bound)
+                outcome = OUTCOME_EXTEND
+            else:
+                self.stats.record_hit()
+                outcome = OUTCOME_HIT
+            self._runs.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._runs) > self.capacity:
+                    self._runs.popitem(last=False)
+                    self.stats.record_eviction()
+                    self.stats.entry_removed()
+            if tracer.enabled:
+                span.set(outcome=outcome, bound=level_bound, entries=len(self._runs))
         return run, outcome
 
     # -- inspection ----------------------------------------------------------
@@ -161,8 +232,11 @@ class ChaseStore:
         return len(self._runs)
 
     def clear(self) -> None:
-        """Drop every stored run (counters are kept)."""
+        """Drop every stored run (counters are kept, the live gauge drops)."""
+        dropped = len(self._runs)
         self._runs.clear()
+        if dropped:
+            self.stats.entry_removed(dropped)
 
     def __repr__(self) -> str:
         cap = "unbounded" if self.capacity is None else str(self.capacity)

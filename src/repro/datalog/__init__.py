@@ -7,7 +7,7 @@ chase and homomorphism engines reuse its indexed conjunction matcher.
 
 from .engine import EvaluationStats, derive_once, evaluate
 from .index import FactIndex
-from .matching import match_conjunction, order_by_selectivity
+from .matching import SearchStats, match_conjunction, order_by_selectivity
 from .program import Program
 from .rule import Rule
 
@@ -17,6 +17,7 @@ __all__ = [
     "FactIndex",
     "match_conjunction",
     "order_by_selectivity",
+    "SearchStats",
     "evaluate",
     "derive_once",
     "EvaluationStats",

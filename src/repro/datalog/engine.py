@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 
 from ..core.atoms import Atom
 from ..core.errors import ChaseBudgetExceeded
+from ..obs import Observability
 from .index import FactIndex
 from .matching import match_conjunction
 from .program import Program
@@ -39,6 +40,23 @@ class EvaluationStats:
     def record_firing(self, label: str) -> None:
         self.rule_firings += 1
         self.firings_per_rule[label] = self.firings_per_rule.get(label, 0) + 1
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "derived_facts": self.derived_facts,
+            "rule_firings": self.rule_firings,
+            "firings_per_rule": dict(self.firings_per_rule),
+        }
+
+    def publish(self, registry) -> None:
+        """Mirror the counters into a :class:`~repro.obs.MetricsRegistry`."""
+        if registry is None:
+            return
+        registry.counter("datalog.iterations").inc(self.iterations)
+        registry.counter("datalog.derived_facts").inc(self.derived_facts)
+        for label, count in self.firings_per_rule.items():
+            registry.counter("datalog.firings", rule=label).inc(count)
 
 
 def derive_once(
@@ -73,27 +91,54 @@ def evaluate(
     *,
     max_iterations: Optional[int] = None,
     stats: Optional[EvaluationStats] = None,
+    obs: Optional[Observability] = None,
 ) -> FactIndex:
     """Least-fixpoint evaluation; returns the saturated :class:`FactIndex`.
 
     Datalog fixpoints over a finite fact base always terminate, so
     *max_iterations* exists only as a safety valve for misuse (raises
     :class:`~repro.core.errors.ChaseBudgetExceeded` when hit).
+
+    With an :class:`~repro.obs.Observability` sink, the fixpoint runs
+    inside a ``datalog.evaluate`` span and the evaluation counters are
+    published into the sink's metrics registry on completion.
     """
+    own_stats = stats
+    if obs is not None and obs.metrics is not None and own_stats is None:
+        own_stats = EvaluationStats()
+    tracer = obs.tracer if obs is not None else None
     index = FactIndex(facts)
     delta: list[Atom] = list(index)
     iterations = 0
-    while delta:
-        iterations += 1
-        if max_iterations is not None and iterations > max_iterations:
-            raise ChaseBudgetExceeded(
-                f"datalog evaluation exceeded {max_iterations} iterations"
-            )
-        new_facts = derive_once(program, index, delta, stats)
-        for fact in new_facts:
-            index.add(fact)
-        delta = new_facts
-        if stats is not None:
-            stats.iterations = iterations
-            stats.derived_facts += len(new_facts)
+    span_cm = (
+        tracer.span("datalog.evaluate", rules=len(program.rules))
+        if tracer is not None
+        else None
+    )
+    span = span_cm.__enter__() if span_cm is not None else None
+    try:
+        while delta:
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise ChaseBudgetExceeded(
+                    f"datalog evaluation exceeded {max_iterations} iterations"
+                )
+            new_facts = derive_once(program, index, delta, own_stats)
+            for fact in new_facts:
+                index.add(fact)
+            delta = new_facts
+            if own_stats is not None:
+                own_stats.iterations = iterations
+                own_stats.derived_facts += len(new_facts)
+    finally:
+        if span_cm is not None:
+            if tracer is not None and tracer.enabled and own_stats is not None:
+                span.set(
+                    iterations=own_stats.iterations,
+                    derived=own_stats.derived_facts,
+                    facts=len(index),
+                )
+            span_cm.__exit__(None, None, None)
+    if obs is not None and obs.metrics is not None and own_stats is not None:
+        own_stats.publish(obs.metrics)
     return index

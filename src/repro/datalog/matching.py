@@ -10,6 +10,7 @@ ordering.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
 from ..core.atoms import Atom
@@ -17,7 +18,38 @@ from ..core.substitution import Substitution, match_atom
 from ..core.terms import Variable
 from .index import FactIndex
 
-__all__ = ["match_conjunction", "order_by_selectivity"]
+__all__ = ["match_conjunction", "order_by_selectivity", "SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Counters of one backtracking search over a conjunction.
+
+    ``nodes`` — search-tree nodes expanded (successful single-atom
+    extensions of the partial substitution); ``backtracks`` — positions
+    exhausted without further candidates (dead ends and completed
+    sub-searches); ``solutions`` — full substitutions yielded.  Counts
+    are deterministic for a fixed pattern, index and join order, which is
+    what the observability tests assert.  Pass one object through several
+    searches to accumulate.
+    """
+
+    nodes: int = 0
+    backtracks: int = 0
+    solutions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "nodes": self.nodes,
+            "backtracks": self.backtracks,
+            "solutions": self.solutions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.nodes} nodes expanded, {self.backtracks} backtracks, "
+            f"{self.solutions} solutions"
+        )
 
 
 def _bound_positions(atom: Atom, bound_vars: set[Variable]) -> int:
@@ -64,6 +96,7 @@ def match_conjunction(
     reorder: bool = True,
     required_fact: Optional[Atom] = None,
     term_filter: Optional[Callable] = None,
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[Substitution]:
     """Yield every substitution mapping all of *atoms* into *index*.
 
@@ -88,6 +121,8 @@ def match_conjunction(
         bindings; the homomorphism engine uses it to keep constants of the
         contained query from mapping to labeled nulls when a caller asks
         for null-free homomorphisms.
+    stats:
+        Optional :class:`SearchStats` accumulating node/backtrack counts.
     """
     if required_fact is not None:
         seen: set[Substitution] = set()
@@ -97,14 +132,19 @@ def match_conjunction(
                 continue
             if term_filter is not None and not _filter_ok(delta_atom, sigma0, term_filter):
                 continue
+            if stats is not None:
+                stats.nodes += 1
             rest = list(atoms[:delta_pos]) + list(atoms[delta_pos + 1:])
             if not rest:
                 if sigma0 not in seen:
                     seen.add(sigma0)
+                    if stats is not None:
+                        stats.solutions += 1
                     yield sigma0
                 continue
             for sigma in match_conjunction(
-                rest, index, sigma0, reorder=reorder, term_filter=term_filter
+                rest, index, sigma0, reorder=reorder, term_filter=term_filter,
+                stats=stats,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
@@ -117,7 +157,7 @@ def match_conjunction(
     else:
         ordered = list(atoms)
 
-    yield from _search(ordered, 0, index, base, term_filter)
+    yield from _search(ordered, 0, index, base, term_filter, stats)
 
 
 def _filter_ok(pattern: Atom, sigma: Substitution, term_filter: Callable) -> bool:
@@ -134,8 +174,11 @@ def _search(
     index: FactIndex,
     sigma: Substitution,
     term_filter: Optional[Callable],
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[Substitution]:
     if pos == len(ordered):
+        if stats is not None:
+            stats.solutions += 1
         yield sigma
         return
     pattern = ordered[pos]
@@ -145,4 +188,8 @@ def _search(
             continue
         if term_filter is not None and not _filter_ok(pattern, extended, term_filter):
             continue
-        yield from _search(ordered, pos + 1, index, extended, term_filter)
+        if stats is not None:
+            stats.nodes += 1
+        yield from _search(ordered, pos + 1, index, extended, term_filter, stats)
+    if stats is not None:
+        stats.backtracks += 1

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..containment.bounded import ContainmentChecker, theorem12_bound
 from ..containment.store import ChaseStore
+from ..obs import MetricsRegistry, Observability
 from ..workloads.corpus import PAPER_CONTAINMENT_PAIRS
 from ..workloads.query_gen import QueryGenerator
 from .tables import ExperimentReport, Table
@@ -35,8 +36,9 @@ def run(*, random_pairs: int = 20, seed: int = 11) -> ExperimentReport:
         "Theorem 12 bound stability: verdicts at 1x / 2x / 4x the bound",
         ["pair", "bound", "verdict@1x", "verdict@2x", "verdict@4x", "stable", "chase@4x"],
     )
-    store = ChaseStore(capacity=None)
-    checker = ContainmentChecker(store=store)
+    obs = Observability(metrics=MetricsRegistry())
+    store = ChaseStore(capacity=None, obs=obs)
+    checker = ContainmentChecker(store=store, obs=obs)
     flips = 0
     positives = 0
     rows = []
@@ -97,6 +99,7 @@ def run(*, random_pairs: int = 20, seed: int = 11) -> ExperimentReport:
             "rows": rows,
             "store": stats.as_dict(),
             "distinct_q1": len(store),
+            "metrics": obs.metrics.as_dict(),
         },
     )
 

@@ -25,16 +25,17 @@ import time
 from ..chase.engine import ChaseConfig, ChaseEngine
 from ..containment.bounded import theorem12_bound
 from ..dependencies.sigma_fl import SIGMA_FL
-from ..homomorphism.search import find_homomorphism
+from ..homomorphism.search import SearchStats, find_homomorphism
+from ..obs import MetricsRegistry, Observability
 from ..workloads.query_gen import QueryGenParams, QueryGenerator
 from .tables import ExperimentReport, Table
 
 __all__ = ["run"]
 
 
-def _measure_pair(q1, q2) -> dict:
+def _measure_pair(q1, q2, obs: Observability) -> dict:
     bound = theorem12_bound(q1, q2)
-    engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_level=bound))
+    engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_level=bound), obs=obs)
     run = engine.start(q1)
     t0 = time.perf_counter()
     run.extend_to(bound // 2)
@@ -45,13 +46,21 @@ def _measure_pair(q1, q2) -> dict:
     chase_result = run.result()
     witness = None
     t_hom = 0.0
+    search_stats = SearchStats()
     if not chase_result.failed:
         assert chase_result.instance is not None
         t0 = time.perf_counter()
         witness = find_homomorphism(
-            q2, chase_result.instance.index, head_target=chase_result.head
+            q2,
+            chase_result.instance.index,
+            head_target=chase_result.head,
+            stats=search_stats,
         )
         t_hom = time.perf_counter() - t0
+        if obs.metrics is not None:
+            obs.metrics.counter("hom.searches").inc()
+            obs.metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
+            obs.metrics.counter("hom.backtracks").inc(search_stats.backtracks)
     return {
         "bound": bound,
         "chase_size": chase_result.size(),
@@ -59,6 +68,8 @@ def _measure_pair(q1, q2) -> dict:
         "half_seconds": t_half,
         "extend_seconds": t_extend,
         "hom_seconds": t_hom,
+        "hom_nodes": search_stats.nodes,
+        "hom_backtracks": search_stats.backtracks,
         "contained": witness is not None or chase_result.failed,
     }
 
@@ -83,6 +94,7 @@ def run(
             "contained",
         ],
     )
+    obs = Observability(metrics=MetricsRegistry())
     rows = []
     for size in sizes:
         chase_secs = []
@@ -100,7 +112,7 @@ def run(
             )
             gen = QueryGenerator(seed + size * 100 + k, params)
             q1, q2 = gen.containment_pair()
-            m = _measure_pair(q1, q2)
+            m = _measure_pair(q1, q2, obs)
             bound = m["bound"]
             chase_secs.append(m["chase_seconds"])
             extend_secs.append(m["extend_seconds"])
@@ -149,7 +161,7 @@ def run(
         title="Theorem 13 — scaling of the containment procedure",
         tables=[table],
         summary=summary,
-        data={"rows": rows},
+        data={"rows": rows, "metrics": obs.metrics.as_dict()},
     )
 
 

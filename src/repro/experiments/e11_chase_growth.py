@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..chase.engine import chase
 from ..core.query import ConjunctiveQuery
+from ..obs import MetricsRegistry, Observability
 from ..workloads.corpus import EXAMPLE2_QUERY, INTRO_MANDATORY_Q
 from ..workloads.query_gen import QueryGenParams, QueryGenerator
 from .tables import ExperimentReport, Table
@@ -52,19 +53,20 @@ def run(
         "D1 ablation: restricted vs oblivious chase size",
         ["query", "level bound", "restricted", "oblivious", "inflation"],
     )
+    obs = Observability(metrics=MetricsRegistry())
     rows = []
     for query in corpus:
         sizes = []
         saturated = False
         for bound in levels:
-            result = chase(query, max_level=bound)
+            result = chase(query, max_level=bound, obs=obs)
             sizes.append(result.size())
             saturated = result.saturated
         growth.add_row(query.name, *sizes, saturated)
 
         bound = levels[len(levels) // 2]
-        restricted = chase(query, max_level=bound).size()
-        oblivious = chase(query, max_level=bound, restricted=False).size()
+        restricted = chase(query, max_level=bound, obs=obs).size()
+        oblivious = chase(query, max_level=bound, restricted=False, obs=obs).size()
         inflation = oblivious / max(restricted, 1)
         ablation.add_row(query.name, bound, restricted, oblivious, f"{inflation:.2f}x")
         rows.append(
@@ -100,7 +102,12 @@ def run(
         title="Chase growth and restricted/oblivious ablation",
         tables=[growth, ablation],
         summary=summary,
-        data={"rows": rows, "levels": list(levels), "linear": linear},
+        data={
+            "rows": rows,
+            "levels": list(levels),
+            "linear": linear,
+            "metrics": obs.metrics.as_dict(),
+        },
     )
 
 

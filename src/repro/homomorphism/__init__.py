@@ -1,6 +1,7 @@
 """Homomorphism search between queries, instances and chase prefixes."""
 
 from .search import (
+    SearchStats,
     all_homomorphisms,
     all_query_homomorphisms,
     find_homomorphism,
@@ -14,4 +15,5 @@ __all__ = [
     "find_homomorphism",
     "all_query_homomorphisms",
     "find_query_homomorphism",
+    "SearchStats",
 ]

@@ -21,7 +21,7 @@ from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
 from ..core.terms import Term, Variable
 from ..datalog.index import FactIndex
-from ..datalog.matching import match_conjunction
+from ..datalog.matching import SearchStats, match_conjunction
 
 __all__ = [
     "head_seed",
@@ -29,6 +29,7 @@ __all__ = [
     "find_homomorphism",
     "find_query_homomorphism",
     "all_query_homomorphisms",
+    "SearchStats",
 ]
 
 
@@ -62,13 +63,15 @@ def all_homomorphisms(
     head_target: Optional[Sequence[Term]] = None,
     *,
     reorder: bool = True,
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[Substitution]:
     """Every homomorphism from *query* into *index*.
 
     With *head_target* given, only homomorphisms sending the query head to
     exactly that tuple are produced (the Theorem-4/12 side condition).
     Without it, the generator enumerates the query's answers over *index*
-    viewed as a database.
+    viewed as a database.  *stats* accumulates node/backtrack counts of
+    the backtracking search (see :class:`SearchStats`).
     """
     if head_target is not None:
         seed = head_seed(query.head, head_target)
@@ -76,7 +79,7 @@ def all_homomorphisms(
             return
     else:
         seed = Substitution.EMPTY
-    yield from match_conjunction(query.body, index, seed, reorder=reorder)
+    yield from match_conjunction(query.body, index, seed, reorder=reorder, stats=stats)
 
 
 def find_homomorphism(
@@ -85,9 +88,10 @@ def find_homomorphism(
     head_target: Optional[Sequence[Term]] = None,
     *,
     reorder: bool = True,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[Substitution]:
     """The first homomorphism found, or ``None``."""
-    for sigma in all_homomorphisms(query, index, head_target, reorder=reorder):
+    for sigma in all_homomorphisms(query, index, head_target, reorder=reorder, stats=stats):
         return sigma
     return None
 
@@ -98,7 +102,10 @@ def _frozen_body_index(query: ConjunctiveQuery) -> FactIndex:
 
 
 def all_query_homomorphisms(
-    source: ConjunctiveQuery, target: ConjunctiveQuery
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    *,
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[Substitution]:
     """Query-to-query homomorphisms: body(source) -> body(target), head -> head.
 
@@ -110,13 +117,16 @@ def all_query_homomorphisms(
             f"arity mismatch: {source.name}/{source.arity} vs {target.name}/{target.arity}"
         )
     index = _frozen_body_index(target)
-    yield from all_homomorphisms(source, index, head_target=target.head)
+    yield from all_homomorphisms(source, index, head_target=target.head, stats=stats)
 
 
 def find_query_homomorphism(
-    source: ConjunctiveQuery, target: ConjunctiveQuery
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    *,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[Substitution]:
     """First query-to-query homomorphism, or ``None``."""
-    for sigma in all_query_homomorphisms(source, target):
+    for sigma in all_query_homomorphisms(source, target, stats=stats):
         return sigma
     return None

@@ -1,0 +1,87 @@
+"""repro.obs — tracing, metrics and decision provenance.
+
+A dependency-free observability layer with three pillars:
+
+* **spans** (:mod:`repro.obs.tracer`) — nested, timed phases of a chase
+  or containment decision (``chase.extend`` > ``chase.level`` >
+  ``chase.trigger``, ``egd.merge``, ``hom.search``, ``store.lookup``,
+  ``containment.check``), exportable as JSON trees or flat CSV;
+* **metrics** (:mod:`repro.obs.metrics`) — a registry of counters,
+  gauges and histograms (per-rule trigger counts, nulls invented, EGD
+  rewrites, hom-search nodes/backtracks, store hit/miss/extend/entries);
+* **provenance** (:mod:`repro.obs.provenance`) — the explain payload of
+  a containment verdict: witness levels, per-level fact counts, the
+  rule-firing sequence.
+
+The engines take one :class:`Observability` handle.  The default,
+:data:`OBS_OFF`, couples the no-op tracer with no metrics sink and costs
+nothing — instrumented hot loops guard on ``tracer.enabled`` and publish
+counter deltas only at segment boundaries.  Wire a live handle to turn
+everything on:
+
+>>> from repro.obs import Observability, Tracer, MetricsRegistry
+>>> obs = Observability(tracer=Tracer(), metrics=MetricsRegistry())
+>>> # ContainmentChecker(obs=obs), ChaseEngine(..., obs=obs), ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+from .provenance import ContainmentProvenance, build_provenance
+from .tracer import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "OBS_OFF",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "global_registry",
+    "ContainmentProvenance",
+    "build_provenance",
+]
+
+
+class Observability:
+    """One handle bundling a tracer and a metrics registry.
+
+    Either half may be absent: ``tracer=None`` means the no-op tracer,
+    ``metrics=None`` means hot paths skip metric publication entirely.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any pillar is live (used to gate stat-collection work)."""
+        return self.tracer.enabled or self.metrics is not None
+
+    @classmethod
+    def on(cls) -> "Observability":
+        """A fully live handle: fresh tracer + fresh registry."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(tracer={'on' if self.tracer.enabled else 'off'}, "
+            f"metrics={'on' if self.metrics is not None else 'off'})"
+        )
+
+
+#: The default, zero-cost handle: no-op tracer, no metrics sink.
+OBS_OFF = Observability()

@@ -1,0 +1,223 @@
+"""Process-wide metrics: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every instrument a run creates, keyed
+by ``(name, labels)`` — e.g. the per-rule trigger counters the chase
+engine publishes are twelve counters named ``chase.triggers`` with labels
+``rule=rho1 .. rule=rho12``.  Instruments are created on first use and
+returned on every later request, so independent components (chase engine,
+chase store, homomorphism search, Datalog engine) sharing one registry
+accumulate into the same instruments:
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("chase.triggers", rule="rho5").inc()
+>>> reg.counter("chase.triggers", rule="rho5").inc(2)
+>>> reg.counter("chase.triggers", rule="rho5").value
+3
+
+The dump formats (:meth:`MetricsRegistry.as_dict` /
+:meth:`MetricsRegistry.to_json`) are what ``flq check --metrics FILE``
+writes and what the E8/E9/E11 experiment reports embed in their ``data``
+payloads.  Unlabeled instruments dump as a plain number; labeled ones as
+a ``{"k=v": value}`` mapping.
+
+Instruments are plain attribute-increment objects — cheap enough to
+update in warm paths — but the engines still batch their hot-loop counts
+locally and publish deltas at segment boundaries, so metrics collection
+adds nothing measurable to a chase (see the obs-overhead benchmark).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+]
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc({n}))")
+        self.value += n
+
+    def dump(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({_render_name(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. live store entries)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
+
+    def dump(self):
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Gauge({_render_name(self.name, self.labels)}={self.value})"
+
+
+#: Default histogram bucket upper bounds — tuned for chase levels and
+#: small structural counts; the last implicit bucket is +Inf.
+DEFAULT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``buckets`` are inclusive upper bounds; every observation above the
+    last bound lands in the implicit ``+Inf`` bucket.  Tracks ``count``
+    and ``sum`` alongside, so means are recoverable from the dump.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value, n: int = 1) -> None:
+        """Record *value* (*n* times — the batch form the engines use)."""
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += n
+        self.count += n
+        self.total += value * n
+
+    def dump(self) -> dict:
+        out: dict[str, Any] = {"count": self.count, "sum": self.total}
+        buckets = {f"<={b:g}": c for b, c in zip(self.buckets, self.bucket_counts)}
+        buckets["+Inf"] = self.bucket_counts[-1]
+        out["buckets"] = buckets
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({_render_name(self.name, self.labels)}: n={self.count})"
+
+
+def _render_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create pool of instruments, keyed by name + labels."""
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, tuple], Any] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any], **extra):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **extra)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {_render_name(name, key[1])} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- reading --------------------------------------------------------------
+
+    def instruments(self) -> Iterator:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict:
+        """Structured dump: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``.
+
+        Unlabeled instruments appear as ``name: value``; labeled ones as
+        ``name: {"k=v": value, ...}`` so families (e.g. per-rule trigger
+        counters) group under one key.
+        """
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        section = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}
+        for instrument in self._instruments.values():
+            bucket = out[section[type(instrument)]]
+            if instrument.labels:
+                label_str = ",".join(f"{k}={v}" for k, v in instrument.labels)
+                bucket.setdefault(instrument.name, {})[label_str] = instrument.dump()
+            else:
+                bucket[instrument.name] = instrument.dump()
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    def reset(self) -> None:
+        """Drop every instrument (holders of old references keep stale ones)."""
+        self._instruments.clear()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry, for callers that want one shared sink."""
+    return _GLOBAL

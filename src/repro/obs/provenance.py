@@ -1,0 +1,139 @@
+"""Decision provenance: *why* a containment verdict came out as it did.
+
+A :class:`~repro.containment.result.ContainmentResult` already carries
+its certificate (the witness homomorphism and the chase prefix).  The
+provenance payload built here turns that certificate into the empirical
+story Theorem 12 tells:
+
+* **witness levels** — which chase levels the witnessing homomorphism's
+  atom images actually sit on.  Theorem 12 permits levels up to
+  ``|q2|·2·|q1|``; Lemma 9/11 locality predicts real witnesses cluster
+  far below the bound, and this field measures it per decision.
+* **per-level fact counts** — the chase-growth profile of the examined
+  prefix (Lemma 5's linear-growth shape for cyclic queries).
+* **rule firings** — the ``(rule, level)`` sequence in application
+  order, reconstructed from the chase instance's provenance records (node
+  ids are allocated in firing order, so no extra bookkeeping is needed
+  during the chase — provenance stays zero-cost until asked for).
+
+The payload is JSON-friendly (:meth:`ContainmentProvenance.as_dict`) and
+renders as text (:meth:`ContainmentProvenance.pretty`) for the
+``flq explain`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ContainmentProvenance", "build_provenance"]
+
+#: Longest rule-firing sequence rendered verbatim by :meth:`pretty`.
+_PRETTY_FIRING_LIMIT = 24
+
+
+@dataclass(frozen=True)
+class ContainmentProvenance:
+    """The explain payload of one containment decision."""
+
+    q1: str
+    q2: str
+    contained: bool
+    reason: str
+    level_bound: Optional[int]
+    #: Distinct chase levels touched by the witness's body-atom images
+    #: (empty when there is no witness — negative or vacuous verdicts).
+    witness_levels: tuple[int, ...]
+    #: Conjunct count per level of the examined prefix.
+    per_level_facts: dict[int, int]
+    #: ``(rule label, level)`` per surviving conjunct, in firing order.
+    rule_firings: tuple[tuple[str, int], ...]
+    #: Total applications per rule (includes firings whose conjunct was
+    #: later rewritten away by an EGD merge — hence >= the sequence).
+    rule_counts: dict[str, int]
+
+    @property
+    def max_witness_level(self) -> Optional[int]:
+        """Deepest level the witness needed, or ``None`` without one."""
+        return max(self.witness_levels) if self.witness_levels else None
+
+    def as_dict(self) -> dict:
+        return {
+            "q1": self.q1,
+            "q2": self.q2,
+            "contained": self.contained,
+            "reason": self.reason,
+            "level_bound": self.level_bound,
+            "witness_levels": list(self.witness_levels),
+            "per_level_facts": {str(k): v for k, v in sorted(self.per_level_facts.items())},
+            "rule_firings": [list(f) for f in self.rule_firings],
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+        }
+
+    def pretty(self) -> str:
+        rel = "⊆" if self.contained else "⊄"
+        lines = [f"{self.q1} {rel} {self.q2}  [{self.reason}]"]
+        if self.level_bound is not None:
+            lines.append(f"  level bound: {self.level_bound}")
+        if self.witness_levels:
+            touched = ", ".join(str(l) for l in self.witness_levels)
+            lines.append(
+                f"  witness touches levels {{{touched}}} "
+                f"(deepest {self.max_witness_level} of {self.level_bound} allowed)"
+            )
+        if self.per_level_facts:
+            profile = "  ".join(
+                f"L{lvl}:{n}" for lvl, n in sorted(self.per_level_facts.items())
+            )
+            lines.append(f"  facts per level: {profile}")
+        if self.rule_firings:
+            shown = self.rule_firings[:_PRETTY_FIRING_LIMIT]
+            seq = " -> ".join(f"{rule}@L{lvl}" for rule, lvl in shown)
+            if len(self.rule_firings) > len(shown):
+                seq += f" -> ... ({len(self.rule_firings) - len(shown)} more)"
+            lines.append(f"  firing sequence: {seq}")
+        if self.rule_counts:
+            counts = ", ".join(f"{r}:{n}" for r, n in sorted(self.rule_counts.items()))
+            lines.append(f"  firings per rule: {counts}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def build_provenance(result) -> Optional[ContainmentProvenance]:
+    """Build the explain payload from a finished containment result.
+
+    Pure read-only reconstruction over the result's evidence — the chase
+    is never re-run and nothing extra is recorded during it.  Returns
+    ``None`` when the result carries no chase evidence (e.g. the classic
+    constraint-free check).
+    """
+    chase_result = getattr(result, "chase_result", None)
+    if chase_result is None:
+        return None
+    common = dict(
+        q1=result.q1.name,
+        q2=result.q2.name,
+        contained=result.contained,
+        reason=result.reason.value,
+        level_bound=result.level_bound,
+        rule_counts=dict(chase_result.rule_applications),
+    )
+    instance = chase_result.instance
+    if instance is None:  # chase failure: no prefix to profile
+        return ContainmentProvenance(
+            witness_levels=(), per_level_facts={}, rule_firings=(), **common
+        )
+    bound = result.level_bound
+    witness_levels: tuple[int, ...] = ()
+    if result.witness is not None:
+        witness_levels = tuple(
+            sorted({instance.level_of(result.witness.apply_atom(a)) for a in result.q2.body})
+        )
+    return ContainmentProvenance(
+        witness_levels=witness_levels,
+        per_level_facts=instance.level_histogram(bound),
+        rule_firings=instance.firing_sequence(),
+        **common,
+    )

@@ -1,0 +1,293 @@
+"""Span tracing: where the time of a containment decision goes.
+
+Theorem 12 reduces containment to a homomorphism search into a bounded
+chase prefix, so the empirical story of this reproduction is a handful of
+nested phases — chase extension segments, per-round rule firing, EGD
+repair, store lookups, the witness search.  :class:`Tracer` records those
+phases as a tree of :class:`Span` objects:
+
+>>> tracer = Tracer()
+>>> with tracer.span("containment.check", q1="q"):
+...     with tracer.span("hom.search") as sp:
+...         sp.add("nodes", 3)
+>>> tracer.spans[0].children[0].counters["nodes"]
+3
+
+Spans carry free-form ``attributes`` (set once or via :meth:`Span.set`)
+and additive ``counters`` (:meth:`Span.add`).  The finished tree exports
+as a nested JSON document (:meth:`Tracer.to_json`) or a flat CSV with one
+row per span (:meth:`Tracer.to_csv`); :meth:`Tracer.write` picks the
+format from the file suffix.
+
+**Zero cost when disabled.**  The default tracer everywhere in the code
+base is the module singleton :data:`NOOP_TRACER`: its :meth:`span` hands
+back one shared, stateless context manager, so an un-instrumented run
+pays a method call per *coarse* phase and a single ``tracer.enabled``
+attribute check per hot-loop trigger — nothing is allocated and nothing
+is retained.  ``benchmarks/test_bench_obs_overhead.py`` guards that this
+stays under 3% of the Theorem-12 decision time.
+
+Tracers are not thread-safe; use one per thread of work.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_TRACER"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value into something JSON can carry."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class Span:
+    """One timed phase, with attributes, counters and child spans.
+
+    Created through :meth:`Tracer.span` and used as a context manager;
+    entering starts the clock and links the span into the tracer's tree,
+    exiting stops it.  ``add``/``set`` may be called at any point while
+    the span (or the whole trace) is being assembled.
+    """
+
+    __slots__ = ("name", "attributes", "counters", "children", "start_s", "end_s", "_tracer")
+
+    def __init__(self, name: str, attributes: dict, tracer: "Tracer"):
+        self.name = name
+        self.attributes: dict[str, Any] = attributes
+        self.counters: dict[str, int] = {}
+        self.children: list["Span"] = []
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self._tracer = tracer
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        self._tracer._pop(self)
+        return False
+
+    # -- recording ------------------------------------------------------------
+
+    def add(self, counter: str, n: int = 1) -> None:
+        """Increment an additive counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attributes.update(attributes)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def duration_seconds(self) -> float:
+        if self.start_s is None:
+            return 0.0
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Depth-first ``(depth, span)`` traversal of this subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def as_dict(self) -> dict:
+        """The nested JSON-ready form of this span subtree."""
+        return {
+            "name": self.name,
+            "start_seconds": self._tracer.offset_of(self),
+            "duration_seconds": self.duration_seconds,
+            "attributes": {k: _jsonable(v) for k, v in self.attributes.items()},
+            "counters": dict(self.counters),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name}, {self.duration_seconds * 1e3:.3f}ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+#: Column order of the flat CSV export.
+CSV_COLUMNS = ("depth", "name", "start_seconds", "duration_seconds", "counters", "attributes")
+
+
+class Tracer:
+    """Collects spans into a forest of trace trees.  See module docstring."""
+
+    #: Real tracers record; the no-op tracer advertises ``False`` so hot
+    #: loops can skip instrumentation with a single attribute check.
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch: Optional[float] = None
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span, to be entered with ``with``."""
+        return Span(name, attributes, self)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span: Span) -> None:
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.spans).append(span)
+        self._stack.append(span)
+        if self._epoch is None:
+            self._epoch = time.perf_counter()
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - unbalanced exit guard
+            while self._stack and self._stack.pop() is not span:
+                pass
+
+    def offset_of(self, span: Span) -> float:
+        """Span start relative to the first span of the trace."""
+        if span.start_s is None or self._epoch is None:
+            return 0.0
+        return span.start_s - self._epoch
+
+    def reset(self) -> None:
+        """Drop every recorded span (open spans keep recording into limbo)."""
+        self.spans = []
+        self._stack = []
+        self._epoch = None
+
+    # -- exports --------------------------------------------------------------
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` traversal of the whole forest."""
+        for root in self.spans:
+            yield from root.walk()
+
+    def as_dicts(self) -> list[dict]:
+        return [root.as_dict() for root in self.spans]
+
+    def to_json(self, indent: int = 2) -> str:
+        """The trace forest as a nested JSON array of span trees."""
+        return json.dumps(self.as_dicts(), indent=indent)
+
+    def to_csv(self) -> str:
+        """One row per span: depth, name, timing, counters, attributes."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(CSV_COLUMNS)
+        for depth, span in self.walk():
+            writer.writerow(
+                [
+                    depth,
+                    span.name,
+                    f"{self.offset_of(span):.6f}",
+                    f"{span.duration_seconds:.6f}",
+                    ";".join(f"{k}={v}" for k, v in span.counters.items()),
+                    ";".join(f"{k}={_jsonable(v)}" for k, v in span.attributes.items()),
+                ]
+            )
+        return out.getvalue()
+
+    def write(self, path) -> None:
+        """Export to *path*: CSV when the suffix is ``.csv``, JSON otherwise."""
+        text = self.to_csv() if str(path).endswith(".csv") else self.to_json()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def __repr__(self) -> str:
+        total = sum(1 for _ in self.walk())
+        return f"Tracer({len(self.spans)} roots, {total} spans)"
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out by :class:`NoopTracer`."""
+
+    __slots__ = ()
+    name = "noop"
+    attributes: dict = {}
+    counters: dict = {}
+    children: tuple = ()
+    duration_seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, counter: str, n: int = 1) -> None:
+        pass
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<noop-span>"
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: records nothing, allocates nothing.
+
+    Every instrumented call site accepts this by default, so plain
+    library use never pays for tracing beyond a method call per coarse
+    phase (hot loops additionally guard on :attr:`enabled`).
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def as_dicts(self) -> list:
+        return []
+
+    def to_json(self, indent: int = 2) -> str:
+        return "[]"
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        csv.writer(out).writerow(CSV_COLUMNS)
+        return out.getvalue()
+
+    def write(self, path) -> None:  # pragma: no cover - nothing to export
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv() if str(path).endswith(".csv") else "[]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NoopTracer()"
+
+
+#: Process-wide disabled tracer; the default everywhere.
+NOOP_TRACER = NoopTracer()

@@ -109,6 +109,70 @@ class TestExtendTo:
         assert run.elapsed_seconds > t1 > 0.0
 
 
+class TestSegmentTiming:
+    """elapsed_seconds must be the sum of disjoint per-segment windows —
+    a resumed run never re-counts time attributed to an earlier segment."""
+
+    @pytest.fixture
+    def fake_clock(self, monkeypatch):
+        from repro.chase import engine as engine_mod
+
+        ticks = {"now": 0.0}
+
+        def perf_counter():
+            ticks["now"] += 1.0
+            return ticks["now"]
+
+        monkeypatch.setattr(engine_mod.time, "perf_counter", perf_counter)
+        return ticks
+
+    def test_segments_are_disjoint_windows(self, fake_clock):
+        # With the no-op tracer, each extend_to reads the clock exactly
+        # twice (segment start + end), so each segment is exactly 1.0
+        # fake seconds — regardless of how much prior time accumulated.
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(2)
+        assert run.segment_seconds == [1.0]
+        assert run.elapsed_seconds == 1.0
+        run.extend_to(6)
+        run.extend_to(10)
+        # A double-counting bug would make later segments include the
+        # earlier windows (2.0, 3.0, ...) and elapsed grow quadratically.
+        assert run.segment_seconds == [1.0, 1.0, 1.0]
+        assert run.elapsed_seconds == sum(run.segment_seconds) == 3.0
+
+    def test_covered_extend_adds_no_segment(self, fake_clock):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(4)
+        run.extend_to(4)
+        run.extend_to(2)
+        assert run.segment_seconds == [1.0]
+
+    def test_result_snapshot_exposes_segments(self, fake_clock):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(2)
+        run.extend_to(6)
+        result = run.result()
+        assert result.segment_seconds == (1.0, 1.0)
+        assert result.elapsed_seconds == sum(result.segment_seconds)
+
+    def test_failed_run_still_records_its_segment(self, fake_clock):
+        run = make_engine().start(FAILING_QUERY)
+        run.extend_to(4)
+        assert run.failed
+        assert run.segment_seconds == [1.0]
+        assert run.result().segment_seconds == (1.0,)
+
+    def test_real_clock_invariant(self):
+        run = make_engine().start(EXAMPLE2_QUERY)
+        run.extend_to(2)
+        run.extend_to(6)
+        run.extend_to(12)
+        assert run.elapsed_seconds == pytest.approx(sum(run.segment_seconds))
+        assert len(run.segment_seconds) == 3
+        assert all(s >= 0.0 for s in run.segment_seconds)
+
+
 class TestLevelPrefixView:
     def test_view_matches_manual_level_filter(self):
         """The view is exactly the level-filtered atom set of its own

@@ -111,7 +111,7 @@ class TestMinimize:
         )
         result = minimize_query(q)
         assert set(result.store_stats) == {
-            "hits", "misses", "extensions", "evictions"
+            "hits", "misses", "extensions", "evictions", "live_entries"
         }
         assert result.store_stats["misses"] > 0  # at least one fresh chase
 

@@ -107,6 +107,70 @@ class TestChaseStore:
         assert stats.full_chases == 1
 
 
+class TestStoreStatsObservability:
+    def test_as_dict_str_round_trip(self):
+        stats = StoreStats(hits=2, misses=1, extensions=3, evictions=4, live_entries=1)
+        rebuilt = StoreStats(**stats.as_dict())
+        assert rebuilt == stats
+        assert rebuilt.as_dict() == stats.as_dict()
+        text = str(rebuilt)
+        # __str__ surfaces every counter the dict carries (live_entries is
+        # a gauge, reported via the metrics registry instead).
+        assert "6 chase requests" in text
+        assert "1 full" in text and "3 extended" in text
+        assert "2 hits" in text and "4 evictions" in text
+        assert str(stats) == text
+
+    def test_record_methods_mirror_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        stats = StoreStats().bind(reg)
+        stats.record_miss()
+        stats.entry_added()
+        stats.record_hit()
+        stats.record_extension()
+        counters = reg.as_dict()["counters"]
+        assert counters["store.requests"] == {
+            "outcome=miss": 1,
+            "outcome=hit": 1,
+            "outcome=extend": 1,
+        }
+        assert reg.as_dict()["gauges"]["store.live_entries"] == 1
+
+    def test_eviction_decrements_live_entry_gauge(self):
+        from repro.obs import MetricsRegistry, Observability
+
+        obs = Observability(metrics=MetricsRegistry())
+        store = ChaseStore(capacity=1, obs=obs)
+        gauge = obs.metrics.gauge("store.live_entries")
+        store.run_for(members, 3)
+        assert gauge.value == 1 and store.stats.live_entries == 1
+        store.run_for(sub_members, 3)  # evicts members
+        assert store.stats.evictions == 1
+        assert gauge.value == 1 and store.stats.live_entries == 1
+        assert obs.metrics.as_dict()["counters"]["store.evictions"] == 1
+
+    def test_clear_drops_live_entry_gauge_to_zero(self):
+        from repro.obs import MetricsRegistry, Observability
+
+        obs = Observability(metrics=MetricsRegistry())
+        store = ChaseStore(obs=obs)
+        store.run_for(members, 3)
+        store.run_for(sub_members, 3)
+        assert store.stats.live_entries == 2
+        store.clear()
+        assert store.stats.live_entries == 0
+        assert obs.metrics.gauge("store.live_entries").value == 0
+        assert store.stats.misses == 2  # counters survive the clear
+
+    def test_unbound_store_keeps_plain_counters(self):
+        store = ChaseStore()
+        store.run_for(members, 3)
+        assert store.stats.registry is None
+        assert store.stats.live_entries == 1
+
+
 class TestCheckerStoreIntegration:
     def test_chase_outcome_surfaced_on_results(self):
         checker = ContainmentChecker()

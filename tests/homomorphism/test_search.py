@@ -120,3 +120,103 @@ class TestQueryHomomorphisms:
             "q2", (), (member(a, b), member(b, c))
         )
         assert len(list(all_query_homomorphisms(q1, q2))) == 2
+
+
+class TestSearchStats:
+    """Node/backtrack counters of the backtracking search.
+
+    The search is fully deterministic (fixed join order, insertion-ordered
+    candidate enumeration), so the counts on the paper's fixtures are
+    exact regression values, not bounds.
+    """
+
+    def _example1(self):
+        from repro.workloads.corpus import EXAMPLE1_QUERY
+
+        return EXAMPLE1_QUERY
+
+    def _figure1(self):
+        from repro.workloads.corpus import EXAMPLE2_QUERY
+
+        return EXAMPLE2_QUERY
+
+    def test_example1_self_homomorphism_counts(self):
+        from repro.homomorphism import SearchStats
+
+        stats = SearchStats()
+        homs = list(
+            all_query_homomorphisms(self._example1(), self._example1(), stats=stats)
+        )
+        assert len(homs) == 1
+        assert stats.solutions == 1
+        assert stats.nodes == 4  # one successful extension per body atom
+        assert stats.backtracks == 4  # full enumeration unwinds every level
+
+    def test_example1_witness_into_chase_counts(self):
+        from repro.chase.engine import chase
+        from repro.homomorphism import SearchStats
+
+        q = self._example1()
+        result = chase(q, max_level=4)
+        stats = SearchStats()
+        witness = find_homomorphism(
+            q, result.instance.index, head_target=result.head, stats=stats
+        )
+        assert witness is not None
+        # find_* stops at the first witness: no exhaustive unwinding.
+        assert (stats.nodes, stats.backtracks, stats.solutions) == (4, 0, 1)
+
+    def test_figure1_witness_into_chase_counts(self):
+        from repro.chase.engine import chase
+        from repro.homomorphism import SearchStats
+
+        q = self._figure1()
+        result = chase(q, max_level=6)
+        stats = SearchStats()
+        witness = find_homomorphism(
+            q, result.instance.index, head_target=result.head, stats=stats
+        )
+        assert witness is not None
+        assert (stats.nodes, stats.backtracks, stats.solutions) == (3, 0, 1)
+
+    def test_figure1_self_homomorphism_counts(self):
+        from repro.homomorphism import SearchStats
+
+        stats = SearchStats()
+        homs = list(
+            all_query_homomorphisms(self._figure1(), self._figure1(), stats=stats)
+        )
+        assert len(homs) == 1
+        assert (stats.nodes, stats.backtracks, stats.solutions) == (3, 3, 1)
+
+    def test_counts_are_reproducible(self):
+        from repro.homomorphism import SearchStats
+
+        runs = []
+        for _ in range(2):
+            stats = SearchStats()
+            list(
+                all_query_homomorphisms(
+                    self._example1(), self._example1(), stats=stats
+                )
+            )
+            runs.append((stats.nodes, stats.backtracks, stats.solutions))
+        assert runs[0] == runs[1]
+
+    def test_stats_accumulate_across_searches(self):
+        from repro.homomorphism import SearchStats
+
+        stats = SearchStats()
+        q = self._example1()
+        list(all_query_homomorphisms(q, q, stats=stats))
+        first = stats.nodes
+        list(all_query_homomorphisms(q, q, stats=stats))
+        assert stats.nodes == 2 * first
+        assert stats.solutions == 2
+
+    def test_as_dict_and_str(self):
+        from repro.homomorphism import SearchStats
+
+        stats = SearchStats(nodes=5, backtracks=2, solutions=1)
+        assert stats.as_dict() == {"nodes": 5, "backtracks": 2, "solutions": 1}
+        assert "5 nodes" in str(stats)

@@ -120,6 +120,69 @@ class TestExplain:
         assert main(["explain", kb_file, "john:robot."]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_containment_provenance_without_fact(self, pair_file, capsys):
+        assert main(["explain", pair_file]) == 0
+        out = capsys.readouterr().out
+        assert "[homomorphism]" in out
+        assert "witness touches levels" in out
+        assert "firing sequence" in out
+
+    def test_provenance_mode_needs_two_rules(self, tmp_path, capsys):
+        path = tmp_path / "one.flq"
+        path.write_text("q(A) :- T1[A*=>T2].\n")
+        assert main(["explain", str(path)]) == 2
+
+
+class TestObservabilityFlags:
+    def test_check_trace_and_metrics_exports(self, pair_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert (
+            main(["check", pair_file, "--trace", str(trace), "--metrics", str(metrics)])
+            == 0
+        )
+        trees = json.loads(trace.read_text())
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span.get("children", []):
+                collect(child)
+
+        for tree in trees:
+            collect(tree)
+        assert {"containment.check", "hom.search", "store.lookup", "chase.extend"} <= names
+        dump = json.loads(metrics.read_text())
+        assert dump["counters"]["containment.checks"] >= 1
+        # Per-rule trigger counters carry rho labels.
+        assert any(k.startswith("rule=rho") for k in dump["counters"]["chase.triggers"])
+
+    def test_check_csv_trace_export(self, pair_file, tmp_path):
+        trace = tmp_path / "t.csv"
+        assert main(["check", pair_file, "--trace", str(trace)]) == 0
+        header, *rows = trace.read_text().strip().splitlines()
+        assert header.startswith("depth,name,")
+        assert rows  # at least one span row
+
+    def test_chase_metrics_export(self, pair_file, tmp_path):
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert main(["chase", pair_file, "--metrics", str(metrics)]) == 0
+        dump = json.loads(metrics.read_text())
+        assert dump["counters"]["chase.extend_segments"] >= 1
+
+    def test_check_explain_flag_prints_provenance(self, pair_file, capsys):
+        assert main(["check", pair_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "witness touches levels" in out
+
+    def test_no_flags_no_files(self, pair_file, tmp_path):
+        assert main(["check", pair_file]) == 0
+        assert [p.name for p in tmp_path.iterdir()] == ["pair.flq"]
+
 
 class TestOther:
     def test_termination_cyclic_exit_one(self, cyclic_file, capsys):

@@ -1,0 +1,112 @@
+"""Metrics registry: instrument identity, kinds, and dump formats."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+)
+
+
+class TestCounters:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("chase.triggers", rule="rho5")
+        b = reg.counter("chase.triggers", rule="rho5")
+        assert a is b
+        assert reg.counter("chase.triggers", rule="rho6") is not a
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", p="1", q="2")
+        b = reg.counter("x", q="2", p="1")
+        assert a is b
+
+    def test_inc_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("store.live_entries")
+        with pytest.raises(TypeError):
+            reg.gauge("store.live_entries")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("store.live_entries")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistograms:
+    def test_bucketing_and_batch_observe(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("chase.level_of_conjunct")
+        h.observe(0, 5)
+        h.observe(3)
+        h.observe(10_000)
+        dump = h.dump()
+        assert dump["count"] == 7
+        assert dump["sum"] == 3 + 10_000
+        assert dump["buckets"]["<=0"] == 5
+        assert dump["buckets"]["<=4"] == 1
+        assert dump["buckets"]["+Inf"] == 1
+
+    def test_custom_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("custom", buckets=(1, 10))
+        h.observe(5)
+        assert h.buckets == (1, 10)
+        assert h.dump()["buckets"]["<=10"] == 1
+
+    def test_default_buckets_cover_paper_bounds(self):
+        # Theorem-12 bounds for the corpus queries land within 256 levels.
+        assert DEFAULT_BUCKETS[-1] >= 256
+
+
+class TestRegistryDump:
+    def test_as_dict_sections_and_label_grouping(self):
+        reg = MetricsRegistry()
+        reg.counter("chase.triggers", rule="rho5").inc(2)
+        reg.counter("chase.triggers", rule="rho7").inc()
+        reg.counter("containment.checks").inc()
+        reg.gauge("store.live_entries").set(4)
+        reg.histogram("levels").observe(1)
+        d = reg.as_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        assert d["counters"]["chase.triggers"] == {"rule=rho5": 2, "rule=rho7": 1}
+        assert d["counters"]["containment.checks"] == 1
+        assert d["gauges"]["store.live_entries"] == 4
+        assert d["histograms"]["levels"]["count"] == 1
+
+    def test_json_round_trip_and_write(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        path = tmp_path / "metrics.json"
+        reg.write_json(path)
+        assert json.loads(path.read_text())["counters"]["a"] == 1
+
+    def test_reset_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 2
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()

@@ -1,0 +1,100 @@
+"""Decision provenance: reconstruction from containment evidence."""
+
+import json
+
+from repro.containment.bounded import ContainmentChecker
+from repro.containment.classic import contained_classic
+from repro.core import ConjunctiveQuery, Variable, data, funct, sub, type_
+from repro.obs.provenance import build_provenance
+
+T1, T2, T3, A, B, X, O = (Variable(n) for n in "T1 T2 T3 A B X O".split())
+
+#: The paper's Section-1 pair: q ⊆ qq under Sigma_FL.
+Q = ConjunctiveQuery("q", (A, B), (type_(T1, A, T2), sub(T2, T3), type_(T3, B, X)))
+QQ = ConjunctiveQuery("qq", (A, B), (type_(T1, A, T2), type_(T2, B, X)))
+
+
+class TestPositiveVerdict:
+    def setup_method(self):
+        self.result = ContainmentChecker().check(Q, QQ, explain=True)
+
+    def test_provenance_attached_by_explain_flag(self):
+        assert self.result.provenance is not None
+        assert self.result.provenance.contained is True
+        assert self.result.provenance.reason == "homomorphism"
+
+    def test_witness_levels_within_bound(self):
+        prov = self.result.provenance
+        assert prov.witness_levels  # a positive verdict has a witness
+        assert prov.max_witness_level <= prov.level_bound
+
+    def test_per_level_facts_cover_prefix(self):
+        prov = self.result.provenance
+        assert 0 in prov.per_level_facts
+        assert sum(prov.per_level_facts.values()) == self.result.chase_result.size()
+
+    def test_firing_sequence_matches_rule_counts_shape(self):
+        prov = self.result.provenance
+        assert prov.rule_firings  # Sigma_FL derives facts on this pair
+        # Every fired rule in the sequence is accounted for in the totals
+        # (totals may exceed the sequence: merged-away conjuncts).
+        for rule, level in prov.rule_firings:
+            assert rule in prov.rule_counts
+            assert level >= 0
+
+    def test_as_dict_is_json_ready(self):
+        payload = json.loads(json.dumps(self.result.provenance.as_dict()))
+        assert payload["q1"] == "q" and payload["q2"] == "qq"
+        assert payload["contained"] is True
+
+    def test_pretty_mentions_levels_and_rules(self):
+        text = self.result.provenance.pretty()
+        assert "⊆" in text
+        assert "witness touches levels" in text
+        assert "firing sequence" in text
+
+
+class TestOtherVerdicts:
+    def test_negative_verdict_has_no_witness_levels(self):
+        result = ContainmentChecker().check(QQ, Q, explain=True)
+        prov = result.provenance
+        assert prov is not None
+        assert prov.contained is False
+        assert prov.witness_levels == ()
+        assert prov.max_witness_level is None
+        assert "⊄" in prov.pretty()
+
+    def test_chase_failure_has_empty_profile(self):
+        from repro.core import Constant
+
+        o, a = Variable("O"), Variable("A")
+        # funct(A, O) equates the two data values red and blue — an EGD
+        # clash on distinct constants, so the chase of `red` fails.
+        red = ConjunctiveQuery(
+            "qfail",
+            (),
+            (
+                data(o, a, Constant("red")),
+                data(o, a, Constant("blue")),
+                funct(a, o),
+            ),
+        )
+        other = ConjunctiveQuery("qother", (), (sub(Variable("C"), Variable("D")),))
+        result = ContainmentChecker().check(red, other, explain=True)
+        prov = result.provenance
+        assert result.contained and prov.reason == "chase-failure"
+        assert prov.witness_levels == ()
+        assert prov.per_level_facts == {}
+        assert prov.rule_firings == ()
+
+    def test_classic_result_without_chase_evidence(self):
+        result = contained_classic(Q, QQ)
+        assert build_provenance(result) is None
+        assert result.explain_data() is None
+
+    def test_lazy_explain_data_builds_and_caches(self):
+        result = ContainmentChecker().check(Q, QQ)  # no explain flag
+        assert result.provenance is None
+        prov = result.explain_data()
+        assert prov is not None
+        assert result.explain_data() is prov

@@ -1,0 +1,142 @@
+"""Spans: nesting, counters, exports, and the no-op tracer contract."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs.tracer import CSV_COLUMNS, NOOP_TRACER, NoopTracer, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_follows_with_blocks(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["outer"]
+        outer = tracer.spans[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.spans] == ["first", "second"]
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("phase") as sp:
+            sp.add("nodes", 3)
+            sp.add("nodes")
+            sp.add("backtracks", 2)
+        assert sp.counters == {"nodes": 4, "backtracks": 2}
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("phase", rule="rho5") as sp:
+            sp.set(level=3, fired=True)
+        assert sp.attributes == {"rule": "rho5", "level": 3, "fired": True}
+
+    def test_duration_positive_and_current_tracking(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("timed") as sp:
+            assert tracer.current() is sp
+        assert tracer.current() is None
+        assert sp.duration_seconds >= 0.0
+        assert sp.end_s is not None
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.current() is None
+        assert tracer.spans[0].end_s is not None
+
+    def test_reset_drops_everything(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        assert tracer.as_dicts() == []
+
+
+class TestExports:
+    def _sample(self):
+        tracer = Tracer()
+        with tracer.span("root", query="q") as sp:
+            sp.add("triggers", 2)
+            with tracer.span("child"):
+                pass
+        return tracer
+
+    def test_json_round_trip(self):
+        tracer = self._sample()
+        trees = json.loads(tracer.to_json())
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"query": "q"}
+        assert root["counters"] == {"triggers": 2}
+        assert [c["name"] for c in root["children"]] == ["child"]
+        assert root["start_seconds"] == pytest.approx(0.0, abs=1e-3)
+        assert root["duration_seconds"] >= root["children"][0]["duration_seconds"]
+
+    def test_csv_has_one_row_per_span_with_depths(self):
+        tracer = self._sample()
+        rows = list(csv.reader(io.StringIO(tracer.to_csv())))
+        assert rows[0] == list(CSV_COLUMNS)
+        assert [(r[0], r[1]) for r in rows[1:]] == [("0", "root"), ("1", "child")]
+        assert "triggers=2" in rows[1][4]
+
+    def test_write_picks_format_from_suffix(self, tmp_path):
+        tracer = self._sample()
+        json_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        tracer.write(json_path)
+        tracer.write(csv_path)
+        assert json.loads(json_path.read_text())[0]["name"] == "root"
+        assert csv_path.read_text().startswith(",".join(CSV_COLUMNS))
+
+    def test_non_jsonable_attributes_coerced(self):
+        tracer = Tracer()
+        with tracer.span("a", obj=object()):
+            pass
+        json.loads(tracer.to_json())  # must not raise
+
+
+class TestNoopTracer:
+    def test_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", k=1) as sp:
+            sp.add("c", 5)
+            sp.set(x=1)
+        assert tracer.spans == ()
+        assert tracer.as_dicts() == []
+        assert tracer.to_json() == "[]"
+        assert sp.counters == {}
+
+    def test_shared_singleton_span(self):
+        a = NOOP_TRACER.span("a")
+        b = NOOP_TRACER.span("b", k=2)
+        assert a is b  # one stateless object, nothing allocated per call
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled is True
+        assert NOOP_TRACER.enabled is False
+
+    def test_csv_is_header_only(self):
+        rows = list(csv.reader(io.StringIO(NOOP_TRACER.to_csv())))
+        assert rows == [list(CSV_COLUMNS)]
