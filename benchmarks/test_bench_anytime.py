@@ -1,0 +1,228 @@
+"""Anytime containment: quantify the interleaved chase/search schedule.
+
+Three claims, measured on the E9 scaling corpus (mixed cyclic/acyclic
+random pairs — the cyclic ones are where the Theorem-12 bound is
+expensive and the anytime schedule has something to save):
+
+* **positives**: median end-to-end speedup of the anytime schedule over
+  the monolithic chase-then-search order is >= 3x, and no positive
+  decision materialises chase levels past ``witness_level + 1``;
+* **negatives** (the guard): the anytime schedule's O(log bound) probe
+  overhead keeps the median negative decision within 1.1x of the
+  monolithic time — early exit must not tax refutations;
+* **parallel batches**: ``check_all(parallel=True)`` with 4 workers over
+  >= 4 independent chase groups reaches >= 2x sequential throughput
+  (asserted only when the machine actually has >= 4 usable cores; the
+  measured ratio is recorded either way).
+
+Everything measured lands in ``BENCH_anytime.json`` at the repo root —
+uploaded as a CI artifact, so the numbers ride along with every build.
+Written against plain pytest on purpose — CI runs it without the
+pytest-benchmark plugin.
+"""
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.containment.bounded import ContainmentChecker
+from repro.workloads.query_gen import QueryGenParams, QueryGenerator
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_anytime.json"
+
+#: Timing repeats; every reported number is a best-of (robust to noise).
+REPEATS = 5
+
+POSITIVE_MEDIAN_SPEEDUP = 3.0
+NEGATIVE_MEDIAN_BUDGET = 1.1
+PARALLEL_SPEEDUP = 2.0
+PARALLEL_WORKERS = 4
+
+
+def e9_corpus(sizes=(2, 4, 6, 8, 10), pairs_per_size=3, seed=5):
+    """The E9 scaling corpus: same generator parameters as the experiment."""
+    pairs = []
+    for size in sizes:
+        for k in range(pairs_per_size):
+            params = QueryGenParams(
+                n_atoms=size,
+                n_variables=size + 2,
+                cycle_length=1 if k % 2 == 0 else 0,
+                head_arity=1,
+            )
+            q1, q2 = QueryGenerator(seed + size * 100 + k, params).containment_pair()
+            pairs.append((q1, q2))
+    return pairs
+
+
+def group_corpus(n_groups=8, pairs_per_group=3, size=6, seed=900):
+    """Independent cyclic chase groups for the parallel-batch measurement."""
+    pairs = []
+    for g in range(n_groups):
+        params = QueryGenParams(
+            n_atoms=size, n_variables=size + 2, cycle_length=1, head_arity=1
+        )
+        gen = QueryGenerator(seed + g, params)
+        q1, q2 = gen.containment_pair()
+        pairs.append((q1, q2))
+        for _ in range(pairs_per_group - 1):
+            pairs.append((q1, gen.query()))
+    return pairs
+
+
+def best_time(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def timed_check(q1, q2, anytime):
+    # A fresh checker per run: neither schedule may inherit the other's
+    # cached chase prefix.
+    return best_time(lambda: ContainmentChecker(anytime=anytime).check(q1, q2))
+
+
+@pytest.fixture(scope="module")
+def bench(request):
+    """Run every measurement once; tests assert slices of the payload."""
+    corpus = e9_corpus()
+    verdicts = [
+        (q1, q2, ContainmentChecker(anytime=False).check(q1, q2))
+        for q1, q2 in corpus
+    ]
+    positives = [
+        (q1, q2) for q1, q2, r in verdicts if r.contained and r.witness is not None
+    ]
+    negatives = [(q1, q2) for q1, q2, r in verdicts if not r.contained]
+
+    positive_rows = []
+    for q1, q2 in positives:
+        result = ContainmentChecker().check(q1, q2)
+        positive_rows.append(
+            {
+                "q1": q1.name,
+                "q2": q2.name,
+                "bound": result.level_bound,
+                "witness_level": result.witness_level,
+                "levels_chased": result.levels_chased,
+                "anytime_seconds": timed_check(q1, q2, True),
+                "monolithic_seconds": timed_check(q1, q2, False),
+            }
+        )
+    positive_speedups = [
+        row["monolithic_seconds"] / max(row["anytime_seconds"], 1e-9)
+        for row in positive_rows
+    ]
+
+    negative_rows = []
+    for q1, q2 in negatives:
+        negative_rows.append(
+            {
+                "q1": q1.name,
+                "q2": q2.name,
+                "anytime_seconds": timed_check(q1, q2, True),
+                "monolithic_seconds": timed_check(q1, q2, False),
+            }
+        )
+    negative_ratios = [
+        row["anytime_seconds"] / max(row["monolithic_seconds"], 1e-9)
+        for row in negative_rows
+    ]
+
+    batch = group_corpus()
+    sequential_seconds = best_time(
+        lambda: ContainmentChecker().check_all(batch), repeats=3
+    )
+    parallel_seconds = best_time(
+        lambda: ContainmentChecker().check_all(
+            batch, parallel=True, max_workers=PARALLEL_WORKERS
+        ),
+        repeats=3,
+    )
+
+    payload = {
+        "corpus": {
+            "pairs": len(corpus),
+            "positives": len(positives),
+            "negatives": len(negatives),
+        },
+        "positive": {
+            "median_speedup": statistics.median(positive_speedups),
+            "min_speedup": min(positive_speedups),
+            "max_speedup": max(positive_speedups),
+            "early_exit_rate": sum(
+                1 for row in positive_rows if row["witness_level"] < row["bound"]
+            )
+            / len(positive_rows),
+            "rows": positive_rows,
+        },
+        "negative": {
+            "median_ratio": statistics.median(negative_ratios),
+            "max_ratio": max(negative_ratios),
+            "rows": negative_rows,
+        },
+        "parallel": {
+            "groups": len({q1.canonical_key() for q1, _ in batch}),
+            "pairs": len(batch),
+            "workers": PARALLEL_WORKERS,
+            "usable_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "sequential_seconds": sequential_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": sequential_seconds / max(parallel_seconds, 1e-9),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+class TestAnytimePositives:
+    def test_median_speedup(self, bench):
+        assert bench["corpus"]["positives"] >= 5
+        assert bench["positive"]["median_speedup"] >= POSITIVE_MEDIAN_SPEEDUP
+
+    def test_early_exit_everywhere(self, bench):
+        assert bench["positive"]["early_exit_rate"] == 1.0
+
+    def test_no_levels_materialised_past_the_witness(self, bench):
+        for row in bench["positive"]["rows"]:
+            assert row["levels_chased"] <= row["witness_level"] + 1
+
+
+class TestAnytimeNegativeGuard:
+    def test_negatives_within_budget(self, bench):
+        assert bench["corpus"]["negatives"] >= 2
+        assert bench["negative"]["median_ratio"] <= NEGATIVE_MEDIAN_BUDGET
+
+
+class TestParallelBatch:
+    def test_parallel_matches_and_scales(self, bench):
+        parallel = bench["parallel"]
+        assert parallel["groups"] >= 4
+        if parallel["usable_cpus"] >= PARALLEL_WORKERS:
+            assert parallel["speedup"] >= PARALLEL_SPEEDUP
+        else:
+            # A 1-2 core box cannot show wall-clock scaling; the measured
+            # ratio is still recorded in BENCH_anytime.json.
+            pytest.skip(
+                f"only {parallel['usable_cpus']} usable cores; "
+                f"parallel speedup {parallel['speedup']:.2f}x recorded, "
+                "assertion needs >= 4 cores"
+            )
+
+
+class TestArtifact:
+    def test_bench_json_written(self, bench):
+        on_disk = json.loads(BENCH_PATH.read_text())
+        assert on_disk["positive"]["median_speedup"] == pytest.approx(
+            bench["positive"]["median_speedup"]
+        )
+        assert {"corpus", "positive", "negative", "parallel"} <= set(on_disk)

@@ -402,6 +402,18 @@ class ChaseRun:
         self.elapsed_seconds = 0.0
         #: Per-segment wall-clock; ``elapsed_seconds`` is exactly its sum.
         self.segment_seconds: list[float] = []
+        #: Per-segment delta: the conjuncts each :meth:`extend_to` segment
+        #: added — or rewrote into a new form via an EGD merge — that are
+        #: still present.  Aligned with :attr:`segment_seconds`.  This is
+        #: the fact set the anytime checker's delta-restricted
+        #: homomorphism search consumes, so level-``k`` search work is
+        #: never repeated at level ``k+1``.
+        self.segment_deltas: list[tuple[Atom, ...]] = []
+        #: Whether each segment rewrote the chased head (an EGD merge hit
+        #: a head term).  A head rewrite invalidates the head seed of
+        #: earlier searches, so the consumer must fall back to a full
+        #: search over the current prefix for that segment.
+        self.segment_head_rewrites: list[bool] = []
         self._level_zero_done = False
         self._started = False
         self._pending: dict[tuple, tuple[TGD, Substitution]] = {}
@@ -457,6 +469,10 @@ class ChaseRun:
             segment=len(self.segment_seconds),
         ) as span:
             start = time.perf_counter()
+            # The first segment's delta spans the whole journal, so the
+            # initial body conjuncts count as "new" exactly once.
+            journal_marker = self.instance.journal_marker() if self._started else 0
+            head_before = self.instance.head
             try:
                 if not self._level_zero_done:
                     with tracer.span("chase.level", level=0, phase="sigma-minus") as lz:
@@ -480,6 +496,16 @@ class ChaseRun:
                 segment = time.perf_counter() - start
                 self.segment_seconds.append(segment)
                 self.elapsed_seconds += segment
+                if self.failed:
+                    self.segment_deltas.append(())
+                    self.segment_head_rewrites.append(False)
+                else:
+                    self.segment_deltas.append(
+                        tuple(self.instance.journal_since(journal_marker))
+                    )
+                    self.segment_head_rewrites.append(
+                        self.instance.head != head_before
+                    )
                 if is_extension:
                     self.extensions += 1
                 self._started = True

@@ -104,6 +104,7 @@ class ChaseInstance:
         self._arcs: list[Arc] = []
         self._track_graph = track_graph
         self._dirty: list[Atom] = []
+        self._journal: list[Atom] = []
         self._parents: dict[int, tuple[int, ...]] = {}
         #: EGD merges executed (term pairs actually equated) and conjunct
         #: collapses they caused — the ``egd.rewrites`` observability feed.
@@ -190,6 +191,44 @@ class ChaseInstance:
             rows.append((rule, self._level[node_id]))
         return tuple(rows)
 
+    def atoms_at_level(self, level: int) -> list[Atom]:
+        """Current conjuncts whose level is exactly *level*.
+
+        The per-level delta of an already-materialised (cached) prefix:
+        the anytime checker feeds these to the delta-restricted
+        homomorphism search when no fresh chase work happened.
+        """
+        return [a for a in self._index if self.level_of(a) == level]
+
+    # -- the addition/rewrite journal -----------------------------------------
+
+    def journal_marker(self) -> int:
+        """An opaque marker into the addition/rewrite journal.
+
+        Pass it to :meth:`journal_since` after mutating the instance to
+        obtain every conjunct added — or rewritten into a new form by an
+        EGD merge — in between.  Unlike the level map, the journal also
+        captures *old-level* conjuncts whose form changed, which is what
+        makes it a sound delta for incremental homomorphism search.
+        """
+        return len(self._journal)
+
+    def journal_since(self, marker: int) -> list[Atom]:
+        """Distinct conjuncts added/rewritten since *marker*, still present.
+
+        Conjuncts that were added and then rewritten away again within the
+        window are dropped; duplicates (an atom rewritten several times
+        into the same final form) are collapsed.
+        """
+        seen: set[Atom] = set()
+        out: list[Atom] = []
+        for atom in self._journal[marker:]:
+            if atom in seen or atom not in self._index:
+                continue
+            seen.add(atom)
+            out.append(atom)
+        return out
+
     def up_to_level(self, bound: int) -> "LevelPrefixView":
         """A read-only, index-protocol view of the first *bound* levels.
 
@@ -272,6 +311,7 @@ class ChaseInstance:
         for term in set(atom.args):
             self._term_atoms.setdefault(term, set()).add(atom)
         self._index.add(atom)
+        self._journal.append(atom)
         if self._track_graph and rule != INITIAL_RULE_LABEL:
             self._arcs.append(Arc(parents, node, rule, cross=False))
         return node
@@ -345,6 +385,7 @@ class ChaseInstance:
                 self._term_atoms.setdefault(term, set()).add(new_atom)
             self._index.add(new_atom)
             self._dirty.append(new_atom)
+            self._journal.append(new_atom)
 
     def drain_dirty(self) -> list[Atom]:
         """Conjuncts rewritten by merges since the last drain.

@@ -3,10 +3,11 @@
 Installed as ``flq`` (F-Logic Queries); also runnable as
 ``python -m repro``.  Subcommands:
 
-``flq check FILE [--explain] [--trace FILE] [--metrics FILE]``
+``flq check FILE [--explain] [--no-anytime] [--trace FILE] [--metrics FILE]``
     FILE holds two or more rules; check containment of the first in each
     of the others (under Sigma_FL and classically).  ``--explain`` prints
-    decision provenance; ``--trace``/``--metrics`` export the span tree
+    decision provenance; ``--no-anytime`` disables the interleaved
+    chase/search schedule; ``--trace``/``--metrics`` export the span tree
     and the metrics registry.
 
 ``flq chase FILE [--max-level N] [--graph] [--trace FILE] [--metrics FILE]``
@@ -120,10 +121,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     checker = ContainmentChecker(obs=obs)
     q1 = queries[0]
-    # Batch pipeline: q1 is chased once to the largest bound any q2 needs,
-    # and every verdict is answered against a level view of that prefix.
+    # Batch pipeline: every verdict draws on one shared chase of q1.  The
+    # default anytime schedule extends that chase only as far as each
+    # witness needs; --no-anytime chases to the largest bound up front.
     results = checker.check_all(
-        [(q1, q2) for q2 in queries[1:]], level_bound=args.level_bound
+        [(q1, q2) for q2 in queries[1:]],
+        level_bound=args.level_bound,
+        anytime=not args.no_anytime,
     )
     status = 0
     for q2, result in zip(queries[1:], results):
@@ -268,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the Theorem-12 chase level bound",
+    )
+    p_check.add_argument(
+        "--no-anytime",
+        action="store_true",
+        help=(
+            "disable the interleaved chase/search schedule: chase to the "
+            "full bound first, then run one monolithic witness search"
+        ),
     )
     p_check.add_argument(
         "--stats",

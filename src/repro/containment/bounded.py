@@ -7,22 +7,28 @@ it suffices to examine the first
 
     ``|q2| * delta``  levels, where  ``delta = 2 * |q1|``.
 
-The checker therefore (1) chases ``q1`` level-bounded, (2) handles the
-chase-failure corner (vacuous containment), and (3) runs the homomorphism
-search with the head condition over the finite prefix.  This is the
-deterministic realisation of the paper's NP algorithm: the
-nondeterministic guess of Theorem 13 becomes backtracking, and a positive
-answer carries the polynomial certificate (the witness homomorphism and
-the prefix it maps into).
+The bound is a worst case, and on realistic corpora positive witnesses
+almost always embed within the first chase levels.  The checker therefore
+runs an **anytime** schedule by default: the resumable
+:class:`~repro.chase.engine.ChaseRun` is driven level by level through an
+initial exact window, then in geometrically growing strides, and after
+each extension a *delta-restricted* homomorphism search
+(:mod:`repro.homomorphism.incremental`) explores only embeddings that
+touch the newly added conjuncts.  A witness at any level is sound (hom
+existence is monotone in the prefix — see ``docs/paper_mapping.md``,
+"Anytime early termination"), so positive decisions exit at the witness
+level; only negative decisions materialise the whole Theorem-12 prefix.
+``anytime=False`` (or the CLI's ``--no-anytime``) restores the monolithic
+chase-then-search order; both modes decide exactly the same relation.
 
 Chase work is shared through a :class:`~repro.containment.store.ChaseStore`
 session: chases are keyed on the query's canonical (alpha-invariant) form
-and stored as resumable :class:`~repro.chase.engine.ChaseRun` objects, so
-a check at a larger bound *extends* the stored prefix instead of
-re-chasing, and rename-apart variants of one query share a single chase.
-:meth:`ContainmentChecker.check_all` batches many pairs: pairs are grouped
-by ``q1``, each group is chased once to the maximum required bound, and
-every ``q2`` is answered against a level-restricted view of that prefix.
+and stored as resumable runs, so a check at a larger bound *extends* the
+stored prefix instead of re-chasing, and rename-apart variants of one
+query share a single chase.  :meth:`ContainmentChecker.check_all` batches
+many pairs: pairs are grouped by ``q1`` and each group shares one chase
+session — and because groups are independent, ``parallel=True`` farms
+them across a process pool with deterministic, input-order results.
 """
 
 from __future__ import annotations
@@ -30,23 +36,69 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional, Sequence
 
-from ..chase.engine import ChaseResult
+from ..chase.engine import ChaseResult, ChaseRun
 from ..core.atoms import Atom
 from ..core.errors import QueryError
 from ..core.query import ConjunctiveQuery
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
+from ..homomorphism.incremental import find_homomorphism_delta
 from ..homomorphism.search import SearchStats, find_homomorphism
 from ..obs import Observability
 from .result import ContainmentReason, ContainmentResult
-from .store import ChaseStore
+from .store import OUTCOME_HIT, ChaseStore
 
 __all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
+
+#: Levels the anytime schedule probes one by one before switching to
+#: geometrically growing strides.  Witnesses cluster at the first chase
+#: levels (Lemmas 5/9 locality; levels 0-2 across every corpus here), so
+#: a small exact window keeps positive exits at the precise witness level
+#: while a negative decision's long refutation tail costs O(log bound)
+#: probes instead of O(bound).
+ANYTIME_EXACT_WINDOW = 4
+
+#: Stride multiplier past the exact window.  Each tail probe (chase
+#: segment + witness search) has a fixed cost, so the factor trades probe
+#: count against how far past a mid-level witness the chase may
+#: materialise; 4 keeps the tail at a handful of probes while staying
+#: within a constant factor of any witness level.
+ANYTIME_STRIDE_FACTOR = 4
+
+#: A probe uses the delta-restricted search only while
+#: ``len(delta) * ANYTIME_DELTA_MAX_SHARE <= len(instance)``.  Anchoring
+#: every body position on every delta atom beats a full search when the
+#: delta is a sliver of the prefix (the exact-window case), but loses
+#: badly once a stride's delta is a sizable fraction of it — there a
+#: plain full search over the prefix is cheaper than the sum of its
+#: anchored restrictions.
+ANYTIME_DELTA_MAX_SHARE = 4
 
 
 def theorem12_bound(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> int:
     """The Theorem-12 level bound ``|q2| * 2 * |q1|``."""
     return q2.size * 2 * q1.size
+
+
+def _check_group_worker(
+    payload: tuple,
+) -> list[ContainmentResult]:
+    """Decide one chase group in a worker process.
+
+    Module-level (picklable) entry point of the parallel batch pipeline.
+    The worker owns a private checker/store — chase work is shared within
+    the group it processes, and the parent's store is untouched.
+    """
+    dependencies, reorder_join, max_steps, anytime, items = payload
+    checker = ContainmentChecker(
+        dependencies,
+        reorder_join=reorder_join,
+        max_steps=max_steps,
+        anytime=anytime,
+    )
+    return [
+        checker.check(q1, q2, level_bound=bound) for q1, q2, bound in items
+    ]
 
 
 class ContainmentChecker:
@@ -68,12 +120,21 @@ class ContainmentChecker:
         store to several checkers (or to minimisation / UCQ containment)
         to share the chase pool; by default the checker owns a private
         store configured from the other parameters.
+    anytime:
+        Default decision schedule.  ``True`` (the default) interleaves
+        chase extension with delta-restricted witness search and exits
+        positives at the witness level; ``False`` chases to the full
+        bound first and runs one monolithic search.  Either way the
+        decided relation is identical; :meth:`check` takes a per-call
+        override.
     obs:
         Observability sink: every :meth:`check` opens a
-        ``containment.check`` span, the witness search a nested
+        ``containment.check`` span, each witness search a nested
         ``hom.search`` span, and the homomorphism node/backtrack counters
-        feed the metrics registry.  When the checker builds its own store,
-        the store (and hence the chase engine) inherits the sink.
+        feed the metrics registry (anytime mode adds the
+        ``containment.early_exit`` and ``hom.delta_searches`` counters).
+        When the checker builds its own store, the store (and hence the
+        chase engine) inherits the sink.
     """
 
     def __init__(
@@ -83,6 +144,7 @@ class ContainmentChecker:
         reorder_join: bool = True,
         max_steps: Optional[int] = 200_000,
         store: Optional[ChaseStore] = None,
+        anytime: bool = True,
         obs: Optional[Observability] = None,
     ):
         if store is None:
@@ -97,6 +159,7 @@ class ContainmentChecker:
         self.dependencies = store.dependencies
         self.reorder_join = reorder_join
         self.max_steps = max_steps
+        self.anytime = anytime
 
     @property
     def stats(self):
@@ -113,14 +176,24 @@ class ContainmentChecker:
         failed) is reused directly, and a prefix computed at a *smaller*
         bound is incrementally extended, never re-chased.
         """
-        result, _ = self._chase_for(query, level_bound)
+        result, _, _ = self._chase_for(query, level_bound)
         return result
 
     def _chase_for(
         self, query: ConjunctiveQuery, level_bound: Optional[int]
-    ) -> tuple[ChaseResult, str]:
-        run, outcome = self.store.run_for(query, level_bound)
-        return run.result(), outcome
+    ) -> tuple[ChaseResult, str, float]:
+        """Chase to *level_bound*; also report the fresh chase seconds.
+
+        The third component is the wall-clock this particular request
+        spent extending the (possibly shared) run — zero on a pure cache
+        hit.  Callers attribute it to the decision that triggered it, so
+        per-result timings no longer silently exclude shared chase cost.
+        """
+        run, outcome = self.store.open(query, level_bound)
+        before = run.elapsed_seconds
+        if outcome is not OUTCOME_HIT:
+            run.extend_to(level_bound)
+        return run.result(), outcome, run.elapsed_seconds - before
 
     # -- decision ------------------------------------------------------------
 
@@ -132,12 +205,18 @@ class ContainmentChecker:
         level_bound: Optional[int] = None,
         schema: Optional[Iterable[Atom]] = None,
         explain: bool = False,
+        anytime: Optional[bool] = None,
     ) -> ContainmentResult:
         """Decide ``q1 ⊆_Sigma q2``.
 
         *level_bound* overrides the Theorem-12 bound — used by the E8
         bound-stability experiment and required for non-Sigma_FL
         dependency sets.
+
+        *anytime* overrides the checker-level schedule for this call:
+        ``True`` interleaves chase and delta search (positives exit at the
+        witness level, recorded as ``result.witness_level``), ``False``
+        forces the monolithic chase-then-search order.
 
         *explain* attaches a decision-provenance payload to the result
         (witness chase levels, per-level fact counts, rule-firing
@@ -157,20 +236,34 @@ class ContainmentChecker:
         """
         q1 = self._apply_schema(q1, schema)
         self._require_equal_arity(q1, q2)
+        use_anytime = self.anytime if anytime is None else anytime
         tracer = self.obs.tracer
-        with tracer.span("containment.check", q1=q1.name, q2=q2.name) as span:
+        with tracer.span(
+            "containment.check", q1=q1.name, q2=q2.name, anytime=use_anytime
+        ) as span:
             start = time.perf_counter()
             bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
-            chase_result, outcome = self._chase_for(q1, bound)
-            result = self._decide(
-                q1, q2, bound, chase_result, outcome, start, explain=explain
-            )
+            if use_anytime:
+                result = self._decide_anytime(q1, q2, bound, start, explain=explain)
+            else:
+                chase_result, outcome, chase_seconds = self._chase_for(q1, bound)
+                result = self._decide(
+                    q1,
+                    q2,
+                    bound,
+                    chase_result,
+                    outcome,
+                    start,
+                    shared_chase_seconds=chase_seconds,
+                    explain=explain,
+                )
             if tracer.enabled:
                 span.set(
                     contained=result.contained,
                     reason=result.reason.value,
                     bound=bound,
-                    chase_outcome=outcome,
+                    chase_outcome=result.chase_outcome,
+                    witness_level=result.witness_level,
                 )
         return result
 
@@ -180,16 +273,32 @@ class ContainmentChecker:
         *,
         level_bound: Optional[int] = None,
         schema: Optional[Iterable[Atom]] = None,
+        anytime: Optional[bool] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> list[ContainmentResult]:
         """Decide many ``q1 ⊆ q2`` pairs, chasing each distinct ``q1`` once.
 
-        The batch pipeline groups pairs by the canonical form of ``q1``,
-        chases each group's query a single time to the *maximum* bound any
-        of its pairs needs, and answers every ``q2`` against a level view
-        of that one prefix.  Results come back in input order and are
-        identical (verdict-wise) to calling :meth:`check` per pair — the
-        batch only reorganises the chase work.
+        The batch pipeline groups pairs by the canonical form of ``q1``.
+        In monolithic mode (``anytime=False``) each group's query is
+        chased a single time to the *maximum* bound any of its pairs
+        needs, and every ``q2`` is answered against a level view of that
+        one prefix.  In anytime mode (the default) no up-front group
+        chase happens: every pair drives the group's shared session only
+        as far as its own witness needs, so a group whose pairs all exit
+        early never pays for the full bound.
+
+        ``parallel=True`` farms the (independent) chase groups across a
+        ``concurrent.futures`` process pool — *max_workers* caps the pool
+        size.  Results are returned in input order and are verdict-wise
+        identical to the sequential path; when worker processes cannot be
+        created (or die), the batch silently falls back to sequential
+        execution.  Workers own private stores, so the parent store's
+        counters and cached runs are not updated by a parallel batch, and
+        worker-side spans/metrics are not forwarded to this checker's
+        observability sink.
         """
+        use_anytime = self.anytime if anytime is None else anytime
         schema_atoms = tuple(schema) if schema is not None else None
         prepared: list[tuple[ConjunctiveQuery, ConjunctiveQuery, int]] = []
         for q1, q2 in pairs:
@@ -202,28 +311,116 @@ class ContainmentChecker:
         for i, (q1, _, _) in enumerate(prepared):
             groups.setdefault(q1.canonical_key(), []).append(i)
 
-        results: list[Optional[ContainmentResult]] = [None] * len(prepared)
-        tracer = self.obs.tracer
-        for indexes in groups.values():
-            max_bound = max(prepared[i][2] for i in indexes)
-            representative = prepared[indexes[0]][0]
-            chase_result, outcome = self._chase_for(representative, max_bound)
-            for i in indexes:
-                q1, q2, bound = prepared[i]
-                with tracer.span(
-                    "containment.check", q1=q1.name, q2=q2.name, batch=True
-                ) as span:
-                    start = time.perf_counter()
-                    results[i] = self._decide(
-                        q1, q2, bound, chase_result, outcome, start
-                    )
-                    if tracer.enabled:
-                        span.set(
-                            contained=results[i].contained,
-                            reason=results[i].reason.value,
-                            bound=bound,
+        results: list[Optional[ContainmentResult]] = None
+        if parallel and len(groups) > 1:
+            results = self._check_all_parallel(
+                prepared, groups, use_anytime, max_workers
+            )
+        if results is None:
+            results = [None] * len(prepared)
+            tracer = self.obs.tracer
+            for indexes in groups.values():
+                if use_anytime:
+                    # No up-front group chase: consecutive pairs share the
+                    # stored session and extend it only on demand.
+                    for i in indexes:
+                        q1, q2, bound = prepared[i]
+                        with tracer.span(
+                            "containment.check", q1=q1.name, q2=q2.name, batch=True
+                        ) as span:
+                            start = time.perf_counter()
+                            results[i] = self._decide_anytime(q1, q2, bound, start)
+                            if tracer.enabled:
+                                span.set(
+                                    contained=results[i].contained,
+                                    reason=results[i].reason.value,
+                                    bound=bound,
+                                    witness_level=results[i].witness_level,
+                                )
+                    continue
+                max_bound = max(prepared[i][2] for i in indexes)
+                representative = prepared[indexes[0]][0]
+                chase_result, outcome, chase_seconds = self._chase_for(
+                    representative, max_bound
+                )
+                for i in indexes:
+                    q1, q2, bound = prepared[i]
+                    with tracer.span(
+                        "containment.check", q1=q1.name, q2=q2.name, batch=True
+                    ) as span:
+                        start = time.perf_counter()
+                        # The group's shared chase bill goes to the first
+                        # decision (the one that triggered it); the rest
+                        # record zero, so summing shared_chase_seconds over
+                        # the batch counts each chase second exactly once.
+                        results[i] = self._decide(
+                            q1,
+                            q2,
+                            bound,
+                            chase_result,
+                            outcome,
+                            start,
+                            shared_chase_seconds=(
+                                chase_seconds if i == indexes[0] else 0.0
+                            ),
                         )
-        return [r for r in results if r is not None]
+                        if tracer.enabled:
+                            span.set(
+                                contained=results[i].contained,
+                                reason=results[i].reason.value,
+                                bound=bound,
+                            )
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise AssertionError(
+                f"batch pipeline lost result slots {missing} of {len(results)}: "
+                "every prepared pair must produce exactly one result"
+            )
+        return results
+
+    def _check_all_parallel(
+        self,
+        prepared: list[tuple[ConjunctiveQuery, ConjunctiveQuery, int]],
+        groups: dict[tuple, list[int]],
+        anytime: bool,
+        max_workers: Optional[int],
+    ) -> Optional[list[Optional[ContainmentResult]]]:
+        """Fan chase groups out to a process pool; ``None`` = fall back.
+
+        Each group is one task (its pairs share a worker-local chase), so
+        parallelism scales with the number of *distinct* ``q1`` queries.
+        Returns ``None`` when the pool cannot be created or its workers
+        die — the caller then runs the ordinary sequential path, so
+        ``parallel=True`` degrades gracefully on restricted platforms.
+        """
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+        except (ImportError, NotImplementedError, OSError, ValueError, PermissionError):
+            return None
+        results: list[Optional[ContainmentResult]] = [None] * len(prepared)
+        payload_head = (self.dependencies, self.reorder_join, self.max_steps, anytime)
+        try:
+            with executor:
+                futures = {
+                    executor.submit(
+                        _check_group_worker,
+                        payload_head + ([prepared[i] for i in indexes],),
+                    ): indexes
+                    for indexes in groups.values()
+                }
+                for future, indexes in futures.items():
+                    for slot, result in zip(indexes, future.result()):
+                        results[slot] = result
+        except (BrokenProcessPool, OSError):
+            return None
+        metrics = self.obs.metrics
+        if metrics is not None:
+            metrics.counter("containment.parallel_groups").inc(len(groups))
+            metrics.counter("containment.checks").inc(len(prepared))
+        return results
 
     # -- helpers -------------------------------------------------------------
 
@@ -249,6 +446,228 @@ class ContainmentChecker:
                 f"{q1.name}/{q1.arity} vs {q2.name}/{q2.arity}"
             )
 
+    def _failure_result(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        chase_result: ChaseResult,
+        outcome: str,
+        start: float,
+        shared_chase_seconds: float,
+        *,
+        explain: bool,
+    ) -> ContainmentResult:
+        result = ContainmentResult(
+            q1=q1,
+            q2=q2,
+            contained=True,
+            reason=ContainmentReason.CHASE_FAILURE,
+            chase_result=chase_result,
+            level_bound=bound,
+            elapsed_seconds=time.perf_counter() - start,
+            chase_outcome=outcome,
+            shared_chase_seconds=shared_chase_seconds,
+        )
+        if explain:
+            result.explain_data()
+        return result
+
+    # -- the anytime schedule -------------------------------------------------
+
+    def _decide_anytime(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        start: float,
+        *,
+        explain: bool = False,
+    ) -> ContainmentResult:
+        """Interleave chase extension with delta-restricted witness search.
+
+        The loop invariant after probing level ``k``: every embedding of
+        ``body(q2)`` into the current level-``k`` prefix satisfying the
+        head condition has been explored.  Levels already materialised by
+        a cached run contribute their per-level atom sets as deltas;
+        freshly chased levels contribute their
+        :attr:`~repro.chase.engine.ChaseRun.segment_deltas` (which also
+        carry EGD-rewritten lower-level conjuncts).  A segment that
+        rewrote the chased head invalidates earlier seeds, so that probe
+        falls back to one full search over the current prefix.
+
+        Probe levels follow :data:`ANYTIME_EXACT_WINDOW` /
+        geometric-stride growth: witnesses live at the first few levels
+        (the locality story of Lemmas 5 and 9), so those are probed one
+        by one, while the long refutation tail to the Theorem-12 bound is
+        covered in O(log bound) probes.  Each probe consumes the delta
+        accumulated since the previous one; a probe whose delta is a bulk
+        share of the prefix (:data:`ANYTIME_DELTA_MAX_SHARE`) runs a
+        plain full search instead, which is cheaper there than the sum of
+        the delta's anchored restrictions.
+        """
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        if metrics is not None:
+            metrics.counter("containment.checks").inc()
+        run, outcome = self.store.open(q1, bound)
+        chase_before = run.elapsed_seconds
+        search_stats = (
+            SearchStats() if (tracer.enabled or metrics is not None) else None
+        )
+        witness = None
+        witness_level: Optional[int] = None
+        first_search = True
+        level = 0
+        prev_level = -1
+        stride = 1
+        while True:
+            delta: Optional[list[Atom]]  # None = full search required
+            if run.failed:
+                return self._failure_result(
+                    q1,
+                    q2,
+                    bound,
+                    run.result(),
+                    outcome,
+                    start,
+                    run.elapsed_seconds - chase_before,
+                    explain=explain,
+                )
+            if run.covers(level):
+                # Already materialised (cached or saturated): the levels
+                # since the previous probe are the delta.
+                delta = [
+                    atom
+                    for lvl in range(prev_level + 1, level + 1)
+                    for atom in run.instance.atoms_at_level(lvl)
+                ]
+            else:
+                segments_before = len(run.segment_deltas)
+                run.extend_to(level)
+                if run.failed:
+                    return self._failure_result(
+                        q1,
+                        q2,
+                        bound,
+                        run.result(),
+                        outcome,
+                        start,
+                        run.elapsed_seconds - chase_before,
+                        explain=explain,
+                    )
+                if any(run.segment_head_rewrites[segments_before:]):
+                    delta = None
+                else:
+                    delta = [
+                        atom
+                        for segment in run.segment_deltas[segments_before:]
+                        for atom in segment
+                    ]
+            instance = run.instance
+            prefix = (
+                instance.up_to_level(level)
+                if instance.max_level() > level
+                else instance.index
+            )
+            head = instance.head
+            bulk_delta = (
+                delta is not None
+                and len(delta) * ANYTIME_DELTA_MAX_SHARE > len(instance)
+            )
+            if first_search or delta is None or bulk_delta:
+                first_search = False
+                with tracer.span(
+                    "hom.search", source=q2.name, target=q1.name, level=level
+                ) as span:
+                    witness = find_homomorphism(
+                        q2,
+                        prefix,
+                        head_target=head,
+                        reorder=self.reorder_join,
+                        stats=search_stats,
+                    )
+                    if tracer.enabled and search_stats is not None:
+                        span.set(found=witness is not None, delta=False)
+                if metrics is not None:
+                    metrics.counter("hom.searches").inc()
+            elif delta:
+                with tracer.span(
+                    "hom.search", source=q2.name, target=q1.name, level=level
+                ) as span:
+                    witness = find_homomorphism_delta(
+                        q2,
+                        prefix,
+                        delta,
+                        head_target=head,
+                        reorder=self.reorder_join,
+                        stats=search_stats,
+                    )
+                    if tracer.enabled and search_stats is not None:
+                        span.set(
+                            found=witness is not None,
+                            delta=True,
+                            delta_size=len(delta),
+                        )
+                if metrics is not None:
+                    metrics.counter("hom.searches").inc()
+                    metrics.counter("hom.delta_searches").inc()
+            # An empty delta adds no embeddings: skip the search entirely.
+            if witness is not None:
+                witness_level = level
+                break
+            if level >= bound:
+                break
+            if (run.saturated or run.covers(bound)) and level >= instance.max_level():
+                # Nothing above this level exists or ever will: the
+                # remaining bound levels are vacuously searched.
+                break
+            prev_level = level
+            if level + 1 >= ANYTIME_EXACT_WINDOW:
+                stride *= ANYTIME_STRIDE_FACTOR
+            level = min(level + stride, bound)
+        if metrics is not None and search_stats is not None:
+            metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
+            metrics.counter("hom.backtracks").inc(search_stats.backtracks)
+        chase_result = run.result()
+        shared_chase = run.elapsed_seconds - chase_before
+        elapsed = time.perf_counter() - start
+        if witness is not None:
+            if metrics is not None and witness_level is not None and witness_level < bound:
+                metrics.counter("containment.early_exit").inc()
+            result = ContainmentResult(
+                q1=q1,
+                q2=q2,
+                contained=True,
+                reason=ContainmentReason.HOMOMORPHISM,
+                witness=witness,
+                chase_result=chase_result,
+                level_bound=bound,
+                elapsed_seconds=elapsed,
+                chase_outcome=outcome,
+                witness_level=witness_level,
+                levels_chased=level,
+                shared_chase_seconds=shared_chase,
+            )
+        else:
+            result = ContainmentResult(
+                q1=q1,
+                q2=q2,
+                contained=False,
+                reason=ContainmentReason.NO_HOMOMORPHISM,
+                chase_result=chase_result,
+                level_bound=bound,
+                elapsed_seconds=elapsed,
+                chase_outcome=outcome,
+                levels_chased=level,
+                shared_chase_seconds=shared_chase,
+            )
+        if explain:
+            result.explain_data()
+        return result
+
+    # -- the monolithic schedule ----------------------------------------------
+
     def _decide(
         self,
         q1: ConjunctiveQuery,
@@ -258,25 +677,23 @@ class ContainmentChecker:
         outcome: str,
         start: float,
         *,
+        shared_chase_seconds: float = 0.0,
         explain: bool = False,
     ) -> ContainmentResult:
         metrics = self.obs.metrics
         if metrics is not None:
             metrics.counter("containment.checks").inc()
         if chase_result.failed:
-            result = ContainmentResult(
-                q1=q1,
-                q2=q2,
-                contained=True,
-                reason=ContainmentReason.CHASE_FAILURE,
-                chase_result=chase_result,
-                level_bound=bound,
-                elapsed_seconds=time.perf_counter() - start,
-                chase_outcome=outcome,
+            return self._failure_result(
+                q1,
+                q2,
+                bound,
+                chase_result,
+                outcome,
+                start,
+                shared_chase_seconds,
+                explain=explain,
             )
-            if explain:
-                result.explain_data()
-            return result
         assert chase_result.instance is not None
         # The chase may have been produced under a larger cached bound;
         # restrict the search to the first `bound` levels regardless.  The
@@ -308,6 +725,7 @@ class ContainmentChecker:
             metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
             metrics.counter("hom.backtracks").inc(search_stats.backtracks)
         elapsed = time.perf_counter() - start
+        levels_examined = min(bound, chase_result.level_reached)
         if witness is not None:
             result = ContainmentResult(
                 q1=q1,
@@ -319,6 +737,8 @@ class ContainmentChecker:
                 level_bound=bound,
                 elapsed_seconds=elapsed,
                 chase_outcome=outcome,
+                levels_chased=levels_examined,
+                shared_chase_seconds=shared_chase_seconds,
             )
         else:
             result = ContainmentResult(
@@ -330,6 +750,8 @@ class ContainmentChecker:
                 level_bound=bound,
                 elapsed_seconds=elapsed,
                 chase_outcome=outcome,
+                levels_chased=levels_examined,
+                shared_chase_seconds=shared_chase_seconds,
             )
         if explain:
             result.explain_data()
@@ -343,6 +765,7 @@ def is_contained(
     dependencies: Sequence[Dependency] = SIGMA_FL,
     level_bound: Optional[int] = None,
     schema: Optional[Iterable[Atom]] = None,
+    anytime: bool = True,
 ) -> ContainmentResult:
     """One-shot ``q1 ⊆_{Sigma_FL} q2`` check (Theorem 12 procedure).
 
@@ -355,5 +778,5 @@ def is_contained(
     >>> bool(is_contained(q, qq))
     True
     """
-    checker = ContainmentChecker(dependencies)
+    checker = ContainmentChecker(dependencies, anytime=anytime)
     return checker.check(q1, q2, level_bound=level_bound, schema=schema)

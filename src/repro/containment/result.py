@@ -56,6 +56,23 @@ class ContainmentResult:
     #: firing sequence), attached by ``ContainmentChecker.check(...,
     #: explain=True)`` or built lazily by :meth:`explain_data`.
     provenance: Optional["ContainmentProvenance"] = None
+    #: Chase level at which the anytime pipeline's witness search
+    #: succeeded (``None`` for negative verdicts, chase-failure verdicts
+    #: and monolithic-mode decisions).  Positive anytime decisions exit at
+    #: this level instead of materialising the full ``level_bound``.
+    witness_level: Optional[int] = None
+    #: Chase levels actually examined by this decision — at most
+    #: ``level_bound``, and strictly less on an early (witness or
+    #: saturation) exit.  ``None`` when the decision did not go through
+    #: the level-driven checker.
+    levels_chased: Optional[int] = None
+    #: Chase wall-clock this decision caused (seconds of fresh
+    #: ``extend_to`` work).  In batch mode the group's shared chase is
+    #: attributed to the *first* result that triggered it — the per-result
+    #: ``elapsed_seconds`` of the remaining group members excludes chase
+    #: cost by construction, so summing ``shared_chase_seconds`` over a
+    #: batch recovers the true chase bill exactly once.
+    shared_chase_seconds: Optional[float] = None
 
     def __bool__(self) -> bool:
         return self.contained
@@ -79,6 +96,21 @@ class ContainmentResult:
         if self.level_bound is None:
             return None
         return 2 * self.q1.size
+
+    @property
+    def early_exit(self) -> bool:
+        """Whether the anytime pipeline stopped short of the level bound.
+
+        True when a witness appeared before the Theorem-12 bound was
+        materialised — the saving the interleaved chase/search schedule
+        exists for.  (Saturation before the bound is not counted: the
+        monolithic path stops there too.)
+        """
+        return (
+            self.witness_level is not None
+            and self.level_bound is not None
+            and self.witness_level < self.level_bound
+        )
 
     def verify(self) -> bool:
         """Re-check this result's certificate in polynomial time.
@@ -134,6 +166,11 @@ class ContainmentResult:
                 if self.level_bound is not None
                 else "the canonical database"
             )
+            if self.early_exit:
+                where += (
+                    f" (witness found at level {self.witness_level}, "
+                    f"well before the bound)"
+                )
             return (
                 f"{lead}: a homomorphism maps body({self.q2.name}) into {where} "
                 f"of {self.q1.name} and its head onto head(chase({self.q1.name})): "

@@ -191,6 +191,25 @@ class ChaseStore:
         Lookup is a single O(1) dict probe on the canonical key — there
         is no linear scan over cached entries.
         """
+        run, outcome = self.open(query, level_bound)
+        if outcome is not OUTCOME_HIT:
+            run.extend_to(level_bound)
+        return run, outcome
+
+    def open(
+        self, query: ConjunctiveQuery, level_bound: Optional[int]
+    ) -> tuple[ChaseRun, str]:
+        """The session for *query*, classified against *level_bound* — unchased.
+
+        Identical bookkeeping to :meth:`run_for` (counters, LRU order,
+        eviction, the ``store.lookup`` span) but the returned run is *not*
+        extended: the caller drives :meth:`ChaseRun.extend_to` itself.
+        This is the entry point of the anytime checker, which consumes the
+        chase level by level and may stop far short of *level_bound* when
+        a witness appears early — the outcome still classifies the request
+        against the *requested* bound (miss / covered / would-extend), so
+        hit-rate accounting stays comparable across modes.
+        """
         tracer = self.obs.tracer
         with tracer.span("store.lookup", query=query.name) as span:
             key = query.canonical_key()
@@ -198,13 +217,11 @@ class ChaseStore:
             if run is None:
                 self.stats.record_miss()
                 run = self.engine.start(query)
-                run.extend_to(level_bound)
                 self._runs[key] = run
                 self.stats.entry_added()
                 outcome = OUTCOME_FULL
             elif not run.covers(level_bound):
                 self.stats.record_extension()
-                run.extend_to(level_bound)
                 outcome = OUTCOME_EXTEND
             else:
                 self.stats.record_hit()

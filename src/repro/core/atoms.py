@@ -87,6 +87,11 @@ class Atom:
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # Slots + guarded __setattr__ defeat default pickling; rebuild
+        # through __init__ (the parallel batch pipeline pickles atoms).
+        return (Atom, (self.predicate, self.args))
+
     # -- structure ---------------------------------------------------------
 
     @property

@@ -80,6 +80,9 @@ class ConjunctiveQuery:
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("ConjunctiveQuery is immutable")
 
+    def __reduce__(self):
+        return (ConjunctiveQuery, (self.name, self.head, self.body))
+
     # -- basic structure ----------------------------------------------------
 
     @property

@@ -44,6 +44,9 @@ class Substitution:
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("Substitution is immutable")
 
+    def __reduce__(self):
+        return (Substitution, (self._map,))
+
     # -- mapping protocol ---------------------------------------------------
 
     def __len__(self) -> int:

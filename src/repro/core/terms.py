@@ -82,6 +82,11 @@ class Constant(Term):
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("Constant is immutable")
 
+    def __reduce__(self):
+        # Re-enter __new__ on unpickle so interning survives process
+        # boundaries (the parallel batch pipeline ships terms to workers).
+        return (Constant, (self.name,))
+
     def __repr__(self) -> str:
         return f"Constant({self.name!r})"
 
@@ -120,6 +125,9 @@ class Variable(Term):
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("Variable is immutable")
 
+    def __reduce__(self):
+        return (Variable, (self.name,))
+
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
 
@@ -157,6 +165,9 @@ class Null(Term):
 
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("Null is immutable")
+
+    def __reduce__(self):
+        return (Null, (self.index,))
 
     @property
     def name(self) -> str:

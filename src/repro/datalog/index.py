@@ -10,13 +10,52 @@ bound positions instead of scanning whole relations.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Set as AbstractSet
 from typing import Iterable, Iterator, Optional
 
 from ..core.atoms import Atom
 from ..core.substitution import Substitution
 from ..core.terms import Term, Variable
 
-__all__ = ["FactIndex"]
+__all__ = ["FactIndex", "FactsView"]
+
+
+class FactsView(AbstractSet):
+    """A zero-copy, read-only view of one predicate's bucket.
+
+    :meth:`FactIndex.facts` sits on hot paths (the restricted-chase head
+    witness scan probes it once per existential trigger), so it must not
+    build a fresh ``frozenset`` per call.  Deriving from
+    :class:`collections.abc.Set` keeps equality and the set operators
+    working against real ``set``/``frozenset`` objects.  The view is live:
+    it reflects later mutations of the index, so snapshot (``tuple(view)``)
+    before iterating across mutations.
+    """
+
+    __slots__ = ("_bucket",)
+
+    def __init__(self, bucket: AbstractSet):
+        self._bucket = bucket
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._bucket)
+
+    def __len__(self) -> int:
+        return len(self._bucket)
+
+    def __contains__(self, atom) -> bool:
+        return atom in self._bucket
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> frozenset:
+        # Set-operator results materialise as plain frozensets.
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:
+        return f"FactsView({set(self._bucket)!r})"
+
+
+_EMPTY_FACTS = FactsView(frozenset())
 
 
 class FactIndex:
@@ -93,9 +132,12 @@ class FactIndex:
     def predicates(self) -> set[str]:
         return {p for p, bucket in self._by_predicate.items() if bucket}
 
-    def facts(self, predicate: str) -> frozenset[Atom]:
-        """All stored atoms with the given predicate."""
-        return frozenset(self._by_predicate.get(predicate, ()))
+    def facts(self, predicate: str) -> FactsView:
+        """All stored atoms with the given predicate (zero-copy live view)."""
+        bucket = self._by_predicate.get(predicate)
+        if not bucket:
+            return _EMPTY_FACTS
+        return FactsView(bucket)
 
     def count(self, predicate: str) -> int:
         return len(self._by_predicate.get(predicate, ()))
@@ -110,6 +152,10 @@ class FactIndex:
         back to the whole relation.  The result is a superset of the true
         matches only in that unbound positions are not cross-checked —
         callers complete the match with :func:`repro.core.match_atom`.
+
+        The chosen bucket is snapshotted into a tuple, so callers that
+        mutate the index while lazily consuming a match generator never
+        hit "set changed size during iteration".
         """
         best: Optional[set[Atom]] = None
         for pos, term in enumerate(pattern.args):
@@ -122,9 +168,11 @@ class FactIndex:
                 return ()
             if best is None or len(entry) < len(best):
                 best = entry
-        if best is not None:
-            return best
-        return self._by_predicate.get(pattern.predicate, ())
+        if best is None:
+            best = self._by_predicate.get(pattern.predicate)
+            if best is None:
+                return ()
+        return tuple(best)
 
     def copy(self) -> "FactIndex":
         """An independent copy (buckets are re-built; atoms are shared)."""

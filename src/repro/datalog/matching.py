@@ -18,7 +18,12 @@ from ..core.substitution import Substitution, match_atom
 from ..core.terms import Variable
 from .index import FactIndex
 
-__all__ = ["match_conjunction", "order_by_selectivity", "SearchStats"]
+__all__ = [
+    "match_conjunction",
+    "match_conjunction_delta",
+    "order_by_selectivity",
+    "SearchStats",
+]
 
 
 @dataclass
@@ -158,6 +163,66 @@ def match_conjunction(
         ordered = list(atoms)
 
     yield from _search(ordered, 0, index, base, term_filter, stats)
+
+
+def match_conjunction_delta(
+    atoms: Sequence[Atom],
+    index: FactIndex,
+    delta_facts: Sequence[Atom],
+    base: Substitution = Substitution.EMPTY,
+    *,
+    reorder: bool = True,
+    term_filter: Optional[Callable] = None,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[Substitution]:
+    """Substitutions mapping *atoms* into *index* that touch *delta_facts*.
+
+    The plural form of ``required_fact``: every yielded substitution sends
+    at least one pattern atom onto a member of *delta_facts*.  This is the
+    semi-naive restriction generalised from one fact to a fact *set* — the
+    anytime containment checker feeds it the conjuncts added by the latest
+    chase extension, so embeddings explored at level ``k`` are never
+    re-explored at level ``k+1``.
+
+    Implementation: delta facts are bucketed by predicate; each pattern
+    atom in turn plays the "delta position", is matched against the
+    bucket, and the remaining atoms are solved by the ordinary (reordered)
+    backtracking search over the full index.  Solutions reachable through
+    several delta anchors are deduplicated.
+    """
+    if not delta_facts:
+        return
+    by_predicate: dict[str, list[Atom]] = {}
+    for fact in delta_facts:
+        by_predicate.setdefault(fact.predicate, []).append(fact)
+    seen: set[Substitution] = set()
+    for delta_pos, delta_atom in enumerate(atoms):
+        bucket = by_predicate.get(delta_atom.predicate)
+        if bucket is None:
+            continue
+        rest = list(atoms[:delta_pos]) + list(atoms[delta_pos + 1:])
+        for fact in bucket:
+            sigma0 = match_atom(delta_atom, fact, base)
+            if sigma0 is None:
+                continue
+            if term_filter is not None and not _filter_ok(delta_atom, sigma0, term_filter):
+                continue
+            if stats is not None:
+                stats.nodes += 1
+            if not rest:
+                if sigma0 not in seen:
+                    seen.add(sigma0)
+                    if stats is not None:
+                        stats.solutions += 1
+                    yield sigma0
+                continue
+            for sigma in match_conjunction(
+                rest, index, sigma0, reorder=reorder, term_filter=term_filter,
+                stats=stats,
+            ):
+                if sigma not in seen:
+                    seen.add(sigma)
+                    yield sigma
 
 
 def _filter_ok(pattern: Atom, sigma: Substitution, term_filter: Callable) -> bool:

@@ -57,6 +57,9 @@ class TGD:
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("TGD is immutable")
 
+    def __reduce__(self):
+        return (TGD, (self.head, self.body, self.label))
+
     @property
     def is_full(self) -> bool:
         """True when there are no existential head variables (Datalog rule)."""
@@ -115,6 +118,9 @@ class EGD:
 
     def __setattr__(self, key, value):  # pragma: no cover - guarded mutation
         raise AttributeError("EGD is immutable")
+
+    def __reduce__(self):
+        return (EGD, (self.body, self.left, self.right, self.label))
 
     def __hash__(self) -> int:
         return self._hash

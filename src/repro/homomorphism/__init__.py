@@ -1,5 +1,6 @@
 """Homomorphism search between queries, instances and chase prefixes."""
 
+from .incremental import all_homomorphisms_delta, find_homomorphism_delta
 from .search import (
     SearchStats,
     all_homomorphisms,
@@ -13,6 +14,8 @@ __all__ = [
     "head_seed",
     "all_homomorphisms",
     "find_homomorphism",
+    "all_homomorphisms_delta",
+    "find_homomorphism_delta",
     "all_query_homomorphisms",
     "find_query_homomorphism",
     "SearchStats",

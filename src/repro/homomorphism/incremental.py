@@ -1,0 +1,89 @@
+"""Delta-incremental homomorphism search.
+
+The anytime containment pipeline consumes the chase level by level: after
+each extension, only embeddings of ``body(q2)`` that use at least one
+*newly added* conjunct need to be explored — every embedding lying wholly
+in the older prefix was already covered by an earlier search (the base
+search over the initial segment plus the delta searches in between).
+
+:func:`find_homomorphism_delta` is the drop-in sibling of
+:func:`repro.homomorphism.search.find_homomorphism` with that restriction:
+the head condition seeds the substitution exactly as in the full search,
+and the join order of the non-delta conjuncts is the shared
+most-constrained-first heuristic of :mod:`repro.datalog.matching` — the
+delta restriction only changes *which* embeddings are enumerated, never
+how an individual embedding is completed.
+
+Soundness of consuming the chase this way rests on two monotonicity
+facts (see ``docs/paper_mapping.md``, "Anytime early termination"):
+
+* a witness into the level-``k`` prefix remains a witness for the full
+  Theorem-12 prefix — later chase steps only add conjuncts, and later EGD
+  merges rewrite both the witness image and the chased head through the
+  same substitution, preserving Definition 1 and the head condition;
+* conversely a witness into the full prefix whose image has maximum level
+  ``k`` is found no later than the level-``k`` delta search, because each
+  of its conjuncts entered the instance (or reached its final, rewritten
+  form) in exactly one delta.
+
+Hence the interleaved schedule decides exactly what the monolithic search
+decides — positives just exit at the witness level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import Term
+from ..datalog.matching import SearchStats, match_conjunction_delta
+from .search import head_seed
+
+__all__ = ["all_homomorphisms_delta", "find_homomorphism_delta"]
+
+
+def all_homomorphisms_delta(
+    query: ConjunctiveQuery,
+    index,
+    delta_facts: Sequence[Atom],
+    head_target: Optional[Sequence[Term]] = None,
+    *,
+    reorder: bool = True,
+    stats: Optional[SearchStats] = None,
+) -> Iterator[Substitution]:
+    """Every homomorphism from *query* into *index* touching *delta_facts*.
+
+    *index* is anything implementing the :class:`~repro.datalog.index
+    .FactIndex` read protocol (the live chase index or a
+    :class:`~repro.chase.instance.LevelPrefixView`).  With *head_target*
+    given, only homomorphisms sending the query head to exactly that tuple
+    are produced — the Theorem-4/12 side condition.
+    """
+    if head_target is not None:
+        seed = head_seed(query.head, head_target)
+        if seed is None:
+            return
+    else:
+        seed = Substitution.EMPTY
+    yield from match_conjunction_delta(
+        query.body, index, delta_facts, seed, reorder=reorder, stats=stats
+    )
+
+
+def find_homomorphism_delta(
+    query: ConjunctiveQuery,
+    index,
+    delta_facts: Sequence[Atom],
+    head_target: Optional[Sequence[Term]] = None,
+    *,
+    reorder: bool = True,
+    stats: Optional[SearchStats] = None,
+) -> Optional[Substitution]:
+    """The first delta-touching homomorphism found, or ``None``."""
+    for sigma in all_homomorphisms_delta(
+        query, index, delta_facts, head_target, reorder=reorder, stats=stats
+    ):
+        return sigma
+    return None

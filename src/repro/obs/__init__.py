@@ -8,7 +8,9 @@ A dependency-free observability layer with three pillars:
   ``containment.check``), exportable as JSON trees or flat CSV;
 * **metrics** (:mod:`repro.obs.metrics`) — a registry of counters,
   gauges and histograms (per-rule trigger counts, nulls invented, EGD
-  rewrites, hom-search nodes/backtracks, store hit/miss/extend/entries);
+  rewrites, hom-search nodes/backtracks plus the anytime pipeline's
+  ``hom.delta_searches`` and ``containment.early_exit`` counters, store
+  hit/miss/extend/entries);
 * **provenance** (:mod:`repro.obs.provenance`) — the explain payload of
   a containment verdict: witness levels, per-level fact counts, the
   rule-firing sequence.

@@ -1,0 +1,241 @@
+"""The anytime containment schedule: interleaved chase / delta search.
+
+Three behaviours under test:
+
+* **equivalence** — anytime and monolithic schedules decide the same
+  relation, with the same reasons, and positive anytime verdicts carry a
+  certificate that :meth:`ContainmentResult.verify` accepts;
+* **early exit** — positive decisions stop at the witness level instead
+  of materialising the Theorem-12 bound (visible in ``witness_level``,
+  ``levels_chased`` and the ``containment.early_exit`` counter), while
+  negative decisions never exit early;
+* **parallel batch** — ``check_all(parallel=True)`` returns results in
+  input order, verdict-identical to the sequential path.
+"""
+
+import pytest
+
+from repro.containment.bounded import ContainmentChecker, theorem12_bound
+from repro.containment.result import ContainmentReason
+from repro.containment.store import OUTCOME_EXTEND, OUTCOME_FULL, OUTCOME_HIT
+from repro.core.atoms import member, sub, type_
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Variable
+from repro.obs import MetricsRegistry, Observability
+from repro.workloads.corpus import (
+    EXAMPLE2_QUERY,
+    PAPER_CONTAINMENT_PAIRS,
+)
+from repro.workloads.query_gen import QueryGenParams, QueryGenerator
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestScheduleEquivalence:
+    @pytest.mark.parametrize(
+        "q1, q2, expected",
+        [(q1, q2, sigma) for q1, q2, sigma, _ in PAPER_CONTAINMENT_PAIRS],
+        ids=[f"{q1.name}-vs-{q2.name}" for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS],
+    )
+    def test_paper_pairs_agree(self, q1, q2, expected):
+        anytime = ContainmentChecker().check(q1, q2)
+        monolithic = ContainmentChecker(anytime=False).check(q1, q2)
+        assert anytime.contained == monolithic.contained == expected
+        assert anytime.reason == monolithic.reason
+        assert anytime.verify()
+        assert monolithic.verify()
+
+    def test_per_call_override_beats_checker_default(self):
+        q1, q2, _, _ = PAPER_CONTAINMENT_PAIRS[0]
+        checker = ContainmentChecker(anytime=False)
+        overridden = checker.check(q1, q2, anytime=True)
+        assert overridden.witness_level is not None
+        default = checker.check(q1, q2)
+        assert default.witness_level is None
+
+    def test_reflexivity_is_a_level_zero_witness(self):
+        q = EXAMPLE2_QUERY  # cyclic: the full bound would be expensive
+        result = ContainmentChecker().check(q, q)
+        assert result.contained
+        assert result.witness_level == 0
+        assert result.levels_chased == 0
+        assert result.early_exit
+        assert result.verify()
+
+    def test_monolithic_results_have_no_witness_level(self):
+        q1, q2, _, _ = PAPER_CONTAINMENT_PAIRS[0]
+        result = ContainmentChecker(anytime=False).check(q1, q2)
+        assert result.witness_level is None
+        assert not result.early_exit
+        assert result.levels_chased is not None
+
+
+class TestEarlyExit:
+    def positive_pair(self):
+        for q1, q2, sigma, _ in PAPER_CONTAINMENT_PAIRS:
+            if sigma:
+                return q1, q2
+        raise AssertionError("corpus has no positive pair")
+
+    def test_witness_level_far_below_bound(self):
+        q1, q2 = self.positive_pair()
+        result = ContainmentChecker().check(q1, q2)
+        assert result.witness_level is not None
+        assert result.witness_level < theorem12_bound(q1, q2)
+        assert result.early_exit
+
+    def test_levels_chased_stops_at_witness(self):
+        q1, q2 = self.positive_pair()
+        result = ContainmentChecker().check(q1, q2)
+        assert result.levels_chased == result.witness_level
+
+    def test_chase_not_materialised_past_witness(self):
+        # The stored run must not have been extended beyond the level the
+        # witness needed — the saving the anytime schedule exists for.
+        q1, q2 = self.positive_pair()
+        checker = ContainmentChecker()
+        result = checker.check(q1, q2)
+        run = checker.store.peek(q1)
+        assert run is not None
+        assert run.saturated or run.bound <= result.witness_level + 1
+
+    def test_negative_never_early_exits(self):
+        for q1, q2, sigma, _ in PAPER_CONTAINMENT_PAIRS:
+            if sigma:
+                continue
+            result = ContainmentChecker().check(q1, q2)
+            assert not result.contained
+            assert result.witness_level is None
+            assert not result.early_exit
+
+    def test_early_exit_metrics(self):
+        obs = Observability(metrics=MetricsRegistry())
+        checker = ContainmentChecker(obs=obs)
+        q1, q2 = self.positive_pair()
+        checker.check(q1, q2)
+        metrics = obs.metrics.as_dict()["counters"]
+        assert any("containment.early_exit" in k for k in metrics)
+        assert any("hom.searches" in k for k in metrics)
+
+    def test_delta_search_counter_on_deep_probes(self):
+        # The paper pairs are too small to clear the bulk-delta threshold
+        # (their level-1 deltas rival the whole instance, so the probe
+        # falls back to full searches).  A cyclic generated pair chases
+        # deep enough that later probes carry small deltas.
+        params = QueryGenParams(
+            n_atoms=4, n_variables=6, cycle_length=1, head_arity=1
+        )
+        q1, q2 = QueryGenerator(405, params).containment_pair()
+        obs = Observability(metrics=MetricsRegistry())
+        ContainmentChecker(obs=obs).check(q1, q2)
+        metrics = obs.metrics.as_dict()["counters"]
+        assert any("hom.delta_searches" in k for k in metrics)
+
+    def test_explain_mentions_early_exit(self):
+        q1, q2 = self.positive_pair()
+        result = ContainmentChecker().check(q1, q2)
+        assert "witness found at level" in result.explain()
+
+
+class TestStoreOpen:
+    def query(self):
+        return ConjunctiveQuery(
+            "q", (X,), (type_(Y, X, Z), sub(Z, W))
+        )
+
+    def test_open_does_not_chase(self):
+        checker = ContainmentChecker()
+        run, outcome = checker.store.open(self.query(), 6)
+        assert outcome is OUTCOME_FULL
+        assert run.bound == -1  # untouched: the caller drives extend_to
+
+    def test_open_classifies_against_requested_bound(self):
+        checker = ContainmentChecker()
+        store = checker.store
+        q = self.query()
+        run, _ = store.open(q, 6)
+        run.extend_to(2)
+        _, second = store.open(q, 6)
+        # Saturation may cover any bound; otherwise bound 2 < 6 extends.
+        assert second is (OUTCOME_HIT if run.covers(6) else OUTCOME_EXTEND)
+        _, third = store.open(q, 1)
+        assert third is OUTCOME_HIT
+
+    def test_anytime_checks_share_the_stored_session(self):
+        checker = ContainmentChecker()
+        q1, q2, _, _ = PAPER_CONTAINMENT_PAIRS[0]
+        checker.check(q1, q2)
+        checker.check(q1, q2)
+        assert checker.stats.misses == 1
+        assert checker.stats.reuses >= 1
+
+
+class TestBatch:
+    def pairs(self):
+        return [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS] * 2
+
+    def expected(self):
+        return [sigma for _, _, sigma, _ in PAPER_CONTAINMENT_PAIRS] * 2
+
+    def test_anytime_batch_matches_per_pair(self):
+        results = ContainmentChecker().check_all(self.pairs())
+        assert [r.contained for r in results] == self.expected()
+        assert all(r.verify() for r in results)
+
+    def test_monolithic_batch_matches_per_pair(self):
+        results = ContainmentChecker().check_all(self.pairs(), anytime=False)
+        assert [r.contained for r in results] == self.expected()
+
+    def test_shared_chase_attributed_exactly_once_per_group(self):
+        checker = ContainmentChecker()
+        results = checker.check_all(self.pairs(), anytime=False)
+        by_q1: dict[str, list] = {}
+        for r in results:
+            by_q1.setdefault(r.q1.name, []).append(r)
+        for group in by_q1.values():
+            billed = [r for r in group if r.shared_chase_seconds]
+            # The group's chase bill lands on at most one result (zero
+            # when the chase was instantaneous below timer resolution).
+            assert len(billed) <= 1
+            if billed:
+                assert billed[0] is group[0]
+
+    def test_anytime_batch_records_witness_levels(self):
+        results = ContainmentChecker().check_all(self.pairs())
+        for r, contained in zip(results, self.expected()):
+            if contained:
+                assert r.witness_level is not None
+            else:
+                assert r.witness_level is None
+
+    def test_parallel_matches_sequential(self):
+        pairs = self.pairs()
+        seq = ContainmentChecker().check_all(pairs)
+        par = ContainmentChecker().check_all(pairs, parallel=True, max_workers=2)
+        assert len(par) == len(pairs)
+        for s, p in zip(seq, par):
+            assert s.contained == p.contained
+            assert s.reason == p.reason
+            assert s.witness_level == p.witness_level
+            assert p.verify()
+
+    def test_parallel_monolithic_matches_sequential(self):
+        pairs = self.pairs()
+        seq = ContainmentChecker().check_all(pairs, anytime=False)
+        par = ContainmentChecker().check_all(
+            pairs, anytime=False, parallel=True, max_workers=2
+        )
+        for s, p in zip(seq, par):
+            assert s.contained == p.contained and s.reason == p.reason
+
+    def test_parallel_single_group_runs_sequentially(self):
+        # One distinct q1 = one group: nothing to parallelise, and the
+        # parent store must keep serving (and counting) the requests.
+        q1, q2, _, _ = PAPER_CONTAINMENT_PAIRS[0]
+        checker = ContainmentChecker()
+        results = checker.check_all([(q1, q2)] * 3, parallel=True)
+        assert len(results) == 3
+        assert checker.stats.requests == 3
+
+    def test_empty_batch_parallel(self):
+        assert ContainmentChecker().check_all([], parallel=True) == []

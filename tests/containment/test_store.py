@@ -31,6 +31,31 @@ class TestChaseStore:
         assert run1 is run2
         assert store.stats.misses == 1 and store.stats.hits == 1
 
+    def test_open_returns_unchased_session(self):
+        store = ChaseStore()
+        run, outcome = store.open(sub_members, 5)
+        assert outcome == OUTCOME_FULL
+        assert run.bound == -1  # open never chases: the caller drives it
+        assert store.stats.misses == 1
+
+    def test_open_then_run_for_is_one_entry(self):
+        store = ChaseStore()
+        run1, _ = store.open(sub_members, 5)
+        run1.extend_to(5)
+        run2, outcome = store.run_for(sub_members, 5)
+        assert run1 is run2 and outcome == OUTCOME_HIT
+        assert len(store) == 1
+
+    def test_open_counts_toward_lru_recency(self):
+        store = ChaseStore(capacity=2)
+        store.run_for(members, 2)
+        store.run_for(sub_members, 2)
+        store.open(members, 2)  # touch: members becomes most recent
+        store.run_for(
+            ConjunctiveQuery("third", (O,), (data(O, C, D),)), 2
+        )
+        assert members in store and sub_members not in store
+
     def test_larger_bound_extends_in_place(self):
         store = ChaseStore()
         run1, _ = store.run_for(EXAMPLE2_QUERY, 2)

@@ -96,6 +96,65 @@ class TestCandidates:
         assert got == [member(j, s)]
 
 
+class TestFactsView:
+    """facts() returns a cheap live view, not a per-call frozenset copy."""
+
+    def test_view_equals_frozenset_both_ways(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        view = index.facts("member")
+        assert view == frozenset({member(j, s), member(j, p)})
+        assert frozenset({member(j, s), member(j, p)}) == view
+
+    def test_view_is_live(self):
+        index = FactIndex([member(j, s)])
+        view = index.facts("member")
+        index.add(member(j, p))
+        assert len(view) == 2 and member(j, p) in view
+
+    def test_view_supports_set_algebra(self):
+        index = FactIndex([member(j, s), sub(s, p)])
+        view = index.facts("member")
+        assert view | {sub(s, p)} == index.to_frozenset()
+        assert view & {member(j, s)} == {member(j, s)}
+
+    def test_empty_predicate_view_is_falsy(self):
+        view = FactIndex().facts("member")
+        assert not view
+        assert len(view) == 0 and list(view) == []
+
+    def test_view_is_not_mutable(self):
+        view = FactIndex([member(j, s)]).facts("member")
+        assert not hasattr(view, "add")
+        with pytest.raises(AttributeError):
+            view.anything = 1
+
+
+class TestCandidatesSnapshot:
+    """Regression: candidates() must survive mutation during iteration.
+
+    The anytime pipeline interleaves chase steps with homomorphism
+    searches over the same index; a lazily-consumed candidate stream must
+    not blow up when the chase discards or adds facts mid-iteration.
+    """
+
+    def test_mutation_during_bound_scan(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        stream = iter(index.candidates(member(j, X)))
+        first = next(stream)
+        index.discard(member(j, s))
+        index.discard(member(j, p))
+        index.add(member(j, Constant("fresh")))
+        rest = list(stream)  # no RuntimeError, sees the snapshot
+        assert {first, *rest} == {member(j, s), member(j, p)}
+
+    def test_mutation_during_unbound_scan(self):
+        index = FactIndex([member(j, s), member(j, p)])
+        stream = iter(index.candidates(member(Variable("A"), Variable("B"))))
+        next(stream)
+        index.add(member(j, Constant("later")))
+        assert len(list(stream)) == 1
+
+
 class TestCopy:
     def test_copy_is_independent(self):
         index = FactIndex([member(j, s)])

@@ -1,0 +1,126 @@
+"""Unit tests for delta-restricted homomorphism search.
+
+The contract: ``all_homomorphisms_delta(q, index, delta)`` enumerates
+exactly the homomorphisms of ``q`` into ``index`` whose image uses at
+least one atom of ``delta`` — the embeddings a search over the pre-delta
+index could not have produced.  Partitioning the full search this way is
+what lets the anytime containment pipeline never repeat level-``k`` work
+at level ``k+1``.
+"""
+
+from repro.core.atoms import member, sub
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Variable
+from repro.datalog.index import FactIndex
+from repro.datalog.matching import SearchStats, match_conjunction_delta
+from repro.homomorphism import (
+    all_homomorphisms,
+    all_homomorphisms_delta,
+    find_homomorphism_delta,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+
+
+def split_index(old_facts, delta_facts):
+    """An index holding old ∪ delta, plus the delta tuple."""
+    return FactIndex(list(old_facts) + list(delta_facts)), tuple(delta_facts)
+
+
+class TestDeltaPartition:
+    """old-only homs + delta homs = homs over the union, with no overlap."""
+
+    def homs(self, q, index):
+        return set(all_homomorphisms(q, index))
+
+    def delta_homs(self, q, index, delta):
+        return set(all_homomorphisms_delta(q, index, delta))
+
+    def test_partitions_the_full_search(self):
+        old = [member(a, b), sub(b, c)]
+        new = [member(b, c), sub(c, d)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), sub(Y, Z)))
+        full = self.homs(q, union)
+        old_only = self.homs(q, FactIndex(old))
+        via_delta = self.delta_homs(q, union, delta)
+        assert old_only | via_delta == full
+        assert old_only.isdisjoint(via_delta)
+
+    def test_every_result_touches_the_delta(self):
+        old = [member(a, b), member(b, c)]
+        new = [member(c, d)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), member(Y, Z)))
+        for sigma in all_homomorphisms_delta(q, union, delta):
+            image = {sigma.apply_atom(atom) for atom in q.body}
+            assert image & set(delta)
+
+    def test_empty_delta_yields_nothing(self):
+        index = FactIndex([member(a, b), member(b, c)])
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        assert list(all_homomorphisms_delta(q, index, ())) == []
+
+    def test_multi_atom_delta_image_not_duplicated(self):
+        # A homomorphism whose image contains TWO delta atoms must be
+        # yielded once, not once per delta anchor.
+        old = [member(a, b)]
+        new = [member(b, c), member(c, d)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), member(Y, Z)))
+        results = list(all_homomorphisms_delta(q, union, delta))
+        assert len(results) == len(set(results))
+        # b->c->d uses both delta atoms; a->b->c uses one.
+        assert len(results) == 2
+
+
+class TestHeadCondition:
+    def test_head_target_filters(self):
+        old = [member(a, b)]
+        new = [member(b, c)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y),))
+        hit = find_homomorphism_delta(q, union, delta, head_target=(b,))
+        assert hit is not None and hit[X] == b
+        miss = find_homomorphism_delta(q, union, delta, head_target=(a,))
+        # member(a, b) is not in the delta: the a-rooted embedding is old.
+        assert miss is None
+
+    def test_unsatisfiable_head_seed_short_circuits(self):
+        index = FactIndex([member(a, b)])
+        q = ConjunctiveQuery("q", (a,), (member(a, X),))
+        assert (
+            find_homomorphism_delta(q, index, (member(a, b),), head_target=(b,))
+            is None
+        )
+
+
+class TestStatsAndModes:
+    def test_stats_accumulate(self):
+        old = [member(a, b)]
+        new = [member(b, c)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), member(Y, Z)))
+        stats = SearchStats()
+        list(all_homomorphisms_delta(q, union, delta, stats=stats))
+        assert stats.nodes > 0
+
+    def test_reorder_flag_changes_nothing_semantically(self):
+        old = [member(a, b), sub(b, c)]
+        new = [member(b, c), sub(c, d), member(c, d)]
+        union, delta = split_index(old, new)
+        q = ConjunctiveQuery("q", (X,), (member(X, Y), sub(Y, Z)))
+        ordered = set(all_homomorphisms_delta(q, union, delta, reorder=True))
+        naive = set(all_homomorphisms_delta(q, union, delta, reorder=False))
+        assert ordered == naive
+
+    def test_match_conjunction_delta_base_substitution(self):
+        union, delta = split_index([member(a, b)], [member(b, c)])
+        from repro.core.substitution import Substitution
+
+        base = Substitution({X: b})
+        results = list(
+            match_conjunction_delta((member(X, Y),), union, delta, base)
+        )
+        assert len(results) == 1 and results[0][Y] == c

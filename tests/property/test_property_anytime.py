@@ -1,0 +1,94 @@
+"""Property tests: the anytime schedule decides the monolithic relation.
+
+The anytime pipeline is an optimisation, not a semantics change — over
+random workloads it must return the same verdict, for the same reason,
+with an independently verifiable certificate.  A dedicated regression
+pins the other half of the contract: early exit is a *positive-side*
+shortcut and never fires on known non-containments (the paper's
+Example 1 negative direction and the E10 baseline-gap corpus).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.containment.bounded import ContainmentChecker
+from repro.core.errors import ChaseBudgetExceeded
+from repro.workloads import QueryGenerator
+from repro.workloads.corpus import PAPER_CONTAINMENT_PAIRS
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def both_schedules(q1, q2):
+    try:
+        anytime = ContainmentChecker().check(q1, q2)
+        monolithic = ContainmentChecker(anytime=False).check(q1, q2)
+    except ChaseBudgetExceeded:
+        assume(False)
+    return anytime, monolithic
+
+
+class TestScheduleEquivalenceOnRandomWorkloads:
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_verdict_reason_and_certificate_agree(self, pair_seed):
+        q1, q2 = QueryGenerator(pair_seed).containment_pair()
+        anytime, monolithic = both_schedules(q1, q2)
+        assert anytime.contained == monolithic.contained
+        assert anytime.reason == monolithic.reason
+        assert anytime.verify()
+        assert monolithic.verify()
+
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_positive_witnesses_respect_the_witness_level(self, pair_seed):
+        q1, q2 = QueryGenerator(pair_seed).containment_pair()
+        anytime, _ = both_schedules(q1, q2)
+        assume(anytime.contained and anytime.witness is not None)
+        instance = anytime.chase_result.instance
+        assert instance is not None
+        # Every conjunct of the witness image must already live in the
+        # prefix the early exit stopped at.
+        for atom in anytime.q2.body:
+            image = anytime.witness.apply_atom(atom)
+            assert instance.level_of(image) <= anytime.witness_level
+
+    @SETTINGS
+    @given(st.integers(0, 10_000))
+    def test_levels_chased_never_exceeds_bound(self, pair_seed):
+        q1, q2 = QueryGenerator(pair_seed).containment_pair()
+        anytime, _ = both_schedules(q1, q2)
+        assert anytime.levels_chased is not None
+        assert anytime.levels_chased <= anytime.level_bound
+
+
+class TestEarlyExitNeverFiresOnNonContainments:
+    """Known negatives must always pay the full refutation, in both modes."""
+
+    def test_example1_negative_direction(self):
+        negatives = [
+            (q1, q2) for q1, q2, sigma, _ in PAPER_CONTAINMENT_PAIRS if not sigma
+        ]
+        assert negatives, "corpus must include the paper's negative directions"
+        for q1, q2 in negatives:
+            result = ContainmentChecker().check(q1, q2)
+            assert not result.contained
+            assert result.witness_level is None
+            assert not result.early_exit
+
+    def test_e10_gap_corpus(self):
+        # The E10 experiment's corpus: the paper pairs plus 40 random
+        # pairs from the seed-17 generator, decided as one batch.
+        pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS]
+        gen = QueryGenerator(17)
+        for _ in range(40):
+            pairs.append(gen.containment_pair())
+        anytime = ContainmentChecker().check_all(pairs)
+        monolithic = ContainmentChecker().check_all(pairs, anytime=False)
+        for a, m in zip(anytime, monolithic):
+            assert a.contained == m.contained
+            assert a.reason == m.reason
+            if not a.contained:
+                assert a.witness_level is None
+                assert not a.early_exit
+            assert a.verify()
