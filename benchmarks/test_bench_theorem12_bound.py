@@ -49,7 +49,10 @@ class TestTheorem12Bound:
         base = theorem12_bound(EXAMPLE2_QUERY, q2)
 
         def check_then_recheck_inflated():
-            checker = ContainmentChecker()
+            # Monolithic schedule: the anytime default stops chasing at
+            # the witness level, so only this path drives the stored run
+            # all the way to the inflated bound.
+            checker = ContainmentChecker(anytime=False)
             first = checker.check(EXAMPLE2_QUERY, q2, level_bound=base)
             inflated = checker.check(EXAMPLE2_QUERY, q2, level_bound=4 * base)
             return checker, first, inflated

@@ -39,13 +39,17 @@ from .containment import (
     ContainmentChecker,
     ContainmentReason,
     ContainmentResult,
+    Decision,
     contained_classic,
     is_contained,
     theorem12_bound,
 )
 from .core import (
     Atom,
+    BudgetExceeded,
     ChaseBudgetExceeded,
+    ExecutionCancelled,
+    ExecutionInterrupted,
     ChaseFailure,
     ConjunctiveQuery,
     Constant,
@@ -64,6 +68,14 @@ from .core import (
     type_,
 )
 from .dependencies import SIGMA_FL, SIGMA_FL_MINUS, rule_by_label
+from .governance import (
+    BudgetReport,
+    CancelScope,
+    ExecutionBudget,
+    Fault,
+    FaultInjector,
+    Governor,
+)
 from .obs import (
     ContainmentProvenance,
     MetricsRegistry,
@@ -107,6 +119,14 @@ __all__ = [
     "contained_classic",
     "ContainmentResult",
     "ContainmentReason",
+    "Decision",
+    # governance
+    "ExecutionBudget",
+    "BudgetReport",
+    "CancelScope",
+    "Governor",
+    "Fault",
+    "FaultInjector",
     # observability
     "Observability",
     "Tracer",
@@ -118,4 +138,7 @@ __all__ = [
     "ParseError",
     "ChaseFailure",
     "ChaseBudgetExceeded",
+    "BudgetExceeded",
+    "ExecutionCancelled",
+    "ExecutionInterrupted",
 ]

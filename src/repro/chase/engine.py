@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..core.atoms import Atom
-from ..core.errors import ChaseBudgetExceeded, ChaseFailure
+from ..core.errors import ChaseBudgetExceeded, ChaseFailure, ExecutionInterrupted
 from ..core.query import ConjunctiveQuery
+from ..governance.budget import BudgetReport, Governor
 from ..core.substitution import Substitution
 from ..core.terms import NullFactory, Term, Variable, term_sort_key
 from ..datalog.matching import match_conjunction
@@ -178,11 +179,18 @@ class ChaseEngine:
 
     # -- phase 1: Sigma minus existential rules, everything at level 0 --------
 
-    def _saturate_level_zero(self, instance: ChaseInstance, counters: dict[str, int]) -> None:
+    def _saturate_level_zero(
+        self,
+        instance: ChaseInstance,
+        counters: dict[str, int],
+        governor: Optional[Governor] = None,
+    ) -> None:
         self._egd_fixpoint(instance, delta=None)
         delta: list[Atom] = list(instance)
         delta.extend(instance.drain_dirty())
         while delta:
+            if governor is not None:
+                governor.checkpoint("chase.round", instance=instance)
             additions: list[Atom] = []
             for fact in delta:
                 if fact not in instance:
@@ -194,6 +202,7 @@ class ChaseEngine:
                             instance.index,
                             required_fact=fact,
                             reorder=self.config.reorder_join,
+                            governor=governor,
                         )
                     )
                     for sigma in matches:
@@ -210,6 +219,8 @@ class ChaseEngine:
                             counters[tgd.label] = counters.get(tgd.label, 0) + 1
                             additions.append(head_img)
                             self._check_step_budget(counters)
+                            if governor is not None:
+                                governor.step()
             self._egd_fixpoint(instance, delta=additions)
             additions = [a for a in additions if a in instance]
             additions.extend(instance.drain_dirty())
@@ -344,11 +355,32 @@ class ChaseEngine:
 
     def _check_step_budget(self, counters: dict[str, int]) -> None:
         limit = self.config.max_steps
-        if limit is not None and sum(counters.values()) > limit:
-            raise ChaseBudgetExceeded(
-                f"chase exceeded the {limit}-application budget; "
-                "set max_level to bound cyclic queries or raise max_steps"
-            )
+        if limit is None:
+            return
+        steps = sum(counters.values())
+        if steps <= limit:
+            return
+        report = BudgetReport(
+            exhausted="steps",
+            elapsed_seconds=0.0,
+            deadline_seconds=None,
+            steps=steps,
+            max_steps=limit,
+            facts=0,
+            max_facts=None,
+            approx_memory_bytes=None,
+            max_memory_bytes=None,
+        )
+        raise ChaseBudgetExceeded(
+            f"chase stopped after {steps} TGD applications, over the "
+            f"configured ceiling of {limit}.  A cyclic query chases forever "
+            "unless the prefix is bounded: pass "
+            "ChaseConfig(max_level=theorem12_bound(q1, q2)) (or any finite "
+            "level) to ChaseEngine, or rebuild the engine with "
+            "ChaseConfig(max_steps=<larger valve>) if the chase is known to "
+            f"terminate.  {report}",
+            budget_report=report,
+        )
 
 
 class _LevelCapped:
@@ -416,6 +448,14 @@ class ChaseRun:
         self.segment_head_rewrites: list[bool] = []
         self._level_zero_done = False
         self._started = False
+        #: Set when an extension was stopped by the governance layer.  The
+        #: in-flight semi-naive delta is lost, so the next extension
+        #: restarts its delta from the full instance (sound: the restricted
+        #: chase never refires an already-satisfied head).
+        self._interrupted = False
+        #: The governor of the extension currently executing, if any; the
+        #: trigger loop polls it.  Cleared when the extension returns.
+        self._governor: Optional[Governor] = None
         self._pending: dict[tuple, tuple[TGD, Substitution]] = {}
         self._snapshot: Optional[ChaseResult] = None
         self._tracer = engine.obs.tracer
@@ -450,13 +490,22 @@ class ChaseRun:
 
     # -- extension -----------------------------------------------------------
 
-    def extend_to(self, level_bound: Optional[int]) -> "ChaseRun":
+    def extend_to(
+        self, level_bound: Optional[int], *, governor: Optional[Governor] = None
+    ) -> "ChaseRun":
         """Ensure the prefix holds every conjunct up to *level_bound*.
 
         Idempotent when the run already covers the bound.  ``None`` chases
         to saturation (which raises :class:`ChaseBudgetExceeded` on cyclic
         queries, as a fresh unbounded run would).  Chase failure is
         recorded on the run, not raised.
+
+        When a *governor* is supplied, the trigger loop polls it; a budget
+        or cancellation raise propagates, but the run stays consistent and
+        resumable — the segment's journal delta is still recorded, the
+        bound is *not* advanced (``covers`` keeps answering ``False``),
+        and a later ``extend_to`` (typically with a fresh budget) restarts
+        the semi-naive delta from the full instance and finishes the work.
         """
         if self.covers(level_bound):
             return self
@@ -473,10 +522,13 @@ class ChaseRun:
             # initial body conjuncts count as "new" exactly once.
             journal_marker = self.instance.journal_marker() if self._started else 0
             head_before = self.instance.head
+            self._governor = governor
             try:
                 if not self._level_zero_done:
                     with tracer.span("chase.level", level=0, phase="sigma-minus") as lz:
-                        self.engine._saturate_level_zero(self.instance, self.counters)
+                        self.engine._saturate_level_zero(
+                            self.instance, self.counters, governor
+                        )
                         if tracer.enabled:
                             lz.set(conjuncts=len(self.instance))
                     self._level_zero_done = True
@@ -489,7 +541,11 @@ class ChaseRun:
                 self.failed = True
                 self.saturated = True
                 self._pending.clear()
+            except ExecutionInterrupted:
+                self._interrupted = True
+                raise
             finally:
+                self._governor = None
                 # Each segment is timed by its own disjoint window, so a
                 # resumed run never re-counts time attributed to a prior
                 # segment: elapsed_seconds is exactly sum(segment_seconds).
@@ -617,6 +673,21 @@ class ChaseRun:
             self._fire(tgd, self._resolve_sigma(sigma), level_bound, additions)
         if not self._started:
             delta: list[Atom] = list(instance)
+        elif self._interrupted:
+            # The previous extension was stopped mid-round by the
+            # governance layer: its semi-naive delta (and any frontier
+            # triggers not yet re-pended) were lost.  Restarting the delta
+            # from the full instance rediscovers every applicable trigger;
+            # the restricted chase makes the replay sound because triggers
+            # whose heads are already satisfied do not refire.  (Under the
+            # oblivious ablation a replayed existential trigger invents a
+            # fresh null, yielding a larger — but still universal —
+            # prefix; interrupt/resume equivalence is only claimed for the
+            # restricted chase.)
+            engine._egd_fixpoint(instance, delta=additions)
+            self._interrupted = False
+            delta = list(instance)
+            delta.extend(instance.drain_dirty())
         else:
             engine._egd_fixpoint(instance, delta=additions)
             additions = [a for a in additions if a in instance]
@@ -624,9 +695,12 @@ class ChaseRun:
             delta = additions
 
         tracer = self._tracer
+        governor = self._governor
         round_no = 0
         while delta:
             round_no += 1
+            if governor is not None:
+                governor.checkpoint("chase.round", instance=instance)
             with tracer.span("chase.level", round=round_no, phase="existential") as sp:
                 additions = []
                 for fact in delta:
@@ -639,6 +713,7 @@ class ChaseRun:
                                 instance.index,
                                 required_fact=fact,
                                 reorder=config.reorder_join,
+                                governor=governor,
                             )
                         )
                         for sigma in matches:
@@ -663,6 +738,9 @@ class ChaseRun:
         additions: list[Atom],
     ) -> None:
         tracer = self._tracer
+        governor = self._governor
+        if governor is not None:
+            governor.poll("chase.trigger", facts=len(self.instance))
         if tracer.enabled:
             # Single cached-attribute check keeps the disabled hot path to
             # one branch per trigger.
@@ -679,6 +757,8 @@ class ChaseRun:
         self.counters[tgd.label] = self.counters.get(tgd.label, 0) + 1
         additions.append(added)
         self.engine._check_step_budget(self.counters)
+        if governor is not None:
+            governor.step()
 
     def _apply_tgd(self, tgd: TGD, sigma: Substitution, level_bound: Optional[int]):
         """One Definition-2 rule-(2) step.

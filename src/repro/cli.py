@@ -3,15 +3,21 @@
 Installed as ``flq`` (F-Logic Queries); also runnable as
 ``python -m repro``.  Subcommands:
 
-``flq check FILE [--explain] [--no-anytime] [--trace FILE] [--metrics FILE]``
+``flq check FILE [--explain] [--no-anytime] [--deadline S] [--max-facts N]
+[--max-memory-mb M] [--trace FILE] [--metrics FILE]``
     FILE holds two or more rules; check containment of the first in each
     of the others (under Sigma_FL and classically).  ``--explain`` prints
     decision provenance; ``--no-anytime`` disables the interleaved
-    chase/search schedule; ``--trace``/``--metrics`` export the span tree
-    and the metrics registry.
+    chase/search schedule; the governance flags put the whole batch under
+    an :class:`~repro.governance.ExecutionBudget` — budget-stopped pairs
+    report UNKNOWN and the command exits 3; ``--trace``/``--metrics``
+    export the span tree and the metrics registry.
 
-``flq chase FILE [--max-level N] [--graph] [--trace FILE] [--metrics FILE]``
+``flq chase FILE [--max-level N] [--graph] [--deadline S] [--max-facts N]
+[--max-memory-mb M] [--trace FILE] [--metrics FILE]``
     Chase the first rule in FILE and print the instance (and graph).
+    Under a budget an interrupted chase prints its budget report and
+    exits 3 instead of hanging on cyclic inputs.
 
 ``flq ask KB_FILE QUERY``
     Load an F-logic fact base and answer a query string.
@@ -42,15 +48,16 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.cycles import predict_chase_termination
-from .chase.engine import chase
+from .chase.engine import ChaseConfig, ChaseEngine, chase
 from .chase.graph import ChaseGraph
 from .containment.bounded import ContainmentChecker
 from .containment.classic import contained_classic
-from .core.errors import ReproError
+from .core.errors import ExecutionInterrupted, ReproError
 from .core.query import ConjunctiveQuery
 from .flogic.encoding import encode_query, encode_rule
 from .flogic.kb import KnowledgeBase
 from .flogic.parser import parse_program
+from .governance.budget import ExecutionBudget, Governor
 from .obs import MetricsRegistry, Observability, Tracer
 
 __all__ = ["main", "build_parser"]
@@ -98,6 +105,52 @@ def _export_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
         print(f"metrics written to {metrics}", file=sys.stderr)
 
 
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "wall-clock budget; work stopped by the deadline reports "
+            "UNKNOWN (check) or a budget report (chase) and exits 3"
+        ),
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        metavar="N",
+        default=None,
+        help="stop when the chase instance exceeds N conjuncts",
+    )
+    parser.add_argument(
+        "--max-memory-mb",
+        type=float,
+        metavar="MB",
+        default=None,
+        help=(
+            "stop when the chase instance's approximate resident size "
+            "(sys.getsizeof sampling) exceeds MB megabytes"
+        ),
+    )
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[ExecutionBudget]:
+    """An :class:`ExecutionBudget` from the governance flags, or ``None``."""
+    deadline = getattr(args, "deadline", None)
+    max_facts = getattr(args, "max_facts", None)
+    max_memory_mb = getattr(args, "max_memory_mb", None)
+    if deadline is None and max_facts is None and max_memory_mb is None:
+        return None
+    return ExecutionBudget(
+        deadline_seconds=deadline,
+        max_facts=max_facts,
+        max_memory_bytes=(
+            int(max_memory_mb * 1024 * 1024) if max_memory_mb is not None else None
+        ),
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -119,7 +172,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print("need at least two rules to check containment", file=sys.stderr)
         return 2
     obs = _make_obs(args)
-    checker = ContainmentChecker(obs=obs)
+    budget = _budget_from_args(args)
+    checker = ContainmentChecker(obs=obs, budget=budget)
     q1 = queries[0]
     # Batch pipeline: every verdict draws on one shared chase of q1.  The
     # default anytime schedule extends that chase only as far as each
@@ -131,15 +185,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     status = 0
     for q2, result in zip(queries[1:], results):
-        classic = contained_classic(q1, q2)
         print(result.explain())
+        if result.unknown:
+            status = 3
+            continue
+        classic = contained_classic(q1, q2)
         print(f"  (classic, constraint-free verdict: {classic.contained})")
         if args.explain:
             provenance = result.explain_data()
             if provenance is not None:
                 for line in provenance.pretty().splitlines():
                     print(f"  {line}")
-        if not result.contained:
+        if not result.contained and status == 0:
             status = 1
     if args.stats:
         print(f"chase store: {checker.stats}")
@@ -150,9 +207,25 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_chase(args: argparse.Namespace) -> int:
     query = _load_queries(args.file)[0]
     obs = _make_obs(args)
-    result = chase(
-        query, max_level=args.max_level, track_graph=args.graph, obs=obs
-    )
+    budget = _budget_from_args(args)
+    if budget is None:
+        result = chase(
+            query, max_level=args.max_level, track_graph=args.graph, obs=obs
+        )
+    else:
+        engine = ChaseEngine(
+            config=ChaseConfig(max_level=args.max_level, track_graph=args.graph),
+            obs=obs if obs is not None else None,
+        )
+        run = engine.start(query)
+        try:
+            run.extend_to(args.max_level, governor=Governor(budget, obs=obs))
+        except ExecutionInterrupted as exc:
+            print(f"chase interrupted: {exc}", file=sys.stderr)
+            print(repr(run.result()))
+            _export_obs(args, obs)
+            return 3
+        result = run.result()
     _export_obs(args, obs)
     print(repr(result))
     if result.failed:
@@ -256,6 +329,7 @@ def _cmd_shell(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``flq`` argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
         prog="flq",
         description=(
@@ -292,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print decision provenance (witness levels, rule firings) per verdict",
     )
     _add_obs_flags(p_check)
+    _add_budget_flags(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_chase = sub.add_parser("chase", help="chase a query and print the instance")
@@ -299,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_chase.add_argument("--max-level", type=int, default=12)
     p_chase.add_argument("--graph", action="store_true", help="print the chase graph")
     _add_obs_flags(p_chase)
+    _add_budget_flags(p_chase)
     p_chase.set_defaults(func=_cmd_chase)
 
     p_ask = sub.add_parser("ask", help="answer a query over an F-logic fact base")
@@ -351,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status (see module doc)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

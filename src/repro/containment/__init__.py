@@ -3,7 +3,7 @@
 from .bounded import ContainmentChecker, is_contained, theorem12_bound
 from .classic import contained_classic
 from .minimize import MinimizationResult, minimize_query
-from .result import ContainmentReason, ContainmentResult
+from .result import ContainmentReason, ContainmentResult, Decision
 from .store import ChaseStore, StoreStats
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "contained_classic",
     "ContainmentResult",
     "ContainmentReason",
+    "Decision",
     "minimize_query",
     "MinimizationResult",
     "ChaseStore",

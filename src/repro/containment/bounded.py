@@ -38,10 +38,12 @@ from typing import Iterable, Optional, Sequence
 
 from ..chase.engine import ChaseResult, ChaseRun
 from ..core.atoms import Atom
-from ..core.errors import QueryError
+from ..core.errors import ExecutionCancelled, ExecutionInterrupted, QueryError
 from ..core.query import ConjunctiveQuery
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
+from ..governance.budget import CancelScope, ExecutionBudget, Governor
+from ..governance.faults import Fault, FaultInjector
 from ..homomorphism.incremental import find_homomorphism_delta
 from ..homomorphism.search import SearchStats, find_homomorphism
 from ..obs import Observability
@@ -49,6 +51,18 @@ from .result import ContainmentReason, ContainmentResult
 from .store import OUTCOME_HIT, ChaseStore
 
 __all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
+
+#: Per-group worker resubmissions in a parallel batch before the group
+#: falls back to in-parent sequential execution.
+POOL_MAX_RETRIES = 1
+
+#: Backoff before a pool retry, in seconds (scaled by the attempt count).
+POOL_RETRY_BACKOFF = 0.05
+
+#: Grace added to a worker's wall-clock allowance before the parent calls
+#: the worker wedged: process spawn and result pickling ride on top of
+#: the pairs' own deadline-bounded work.
+POOL_TIMEOUT_GRACE = 5.0
 
 #: Levels the anytime schedule probes one by one before switching to
 #: geometrically growing strides.  Witnesses cluster at the first chase
@@ -88,13 +102,22 @@ def _check_group_worker(
     Module-level (picklable) entry point of the parallel batch pipeline.
     The worker owns a private checker/store — chase work is shared within
     the group it processes, and the parent's store is untouched.
+
+    Deadline enforcement is **worker-side**: the shipped
+    :class:`~repro.governance.ExecutionBudget` (if any) governs every
+    check run here, so a budget-stopped pair comes back as an UNKNOWN
+    result instead of wedging the pool; the parent's per-future timeout
+    is only the second line of defence.  A shipped fault plan rebuilds a
+    private :class:`~repro.governance.FaultInjector` in this process.
     """
-    dependencies, reorder_join, max_steps, anytime, items = payload
+    dependencies, reorder_join, max_steps, anytime, budget, fault_plan, items = payload
     checker = ContainmentChecker(
         dependencies,
         reorder_join=reorder_join,
         max_steps=max_steps,
         anytime=anytime,
+        budget=budget,
+        faults=fault_plan,
     )
     return [
         checker.check(q1, q2, level_bound=bound) for q1, q2, bound in items
@@ -135,6 +158,16 @@ class ContainmentChecker:
         ``containment.early_exit`` and ``hom.delta_searches`` counters).
         When the checker builds its own store, the store (and hence the
         chase engine) inherits the sink.
+    budget:
+        Default :class:`~repro.governance.ExecutionBudget` governing every
+        check (overridable per call).  A budget-stopped check returns an
+        ``UNKNOWN`` :class:`ContainmentResult` instead of raising; with no
+        budget, scope or fault plan configured the governed code paths are
+        skipped entirely (``governor is None``), costing nothing.
+    faults:
+        Optional plan of :class:`~repro.governance.Fault` records; the
+        checker builds one :class:`~repro.governance.FaultInjector` from
+        it and fires it at every governor poll site.  Test-only.
     """
 
     def __init__(
@@ -146,6 +179,8 @@ class ContainmentChecker:
         store: Optional[ChaseStore] = None,
         anytime: bool = True,
         obs: Optional[Observability] = None,
+        budget: Optional[ExecutionBudget] = None,
+        faults: Optional[Sequence[Fault]] = None,
     ):
         if store is None:
             store = ChaseStore(
@@ -160,6 +195,13 @@ class ContainmentChecker:
         self.reorder_join = reorder_join
         self.max_steps = max_steps
         self.anytime = anytime
+        self.budget = budget
+        self.fault_plan: Optional[tuple[Fault, ...]] = (
+            tuple(faults) if faults else None
+        )
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self.fault_plan) if self.fault_plan else None
+        )
 
     @property
     def stats(self):
@@ -180,7 +222,10 @@ class ContainmentChecker:
         return result
 
     def _chase_for(
-        self, query: ConjunctiveQuery, level_bound: Optional[int]
+        self,
+        query: ConjunctiveQuery,
+        level_bound: Optional[int],
+        governor: Optional[Governor] = None,
     ) -> tuple[ChaseResult, str, float]:
         """Chase to *level_bound*; also report the fresh chase seconds.
 
@@ -192,7 +237,7 @@ class ContainmentChecker:
         run, outcome = self.store.open(query, level_bound)
         before = run.elapsed_seconds
         if outcome is not OUTCOME_HIT:
-            run.extend_to(level_bound)
+            run.extend_to(level_bound, governor=governor)
         return run.result(), outcome, run.elapsed_seconds - before
 
     # -- decision ------------------------------------------------------------
@@ -206,8 +251,10 @@ class ContainmentChecker:
         schema: Optional[Iterable[Atom]] = None,
         explain: bool = False,
         anytime: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
+        scope: Optional[CancelScope] = None,
     ) -> ContainmentResult:
-        """Decide ``q1 ⊆_Sigma q2``.
+        """Decide ``q1 ⊆_Sigma q2`` — or report UNKNOWN under governance.
 
         *level_bound* overrides the Theorem-12 bound — used by the E8
         bound-stability experiment and required for non-Sigma_FL
@@ -217,6 +264,16 @@ class ContainmentChecker:
         ``True`` interleaves chase and delta search (positives exit at the
         witness level, recorded as ``result.witness_level``), ``False``
         forces the monolithic chase-then-search order.
+
+        *budget* (defaulting to the checker-level budget) and *scope*
+        govern the call: when the budget runs out or the scope is
+        cancelled before a witness is found or the full bound is
+        searched, the result is **UNKNOWN** (``result.unknown`` true,
+        reason ``BUDGET_EXHAUSTED``/``CANCELLED``) with the
+        :class:`~repro.governance.BudgetReport` and ``levels_chased``
+        attached — never a guessed decision, never an exception.  The
+        underlying chase session stays in the store, so re-checking with
+        a fresh budget resumes instead of restarting.
 
         *explain* attaches a decision-provenance payload to the result
         (witness chase levels, per-level fact counts, rule-firing
@@ -237,26 +294,59 @@ class ContainmentChecker:
         q1 = self._apply_schema(q1, schema)
         self._require_equal_arity(q1, q2)
         use_anytime = self.anytime if anytime is None else anytime
+        bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
+        return self._checked(
+            q1, q2, bound, use_anytime, explain=explain, budget=budget, scope=scope
+        )
+
+    def _checked(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        use_anytime: bool,
+        *,
+        explain: bool = False,
+        budget: Optional[ExecutionBudget] = None,
+        scope: Optional[CancelScope] = None,
+    ) -> ContainmentResult:
+        """One prepared (schema-applied, bound-resolved) decision.
+
+        The single funnel both :meth:`check` and the governed batch paths
+        go through: opens the ``containment.check`` span, builds the
+        governor (``None`` when the call is ungoverned — the legacy
+        zero-overhead path), and converts
+        :class:`~repro.core.errors.ExecutionInterrupted` into an UNKNOWN
+        result.
+        """
         tracer = self.obs.tracer
+        governor = self._make_governor(budget, scope)
         with tracer.span(
             "containment.check", q1=q1.name, q2=q2.name, anytime=use_anytime
         ) as span:
             start = time.perf_counter()
-            bound = theorem12_bound(q1, q2) if level_bound is None else level_bound
-            if use_anytime:
-                result = self._decide_anytime(q1, q2, bound, start, explain=explain)
-            else:
-                chase_result, outcome, chase_seconds = self._chase_for(q1, bound)
-                result = self._decide(
-                    q1,
-                    q2,
-                    bound,
-                    chase_result,
-                    outcome,
-                    start,
-                    shared_chase_seconds=chase_seconds,
-                    explain=explain,
-                )
+            try:
+                if use_anytime:
+                    result = self._decide_anytime(
+                        q1, q2, bound, start, explain=explain, governor=governor
+                    )
+                else:
+                    chase_result, outcome, chase_seconds = self._chase_for(
+                        q1, bound, governor
+                    )
+                    result = self._decide(
+                        q1,
+                        q2,
+                        bound,
+                        chase_result,
+                        outcome,
+                        start,
+                        shared_chase_seconds=chase_seconds,
+                        explain=explain,
+                        governor=governor,
+                    )
+            except ExecutionInterrupted as exc:
+                result = self._unknown_result(q1, q2, bound, start, exc, governor)
             if tracer.enabled:
                 span.set(
                     contained=result.contained,
@@ -267,6 +357,62 @@ class ContainmentChecker:
                 )
         return result
 
+    def _make_governor(
+        self,
+        budget: Optional[ExecutionBudget],
+        scope: Optional[CancelScope],
+    ) -> Optional[Governor]:
+        """The call's governor, or ``None`` for the ungoverned fast path."""
+        budget = budget if budget is not None else self.budget
+        faults = self.fault_injector
+        if budget is None and scope is None and faults is None:
+            return None
+        return Governor(budget, scope=scope, obs=self.obs, faults=faults)
+
+    def _unknown_result(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        start: float,
+        exc: ExecutionInterrupted,
+        governor: Optional[Governor],
+    ) -> ContainmentResult:
+        """Degrade a governed interruption into an UNKNOWN result.
+
+        Soundness: a Theorem-12 decision needs a positive witness or a
+        completely searched bound-level prefix.  The interrupted check has
+        neither, so the only honest answer is UNKNOWN — ``contained`` is
+        conservatively False (the result is falsy) but ``reason`` marks it
+        as a non-decision.  The partial chase run (if any) is attached as
+        evidence and remains in the store for a future resume.
+        """
+        report = exc.budget_report
+        if report is None and governor is not None:
+            report = governor.report()
+        reason = (
+            ContainmentReason.CANCELLED
+            if isinstance(exc, ExecutionCancelled)
+            else ContainmentReason.BUDGET_EXHAUSTED
+        )
+        run = self.store.peek(q1)
+        chase_result = run.result() if run is not None else None
+        levels_chased = max(run.bound, 0) if run is not None else None
+        metrics = self.obs.metrics
+        if metrics is not None:
+            metrics.counter("containment.unknown", reason=reason.value).inc()
+        return ContainmentResult(
+            q1=q1,
+            q2=q2,
+            contained=False,
+            reason=reason,
+            chase_result=chase_result,
+            level_bound=bound,
+            elapsed_seconds=time.perf_counter() - start,
+            levels_chased=levels_chased,
+            budget_report=report,
+        )
+
     def check_all(
         self,
         pairs: Iterable[tuple[ConjunctiveQuery, ConjunctiveQuery]],
@@ -276,6 +422,8 @@ class ContainmentChecker:
         anytime: Optional[bool] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        budget: Optional[ExecutionBudget] = None,
+        worker_faults: Optional[Sequence[Fault]] = None,
     ) -> list[ContainmentResult]:
         """Decide many ``q1 ⊆ q2`` pairs, chasing each distinct ``q1`` once.
 
@@ -297,8 +445,19 @@ class ContainmentChecker:
         counters and cached runs are not updated by a parallel batch, and
         worker-side spans/metrics are not forwarded to this checker's
         observability sink.
+
+        *budget* governs every pair (defaulting to the checker-level
+        budget): exhausted pairs come back UNKNOWN, and in parallel mode
+        the budget ships to the workers for **worker-side** enforcement
+        while the parent adds a per-group timeout.  A group whose worker
+        crashes or wedges is retried once (with backoff) and then falls
+        back to in-parent sequential execution — input-order slots are
+        preserved in every case.  *worker_faults* ships a fault plan to
+        the workers (test-only; the in-parent fallback deliberately runs
+        without it).
         """
         use_anytime = self.anytime if anytime is None else anytime
+        budget = budget if budget is not None else self.budget
         schema_atoms = tuple(schema) if schema is not None else None
         prepared: list[tuple[ConjunctiveQuery, ConjunctiveQuery, int]] = []
         for q1, q2 in pairs:
@@ -314,12 +473,27 @@ class ContainmentChecker:
         results: list[Optional[ContainmentResult]] = None
         if parallel and len(groups) > 1:
             results = self._check_all_parallel(
-                prepared, groups, use_anytime, max_workers
+                prepared, groups, use_anytime, max_workers, budget, worker_faults
             )
         if results is None:
             results = [None] * len(prepared)
             tracer = self.obs.tracer
+            governed = (
+                budget is not None
+                or self.fault_injector is not None
+            )
             for indexes in groups.values():
+                if governed:
+                    # Every governed pair goes through the single funnel:
+                    # per-pair governor, UNKNOWN degradation.  The store
+                    # still shares the group's chase session between
+                    # consecutive pairs.
+                    for i in indexes:
+                        q1, q2, bound = prepared[i]
+                        results[i] = self._checked(
+                            q1, q2, bound, use_anytime, budget=budget
+                        )
+                    continue
                 if use_anytime:
                     # No up-front group chase: consecutive pairs share the
                     # stored session and extend it only on demand.
@@ -384,42 +558,117 @@ class ContainmentChecker:
         groups: dict[tuple, list[int]],
         anytime: bool,
         max_workers: Optional[int],
+        budget: Optional[ExecutionBudget] = None,
+        worker_faults: Optional[Sequence[Fault]] = None,
     ) -> Optional[list[Optional[ContainmentResult]]]:
         """Fan chase groups out to a process pool; ``None`` = fall back.
 
         Each group is one task (its pairs share a worker-local chase), so
         parallelism scales with the number of *distinct* ``q1`` queries.
-        Returns ``None`` when the pool cannot be created or its workers
-        die — the caller then runs the ordinary sequential path, so
+        Returns ``None`` when the pool cannot be created or breaks
+        outright — the caller then runs the ordinary sequential path, so
         ``parallel=True`` degrades gracefully on restricted platforms.
+
+        Per-group resilience (three layers, outermost last):
+
+        1. the shipped *budget* is enforced **inside** the worker, so a
+           deadline-bounded group returns UNKNOWN results instead of
+           running long;
+        2. a group whose worker raises is resubmitted up to
+           :data:`POOL_MAX_RETRIES` times with linear backoff — a crashed
+           worker process is replaced by the pool and transient failures
+           heal;
+        3. a group still failing — or exceeding the parent-side timeout
+           derived from the deadline (``deadline · pairs · 2`` plus
+           grace), meaning the worker is wedged — is re-decided in-parent
+           sequentially (without *worker_faults*), so every input slot is
+           filled exactly once, in order, no matter what the pool did.
         """
         try:
             from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import TimeoutError as FuturesTimeout
             from concurrent.futures.process import BrokenProcessPool
 
             executor = ProcessPoolExecutor(max_workers=max_workers)
         except (ImportError, NotImplementedError, OSError, ValueError, PermissionError):
             return None
         results: list[Optional[ContainmentResult]] = [None] * len(prepared)
-        payload_head = (self.dependencies, self.reorder_join, self.max_steps, anytime)
+        payload_head = (
+            self.dependencies,
+            self.reorder_join,
+            self.max_steps,
+            anytime,
+            budget,
+            tuple(worker_faults) if worker_faults else None,
+        )
+        deadline = budget.deadline_seconds if budget is not None else None
+        retries = 0
+        fallback_groups = 0
+        timed_out = False
         try:
-            with executor:
-                futures = {
-                    executor.submit(
-                        _check_group_worker,
-                        payload_head + ([prepared[i] for i in indexes],),
-                    ): indexes
-                    for indexes in groups.values()
-                }
-                for future, indexes in futures.items():
-                    for slot, result in zip(indexes, future.result()):
-                        results[slot] = result
+            futures = {
+                executor.submit(
+                    _check_group_worker,
+                    payload_head + ([prepared[i] for i in indexes],),
+                ): indexes
+                for indexes in groups.values()
+            }
+            for future, indexes in futures.items():
+                payload = payload_head + ([prepared[i] for i in indexes],)
+                timeout = (
+                    None
+                    if deadline is None
+                    else deadline * len(indexes) * 2 + POOL_TIMEOUT_GRACE
+                )
+                group_results: Optional[list[ContainmentResult]] = None
+                try:
+                    group_results = future.result(timeout=timeout)
+                except (BrokenProcessPool, OSError):
+                    raise
+                except FuturesTimeout:
+                    # The worker ignored its own deadline: it is wedged,
+                    # and its pool slot is gone.  No retry — straight to
+                    # the in-parent fallback.
+                    timed_out = True
+                except Exception:
+                    attempt = 0
+                    while group_results is None and attempt < POOL_MAX_RETRIES:
+                        attempt += 1
+                        retries += 1
+                        time.sleep(POOL_RETRY_BACKOFF * attempt)
+                        try:
+                            group_results = executor.submit(
+                                _check_group_worker, payload
+                            ).result(timeout=timeout)
+                        except (BrokenProcessPool, OSError):
+                            raise
+                        except Exception:
+                            group_results = None
+                if group_results is None:
+                    fallback_groups += 1
+                    group_results = [
+                        self._checked(q1, q2, bound, anytime, budget=budget)
+                        for q1, q2, bound in (prepared[i] for i in indexes)
+                    ]
+                for slot, result in zip(indexes, group_results):
+                    results[slot] = result
         except (BrokenProcessPool, OSError):
+            executor.shutdown(wait=False, cancel_futures=True)
             return None
+        finally:
+            # A wedged worker would make the ordinary shutdown wait
+            # forever; abandon it and let the interpreter reap the pool.
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
         metrics = self.obs.metrics
         if metrics is not None:
             metrics.counter("containment.parallel_groups").inc(len(groups))
             metrics.counter("containment.checks").inc(len(prepared))
+            if retries:
+                metrics.counter("containment.pool_retries").inc(retries)
+            if fallback_groups:
+                metrics.counter("containment.pool_fallback_groups").inc(
+                    fallback_groups
+                )
         return results
 
     # -- helpers -------------------------------------------------------------
@@ -483,6 +732,7 @@ class ContainmentChecker:
         start: float,
         *,
         explain: bool = False,
+        governor: Optional[Governor] = None,
     ) -> ContainmentResult:
         """Interleave chase extension with delta-restricted witness search.
 
@@ -522,6 +772,8 @@ class ContainmentChecker:
         prev_level = -1
         stride = 1
         while True:
+            if governor is not None:
+                governor.poll("containment.probe", facts=len(run.instance))
             delta: Optional[list[Atom]]  # None = full search required
             if run.failed:
                 return self._failure_result(
@@ -544,7 +796,7 @@ class ContainmentChecker:
                 ]
             else:
                 segments_before = len(run.segment_deltas)
-                run.extend_to(level)
+                run.extend_to(level, governor=governor)
                 if run.failed:
                     return self._failure_result(
                         q1,
@@ -586,6 +838,7 @@ class ContainmentChecker:
                         head_target=head,
                         reorder=self.reorder_join,
                         stats=search_stats,
+                        governor=governor,
                     )
                     if tracer.enabled and search_stats is not None:
                         span.set(found=witness is not None, delta=False)
@@ -602,6 +855,7 @@ class ContainmentChecker:
                         head_target=head,
                         reorder=self.reorder_join,
                         stats=search_stats,
+                        governor=governor,
                     )
                     if tracer.enabled and search_stats is not None:
                         span.set(
@@ -679,6 +933,7 @@ class ContainmentChecker:
         *,
         shared_chase_seconds: float = 0.0,
         explain: bool = False,
+        governor: Optional[Governor] = None,
     ) -> ContainmentResult:
         metrics = self.obs.metrics
         if metrics is not None:
@@ -713,6 +968,7 @@ class ContainmentChecker:
                 head_target=chase_result.head,
                 reorder=self.reorder_join,
                 stats=search_stats,
+                governor=governor,
             )
             if tracer.enabled and search_stats is not None:
                 span.set(

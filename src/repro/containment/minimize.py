@@ -47,6 +47,7 @@ class MinimizationResult:
 
     @property
     def reduced(self) -> bool:
+        """Whether minimisation actually dropped at least one conjunct."""
         return bool(self.removed)
 
     def __str__(self) -> str:

@@ -5,6 +5,16 @@ witness homomorphism (and, under constraints, the chase prefix it maps
 into), a *no* records how exhaustively the search refuted the witness.
 Keeping the evidence makes results testable and the experiment tables
 self-explanatory.
+
+Under resource governance the verdict is **three-valued**: a governed
+check whose budget runs out before either a witness is found or the full
+Theorem-12 prefix is searched returns an ``UNKNOWN`` result
+(:attr:`ContainmentResult.unknown` true, :attr:`ContainmentResult.decision`
+= :attr:`Decision.UNKNOWN`) carrying the reason, the levels chased, and
+the :class:`~repro.governance.BudgetReport`.  Soundness of Theorem 12 is
+preserved by construction — a decision requires a positive witness or a
+completed ``|q2|·2·|q1|``-level prefix, and an exhausted budget provides
+neither, so the checker *refuses to guess* rather than extrapolating.
 """
 
 from __future__ import annotations
@@ -18,9 +28,22 @@ from ..core.substitution import Substitution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..chase.engine import ChaseResult
+    from ..governance.budget import BudgetReport
     from ..obs.provenance import ContainmentProvenance
 
-__all__ = ["ContainmentReason", "ContainmentResult"]
+__all__ = ["ContainmentReason", "ContainmentResult", "Decision"]
+
+
+class Decision(enum.Enum):
+    """The three-valued outcome of a governed containment check."""
+
+    #: A witness homomorphism (or a failing chase) proves ``q1 ⊆ q2``.
+    TRUE = "decided_true"
+    #: The completed Theorem-12 prefix holds no witness: ``q1 ⊄ q2``.
+    FALSE = "decided_false"
+    #: The budget ran out (or the run was cancelled) before either a
+    #: witness or a completed prefix existed; no decision is sound.
+    UNKNOWN = "unknown"
 
 
 class ContainmentReason(enum.Enum):
@@ -33,6 +56,17 @@ class ContainmentReason(enum.Enum):
     CHASE_FAILURE = "chase-failure"
     #: No witness homomorphism exists within the examined chase prefix.
     NO_HOMOMORPHISM = "no-homomorphism"
+    #: The execution budget (deadline, facts, memory or steps) ran out
+    #: before a sound decision existed — the result is UNKNOWN.
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    #: The check's cancel scope was cancelled — the result is UNKNOWN.
+    CANCELLED = "cancelled"
+
+
+#: Reasons whose results are UNKNOWN rather than decisions.
+_UNKNOWN_REASONS = frozenset(
+    {ContainmentReason.BUDGET_EXHAUSTED, ContainmentReason.CANCELLED}
+)
 
 
 @dataclass
@@ -73,9 +107,32 @@ class ContainmentResult:
     #: cost by construction, so summing ``shared_chase_seconds`` over a
     #: batch recovers the true chase bill exactly once.
     shared_chase_seconds: Optional[float] = None
+    #: Budget consumption at the moment a governed check stopped,
+    #: attached to UNKNOWN results (and occasionally to decided ones
+    #: when a governor was active).  ``None`` for ungoverned checks.
+    budget_report: Optional["BudgetReport"] = None
 
     def __bool__(self) -> bool:
+        """Truthiness is ``contained`` — conservatively False for UNKNOWN.
+
+        An UNKNOWN result is *not* a negative decision (check
+        :attr:`unknown` or :attr:`decision` to distinguish), but treating
+        it as falsy means code that only acts on a proven containment
+        never acts on an undecided one.
+        """
         return self.contained
+
+    @property
+    def unknown(self) -> bool:
+        """True when this result is no decision at all (budget/cancel)."""
+        return self.reason in _UNKNOWN_REASONS
+
+    @property
+    def decision(self) -> Decision:
+        """The three-valued outcome: TRUE, FALSE, or UNKNOWN."""
+        if self.unknown:
+            return Decision.UNKNOWN
+        return Decision.TRUE if self.contained else Decision.FALSE
 
     def explain_data(self) -> Optional["ContainmentProvenance"]:
         """The structured provenance payload, built on first request.
@@ -130,6 +187,11 @@ class ContainmentResult:
                 and self.chase_result is not None
                 and self.chase_result.failed
             )
+        if self.unknown:
+            # An UNKNOWN result must claim nothing: no containment flag,
+            # no witness.  (A result carrying a witness but labelled
+            # UNKNOWN is corrupted — the witness alone would have decided.)
+            return not self.contained and self.witness is None
         if not self.contained:
             return self.witness is None
         if self.witness is None or self.chase_result is None:
@@ -151,6 +213,25 @@ class ContainmentResult:
 
     def explain(self) -> str:
         """A one-paragraph human-readable justification of the verdict."""
+        if self.unknown:
+            what = (
+                "the execution budget ran out"
+                if self.reason is ContainmentReason.BUDGET_EXHAUSTED
+                else "the check was cancelled"
+            )
+            progress = (
+                f" after chasing {self.levels_chased} of "
+                f"{self.level_bound} bound levels"
+                if self.levels_chased is not None and self.level_bound is not None
+                else ""
+            )
+            report = f"  {self.budget_report}" if self.budget_report else ""
+            return (
+                f"{self.q1.name} ⊆? {self.q2.name}: UNKNOWN — {what}{progress}. "
+                "Theorem 12 decides containment only from a positive witness "
+                "or a fully searched |q2|·2·|q1|-level prefix; neither exists "
+                "here, so no sound decision can be reported." + report
+            )
         rel = "⊆" if self.contained else "⊄"
         lead = f"{self.q1.name} {rel} {self.q2.name}"
         if self.reason is ContainmentReason.CHASE_FAILURE:
@@ -184,7 +265,8 @@ class ContainmentResult:
         return f"{lead}: no witness homomorphism exists {where}."
 
     def __repr__(self) -> str:
+        shown = "UNKNOWN" if self.unknown else self.contained
         return (
             f"ContainmentResult({self.q1.name} ⊆ {self.q2.name}: "
-            f"{self.contained} [{self.reason.value}])"
+            f"{shown} [{self.reason.value}])"
         )

@@ -79,6 +79,7 @@ class StoreStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups served, whatever the outcome."""
         return self.hits + self.misses + self.extensions
 
     # -- mirrored mutators ---------------------------------------------------
@@ -91,36 +92,43 @@ class StoreStats:
         return self
 
     def record_hit(self) -> None:
+        """Count a request served entirely from a stored prefix."""
         self.hits += 1
         if self.registry is not None:
             self.registry.counter("store.requests", outcome="hit").inc()
 
     def record_miss(self) -> None:
+        """Count a request that forced a chase from scratch."""
         self.misses += 1
         if self.registry is not None:
             self.registry.counter("store.requests", outcome="miss").inc()
 
     def record_extension(self) -> None:
+        """Count a request served by extending a stored prefix."""
         self.extensions += 1
         if self.registry is not None:
             self.registry.counter("store.requests", outcome="extend").inc()
 
     def record_eviction(self, n: int = 1) -> None:
+        """Count ``n`` entries dropped by the LRU eviction policy."""
         self.evictions += n
         if self.registry is not None:
             self.registry.counter("store.evictions").inc(n)
 
     def entry_added(self) -> None:
+        """Track a run entering the store (mirrors the live gauge)."""
         self.live_entries += 1
         if self.registry is not None:
             self.registry.gauge("store.live_entries").set(self.live_entries)
 
     def entry_removed(self, n: int = 1) -> None:
+        """Track ``n`` runs leaving the store (evicted or cleared)."""
         self.live_entries -= n
         if self.registry is not None:
             self.registry.gauge("store.live_entries").set(self.live_entries)
 
     def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (stable keys, JSON-friendly)."""
         return {
             "hits": self.hits,
             "misses": self.misses,

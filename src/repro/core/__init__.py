@@ -25,7 +25,10 @@ from .atoms import (
 )
 from .errors import (
     ArityError,
+    BudgetExceeded,
     ChaseBudgetExceeded,
+    ExecutionCancelled,
+    ExecutionInterrupted,
     ChaseFailure,
     EncodingError,
     ParseError,
@@ -91,6 +94,9 @@ __all__ = [
     "QueryError",
     "ChaseFailure",
     "ChaseBudgetExceeded",
+    "BudgetExceeded",
+    "ExecutionCancelled",
+    "ExecutionInterrupted",
     "ParseError",
     "EncodingError",
 ]

@@ -50,12 +50,54 @@ class ChaseFailure(ReproError):
     """
 
 
-class ChaseBudgetExceeded(ReproError):
+class ExecutionInterrupted(ReproError):
+    """Base class: a run was stopped before completing its task.
+
+    Raised by the :mod:`repro.governance` layer when an
+    :class:`~repro.governance.ExecutionBudget` resource is exhausted or a
+    :class:`~repro.governance.CancelScope` is cancelled, and by the chase
+    engine's legacy ``max_steps`` valve.  Interruption is *not* a verdict:
+    the :class:`~repro.containment.ContainmentChecker` converts it into a
+    three-valued ``UNKNOWN`` result, and an interrupted
+    :class:`~repro.chase.engine.ChaseRun` stays resumable — call
+    ``extend_to`` again (with a fresh budget) to continue where it
+    stopped.
+
+    ``budget_report`` carries the structured
+    :class:`~repro.governance.BudgetReport` snapshot taken at the moment
+    of interruption (``None`` for legacy raises that predate governance).
+    """
+
+    def __init__(self, message: str, *, budget_report=None):
+        self.budget_report = budget_report
+        super().__init__(message)
+
+
+class ChaseBudgetExceeded(ExecutionInterrupted):
     """A chase run exceeded an explicit resource budget (steps or levels).
 
     This is an error only when the caller asked for an *exhaustive* chase;
     level-bounded chases used by the Theorem-12 checker treat the budget as
     the intended stopping point and never raise this.
+    """
+
+
+class BudgetExceeded(ChaseBudgetExceeded):
+    """An :class:`~repro.governance.ExecutionBudget` resource ran out.
+
+    Subclasses :class:`ChaseBudgetExceeded` so callers that already trap
+    the legacy step-valve error also trap governed exhaustion; the
+    attached ``budget_report`` names the exhausted resource (deadline,
+    facts, memory or steps) and the consumption at the stop point.
+    """
+
+
+class ExecutionCancelled(ExecutionInterrupted):
+    """A :class:`~repro.governance.CancelScope` was cancelled cooperatively.
+
+    The cancelled operation polled its scope at a safe checkpoint, so the
+    interrupted state (e.g. a :class:`~repro.chase.engine.ChaseRun`) is
+    consistent and resumable.
     """
 
 

@@ -92,6 +92,7 @@ def evaluate(
     max_iterations: Optional[int] = None,
     stats: Optional[EvaluationStats] = None,
     obs: Optional[Observability] = None,
+    governor=None,
 ) -> FactIndex:
     """Least-fixpoint evaluation; returns the saturated :class:`FactIndex`.
 
@@ -101,7 +102,10 @@ def evaluate(
 
     With an :class:`~repro.obs.Observability` sink, the fixpoint runs
     inside a ``datalog.evaluate`` span and the evaluation counters are
-    published into the sink's metrics registry on completion.
+    published into the sink's metrics registry on completion.  A
+    *governor* (:class:`~repro.governance.Governor`) is checkpointed once
+    per semi-naive iteration, bounding even a terminating fixpoint by
+    wall-clock and fact count.
     """
     own_stats = stats
     if obs is not None and obs.metrics is not None and own_stats is None:
@@ -123,6 +127,8 @@ def evaluate(
                 raise ChaseBudgetExceeded(
                     f"datalog evaluation exceeded {max_iterations} iterations"
                 )
+            if governor is not None:
+                governor.checkpoint("datalog.round", facts=len(index))
             new_facts = derive_once(program, index, delta, own_stats)
             for fact in new_facts:
                 index.add(fact)

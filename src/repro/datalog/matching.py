@@ -102,6 +102,7 @@ def match_conjunction(
     required_fact: Optional[Atom] = None,
     term_filter: Optional[Callable] = None,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Iterator[Substitution]:
     """Yield every substitution mapping all of *atoms* into *index*.
 
@@ -128,6 +129,10 @@ def match_conjunction(
         for null-free homomorphisms.
     stats:
         Optional :class:`SearchStats` accumulating node/backtrack counts.
+    governor:
+        Optional :class:`~repro.governance.Governor` polled (amortised)
+        once per expanded search node, so a governed caller can stop a
+        pathological join mid-search.
     """
     if required_fact is not None:
         seen: set[Substitution] = set()
@@ -139,6 +144,8 @@ def match_conjunction(
                 continue
             if stats is not None:
                 stats.nodes += 1
+            if governor is not None:
+                governor.tick()
             rest = list(atoms[:delta_pos]) + list(atoms[delta_pos + 1:])
             if not rest:
                 if sigma0 not in seen:
@@ -149,7 +156,7 @@ def match_conjunction(
                 continue
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
-                stats=stats,
+                stats=stats, governor=governor,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
@@ -162,7 +169,7 @@ def match_conjunction(
     else:
         ordered = list(atoms)
 
-    yield from _search(ordered, 0, index, base, term_filter, stats)
+    yield from _search(ordered, 0, index, base, term_filter, stats, governor)
 
 
 def match_conjunction_delta(
@@ -174,6 +181,7 @@ def match_conjunction_delta(
     reorder: bool = True,
     term_filter: Optional[Callable] = None,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Iterator[Substitution]:
     """Substitutions mapping *atoms* into *index* that touch *delta_facts*.
 
@@ -209,6 +217,8 @@ def match_conjunction_delta(
                 continue
             if stats is not None:
                 stats.nodes += 1
+            if governor is not None:
+                governor.tick()
             if not rest:
                 if sigma0 not in seen:
                     seen.add(sigma0)
@@ -218,7 +228,7 @@ def match_conjunction_delta(
                 continue
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
-                stats=stats,
+                stats=stats, governor=governor,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
@@ -240,6 +250,7 @@ def _search(
     sigma: Substitution,
     term_filter: Optional[Callable],
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Iterator[Substitution]:
     if pos == len(ordered):
         if stats is not None:
@@ -255,6 +266,8 @@ def _search(
             continue
         if stats is not None:
             stats.nodes += 1
-        yield from _search(ordered, pos + 1, index, extended, term_filter, stats)
+        if governor is not None:
+            governor.tick()
+        yield from _search(ordered, pos + 1, index, extended, term_filter, stats, governor)
     if stats is not None:
         stats.backtracks += 1

@@ -9,12 +9,19 @@ Two series per query:
 * **D1 ablation** — the same chase run obliviously (rho_5 fires even when
   its head is already satisfied).  The oblivious chase is never smaller
   and is the price of skipping the restricted-chase applicability check.
+* **governed chase** — the same corpus chased under an
+  :class:`~repro.governance.ExecutionBudget` fact ceiling and under a
+  wall-clock deadline, reporting which resource (if any) ran out and how
+  far the truncated run got.  Cyclic queries hit the ceiling; saturating
+  queries complete untouched.
 """
 
 from __future__ import annotations
 
-from ..chase.engine import chase
+from ..chase.engine import ChaseConfig, ChaseEngine, chase
+from ..core.errors import ExecutionInterrupted
 from ..core.query import ConjunctiveQuery
+from ..governance.budget import ExecutionBudget, Governor
 from ..obs import MetricsRegistry, Observability
 from ..workloads.corpus import EXAMPLE2_QUERY, INTRO_MANDATORY_Q
 from ..workloads.query_gen import QueryGenParams, QueryGenerator
@@ -79,6 +86,46 @@ def run(
             }
         )
 
+    # Governed chase: the same corpus under a fact ceiling and under a
+    # wall-clock deadline.  A cyclic chase must hit one of the limits; a
+    # saturating chase finishes inside them.  Either way the outcome is
+    # reported structurally (which resource, how many facts/steps) rather
+    # than as an opaque failure.
+    governed = Table(
+        "Governed chase: budget outcomes per query",
+        ["query", "budget", "outcome", "exhausted", "facts", "steps"],
+    )
+    governed_rows = []
+    budgets = [
+        ("max_facts=40", ExecutionBudget(max_facts=40)),
+        ("deadline=25ms", ExecutionBudget(deadline_seconds=0.025)),
+    ]
+    for query in corpus:
+        for label, budget in budgets:
+            engine = ChaseEngine(config=ChaseConfig(max_level=levels[-1]))
+            chase_run = engine.start(query)
+            governor = Governor(budget, obs=obs)
+            try:
+                chase_run.extend_to(levels[-1], governor=governor)
+            except ExecutionInterrupted as exc:
+                report = exc.budget_report
+                outcome, exhausted = "interrupted", report.exhausted
+                facts, steps = len(chase_run.instance), report.steps
+            else:
+                outcome, exhausted = "completed", "-"
+                facts, steps = len(chase_run.instance), governor.steps
+            governed.add_row(query.name, label, outcome, exhausted, facts, steps)
+            governed_rows.append(
+                {
+                    "query": query.name,
+                    "budget": label,
+                    "outcome": outcome,
+                    "exhausted": None if exhausted == "-" else exhausted,
+                    "facts": facts,
+                    "steps": steps,
+                }
+            )
+
     # Linearity check on the cyclic queries: growth increments stabilise
     # (bounded oscillation is expected — the cycle period need not divide
     # the sampling stride of the level grid).
@@ -100,10 +147,11 @@ def run(
     return ExperimentReport(
         experiment_id="E11",
         title="Chase growth and restricted/oblivious ablation",
-        tables=[growth, ablation],
+        tables=[growth, ablation, governed],
         summary=summary,
         data={
             "rows": rows,
+            "governed_rows": governed_rows,
             "levels": list(levels),
             "linear": linear,
             "metrics": obs.metrics.as_dict(),

@@ -1,0 +1,43 @@
+"""Resource governance: budgets, deadlines, cancellation, fault injection.
+
+The ROADMAP's production north star needs every potentially unbounded
+operation — the chase most of all, since Σ_FL chases of cyclic queries
+need not terminate — to run under a declared resource envelope and to
+degrade gracefully when it is exceeded.  This package provides:
+
+* :class:`ExecutionBudget` — wall-clock deadline, fact-count ceiling,
+  approximate memory ceiling, and a unified step budget;
+* :class:`CancelScope` — cooperative cross-thread cancellation;
+* :class:`Governor` — the per-run enforcer the engines poll, raising
+  :class:`~repro.core.errors.BudgetExceeded` /
+  :class:`~repro.core.errors.ExecutionCancelled` with a structured
+  :class:`BudgetReport`;
+* :mod:`repro.governance.faults` — a deterministic fault-injection
+  harness (:class:`Fault`, :class:`FaultInjector`) used by the
+  degradation tests.
+
+The containment checker converts governed interruption into a
+three-valued result: ``decided_true`` / ``decided_false`` require a
+positive witness or a completed Theorem-12 prefix; anything less is
+``UNKNOWN`` — soundness is never traded for responsiveness.
+"""
+
+from repro.governance.budget import (
+    BudgetReport,
+    CancelScope,
+    ExecutionBudget,
+    Governor,
+    approx_instance_bytes,
+)
+from repro.governance.faults import Fault, FaultInjector, InjectedFault
+
+__all__ = [
+    "BudgetReport",
+    "CancelScope",
+    "ExecutionBudget",
+    "Fault",
+    "FaultInjector",
+    "Governor",
+    "InjectedFault",
+    "approx_instance_bytes",
+]

@@ -1,0 +1,355 @@
+"""Execution budgets, cancellation scopes, and the :class:`Governor`.
+
+The governance layer gives every long-running operation in the stack —
+chase extension, datalog fixpoint, homomorphism search, containment
+probing — a uniform way to stop *before* it is done:
+
+* :class:`ExecutionBudget` declares the resources a run may consume
+  (wall-clock deadline, fact count, approximate memory, chase steps);
+* :class:`CancelScope` is a cooperative cancellation token that another
+  thread (or a signal handler) can flip at any time;
+* :class:`Governor` is the per-run object the engines actually poll; it
+  owns the consumption counters, checks them against the budget, fires
+  injected faults, and raises :class:`~repro.core.errors.BudgetExceeded`
+  or :class:`~repro.core.errors.ExecutionCancelled` with a structured
+  :class:`BudgetReport` attached.
+
+Design constraints mirrored from :mod:`repro.obs`: when no budget, scope
+or fault plan is configured the engines never construct a Governor at
+all (``governor is None`` fast path), so the governed code paths cost
+nothing in the common case.  Inside hot loops the polling itself is
+amortised (:meth:`Governor.tick`) so even a governed homomorphism search
+checks the clock only once every 32 nodes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.errors import BudgetExceeded, ExecutionCancelled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.governance.faults import FaultInjector
+    from repro.obs import Observability
+
+#: ``tick()`` polls the budget once every this many calls (power of two).
+TICK_MASK = 31
+
+#: Instance memory is estimated from a sample of at most this many atoms.
+MEMORY_SAMPLE_SIZE = 64
+
+#: Multiplier covering index/journal overhead the atom sample cannot see.
+MEMORY_OVERHEAD_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """Declarative resource limits for one governed run.
+
+    Every field is optional; ``None`` means unlimited for that resource.
+    The budget is immutable and picklable, so the same object can be
+    shipped to ``check_all`` worker processes for worker-side deadline
+    enforcement.
+
+    ``max_steps`` unifies the pre-governance ``ChaseConfig.max_steps``
+    valve: a governed chase counts TGD/EGD applications against this
+    ceiling through the same :class:`Governor` that watches the clock.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_facts: Optional[int] = None
+    max_memory_bytes: Optional[int] = None
+    max_steps: Optional[int] = None
+
+    @classmethod
+    def unlimited(cls) -> "ExecutionBudget":
+        """A budget with every limit disabled.
+
+        Useful for benchmarks that measure the governed code path's
+        overhead, and as an explicit "governed but unbounded" marker.
+        """
+        return cls()
+
+    @property
+    def is_unlimited(self) -> bool:
+        """True when no resource in the budget is actually limited."""
+        return (
+            self.deadline_seconds is None
+            and self.max_facts is None
+            and self.max_memory_bytes is None
+            and self.max_steps is None
+        )
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Structured snapshot of budget consumption at a point in time.
+
+    Attached to :class:`~repro.core.errors.ExecutionInterrupted` raises
+    and to UNKNOWN :class:`~repro.containment.ContainmentResult` values,
+    so callers can see *which* resource ran out and how far the run got
+    without parsing an error message.
+    """
+
+    exhausted: Optional[str]
+    elapsed_seconds: float
+    deadline_seconds: Optional[float]
+    steps: int
+    max_steps: Optional[int]
+    facts: int
+    max_facts: Optional[int]
+    approx_memory_bytes: Optional[int]
+    max_memory_bytes: Optional[int]
+
+    def as_dict(self) -> dict:
+        """The report as a plain dict (for JSON export and metrics)."""
+        return {
+            "exhausted": self.exhausted,
+            "elapsed_seconds": self.elapsed_seconds,
+            "deadline_seconds": self.deadline_seconds,
+            "steps": self.steps,
+            "max_steps": self.max_steps,
+            "facts": self.facts,
+            "max_facts": self.max_facts,
+            "approx_memory_bytes": self.approx_memory_bytes,
+            "max_memory_bytes": self.max_memory_bytes,
+        }
+
+    def __str__(self) -> str:
+        parts = []
+        if self.exhausted:
+            parts.append(f"exhausted={self.exhausted}")
+        parts.append(f"elapsed={self.elapsed_seconds:.3f}s")
+        if self.deadline_seconds is not None:
+            parts.append(f"deadline={self.deadline_seconds:.3f}s")
+        parts.append(f"steps={self.steps}")
+        if self.max_steps is not None:
+            parts.append(f"max_steps={self.max_steps}")
+        if self.max_facts is not None or self.facts:
+            parts.append(f"facts={self.facts}")
+        if self.max_facts is not None:
+            parts.append(f"max_facts={self.max_facts}")
+        if self.approx_memory_bytes is not None:
+            parts.append(f"approx_memory={self.approx_memory_bytes}B")
+        if self.max_memory_bytes is not None:
+            parts.append(f"max_memory={self.max_memory_bytes}B")
+        return "budget(" + ", ".join(parts) + ")"
+
+
+class CancelScope:
+    """Cooperative cancellation token.
+
+    Any thread may call :meth:`cancel`; governed operations observe it at
+    their next poll point and raise
+    :class:`~repro.core.errors.ExecutionCancelled`.  Attribute reads and
+    writes are single bytecode operations, so no lock is needed for the
+    cross-thread handshake under CPython's memory model.
+    """
+
+    __slots__ = ("cancelled", "reason")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; idempotent, safe from any thread."""
+        self.reason = reason
+        self.cancelled = True
+
+
+def approx_instance_bytes(instance) -> int:
+    """Estimate the resident size of a chase instance in bytes.
+
+    Samples up to :data:`MEMORY_SAMPLE_SIZE` atoms, measures them with
+    :func:`sys.getsizeof` (atom object, its args tuple, and each term),
+    scales the per-atom average by the instance's fact count, and
+    multiplies by :data:`MEMORY_OVERHEAD_FACTOR` to account for the
+    per-predicate indexes and the journal.  Deliberately cheap and
+    deliberately approximate: the memory ceiling is a guardrail against
+    runaway chases, not an accounting tool.
+    """
+    n = len(instance)
+    if n == 0:
+        return 0
+    sample_bytes = 0
+    sampled = 0
+    for atom in instance:
+        sample_bytes += sys.getsizeof(atom) + sys.getsizeof(atom.args)
+        for term in atom.args:
+            sample_bytes += sys.getsizeof(term)
+        sampled += 1
+        if sampled >= MEMORY_SAMPLE_SIZE:
+            break
+    per_atom = sample_bytes / sampled
+    return int(per_atom * n * MEMORY_OVERHEAD_FACTOR)
+
+
+class Governor:
+    """Per-run budget enforcer polled by the governed engines.
+
+    One Governor is created per top-level operation (one containment
+    check, one chase run, one worker batch) and handed down through the
+    engines.  The engines call:
+
+    * :meth:`poll` at coarse checkpoints (chase trigger evaluation, the
+      anytime probe loop) — checks faults, cancellation, deadline and the
+      fact ceiling;
+    * :meth:`step` after each applied chase step — counts against
+      ``max_steps``;
+    * :meth:`tick` inside the homomorphism search's per-node loop — an
+      amortised :meth:`poll` that touches the clock once every 32 calls;
+    * :meth:`checkpoint` at instance-growth boundaries (end of a chase
+      round, datalog iteration) — a :meth:`poll` that additionally
+      estimates instance memory when a memory ceiling is set.
+
+    The ``clock`` parameter exists for tests; production callers leave
+    the default ``time.perf_counter``.
+    """
+
+    __slots__ = (
+        "budget",
+        "scope",
+        "obs",
+        "faults",
+        "clock",
+        "started_at",
+        "steps",
+        "facts",
+        "approx_memory_bytes",
+        "_tick",
+        "_deadline_at",
+        "_max_facts",
+        "_max_steps",
+        "_armed",
+    )
+
+    def __init__(
+        self,
+        budget: Optional[ExecutionBudget] = None,
+        *,
+        scope: Optional[CancelScope] = None,
+        obs: Optional["Observability"] = None,
+        faults: Optional["FaultInjector"] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.budget = budget if budget is not None else ExecutionBudget()
+        self.scope = scope
+        self.obs = obs
+        self.faults = faults
+        self.clock = clock
+        self.started_at = clock()
+        self.steps = 0
+        self.facts = 0
+        self.approx_memory_bytes: Optional[int] = None
+        self._tick = 0
+        deadline = self.budget.deadline_seconds
+        self._deadline_at = None if deadline is None else self.started_at + deadline
+        # Hot-path precomputation: an unlimited governor with no faults
+        # and no scope reduces poll() to one attribute check, keeping the
+        # "governed but unbounded" mode within the <3% overhead bar.
+        self._max_facts = self.budget.max_facts
+        self._max_steps = self.budget.max_steps
+        self._armed = (
+            faults is not None
+            or scope is not None
+            or self._deadline_at is not None
+            or self._max_facts is not None
+        )
+
+    def poll(self, site: str = "", facts: int = 0) -> None:
+        """Check faults, cancellation, deadline, and the fact ceiling.
+
+        ``site`` names the checkpoint for fault injection and metrics;
+        ``facts`` reports the current instance size when the caller has
+        it at hand (0 leaves the last observation in place).
+        """
+        if facts:
+            self.facts = facts
+        if not self._armed:
+            return
+        if self.faults is not None and site:
+            self.faults.fire(site)
+        scope = self.scope
+        if scope is not None and scope.cancelled:
+            self._cancelled(scope.reason)
+        if self._deadline_at is not None and self.clock() > self._deadline_at:
+            self._exhaust("deadline")
+        if facts and self._max_facts is not None and facts > self._max_facts:
+            self._exhaust("facts")
+
+    def step(self, n: int = 1) -> None:
+        """Count ``n`` applied chase steps against ``max_steps``."""
+        self.steps += n
+        if self._max_steps is not None and self.steps > self._max_steps:
+            self._exhaust("steps")
+
+    def tick(self) -> None:
+        """Amortised :meth:`poll` for hot loops (1 real poll per 32 calls)."""
+        if not self._armed:
+            return
+        self._tick += 1
+        if self._tick & TICK_MASK:
+            return
+        self.poll("hom.search")
+
+    def checkpoint(self, site: str, *, instance=None, facts: int = 0) -> None:
+        """A :meth:`poll` that also enforces the memory ceiling.
+
+        When ``instance`` is given and a memory budget is set, its size
+        is estimated via :func:`approx_instance_bytes`; the estimate is
+        also recorded for :meth:`report` regardless of ceilings.
+        """
+        if instance is not None:
+            facts = facts or len(instance)
+            max_memory = self.budget.max_memory_bytes
+            if max_memory is not None:
+                estimate = approx_instance_bytes(instance)
+                self.approx_memory_bytes = estimate
+                if estimate > max_memory:
+                    self.facts = facts
+                    self._exhaust("memory")
+        self.poll(site, facts=facts)
+
+    def elapsed(self) -> float:
+        """Seconds since this governor was created."""
+        return self.clock() - self.started_at
+
+    def report(self, exhausted: Optional[str] = None) -> BudgetReport:
+        """Snapshot current consumption as a :class:`BudgetReport`."""
+        return BudgetReport(
+            exhausted=exhausted,
+            elapsed_seconds=self.elapsed(),
+            deadline_seconds=self.budget.deadline_seconds,
+            steps=self.steps,
+            max_steps=self.budget.max_steps,
+            facts=self.facts,
+            max_facts=self.budget.max_facts,
+            approx_memory_bytes=self.approx_memory_bytes,
+            max_memory_bytes=self.budget.max_memory_bytes,
+        )
+
+    def _count_exhaustion(self, resource: str) -> None:
+        if self.obs is not None and self.obs.metrics is not None:
+            self.obs.metrics.counter(
+                "governance.budget_exhausted", resource=resource
+            ).inc()
+
+    def _exhaust(self, resource: str) -> None:
+        report = self.report(exhausted=resource)
+        self._count_exhaustion(resource)
+        raise BudgetExceeded(
+            f"execution budget exhausted ({resource}): {report}",
+            budget_report=report,
+        )
+
+    def _cancelled(self, reason: str) -> None:
+        report = self.report(exhausted="cancelled")
+        self._count_exhaustion("cancelled")
+        raise ExecutionCancelled(
+            f"execution cancelled ({reason or 'no reason given'}): {report}",
+            budget_report=report,
+        )

@@ -1,0 +1,95 @@
+"""Deterministic fault injection for governance tests.
+
+A fault plan is a tuple of :class:`Fault` records, each naming a poll
+*site* (the strings the engines pass to ``Governor.poll`` /
+``Governor.checkpoint``, e.g. ``"chase.trigger"`` or
+``"containment.probe"``) and what should happen the Nth time that site
+fires: sleep (simulating a slow step), retain an allocation (simulating
+memory pressure), or raise :class:`InjectedFault` (simulating a crash).
+
+Determinism is the point: the injector counts site activations, so a
+test that says "the 3rd chase trigger raises" fails the same trigger on
+every run, letting the degradation tests assert exact outcomes instead
+of racing wall clocks.
+
+:class:`Fault` is a frozen, picklable dataclass so plans can ride the
+``check_all`` process-pool payload and fire inside worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Fault kinds: raise InjectedFault, sleep, or retain an allocation.
+KIND_RAISE = "raise"
+KIND_SLOW = "slow"
+KIND_ALLOC = "alloc"
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by a ``kind="raise"`` fault.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: an
+    injected crash must look like an unexpected failure (a wedged or
+    dying worker), so the recovery paths under test — pool fallback,
+    UNKNOWN degradation — cannot special-case it away.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault at a named governor poll site.
+
+    ``at`` is the 1-based activation count that triggers the fault (the
+    Nth time the site fires); with ``repeat=True`` the fault fires on
+    every activation from ``at`` onward.  ``kind`` selects the effect:
+    ``"slow"`` sleeps ``seconds``, ``"alloc"`` retains a ``bytes``-sized
+    buffer on the injector, ``"raise"`` raises :class:`InjectedFault`.
+    """
+
+    site: str
+    at: int = 1
+    kind: str = KIND_RAISE
+    seconds: float = 0.0
+    bytes: int = 0
+    repeat: bool = False
+
+
+class FaultInjector:
+    """Fires a plan of :class:`Fault` records as poll sites activate.
+
+    The injector keeps a per-site activation counter and a log of fired
+    faults (``fired``), and retains ``alloc`` buffers in ``retained`` so
+    the memory pressure persists for the run's lifetime, the way a real
+    leak would.
+    """
+
+    def __init__(self, plan: Sequence[Fault] = ()) -> None:
+        self.plan: Tuple[Fault, ...] = tuple(plan)
+        self.counts: Dict[str, int] = {}
+        self.fired: List[Tuple[str, int, str]] = []
+        self.retained: List[bytearray] = []
+
+    def fire(self, site: str) -> None:
+        """Record an activation of ``site`` and apply any due faults."""
+        count = self.counts.get(site, 0) + 1
+        self.counts[site] = count
+        for fault in self.plan:
+            if fault.site != site:
+                continue
+            due = count == fault.at or (fault.repeat and count >= fault.at)
+            if not due:
+                continue
+            self.fired.append((site, count, fault.kind))
+            if fault.kind == KIND_SLOW:
+                time.sleep(fault.seconds)
+            elif fault.kind == KIND_ALLOC:
+                self.retained.append(bytearray(fault.bytes))
+            elif fault.kind == KIND_RAISE:
+                raise InjectedFault(
+                    f"injected fault at {site} (activation {count})"
+                )
+            else:
+                raise ValueError(f"unknown fault kind: {fault.kind!r}")

@@ -52,6 +52,7 @@ def all_homomorphisms_delta(
     *,
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Iterator[Substitution]:
     """Every homomorphism from *query* into *index* touching *delta_facts*.
 
@@ -68,7 +69,8 @@ def all_homomorphisms_delta(
     else:
         seed = Substitution.EMPTY
     yield from match_conjunction_delta(
-        query.body, index, delta_facts, seed, reorder=reorder, stats=stats
+        query.body, index, delta_facts, seed, reorder=reorder, stats=stats,
+        governor=governor,
     )
 
 
@@ -80,10 +82,16 @@ def find_homomorphism_delta(
     *,
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Optional[Substitution]:
-    """The first delta-touching homomorphism found, or ``None``."""
+    """The first delta-touching homomorphism found, or ``None``.
+
+    A *governor*, when given, is polled (amortised) per expanded node so
+    the delta search honours deadlines and cancellation mid-enumeration.
+    """
     for sigma in all_homomorphisms_delta(
-        query, index, delta_facts, head_target, reorder=reorder, stats=stats
+        query, index, delta_facts, head_target, reorder=reorder, stats=stats,
+        governor=governor,
     ):
         return sigma
     return None

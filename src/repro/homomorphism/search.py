@@ -64,6 +64,7 @@ def all_homomorphisms(
     *,
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Iterator[Substitution]:
     """Every homomorphism from *query* into *index*.
 
@@ -79,7 +80,9 @@ def all_homomorphisms(
             return
     else:
         seed = Substitution.EMPTY
-    yield from match_conjunction(query.body, index, seed, reorder=reorder, stats=stats)
+    yield from match_conjunction(
+        query.body, index, seed, reorder=reorder, stats=stats, governor=governor
+    )
 
 
 def find_homomorphism(
@@ -89,9 +92,17 @@ def find_homomorphism(
     *,
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
+    governor=None,
 ) -> Optional[Substitution]:
-    """The first homomorphism found, or ``None``."""
-    for sigma in all_homomorphisms(query, index, head_target, reorder=reorder, stats=stats):
+    """The first homomorphism found, or ``None``.
+
+    A *governor* makes the backtracking search interruptible: it is
+    polled (amortised) per expanded node, so even a search with no
+    matching embedding respects deadlines and cancellation.
+    """
+    for sigma in all_homomorphisms(
+        query, index, head_target, reorder=reorder, stats=stats, governor=governor
+    ):
         return sigma
     return None
 

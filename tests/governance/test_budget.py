@@ -1,0 +1,206 @@
+"""Unit tests for the governance primitives: budgets, scopes, governors.
+
+A fake clock drives every deadline assertion, so these tests are exact
+and instant — no sleeping, no wall-clock slack.
+"""
+
+import pytest
+
+from repro.chase.engine import chase
+from repro.core.errors import (
+    BudgetExceeded,
+    ChaseBudgetExceeded,
+    ExecutionCancelled,
+    ExecutionInterrupted,
+    ReproError,
+)
+from repro.governance.budget import (
+    MEMORY_OVERHEAD_FACTOR,
+    TICK_MASK,
+    BudgetReport,
+    CancelScope,
+    ExecutionBudget,
+    Governor,
+    approx_instance_bytes,
+)
+from repro.obs import MetricsRegistry, Observability
+from repro.workloads.corpus import INTRO_MANDATORY_Q
+
+
+class FakeClock:
+    """A manually advanced clock standing in for time.perf_counter."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestExecutionBudget:
+    def test_unlimited_has_no_limits(self):
+        budget = ExecutionBudget.unlimited()
+        assert budget.is_unlimited
+        assert budget.deadline_seconds is None
+        assert budget.max_facts is None
+
+    def test_any_limit_makes_it_limited(self):
+        assert not ExecutionBudget(deadline_seconds=1.0).is_unlimited
+        assert not ExecutionBudget(max_facts=10).is_unlimited
+        assert not ExecutionBudget(max_memory_bytes=1).is_unlimited
+        assert not ExecutionBudget(max_steps=5).is_unlimited
+
+    def test_budget_is_immutable_and_hashable(self):
+        budget = ExecutionBudget(max_facts=10)
+        with pytest.raises(Exception):
+            budget.max_facts = 20
+        assert hash(budget) == hash(ExecutionBudget(max_facts=10))
+
+
+class TestErrorHierarchy:
+    def test_budget_exceeded_is_a_chase_budget_exceeded(self):
+        # Pre-governance callers catching ChaseBudgetExceeded keep working.
+        assert issubclass(BudgetExceeded, ChaseBudgetExceeded)
+        assert issubclass(BudgetExceeded, ExecutionInterrupted)
+        assert issubclass(ExecutionCancelled, ExecutionInterrupted)
+        assert issubclass(ExecutionInterrupted, ReproError)
+
+    def test_interrupted_carries_budget_report(self):
+        report = BudgetReport(
+            exhausted="deadline",
+            elapsed_seconds=1.5,
+            deadline_seconds=1.0,
+            steps=3,
+            max_steps=None,
+            facts=7,
+            max_facts=None,
+            approx_memory_bytes=None,
+            max_memory_bytes=None,
+        )
+        exc = BudgetExceeded("boom", budget_report=report)
+        assert exc.budget_report is report
+        assert ExecutionInterrupted("plain").budget_report is None
+
+
+class TestGovernorDeadline:
+    def test_poll_raises_after_deadline(self):
+        clock = FakeClock()
+        governor = Governor(ExecutionBudget(deadline_seconds=1.0), clock=clock)
+        governor.poll("site")  # inside the deadline: fine
+        clock.advance(1.01)
+        with pytest.raises(BudgetExceeded) as err:
+            governor.poll("site")
+        assert err.value.budget_report.exhausted == "deadline"
+        assert err.value.budget_report.elapsed_seconds == pytest.approx(1.01)
+
+    def test_tick_is_amortised(self):
+        clock = FakeClock()
+        governor = Governor(ExecutionBudget(deadline_seconds=1.0), clock=clock)
+        clock.advance(2.0)  # already past the deadline
+        # The first TICK_MASK calls skip the real poll entirely.
+        for _ in range(TICK_MASK):
+            governor.tick()
+        with pytest.raises(BudgetExceeded):
+            governor.tick()
+
+    def test_no_deadline_never_checks_the_clock(self):
+        calls = []
+
+        def clock():
+            calls.append(1)
+            return 0.0
+
+        governor = Governor(ExecutionBudget(max_facts=10), clock=clock)
+        baseline = len(calls)  # __init__ reads the clock once
+        governor.poll("site", facts=5)
+        assert len(calls) == baseline
+
+
+class TestGovernorCounters:
+    def test_step_budget(self):
+        governor = Governor(ExecutionBudget(max_steps=3))
+        governor.step(3)
+        with pytest.raises(BudgetExceeded) as err:
+            governor.step()
+        assert err.value.budget_report.exhausted == "steps"
+        assert err.value.budget_report.steps == 4
+
+    def test_fact_ceiling(self):
+        governor = Governor(ExecutionBudget(max_facts=10))
+        governor.poll("site", facts=10)  # at the ceiling: fine
+        with pytest.raises(BudgetExceeded) as err:
+            governor.poll("site", facts=11)
+        assert err.value.budget_report.exhausted == "facts"
+        assert err.value.budget_report.facts == 11
+
+    def test_memory_ceiling_via_checkpoint(self):
+        instance = chase(INTRO_MANDATORY_Q, max_level=4).instance
+        estimate = approx_instance_bytes(instance)
+        assert estimate > 0
+        governor = Governor(ExecutionBudget(max_memory_bytes=estimate // 2))
+        with pytest.raises(BudgetExceeded) as err:
+            governor.checkpoint("chase.round", instance=instance)
+        assert err.value.budget_report.exhausted == "memory"
+        assert err.value.budget_report.approx_memory_bytes == estimate
+        # A roomy ceiling records the estimate without raising.
+        roomy = Governor(ExecutionBudget(max_memory_bytes=estimate * 10))
+        roomy.checkpoint("chase.round", instance=instance)
+        assert roomy.approx_memory_bytes == estimate
+
+    def test_memory_estimate_scales_with_instance(self):
+        small = chase(INTRO_MANDATORY_Q, max_level=1).instance
+        empty_bytes = approx_instance_bytes([])
+        assert empty_bytes == 0
+        assert approx_instance_bytes(small) > 0
+        assert MEMORY_OVERHEAD_FACTOR >= 1
+
+
+class TestCancelScope:
+    def test_cancel_observed_at_next_poll(self):
+        scope = CancelScope()
+        governor = Governor(scope=scope)
+        governor.poll("site")
+        scope.cancel("user hit ctrl-c")
+        with pytest.raises(ExecutionCancelled) as err:
+            governor.poll("site")
+        assert "user hit ctrl-c" in str(err.value)
+        assert err.value.budget_report.exhausted == "cancelled"
+
+    def test_cancel_is_idempotent(self):
+        scope = CancelScope()
+        scope.cancel()
+        scope.cancel("again")
+        assert scope.cancelled
+        assert scope.reason == "again"
+
+
+class TestReporting:
+    def test_report_snapshot(self):
+        clock = FakeClock()
+        governor = Governor(
+            ExecutionBudget(deadline_seconds=5.0, max_steps=100), clock=clock
+        )
+        governor.step(7)
+        governor.poll("site", facts=42)
+        clock.advance(1.25)
+        report = governor.report()
+        assert report.exhausted is None
+        assert report.elapsed_seconds == pytest.approx(1.25)
+        assert report.steps == 7
+        assert report.facts == 42
+        assert report.max_steps == 100
+        as_dict = report.as_dict()
+        assert as_dict["deadline_seconds"] == 5.0
+        assert "elapsed=1.250s" in str(report)
+
+    def test_exhaustion_is_counted_in_metrics(self):
+        obs = Observability(metrics=MetricsRegistry())
+        governor = Governor(ExecutionBudget(max_steps=1), obs=obs)
+        with pytest.raises(BudgetExceeded):
+            governor.step(2)
+        dump = obs.metrics.as_dict()
+        counts = dump["counters"]["governance.budget_exhausted"]
+        assert counts == {"resource=steps": 1}

@@ -1,0 +1,98 @@
+"""The deterministic fault-injection harness.
+
+Faults fire at exact site-visit counts, so a fault plan plus a
+deterministic workload yields a reproducible failure — the property the
+governed-degradation tests in :mod:`tests.governance.test_governed_containment`
+build on.
+"""
+
+import time
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.governance.faults import (
+    KIND_ALLOC,
+    KIND_RAISE,
+    KIND_SLOW,
+    Fault,
+    FaultInjector,
+    InjectedFault,
+)
+
+
+class TestFiringSchedule:
+    def test_fires_exactly_at_nth_visit(self):
+        injector = FaultInjector([Fault(site="chase.round", at=3)])
+        injector.fire("chase.round")
+        injector.fire("chase.round")
+        with pytest.raises(InjectedFault):
+            injector.fire("chase.round")
+        # One-shot: the fourth visit passes.
+        injector.fire("chase.round")
+        assert [entry[:2] for entry in injector.fired] == [("chase.round", 3)]
+
+    def test_repeat_fires_from_at_onwards(self):
+        injector = FaultInjector(
+            [Fault(site="probe", at=2, kind=KIND_SLOW, seconds=0.0, repeat=True)]
+        )
+        injector.fire("probe")
+        injector.fire("probe")
+        injector.fire("probe")
+        assert [count for _, count, _ in injector.fired] == [2, 3]
+
+    def test_other_sites_unaffected(self):
+        injector = FaultInjector([Fault(site="chase.round", at=1)])
+        injector.fire("containment.probe")
+        injector.fire("hom.search")
+        assert injector.fired == []
+
+    def test_determinism_same_plan_same_log(self):
+        plan = [
+            Fault(site="a", at=2),
+            Fault(site="b", at=1, kind=KIND_SLOW, seconds=0.0, repeat=True),
+        ]
+        logs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            for site in ["a", "b", "a", "b", "a"]:
+                try:
+                    injector.fire(site)
+                except InjectedFault:
+                    pass
+            logs.append(list(injector.fired))
+        assert logs[0] == logs[1]
+
+
+class TestFaultKinds:
+    def test_slow_fault_sleeps(self):
+        injector = FaultInjector(
+            [Fault(site="s", at=1, kind=KIND_SLOW, seconds=0.02)]
+        )
+        t0 = time.perf_counter()
+        injector.fire("s")
+        assert time.perf_counter() - t0 >= 0.02
+
+    def test_alloc_fault_retains_memory(self):
+        injector = FaultInjector(
+            [Fault(site="s", at=1, kind=KIND_ALLOC, bytes=4096)]
+        )
+        injector.fire("s")
+        assert sum(len(chunk) for chunk in injector.retained) == 4096
+
+    def test_raise_fault_is_not_a_repro_error(self):
+        # Injected crashes must look like *unexpected* failures: recovery
+        # code that catches ReproError is not allowed to swallow them.
+        assert not issubclass(InjectedFault, ReproError)
+        assert issubclass(InjectedFault, RuntimeError)
+        injector = FaultInjector([Fault(site="s", at=1, kind=KIND_RAISE)])
+        with pytest.raises(InjectedFault):
+            injector.fire("s")
+
+    def test_plan_is_reusable_across_injectors(self):
+        # Frozen Fault + per-injector counters: shipping the same plan to
+        # several workers gives each an independent schedule.
+        plan = (Fault(site="s", at=1),)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                FaultInjector(plan).fire("s")

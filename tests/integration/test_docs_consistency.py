@@ -39,12 +39,29 @@ def _dotted_references(path: Path) -> set[str]:
 
 
 class TestPaperMapping:
-    def test_every_reference_resolves(self):
-        doc = REPO / "docs" / "paper_mapping.md"
-        references = _dotted_references(doc)
-        assert references, "the mapping document should reference code"
+    @pytest.mark.parametrize(
+        "doc", ["paper_mapping.md", "architecture.md", "api.md"]
+    )
+    def test_every_reference_resolves(self, doc):
+        path = REPO / "docs" / doc
+        references = _dotted_references(path)
+        assert references, f"docs/{doc} should reference code"
         unresolved = sorted(r for r in references if not _resolve(r))
-        assert not unresolved, f"dangling references: {unresolved}"
+        assert not unresolved, f"dangling references in docs/{doc}: {unresolved}"
+
+    def test_docs_cross_links_exist(self):
+        """Every relative .md link inside docs/ points at a real file."""
+        for doc in (REPO / "docs").glob("*.md"):
+            for target in re.findall(r"\]\(([\w./-]+\.md)\)", doc.read_text()):
+                assert (doc.parent / target).exists(), (
+                    f"docs/{doc.name} links to missing {target}"
+                )
+
+    def test_readme_links_both_new_docs(self):
+        text = (REPO / "README.md").read_text()
+        for target in ("docs/architecture.md", "docs/api.md"):
+            assert target in text, f"README should link {target}"
+            assert (REPO / target).exists()
 
 
 class TestDesign:

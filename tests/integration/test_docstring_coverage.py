@@ -1,0 +1,130 @@
+"""The docstring-coverage gate: correctness of the counter, and the ratchet.
+
+``tools/check_docstrings.py`` is the stdlib replacement for an
+``interrogate``-style coverage gate (the CI pins it at the repository
+baseline so coverage can only move up).  These tests pin down the
+counting rules on a synthetic module and then run the real gate against
+``src/repro`` at the CI threshold, so a regression fails locally before
+it fails in CI.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_docstrings import collect_file, collect_tree  # noqa: E402
+
+#: The threshold the CI step pins (keep in sync with .github/workflows/ci.yml).
+CI_FAIL_UNDER = 80.0
+
+
+def _write_module(tmp_path, text):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+def test_counts_module_class_function(tmp_path):
+    path = _write_module(
+        tmp_path,
+        '''
+        """Module doc."""
+
+        class Documented:
+            """Class doc."""
+
+            def method(self):
+                """Method doc."""
+
+        def undocumented():
+            return 1
+        ''',
+    )
+    documented, total, missing = collect_file(path)
+    assert total == 4  # module + class + method + function
+    assert documented == 3
+    assert missing == ["undocumented:10"]
+
+
+def test_private_dunder_nested_and_stub_definitions_are_skipped(tmp_path):
+    path = _write_module(
+        tmp_path,
+        '''
+        """Module doc."""
+
+        class C:
+            """Class doc."""
+
+            def __init__(self):
+                self.x = 1
+
+            def _private(self):
+                return 2
+
+            def stub(self):
+                ...
+
+        def outer():
+            """Doc."""
+            def inner():
+                return 3
+            return inner
+        ''',
+    )
+    documented, total, missing = collect_file(path)
+    # Counted: module, C, outer.  __init__, _private, the ... stub and
+    # the nested closure are all exempt.
+    assert total == 3
+    assert documented == 3
+    assert missing == []
+
+
+def test_missing_module_docstring_is_reported(tmp_path):
+    path = _write_module(tmp_path, "x = 1\n")
+    documented, total, missing = collect_file(path)
+    assert (documented, total) == (0, 1)
+    assert missing == ["<module>:1"]
+
+
+def test_collect_tree_aggregates(tmp_path):
+    (tmp_path / "a.py").write_text('"""Doc."""\n', encoding="utf-8")
+    (tmp_path / "b.py").write_text("x = 1\n", encoding="utf-8")
+    documented, total, missing = collect_tree(tmp_path)
+    assert (documented, total) == (1, 2)
+    assert set(missing) == {str(tmp_path / "b.py")}
+
+
+def test_repo_meets_ci_threshold():
+    """The ratchet: src/repro must stay at or above the CI threshold."""
+    documented, total, _ = collect_tree(REPO / "src" / "repro")
+    coverage = 100.0 * documented / total
+    assert coverage >= CI_FAIL_UNDER, (
+        f"docstring coverage {coverage:.1f}% fell below the CI gate of "
+        f"{CI_FAIL_UNDER}% — document the new public definitions"
+    )
+
+
+def test_cli_exit_statuses(tmp_path):
+    """The gate script's process contract: 0 above, 1 below, 2 on bad path."""
+    (tmp_path / "a.py").write_text('"""Doc."""\n', encoding="utf-8")
+    script = str(TOOLS / "check_docstrings.py")
+    ok = subprocess.run(
+        [sys.executable, script, str(tmp_path), "--fail-under", "99"],
+        capture_output=True,
+    )
+    assert ok.returncode == 0
+    (tmp_path / "b.py").write_text("x = 1\n", encoding="utf-8")
+    below = subprocess.run(
+        [sys.executable, script, str(tmp_path), "--fail-under", "99"],
+        capture_output=True,
+    )
+    assert below.returncode == 1
+    missing = subprocess.run(
+        [sys.executable, script, str(tmp_path / "nope")], capture_output=True
+    )
+    assert missing.returncode == 2

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (stdlib-only ``interrogate`` equivalent).
+
+Walks a source tree with :mod:`ast`, counts public definitions (modules,
+classes, functions and methods) that carry a docstring, and fails when
+coverage drops below a threshold.  The CI step pins the threshold at the
+repository's current baseline so coverage can only ratchet up.
+
+Counting rules, chosen to match ``interrogate``'s defaults closely
+enough that swapping the real tool in later would not move the number
+much:
+
+* every module, class, and function/method definition is one unit;
+* names with a leading underscore are *private* and skipped, except
+  ``__init__`` and other dunders are skipped too — their contract is the
+  class docstring's job;
+* ``@overload``-decorated stubs and bodies that are a bare ``...`` are
+  skipped (nothing to document beyond the implementation's docstring);
+* nested functions (closures) are skipped — they are implementation
+  detail of their enclosing function.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro --fail-under 95
+    python tools/check_docstrings.py src/repro --list-missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["collect_file", "collect_tree", "main"]
+
+
+def _is_public(name: str) -> bool:
+    """Whether a definition name counts toward coverage."""
+    return not name.startswith("_")
+
+
+def _is_overload(node: ast.AST) -> bool:
+    """Whether a function definition is an ``@overload`` stub."""
+    for deco in getattr(node, "decorator_list", []):
+        target = deco
+        if isinstance(target, ast.Attribute):
+            target = target.attr
+        elif isinstance(target, ast.Name):
+            target = target.id
+        if target == "overload":
+            return True
+    return False
+
+
+def _is_stub_body(node: ast.AST) -> bool:
+    """Whether a function body is a bare ``...`` / ``pass`` placeholder."""
+    body = getattr(node, "body", [])
+    if len(body) != 1:
+        return False
+    stmt = body[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(
+        stmt.value, ast.Constant
+    ) and stmt.value.value is Ellipsis
+
+
+def collect_file(path: Path) -> tuple[int, int, list[str]]:
+    """Count (documented, total) public definitions in one file.
+
+    Returns ``(documented, total, missing)`` where *missing* lists
+    ``name:line`` labels for undocumented definitions.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented = 0
+    total = 0
+    missing: list[str] = []
+
+    def visit(node: ast.AST, qualname: str, inside_function: bool) -> None:
+        nonlocal documented, total
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                name = child.name
+                if _is_public(name):
+                    total += 1
+                    if ast.get_docstring(child) is not None:
+                        documented += 1
+                    else:
+                        missing.append(f"{qualname}{name}:{child.lineno}")
+                visit(child, f"{qualname}{name}.", inside_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = child.name
+                countable = (
+                    _is_public(name)
+                    and not inside_function
+                    and not _is_overload(child)
+                    and not _is_stub_body(child)
+                )
+                if countable:
+                    total += 1
+                    if ast.get_docstring(child) is not None:
+                        documented += 1
+                    else:
+                        missing.append(f"{qualname}{name}:{child.lineno}")
+                visit(child, f"{qualname}{name}.", True)
+            else:
+                visit(child, qualname, inside_function)
+
+    total += 1  # the module itself
+    if ast.get_docstring(tree) is not None:
+        documented += 1
+    else:
+        missing.append(f"<module>:{1}")
+    visit(tree, "", False)
+    return documented, total, missing
+
+
+def collect_tree(root: Path) -> tuple[int, int, dict[str, list[str]]]:
+    """Aggregate :func:`collect_file` over every ``.py`` file under *root*."""
+    documented = 0
+    total = 0
+    missing: dict[str, list[str]] = {}
+    for path in sorted(root.rglob("*.py")):
+        d, t, m = collect_file(path)
+        documented += d
+        total += t
+        if m:
+            missing[str(path)] = m
+    return documented, total, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", type=Path, help="source tree to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when coverage is below this percentage",
+    )
+    parser.add_argument(
+        "--list-missing",
+        action="store_true",
+        help="print every undocumented definition",
+    )
+    args = parser.parse_args(argv)
+    if not args.root.exists():
+        print(f"error: no such path: {args.root}", file=sys.stderr)
+        return 2
+    documented, total, missing = collect_tree(args.root)
+    coverage = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public definitions "
+        f"documented ({coverage:.1f}%)"
+    )
+    if args.list_missing:
+        for path, labels in missing.items():
+            for label in labels:
+                print(f"  {path}: {label}")
+    if args.fail_under is not None and coverage < args.fail_under:
+        print(
+            f"FAIL: coverage {coverage:.1f}% is below the "
+            f"--fail-under threshold of {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
