@@ -203,6 +203,7 @@ class ChaseEngine:
                             required_fact=fact,
                             reorder=self.config.reorder_join,
                             governor=governor,
+                            governor_site="chase.match",
                         )
                     )
                     for sigma in matches:
@@ -714,6 +715,7 @@ class ChaseRun:
                                 required_fact=fact,
                                 reorder=config.reorder_join,
                                 governor=governor,
+                                governor_site="chase.match",
                             )
                         )
                         for sigma in matches:

@@ -623,13 +623,16 @@ class ContainmentChecker:
                 group_results: Optional[list[ContainmentResult]] = None
                 try:
                     group_results = future.result(timeout=timeout)
-                except (BrokenProcessPool, OSError):
-                    raise
+                # FuturesTimeout must be caught before OSError: on
+                # Python >= 3.11 it *is* the builtin TimeoutError, an
+                # OSError subclass.
                 except FuturesTimeout:
                     # The worker ignored its own deadline: it is wedged,
                     # and its pool slot is gone.  No retry — straight to
                     # the in-parent fallback.
                     timed_out = True
+                except (BrokenProcessPool, OSError):
+                    raise
                 except Exception:
                     attempt = 0
                     while group_results is None and attempt < POOL_MAX_RETRIES:
@@ -640,6 +643,11 @@ class ContainmentChecker:
                             group_results = executor.submit(
                                 _check_group_worker, payload
                             ).result(timeout=timeout)
+                        except FuturesTimeout:
+                            # A retry that wedges is as wedged as a
+                            # first attempt: abandon the slot.
+                            timed_out = True
+                            break
                         except (BrokenProcessPool, OSError):
                             raise
                         except Exception:

@@ -103,6 +103,7 @@ def match_conjunction(
     term_filter: Optional[Callable] = None,
     stats: Optional[SearchStats] = None,
     governor=None,
+    governor_site: str = "hom.search",
 ) -> Iterator[Substitution]:
     """Yield every substitution mapping all of *atoms* into *index*.
 
@@ -133,6 +134,11 @@ def match_conjunction(
         Optional :class:`~repro.governance.Governor` polled (amortised)
         once per expanded search node, so a governed caller can stop a
         pathological join mid-search.
+    governor_site:
+        Poll-site label reported to the governor — ``"hom.search"`` by
+        default; the chase engine passes ``"chase.match"`` so fault
+        injection and metrics attribute joins run during trigger
+        evaluation to the chase, not the homomorphism search.
     """
     if required_fact is not None:
         seen: set[Substitution] = set()
@@ -145,7 +151,7 @@ def match_conjunction(
             if stats is not None:
                 stats.nodes += 1
             if governor is not None:
-                governor.tick()
+                governor.tick(governor_site)
             rest = list(atoms[:delta_pos]) + list(atoms[delta_pos + 1:])
             if not rest:
                 if sigma0 not in seen:
@@ -156,7 +162,7 @@ def match_conjunction(
                 continue
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
-                stats=stats, governor=governor,
+                stats=stats, governor=governor, governor_site=governor_site,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
@@ -169,7 +175,9 @@ def match_conjunction(
     else:
         ordered = list(atoms)
 
-    yield from _search(ordered, 0, index, base, term_filter, stats, governor)
+    yield from _search(
+        ordered, 0, index, base, term_filter, stats, governor, governor_site
+    )
 
 
 def match_conjunction_delta(
@@ -182,6 +190,7 @@ def match_conjunction_delta(
     term_filter: Optional[Callable] = None,
     stats: Optional[SearchStats] = None,
     governor=None,
+    governor_site: str = "hom.search",
 ) -> Iterator[Substitution]:
     """Substitutions mapping *atoms* into *index* that touch *delta_facts*.
 
@@ -218,7 +227,7 @@ def match_conjunction_delta(
             if stats is not None:
                 stats.nodes += 1
             if governor is not None:
-                governor.tick()
+                governor.tick(governor_site)
             if not rest:
                 if sigma0 not in seen:
                     seen.add(sigma0)
@@ -228,7 +237,7 @@ def match_conjunction_delta(
                 continue
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
-                stats=stats, governor=governor,
+                stats=stats, governor=governor, governor_site=governor_site,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
@@ -251,6 +260,7 @@ def _search(
     term_filter: Optional[Callable],
     stats: Optional[SearchStats] = None,
     governor=None,
+    governor_site: str = "hom.search",
 ) -> Iterator[Substitution]:
     if pos == len(ordered):
         if stats is not None:
@@ -267,7 +277,10 @@ def _search(
         if stats is not None:
             stats.nodes += 1
         if governor is not None:
-            governor.tick()
-        yield from _search(ordered, pos + 1, index, extended, term_filter, stats, governor)
+            governor.tick(governor_site)
+        yield from _search(
+            ordered, pos + 1, index, extended, term_filter, stats, governor,
+            governor_site,
+        )
     if stats is not None:
         stats.backtracks += 1

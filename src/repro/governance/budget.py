@@ -287,21 +287,30 @@ class Governor:
         if self._max_steps is not None and self.steps > self._max_steps:
             self._exhaust("steps")
 
-    def tick(self) -> None:
-        """Amortised :meth:`poll` for hot loops (1 real poll per 32 calls)."""
+    def tick(self, site: str = "hom.search") -> None:
+        """Amortised :meth:`poll` for hot loops (1 real poll per 32 calls).
+
+        ``site`` names the checkpoint the amortised poll reports under —
+        the homomorphism search by default, but join loops running inside
+        chase trigger evaluation pass their own site so fault injection
+        and metrics attribute the poll to the right layer.
+        """
         if not self._armed:
             return
         self._tick += 1
         if self._tick & TICK_MASK:
             return
-        self.poll("hom.search")
+        self.poll(site)
 
     def checkpoint(self, site: str, *, instance=None, facts: int = 0) -> None:
         """A :meth:`poll` that also enforces the memory ceiling.
 
-        When ``instance`` is given and a memory budget is set, its size
-        is estimated via :func:`approx_instance_bytes`; the estimate is
-        also recorded for :meth:`report` regardless of ceilings.
+        When ``instance`` is given *and* ``budget.max_memory_bytes`` is
+        set, its size is estimated via :func:`approx_instance_bytes` and
+        recorded for :meth:`report`.  Without a memory ceiling the
+        estimate is skipped entirely (it is O(instance) to compute), so
+        ``BudgetReport.approx_memory_bytes`` stays ``None`` for runs
+        governed only by time/step/fact budgets.
         """
         if instance is not None:
             facts = facts or len(instance)

@@ -16,11 +16,13 @@ a chase checkpoint makes any deadline expire on schedule, independent of
 host speed.
 """
 
+import os
 import threading
 import time
 
 import pytest
 
+from repro.containment import bounded
 from repro.chase.engine import ChaseConfig, ChaseEngine
 from repro.containment.bounded import ContainmentChecker
 from repro.containment.result import ContainmentReason, Decision
@@ -51,6 +53,29 @@ SLOW_FIRST_PROBE = (
 NEGATIVE_PAIR = next(
     (q1, q2) for q1, q2, sigma, _ in PAPER_CONTAINMENT_PAIRS if not sigma
 )
+
+#: How long a deliberately wedged worker sleeps — far past the
+#: parent-side future timeout the wedge tests shrink to well under a
+#: second, yet short enough that the abandoned worker exits promptly
+#: once its sleep ends.
+WEDGE_SECONDS = 3.0
+
+
+def _crash_then_wedge_worker(payload):
+    """Pool entry point for the retry-wedge test (module-level: picklable).
+
+    The first submission crashes; any resubmission sleeps through the
+    parent-side timeout.  Attempts are distinguished through a sentinel
+    file named by ``REPRO_TEST_WEDGE_SENTINEL``, which survives across
+    worker processes.
+    """
+    sentinel = os.environ["REPRO_TEST_WEDGE_SENTINEL"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("crashed")
+        raise RuntimeError("injected first-attempt crash")
+    time.sleep(WEDGE_SECONDS)
+    raise RuntimeError("retry attempt should have been abandoned")
 
 
 class TestDeadlineUnknown:
@@ -191,6 +216,81 @@ class TestParallelResilience:
         counters = obs.metrics.as_dict()["counters"]
         assert counters["containment.pool_fallback_groups"] >= 1
         assert counters["containment.pool_retries"] >= 1
+
+    def test_wedged_worker_times_out_parent_side_and_falls_back(
+        self, monkeypatch
+    ):
+        # The worker sleeps straight through its own deadline (the slow
+        # fault fires *before* the governor's deadline poll), so only
+        # the parent-side future timeout can notice the wedge.  On
+        # Python >= 3.11 concurrent.futures.TimeoutError is the builtin
+        # TimeoutError, an OSError subclass — this drives the real
+        # exception through the handler ordering to prove the timeout
+        # is caught as a timeout, the group falls back in-parent, and
+        # shutdown does not join the wedged worker.
+        monkeypatch.setattr(bounded, "POOL_TIMEOUT_GRACE", 0.3)
+        pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS[:2]]
+        expected = [sigma for _, _, sigma, _ in PAPER_CONTAINMENT_PAIRS[:2]]
+        obs = Observability(metrics=MetricsRegistry())
+        checker = ContainmentChecker(obs=obs)
+        wedge = (
+            Fault(
+                site="containment.probe",
+                at=1,
+                kind="slow",
+                seconds=WEDGE_SECONDS,
+            ),
+        )
+        t0 = time.perf_counter()
+        results = checker.check_all(
+            pairs,
+            parallel=True,
+            max_workers=2,
+            budget=ExecutionBudget(deadline_seconds=DEADLINE),
+            worker_faults=wedge,
+        )
+        elapsed = time.perf_counter() - t0
+        # Joining a wedged worker would take >= WEDGE_SECONDS.
+        assert elapsed < WEDGE_SECONDS
+        assert [r.contained for r in results] == expected
+        assert not any(r.unknown for r in results)
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters["containment.pool_fallback_groups"] >= 1
+        # A timeout goes straight to the fallback, never to a retry.
+        assert "containment.pool_retries" not in counters
+
+    def test_wedged_retry_times_out_and_falls_back(
+        self, monkeypatch, tmp_path
+    ):
+        # The first submission of the first group crashes, every later
+        # submission wedges: the retry timeout must behave exactly like
+        # a first-attempt timeout — abandon the slot, fall back
+        # in-parent, never join the worker.
+        sentinel = tmp_path / "first-attempt-done"
+        monkeypatch.setattr(bounded, "POOL_TIMEOUT_GRACE", 0.3)
+        monkeypatch.setattr(
+            bounded, "_check_group_worker", _crash_then_wedge_worker
+        )
+        monkeypatch.setenv("REPRO_TEST_WEDGE_SENTINEL", str(sentinel))
+        pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS[:2]]
+        expected = [sigma for _, _, sigma, _ in PAPER_CONTAINMENT_PAIRS[:2]]
+        obs = Observability(metrics=MetricsRegistry())
+        checker = ContainmentChecker(obs=obs)
+        t0 = time.perf_counter()
+        results = checker.check_all(
+            pairs,
+            parallel=True,
+            max_workers=1,
+            budget=ExecutionBudget(deadline_seconds=DEADLINE),
+        )
+        elapsed = time.perf_counter() - t0
+        assert elapsed < WEDGE_SECONDS
+        assert sentinel.exists()  # the crash attempt really ran
+        assert [r.contained for r in results] == expected
+        assert not any(r.unknown for r in results)
+        counters = obs.metrics.as_dict()["counters"]
+        assert counters["containment.pool_retries"] == 1
+        assert counters["containment.pool_fallback_groups"] >= 1
 
     def test_worker_side_budget_yields_unknown_in_parallel(self):
         # The slow fault and the deadline are BOTH shipped to the pool:
