@@ -1,0 +1,211 @@
+"""Service layer: warm worker pools and request coalescing, quantified.
+
+Two claims about :class:`repro.api.Engine` over the E9-style grouped
+corpus (independent cyclic chase groups — the workload where a batch
+actually dispatches to worker processes):
+
+* **warm batches**: a long-lived Engine's *second* ``check_all`` over
+  the same corpus is >= 1.5x median faster than a cold per-call pool
+  (fresh checker + ephemeral ``ProcessPoolExecutor`` each time).  The
+  warm path recalls decided verdicts from the service's result cache
+  and never re-spawns workers; ``pools_started`` must not grow after
+  warm-up.
+* **coalescing**: eight identical in-flight checks collapse onto one
+  computation — seven dedup hits, exactly one call into the checker.
+
+Everything measured lands in ``BENCH_service.json`` at the repo root —
+uploaded as a CI artifact alongside ``BENCH_anytime.json``.  Written
+against plain pytest on purpose — CI runs it without the
+pytest-benchmark plugin.
+"""
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Engine
+from repro.containment.bounded import ContainmentChecker
+from repro.workloads.query_gen import QueryGenParams, QueryGenerator
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Timing repeats; the reported warm/cold numbers are medians.
+REPEATS = 3
+
+WARM_MEDIAN_SPEEDUP = 1.5
+POOL_WORKERS = 4
+COALESCE_FANOUT = 8
+
+
+def group_corpus(n_groups=6, pairs_per_group=3, size=6, seed=900):
+    """Independent cyclic chase groups, same shape as the E9 batches."""
+    pairs = []
+    for g in range(n_groups):
+        params = QueryGenParams(
+            n_atoms=size, n_variables=size + 2, cycle_length=1, head_arity=1
+        )
+        gen = QueryGenerator(seed + g, params)
+        q1, q2 = gen.containment_pair()
+        pairs.append((q1, q2))
+        for _ in range(pairs_per_group - 1):
+            pairs.append((q1, gen.query()))
+    return pairs
+
+
+def _second_batch_seconds(run_batch, fresh_state):
+    """Time the *second* batch: warm-up first, then measure the repeat."""
+    samples = []
+    for _ in range(REPEATS):
+        state = fresh_state()
+        try:
+            run_batch(state)  # first batch: pay any warm-up cost
+            t0 = time.perf_counter()
+            run_batch(state)
+            samples.append(time.perf_counter() - t0)
+        finally:
+            close = getattr(state, "close", None)
+            if close is not None:
+                close()
+    return statistics.median(samples)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """Run every measurement once; tests assert slices of the payload."""
+    corpus = group_corpus()
+
+    # Cold baseline: a fresh checker per batch, ephemeral pool per call.
+    cold_seconds = _second_batch_seconds(
+        lambda checker: checker.check_all(
+            corpus, parallel=True, max_workers=POOL_WORKERS
+        ),
+        lambda: ContainmentChecker(),
+    )
+
+    # Warm service: one Engine survives across batches.
+    warm_seconds = _second_batch_seconds(
+        lambda engine: engine.check_all(corpus),
+        lambda: Engine(max_workers=POOL_WORKERS),
+    )
+
+    # Pool stability + verdict agreement across three consecutive batches.
+    with Engine(max_workers=POOL_WORKERS) as engine:
+        first = engine.check_all(corpus)
+        pools_after_warmup = engine.service.pool.stats.pools_started
+        second = engine.check_all(corpus)
+        third = engine.check_all(corpus)
+        pool_stats = {
+            "pools_started": engine.service.pool.stats.pools_started,
+            "pools_after_warmup": pools_after_warmup,
+            "tasks_submitted": engine.service.pool.stats.tasks_submitted,
+            "recycles": engine.service.pool.stats.recycles,
+        }
+        result_hits = engine.service.stats.result_hits
+        verdicts_stable = (
+            [r.contained for r in first]
+            == [r.contained for r in second]
+            == [r.contained for r in third]
+        )
+
+    # Coalescing: eight identical in-flight checks, one computation.
+    # The leader is held inside the checker until every follower has
+    # piled onto its future, so the dedup count is deterministic.
+    q1, q2 = group_corpus(n_groups=1, pairs_per_group=1)[0]
+    engine = Engine()
+    entered = threading.Event()
+    release = threading.Event()
+    calls = []
+    inner_check = engine.service.checker.check
+
+    def gated_check(*args, **kwargs):
+        calls.append(1)
+        entered.set()
+        release.wait(timeout=60)
+        return inner_check(*args, **kwargs)
+
+    engine.service.checker.check = gated_check
+    threads = [
+        threading.Thread(target=lambda: engine.check(q1, q2))
+        for _ in range(COALESCE_FANOUT)
+    ]
+    threads[0].start()
+    entered.wait(timeout=30)
+    for t in threads[1:]:
+        t.start()
+    deadline = time.monotonic() + 30
+    while (
+        engine.service.stats.coalesced < COALESCE_FANOUT - 1
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    release.set()
+    for t in threads:
+        t.join(timeout=60)
+    engine.service.checker.check = inner_check
+    coalesce = {
+        "fanout": COALESCE_FANOUT,
+        "computations": len(calls),
+        "coalesce_hits": engine.service.stats.coalesced,
+        "dedup_hits": engine.service.stats.coalesced
+        + engine.service.stats.result_hits,
+    }
+    engine.close()
+
+    payload = {
+        "corpus": {
+            "pairs": len(corpus),
+            "groups": len({q1.canonical_key() for q1, _ in corpus}),
+            "workers": POOL_WORKERS,
+        },
+        "warm_vs_cold": {
+            "cold_second_batch_seconds": cold_seconds,
+            "warm_second_batch_seconds": warm_seconds,
+            "speedup": cold_seconds / max(warm_seconds, 1e-9),
+            "repeat_batch_result_hits": result_hits,
+            "verdicts_stable": verdicts_stable,
+        },
+        "pool": pool_stats,
+        "coalescing": coalesce,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+class TestWarmPool:
+    def test_second_batch_speedup(self, bench):
+        assert bench["warm_vs_cold"]["speedup"] >= WARM_MEDIAN_SPEEDUP
+
+    def test_no_pool_restarts_after_warmup(self, bench):
+        pool = bench["pool"]
+        assert pool["pools_started"] == pool["pools_after_warmup"]
+        assert pool["pools_started"] <= 1
+        assert pool["recycles"] == 0
+
+    def test_repeat_batches_recall_every_verdict(self, bench):
+        # Batches two and three never re-dispatched a decided pair.
+        assert (
+            bench["warm_vs_cold"]["repeat_batch_result_hits"]
+            == 2 * bench["corpus"]["pairs"]
+        )
+        assert bench["warm_vs_cold"]["verdicts_stable"]
+
+
+class TestCoalescing:
+    def test_duplicated_workload_dedups(self, bench):
+        coalesce = bench["coalescing"]
+        assert coalesce["computations"] == 1
+        assert coalesce["coalesce_hits"] >= 1
+        assert coalesce["dedup_hits"] == coalesce["fanout"] - 1
+
+
+class TestArtifact:
+    def test_bench_json_written(self, bench):
+        on_disk = json.loads(BENCH_PATH.read_text())
+        assert on_disk["warm_vs_cold"]["speedup"] == pytest.approx(
+            bench["warm_vs_cold"]["speedup"]
+        )
+        assert {"corpus", "warm_vs_cold", "pool", "coalescing"} <= set(on_disk)

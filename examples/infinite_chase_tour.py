@@ -14,7 +14,7 @@ makes containment decidable despite the infinity.
 
 from repro.analysis import check_locality, collect_chase_stats, predict_chase_termination
 from repro.chase import ChaseGraph, bounded_image, chase, equivalent
-from repro.containment import is_contained
+from repro import is_contained
 from repro.flogic import encode_rule, parse_statement
 from repro.workloads import EXAMPLE2_QUERY
 

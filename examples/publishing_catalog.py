@@ -11,7 +11,8 @@ two candidate catalog views.
 
 from pathlib import Path
 
-from repro.containment import ContainmentChecker, minimize_query
+from repro import minimize_query
+from repro.api import Engine
 from repro.flogic import KnowledgeBase, encode_rule, parse_statement
 
 DATA = Path(__file__).parent / "data" / "publishing.flq"
@@ -53,9 +54,9 @@ def main() -> None:
     view_b = encode_rule(
         parse_statement("titled_pubs(B, T) :- B:publication, B[title->T].")
     )
-    checker = ContainmentChecker()
-    absolute = checker.check(view_a, view_b).contained
-    relative = checker.check(
+    engine = Engine()
+    absolute = engine.check(view_a, view_b).contained
+    relative = engine.check(
         view_a, view_b, schema=kb.schema_atoms()
     ).contained
     print("   authored_books ⊆ titled_pubs  (absolute)          ?", absolute)
@@ -66,7 +67,7 @@ def main() -> None:
     )
     print(
         "   titled_pubs ⊆ authored_books (relative)?",
-        checker.check(view_b, view_a, schema=kb.schema_atoms()).contained,
+        engine.check(view_b, view_a, schema=kb.schema_atoms()).contained,
     )
 
     print("\nquery minimisation — the author check is redundant:")

@@ -8,7 +8,8 @@ and SPARQL-style basic graph patterns into P_FL, answers the patterns
 over the Sigma_FL closure, and decides BGP containment.
 """
 
-from repro.containment import ContainmentChecker, contained_classic
+from repro import contained_classic
+from repro.api import Engine
 from repro.core.terms import Variable
 from repro.flogic import KnowledgeBase
 from repro.rdf import BGPQuery, Graph, TriplePattern, encode_bgp, encode_graph, term
@@ -62,11 +63,11 @@ def main() -> None:
     q2 = encode_bgp(
         BGPQuery("class_members", (x, c), (TriplePattern(x, term("rdf:type"), c),))
     )
-    checker = ContainmentChecker()
+    engine = Engine()
     print("\nBGP containment: subclass_members ⊆ class_members?")
-    print("   Sigma_FL:", checker.check(q1, q2).contained)
+    print("   Sigma_FL:", engine.check(q1, q2).contained)
     print("   classic: ", contained_classic(q1, q2).contained)
-    print("   reverse: ", checker.check(q2, q1).contained)
+    print("   reverse: ", engine.check(q2, q1).contained)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ with members", and only the Sigma_FL constraints reveal it.
 
 from dataclasses import dataclass
 
-from repro.containment import ContainmentChecker
+from repro.api import Engine
 from repro.core.query import ConjunctiveQuery
 from repro.flogic import encode_rule, parse_statement
 
@@ -70,14 +70,14 @@ REQUESTS = [
 
 
 def main() -> None:
-    checker = ContainmentChecker()
+    engine = Engine()
     print("service matchmaking: request ⊆ advertisement ⇒ service qualifies\n")
     for req_desc, request in REQUESTS:
         print(f"request: {req_desc}")
         print(f"         {request}")
         matches = []
         for service in SERVICES:
-            result = checker.check(request, service.query)
+            result = engine.check(request, service.query)
             if result.contained:
                 matches.append(service.name)
         if matches:
@@ -92,7 +92,7 @@ def main() -> None:
     # value (rho_10 + rho_5) — schema knowledge a plain matcher lacks.
     req2 = REQUESTS[1][1]
     reader = SERVICES[2]
-    result = checker.check(req2, reader.query)
+    result = engine.check(req2, reader.query)
     print("why does instance-reader serve req2?")
     print(" ", result.explain())
 

@@ -35,16 +35,15 @@ from .chase import (
     ChaseResult,
     chase,
 )
-from .containment import (
-    ContainmentChecker,
-    ContainmentReason,
-    ContainmentResult,
-    Decision,
-    contained_classic,
-    is_contained,
-    theorem12_bound,
-)
+# Concrete submodule imports (not the repro.containment package surface,
+# which is a deprecation shim since the repro.api redesign).
+from .containment.bounded import ContainmentChecker, is_contained, theorem12_bound
+from .containment.classic import contained_classic
+from .containment.minimize import MinimizationResult, minimize_query
+from .containment.result import ContainmentReason, ContainmentResult, Decision
+from .containment.store import ChaseStore, StoreStats
 from .core import (
+    AdmissionRejected,
     Atom,
     BudgetExceeded,
     ChaseBudgetExceeded,
@@ -83,6 +82,9 @@ from .obs import (
     Tracer,
 )
 
+# The stable facade (imported last: it builds on everything above).
+from .api import Engine
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -120,6 +122,12 @@ __all__ = [
     "ContainmentResult",
     "ContainmentReason",
     "Decision",
+    "ChaseStore",
+    "StoreStats",
+    "minimize_query",
+    "MinimizationResult",
+    # facade
+    "Engine",
     # governance
     "ExecutionBudget",
     "BudgetReport",
@@ -136,6 +144,7 @@ __all__ = [
     "ReproError",
     "QueryError",
     "ParseError",
+    "AdmissionRejected",
     "ChaseFailure",
     "ChaseBudgetExceeded",
     "BudgetExceeded",

@@ -1,0 +1,233 @@
+"""repro.api — the stable public facade of the containment engine.
+
+One import, one object::
+
+    from repro.api import Engine
+
+    with Engine() as engine:
+        result = engine.check(q1, q2)
+
+:class:`Engine` consolidates the entry points that used to be scattered
+across :mod:`repro.containment`, :mod:`repro.chase`,
+:mod:`repro.governance` and :mod:`repro.obs`: configuration (constraint
+set, budget envelope, store, observability, pool/queue sizing) is given
+**once** at construction, and every method call flows through the same
+long-lived :class:`~repro.service.engine.ContainmentService` — shared
+chase store, warm worker pool, admission control and request coalescing
+included.
+
+The one-shot helpers (:func:`repro.is_contained`,
+``ContainmentChecker``) remain available for scripts, but anything that
+issues more than a handful of checks should hold an :class:`Engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .chase.engine import ChaseResult
+from .containment.bounded import ContainmentChecker
+from .containment.result import ContainmentResult
+from .containment.store import ChaseStore
+from .core.atoms import Atom
+from .core.query import ConjunctiveQuery
+from .dependencies import SIGMA_FL
+from .dependencies.dependency import Dependency
+from .governance import CancelScope, ExecutionBudget
+from .obs import Observability
+from .service.engine import ContainmentService
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """The facade: a configured, reusable containment engine.
+
+    Construction wires the whole stack; the instance is thread-safe and
+    intended to live as long as the application (use it as a context
+    manager, or call :meth:`close` yourself).
+
+    Parameters
+    ----------
+    dependencies:
+        Constraint set Sigma; defaults to the paper's Sigma_FL.
+    anytime:
+        Default decision schedule — the interleaved anytime procedure
+        (``True``) or the monolithic chase-then-search (``False``).
+        Overridable per call.
+    reorder_join, max_steps, store:
+        Chase configuration, forwarded to the underlying checker/store.
+    budget:
+        Service-wide :class:`~repro.governance.ExecutionBudget` envelope;
+        per-call budgets merge into it and can only tighten it.
+    max_active, max_pending:
+        Admission limits: concurrent executing requests / waiting
+        requests before explicit rejection.
+    max_workers:
+        Warm process-pool size for :meth:`check_all` batches.
+    obs:
+        :class:`~repro.obs.Observability` sink for spans and metrics of
+        every layer (store, pool, queue, service).
+    """
+
+    def __init__(
+        self,
+        dependencies: Sequence[Dependency] = SIGMA_FL,
+        *,
+        anytime: bool = True,
+        reorder_join: bool = True,
+        max_steps: Optional[int] = 200_000,
+        store: Optional[ChaseStore] = None,
+        budget: Optional[ExecutionBudget] = None,
+        max_active: int = 8,
+        max_pending: int = 64,
+        max_workers: Optional[int] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self._service = ContainmentService(
+            dependencies,
+            reorder_join=reorder_join,
+            max_steps=max_steps,
+            store=store,
+            anytime=anytime,
+            budget=budget,
+            max_active=max_active,
+            max_pending=max_pending,
+            max_workers=max_workers,
+            obs=obs,
+        )
+
+    # -- the API -------------------------------------------------------------
+
+    def check(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        *,
+        level_bound: Optional[int] = None,
+        schema: Optional[Iterable[Atom]] = None,
+        explain: bool = False,
+        anytime: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
+        scope: Optional[CancelScope] = None,
+    ) -> ContainmentResult:
+        """Decide ``q1 ⊆_Sigma q2``.
+
+        Returns a three-valued
+        :class:`~repro.containment.result.ContainmentResult` (TRUE /
+        FALSE / UNKNOWN-under-budget).  Identical concurrent calls are
+        coalesced onto one computation; chase work is cached in the
+        shared store for every later call with the same ``q1``.  Raises
+        :class:`~repro.core.errors.AdmissionRejected` under overload or
+        during shutdown.
+        """
+        return self._service.check(
+            q1,
+            q2,
+            level_bound=level_bound,
+            schema=schema,
+            explain=explain,
+            anytime=anytime,
+            budget=budget,
+            scope=scope,
+        )
+
+    def check_all(
+        self,
+        pairs: Iterable[tuple[ConjunctiveQuery, ConjunctiveQuery]],
+        *,
+        level_bound: Optional[int] = None,
+        schema: Optional[Iterable[Atom]] = None,
+        anytime: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
+        parallel: bool = True,
+    ) -> list[ContainmentResult]:
+        """Decide a batch of pairs, fanning cold chase groups out to the
+        engine's warm worker pool; results come back in input order.
+        """
+        return self._service.check_all(
+            pairs,
+            level_bound=level_bound,
+            schema=schema,
+            anytime=anytime,
+            budget=budget,
+            parallel=parallel,
+        )
+
+    def chase(self, query: ConjunctiveQuery, level_bound: int) -> ChaseResult:
+        """Chase *query*'s canonical database to *level_bound* levels.
+
+        Served from (and cached in) the engine's shared store: a prefix
+        computed at a larger bound is reused, a smaller one is extended
+        in place.
+        """
+        return self._service.chase_prefix(query, level_bound)
+
+    def explain(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        *,
+        level_bound: Optional[int] = None,
+        schema: Optional[Iterable[Atom]] = None,
+        anytime: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
+    ) -> ContainmentResult:
+        """:meth:`check` with decision provenance attached.
+
+        Shorthand for ``check(..., explain=True)``; see
+        :meth:`ContainmentResult.explain_data
+        <repro.containment.result.ContainmentResult.explain_data>`.
+        """
+        return self._service.check(
+            q1,
+            q2,
+            level_bound=level_bound,
+            schema=schema,
+            explain=True,
+            anytime=anytime,
+            budget=budget,
+        )
+
+    # -- lifecycle & introspection -------------------------------------------
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Drain in-flight requests, then join the warm pool's workers.
+
+        Returns ``True`` when everything drained within *timeout*
+        seconds (``None`` = wait forever).  After ``close`` the engine
+        rejects new requests.  Idempotent.
+        """
+        return self._service.close(timeout=timeout)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def service(self) -> ContainmentService:
+        """The underlying service (pool, queue, coalescing internals)."""
+        return self._service
+
+    @property
+    def checker(self) -> ContainmentChecker:
+        """The underlying checker — an escape hatch for advanced callers."""
+        return self._service.checker
+
+    @property
+    def store(self) -> ChaseStore:
+        """The shared chase store."""
+        return self._service.store
+
+    @property
+    def closed(self) -> bool:
+        return self._service.closed
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Counters of every layer: service, queue, pool, store."""
+        return self._service.stats_dict()
+
+    def __repr__(self) -> str:
+        return f"Engine({self._service!r})"

@@ -3,15 +3,28 @@
 Installed as ``flq`` (F-Logic Queries); also runnable as
 ``python -m repro``.  Subcommands:
 
-``flq check FILE [--explain] [--no-anytime] [--deadline S] [--max-facts N]
-[--max-memory-mb M] [--trace FILE] [--metrics FILE]``
+``flq check FILE [--explain] [--no-anytime] [--pool warm|cold]
+[--deadline S] [--max-facts N] [--max-memory-mb M] [--trace FILE]
+[--metrics FILE]``
     FILE holds two or more rules; check containment of the first in each
     of the others (under Sigma_FL and classically).  ``--explain`` prints
     decision provenance; ``--no-anytime`` disables the interleaved
-    chase/search schedule; the governance flags put the whole batch under
-    an :class:`~repro.governance.ExecutionBudget` — budget-stopped pairs
+    chase/search schedule; ``--pool`` picks how multi-group batches are
+    dispatched — ``warm`` (default) routes through the
+    :class:`repro.api.Engine` service pool whose workers persist across
+    batches, ``cold`` builds a throwaway pool per call (the legacy
+    behaviour); the governance flags put the whole batch under an
+    :class:`~repro.governance.ExecutionBudget` — budget-stopped pairs
     report UNKNOWN and the command exits 3; ``--trace``/``--metrics``
     export the span tree and the metrics registry.
+
+``flq serve [--max-active N] [--max-pending N] [--deadline S] ...``
+    Long-running service mode: one JSON request per stdin line, one JSON
+    response per stdout line (see :func:`_cmd_serve`).  A malformed or
+    failing request reports ``{"ok": false, "error": ...}`` on its own
+    line and the service keeps serving; EOF drains and exits 0.  The
+    governance flags set the *service envelope* — per-request budgets
+    can only tighten it.
 
 ``flq chase FILE [--max-level N] [--graph] [--deadline S] [--max-facts N]
 [--max-memory-mb M] [--trace FILE] [--metrics FILE]``
@@ -43,11 +56,13 @@ Installed as ``flq`` (F-Logic Queries); also runnable as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.cycles import predict_chase_termination
+from .api import Engine
 from .chase.engine import ChaseConfig, ChaseEngine, chase
 from .chase.graph import ChaseGraph
 from .containment.bounded import ContainmentChecker
@@ -173,35 +188,156 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 2
     obs = _make_obs(args)
     budget = _budget_from_args(args)
-    checker = ContainmentChecker(obs=obs, budget=budget)
     q1 = queries[0]
+    pairs = [(q1, q2) for q2 in queries[1:]]
     # Batch pipeline: every verdict draws on one shared chase of q1.  The
     # default anytime schedule extends that chase only as far as each
     # witness needs; --no-anytime chases to the largest bound up front.
-    results = checker.check_all(
-        [(q1, q2) for q2 in queries[1:]],
-        level_bound=args.level_bound,
-        anytime=not args.no_anytime,
-    )
-    status = 0
-    for q2, result in zip(queries[1:], results):
-        print(result.explain())
-        if result.unknown:
-            status = 3
-            continue
-        classic = contained_classic(q1, q2)
-        print(f"  (classic, constraint-free verdict: {classic.contained})")
-        if args.explain:
-            provenance = result.explain_data()
-            if provenance is not None:
-                for line in provenance.pretty().splitlines():
-                    print(f"  {line}")
-        if not result.contained and status == 0:
-            status = 1
-    if args.stats:
-        print(f"chase store: {checker.stats}")
+    with Engine(obs=obs, budget=budget) as engine:
+        if args.pool == "warm":
+            results = engine.check_all(
+                pairs,
+                level_bound=args.level_bound,
+                anytime=not args.no_anytime,
+            )
+        else:
+            # Legacy cold path: a throwaway pool per call, no service.
+            results = engine.checker.check_all(
+                pairs,
+                level_bound=args.level_bound,
+                anytime=not args.no_anytime,
+                budget=budget,
+                parallel=True,
+            )
+        status = 0
+        for q2, result in zip(queries[1:], results):
+            print(result.explain())
+            if result.unknown:
+                status = 3
+                continue
+            classic = contained_classic(q1, q2)
+            print(f"  (classic, constraint-free verdict: {classic.contained})")
+            if args.explain:
+                provenance = result.explain_data()
+                if provenance is not None:
+                    for line in provenance.pretty().splitlines():
+                        print(f"  {line}")
+            if not result.contained and status == 0:
+                status = 1
+        if args.stats:
+            print(f"chase store: {engine.checker.stats}")
+            print(f"service: {engine.stats()}")
     _export_obs(args, obs)
     return status
+
+
+def _parse_rule(text: str, default_name: str) -> ConjunctiveQuery:
+    """One conjunctive query from one F-logic rule/query string."""
+    program = parse_program(text)
+    rules = list(program.rules())
+    if rules:
+        return encode_rule(rules[0])
+    asks = list(program.queries())
+    if asks:
+        return encode_query(asks[0], name=default_name)
+    raise ReproError(f"no rule or query in {text!r}")
+
+
+def _serve_request(engine: Engine, request: dict) -> dict:
+    """Serve one decoded ``serve`` request; always returns a response dict."""
+    op = request.get("op", "check")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "stats":
+        return {"ok": True, "op": "stats", "stats": engine.stats()}
+    if op != "check":
+        raise ReproError(f"unknown op {op!r} (expected check, stats or ping)")
+    if "q1" not in request or "q2" not in request:
+        raise ReproError("check request needs 'q1' and 'q2' rule strings")
+    q1 = _parse_rule(str(request["q1"]), "q1")
+    q2 = _parse_rule(str(request["q2"]), "q2")
+    budget = None
+    if any(k in request for k in ("deadline", "max_facts", "max_memory_mb")):
+        memory_mb = request.get("max_memory_mb")
+        budget = ExecutionBudget(
+            deadline_seconds=request.get("deadline"),
+            max_facts=request.get("max_facts"),
+            max_memory_bytes=(
+                int(memory_mb * 1024 * 1024) if memory_mb is not None else None
+            ),
+        )
+    result = engine.check(
+        q1,
+        q2,
+        level_bound=request.get("level_bound"),
+        anytime=request.get("anytime"),
+        explain=bool(request.get("explain", False)),
+        budget=budget,
+    )
+    response = {
+        "ok": True,
+        "op": "check",
+        "q1": q1.name,
+        "q2": q2.name,
+        "decision": result.decision.name,
+        "contained": None if result.unknown else result.contained,
+        "reason": result.reason.value,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    if result.witness_level is not None:
+        response["witness_level"] = result.witness_level
+    if result.levels_chased is not None:
+        response["levels_chased"] = result.levels_chased
+    if request.get("explain") and result.provenance is not None:
+        response["provenance"] = result.provenance.pretty()
+    return response
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented JSON service over stdin/stdout.
+
+    Request per line: ``{"id": ..., "op": "check", "q1": "<rule>",
+    "q2": "<rule>", "level_bound": N?, "anytime": bool?, "explain":
+    bool?, "deadline": S?, "max_facts": N?, "max_memory_mb": M?}`` —
+    ``op`` defaults to ``"check"``; ``"stats"`` and ``"ping"`` are also
+    understood.  Response per line mirrors the request's ``id`` and is
+    either ``{"id": ..., "ok": true, "decision": "TRUE|FALSE|UNKNOWN",
+    "contained": bool|null, ...}`` or ``{"id": ..., "ok": false,
+    "error": "..."}``.  Errors are **per line**: a bad request never
+    stops the service.  EOF drains in-flight work and exits 0.
+    """
+    obs = _make_obs(args)
+    budget = _budget_from_args(args)
+    engine = Engine(
+        obs=obs,
+        budget=budget,
+        max_active=args.max_active,
+        max_pending=args.max_pending,
+    )
+    stdin = sys.stdin
+    stdout = sys.stdout
+    try:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            request_id = None
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ReproError("request must be a JSON object")
+                request_id = request.get("id")
+                response = _serve_request(engine, request)
+            except Exception as exc:  # per-line error reporting, keep serving
+                response = {"ok": False, "error": f"{exc}"}
+            if request_id is not None:
+                response["id"] = request_id
+            stdout.write(json.dumps(response) + "\n")
+            stdout.flush()
+    finally:
+        engine.close()
+        _export_obs(args, obs)
+    return 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -361,6 +497,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print chase-store hit/miss/extend counters after the verdicts",
     )
     p_check.add_argument(
+        "--pool",
+        choices=("warm", "cold"),
+        default="warm",
+        help=(
+            "batch dispatch mode: 'warm' reuses the service worker pool "
+            "across batches, 'cold' builds a throwaway pool per call"
+        ),
+    )
+    p_check.add_argument(
         "--explain",
         action="store_true",
         help="print decision provenance (witness levels, rule firings) per verdict",
@@ -376,6 +521,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p_chase)
     _add_budget_flags(p_chase)
     p_chase.set_defaults(func=_cmd_chase)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="line-oriented JSON containment service over stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--max-active",
+        type=int,
+        default=8,
+        metavar="N",
+        help="requests executing concurrently before new ones queue",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued requests before new ones are rejected",
+    )
+    _add_obs_flags(p_serve)
+    _add_budget_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_ask = sub.add_parser("ask", help="answer a query over an F-logic fact base")
     p_ask.add_argument("kb", help="file of F-logic facts")

@@ -1,10 +1,19 @@
-"""Query containment: the paper's bounded-chase procedure and the baseline."""
+"""Query containment: the paper's bounded-chase procedure and the baseline.
 
-from .bounded import ContainmentChecker, is_contained, theorem12_bound
-from .classic import contained_classic
-from .minimize import MinimizationResult, minimize_query
-from .result import ContainmentReason, ContainmentResult, Decision
-from .store import ChaseStore, StoreStats
+.. deprecated::
+    Importing the public names from ``repro.containment`` is deprecated
+    since the :mod:`repro.api` redesign.  Get the stable surface from
+    :class:`repro.api.Engine` / :mod:`repro` (``from repro import
+    is_contained, ContainmentResult, ...``); internal code imports the
+    concrete submodules (:mod:`~repro.containment.bounded`,
+    :mod:`~repro.containment.result`, ...) directly.  The old names keep
+    working through the PEP 562 shim below, with a
+    :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
 
 __all__ = [
     "is_contained",
@@ -19,3 +28,41 @@ __all__ = [
     "ChaseStore",
     "StoreStats",
 ]
+
+#: Shimmed name -> submodule that really defines it.
+_HOMES = {
+    "is_contained": "bounded",
+    "ContainmentChecker": "bounded",
+    "theorem12_bound": "bounded",
+    "contained_classic": "classic",
+    "minimize_query": "minimize",
+    "MinimizationResult": "minimize",
+    "ContainmentResult": "result",
+    "ContainmentReason": "result",
+    "Decision": "result",
+    "ChaseStore": "store",
+    "StoreStats": "store",
+}
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro.containment' is deprecated; "
+        f"use 'repro' (from repro import {name}) or the repro.api.Engine "
+        "facade instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from importlib import import_module
+
+    value = getattr(import_module(f".{home}", __name__), name)
+    # Cache it so the warning fires once per name per process.
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

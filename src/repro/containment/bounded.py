@@ -47,22 +47,22 @@ from ..governance.faults import Fault, FaultInjector
 from ..homomorphism.incremental import find_homomorphism_delta
 from ..homomorphism.search import SearchStats, find_homomorphism
 from ..obs import Observability
+from ..service.pool import (
+    POOL_MAX_RETRIES,
+    POOL_RETRY_BACKOFF,
+    POOL_TIMEOUT_GRACE,
+    WorkerPool,
+)
+from ..service.pool import check_group_worker as _check_group_worker
 from .result import ContainmentReason, ContainmentResult
 from .store import OUTCOME_HIT, ChaseStore
 
 __all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
 
-#: Per-group worker resubmissions in a parallel batch before the group
-#: falls back to in-parent sequential execution.
-POOL_MAX_RETRIES = 1
-
-#: Backoff before a pool retry, in seconds (scaled by the attempt count).
-POOL_RETRY_BACKOFF = 0.05
-
-#: Grace added to a worker's wall-clock allowance before the parent calls
-#: the worker wedged: process spawn and result pickling ride on top of
-#: the pairs' own deadline-bounded work.
-POOL_TIMEOUT_GRACE = 5.0
+# Pool lifecycle lives in repro.service.pool since the service layer was
+# introduced; the constants above and `_check_group_worker` stay bound
+# here (and are read through this module's globals at dispatch time) so
+# existing callers — and tests monkeypatching them — keep working.
 
 #: Levels the anytime schedule probes one by one before switching to
 #: geometrically growing strides.  Witnesses cluster at the first chase
@@ -92,36 +92,6 @@ ANYTIME_DELTA_MAX_SHARE = 4
 def theorem12_bound(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> int:
     """The Theorem-12 level bound ``|q2| * 2 * |q1|``."""
     return q2.size * 2 * q1.size
-
-
-def _check_group_worker(
-    payload: tuple,
-) -> list[ContainmentResult]:
-    """Decide one chase group in a worker process.
-
-    Module-level (picklable) entry point of the parallel batch pipeline.
-    The worker owns a private checker/store — chase work is shared within
-    the group it processes, and the parent's store is untouched.
-
-    Deadline enforcement is **worker-side**: the shipped
-    :class:`~repro.governance.ExecutionBudget` (if any) governs every
-    check run here, so a budget-stopped pair comes back as an UNKNOWN
-    result instead of wedging the pool; the parent's per-future timeout
-    is only the second line of defence.  A shipped fault plan rebuilds a
-    private :class:`~repro.governance.FaultInjector` in this process.
-    """
-    dependencies, reorder_join, max_steps, anytime, budget, fault_plan, items = payload
-    checker = ContainmentChecker(
-        dependencies,
-        reorder_join=reorder_join,
-        max_steps=max_steps,
-        anytime=anytime,
-        budget=budget,
-        faults=fault_plan,
-    )
-    return [
-        checker.check(q1, q2, level_bound=bound) for q1, q2, bound in items
-    ]
 
 
 class ContainmentChecker:
@@ -233,12 +203,16 @@ class ContainmentChecker:
         spent extending the (possibly shared) run — zero on a pure cache
         hit.  Callers attribute it to the decision that triggered it, so
         per-result timings no longer silently exclude shared chase cost.
+
+        Runs inside a :meth:`ChaseStore.session`, so concurrent requests
+        for the same canonical query serialise on one run — the second
+        arrival finds the first one's prefix as a cache hit.
         """
-        run, outcome = self.store.open(query, level_bound)
-        before = run.elapsed_seconds
-        if outcome is not OUTCOME_HIT:
-            run.extend_to(level_bound, governor=governor)
-        return run.result(), outcome, run.elapsed_seconds - before
+        with self.store.session(query, level_bound) as (run, outcome):
+            before = run.elapsed_seconds
+            if outcome is not OUTCOME_HIT:
+                run.extend_to(level_bound, governor=governor)
+            return run.result(), outcome, run.elapsed_seconds - before
 
     # -- decision ------------------------------------------------------------
 
@@ -424,6 +398,7 @@ class ContainmentChecker:
         max_workers: Optional[int] = None,
         budget: Optional[ExecutionBudget] = None,
         worker_faults: Optional[Sequence[Fault]] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> list[ContainmentResult]:
         """Decide many ``q1 ⊆ q2`` pairs, chasing each distinct ``q1`` once.
 
@@ -455,6 +430,14 @@ class ContainmentChecker:
         preserved in every case.  *worker_faults* ships a fault plan to
         the workers (test-only; the in-parent fallback deliberately runs
         without it).
+
+        *pool* injects a :class:`~repro.service.pool.WorkerPool` whose
+        workers persist across batches (the service layer's warm pool):
+        passing one implies ``parallel=True``, the pool is *not* shut
+        down when the batch ends, and a broken or wedged pool is recycled
+        instead of abandoned.  Groups whose chase the parent store
+        already covers are decided in-process — a warmed-up batch pays no
+        dispatch at all — and only cold groups travel to the workers.
         """
         use_anytime = self.anytime if anytime is None else anytime
         budget = budget if budget is not None else self.budget
@@ -471,9 +454,10 @@ class ContainmentChecker:
             groups.setdefault(q1.canonical_key(), []).append(i)
 
         results: list[Optional[ContainmentResult]] = None
-        if parallel and len(groups) > 1:
+        if (parallel or pool is not None) and len(groups) > 1:
             results = self._check_all_parallel(
-                prepared, groups, use_anytime, max_workers, budget, worker_faults
+                prepared, groups, use_anytime, max_workers, budget,
+                worker_faults, pool,
             )
         if results is None:
             results = [None] * len(prepared)
@@ -560,6 +544,7 @@ class ContainmentChecker:
         max_workers: Optional[int],
         budget: Optional[ExecutionBudget] = None,
         worker_faults: Optional[Sequence[Fault]] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> Optional[list[Optional[ContainmentResult]]]:
         """Fan chase groups out to a process pool; ``None`` = fall back.
 
@@ -568,6 +553,21 @@ class ContainmentChecker:
         Returns ``None`` when the pool cannot be created or breaks
         outright — the caller then runs the ordinary sequential path, so
         ``parallel=True`` degrades gracefully on restricted platforms.
+
+        **Warm-group routing** — a group whose chase the parent store
+        already covers (a repeat batch, or pairs decided earlier through
+        the same checker) is decided in-process: the store answers from
+        the cached run and the group never travels to a worker.  Only
+        cold groups are dispatched, so a fully warmed-up batch performs
+        zero pool round-trips.
+
+        **Warm pools** — when *pool* (a
+        :class:`~repro.service.pool.WorkerPool`) is given, its executor
+        is reused across batches: it is never shut down here, and a
+        broken or wedged executor is handed back via
+        :meth:`~repro.service.pool.WorkerPool.recycle` so the *next*
+        batch gets fresh workers.  Without *pool*, a cold ephemeral
+        executor is created and torn down per call (the legacy path).
 
         Per-group resilience (three layers, outermost last):
 
@@ -584,15 +584,52 @@ class ContainmentChecker:
            sequentially (without *worker_faults*), so every input slot is
            filled exactly once, in order, no matter what the pool did.
         """
+        results: list[Optional[ContainmentResult]] = [None] * len(prepared)
+        metrics = self.obs.metrics
+
+        # Split warm groups (parent store already covers the chase) from
+        # cold ones; warm groups are decided here, without dispatch.
+        cold_groups: list[list[int]] = []
+        warm_groups = 0
+        for indexes in groups.values():
+            q1 = prepared[indexes[0]][0]
+            max_bound = max(prepared[i][2] for i in indexes)
+            if self.store.covers(q1, max_bound):
+                warm_groups += 1
+                for i in indexes:
+                    q1, q2, bound = prepared[i]
+                    results[i] = self._checked(q1, q2, bound, anytime, budget=budget)
+            else:
+                cold_groups.append(indexes)
+        if metrics is not None and warm_groups:
+            metrics.counter("containment.pool_warm_groups").inc(warm_groups)
+        if not cold_groups:
+            if metrics is not None:
+                metrics.counter("containment.checks").inc(len(prepared))
+            return results
+
         try:
-            from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures import TimeoutError as FuturesTimeout
             from concurrent.futures.process import BrokenProcessPool
-
-            executor = ProcessPoolExecutor(max_workers=max_workers)
-        except (ImportError, NotImplementedError, OSError, ValueError, PermissionError):
+        except ImportError:
             return None
-        results: list[Optional[ContainmentResult]] = [None] * len(prepared)
+        if pool is not None:
+            executor = pool.acquire()
+            if executor is None:
+                return None
+        else:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(max_workers=max_workers)
+            except (
+                ImportError,
+                NotImplementedError,
+                OSError,
+                ValueError,
+                PermissionError,
+            ):
+                return None
         payload_head = (
             self.dependencies,
             self.reorder_join,
@@ -605,13 +642,15 @@ class ContainmentChecker:
         retries = 0
         fallback_groups = 0
         timed_out = False
+        if pool is not None:
+            pool.stats.tasks_submitted += len(cold_groups)
         try:
             futures = {
                 executor.submit(
                     _check_group_worker,
                     payload_head + ([prepared[i] for i in indexes],),
                 ): indexes
-                for indexes in groups.values()
+                for indexes in cold_groups
             }
             for future, indexes in futures.items():
                 payload = payload_head + ([prepared[i] for i in indexes],)
@@ -661,15 +700,26 @@ class ContainmentChecker:
                 for slot, result in zip(indexes, group_results):
                     results[slot] = result
         except (BrokenProcessPool, OSError):
-            executor.shutdown(wait=False, cancel_futures=True)
+            if pool is not None:
+                # Hand the broken executor back for replacement; the warm
+                # pool itself stays open for the next batch.
+                pool.recycle(reason="broken")
+            else:
+                executor.shutdown(wait=False, cancel_futures=True)
             return None
         finally:
-            # A wedged worker would make the ordinary shutdown wait
-            # forever; abandon it and let the interpreter reap the pool.
-            executor.shutdown(wait=not timed_out, cancel_futures=True)
-        metrics = self.obs.metrics
+            if pool is not None:
+                # Never close a warm pool at batch end — that is the whole
+                # point.  A wedged executor is recycled so the next batch
+                # starts from fresh workers.
+                if timed_out:
+                    pool.recycle(reason="wedged")
+            else:
+                # A wedged worker would make the ordinary shutdown wait
+                # forever; abandon it and let the interpreter reap the pool.
+                executor.shutdown(wait=not timed_out, cancel_futures=True)
         if metrics is not None:
-            metrics.counter("containment.parallel_groups").inc(len(groups))
+            metrics.counter("containment.parallel_groups").inc(len(cold_groups))
             metrics.counter("containment.checks").inc(len(prepared))
             if retries:
                 metrics.counter("containment.pool_retries").inc(retries)
@@ -763,12 +813,35 @@ class ContainmentChecker:
         share of the prefix (:data:`ANYTIME_DELTA_MAX_SHARE`) runs a
         plain full search instead, which is cheaper there than the sum of
         the delta's anchored restrictions.
+
+        The whole probe loop runs inside a :meth:`ChaseStore.session` for
+        ``q1``'s canonical key: concurrent same-key checks coalesce onto
+        one chase extension (the waiter resumes against the materialised
+        prefix) and the run cannot be evicted mid-decision.
         """
+        with self.store.session(q1, bound) as (run, outcome):
+            return self._decide_anytime_locked(
+                q1, q2, bound, start, run, outcome,
+                explain=explain, governor=governor,
+            )
+
+    def _decide_anytime_locked(
+        self,
+        q1: ConjunctiveQuery,
+        q2: ConjunctiveQuery,
+        bound: int,
+        start: float,
+        run,
+        outcome: str,
+        *,
+        explain: bool = False,
+        governor: Optional[Governor] = None,
+    ) -> ContainmentResult:
+        """The anytime probe loop proper — callers hold ``q1``'s session."""
         metrics = self.obs.metrics
         tracer = self.obs.tracer
         if metrics is not None:
             metrics.counter("containment.checks").inc()
-        run, outcome = self.store.open(q1, bound)
         chase_before = run.elapsed_seconds
         search_stats = (
             SearchStats() if (tracer.enabled or metrics is not None) else None

@@ -23,13 +23,27 @@ The store is the unit of sharing: hand one instance to several
 :class:`~repro.containment.bounded.ContainmentChecker` objects (or to
 :func:`~repro.containment.minimize.minimize_query`, UCQ containment, the
 batch pipeline ...) and they all draw from the same chase pool.
+
+**Concurrency.**  The store is safe to share between threads — the
+service layer (:mod:`repro.service`) makes concurrent access the norm.
+Bookkeeping (the LRU dict, the counters) is guarded by one store mutex;
+chase *work* is serialised per canonical key through :meth:`session`,
+which hands out the run under a per-key lock and pins it against
+eviction for the duration.  Two threads checking queries with the same
+canonical key therefore coalesce onto one :class:`ChaseRun` extension —
+the second thread finds the prefix the first one just materialised —
+while threads on different keys proceed in parallel.  Eviction never
+removes a run that is pinned by an open session (the in-use guard); the
+store may transiently exceed ``capacity`` when every entry is in use.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..chase.engine import ChaseConfig, ChaseEngine, ChaseRun
 from ..core.query import ConjunctiveQuery
@@ -185,6 +199,14 @@ class ChaseStore:
         )
         self._runs: "OrderedDict[tuple, ChaseRun]" = OrderedDict()
         self.stats = StoreStats().bind(self.obs.metrics)
+        # Store mutex: guards _runs / _pins / _key_locks / stats.  Chase
+        # work never happens under it — only dict bookkeeping does.
+        self._mutex = threading.RLock()
+        # Per-canonical-key extension locks and in-use pin counts; see
+        # session().  A key's lock is dropped when its run is evicted
+        # (pinned runs are never evicted, so no waiter loses its lock).
+        self._key_locks: dict[tuple, threading.RLock] = {}
+        self._pins: dict[tuple, int] = {}
 
     # -- the one lookup path -------------------------------------------------
 
@@ -199,15 +221,51 @@ class ChaseStore:
         Lookup is a single O(1) dict probe on the canonical key — there
         is no linear scan over cached entries.
         """
-        run, outcome = self.open(query, level_bound)
-        if outcome is not OUTCOME_HIT:
-            run.extend_to(level_bound)
-        return run, outcome
+        with self.session(query, level_bound) as (run, outcome):
+            if outcome is not OUTCOME_HIT:
+                run.extend_to(level_bound)
+            return run, outcome
+
+    @contextmanager
+    def session(
+        self, query: ConjunctiveQuery, level_bound: Optional[int]
+    ) -> Iterator[tuple[ChaseRun, str]]:
+        """Exclusive, eviction-pinned access to the run for *query*.
+
+        The context manager acquires the canonical key's extension lock,
+        pins the entry against LRU eviction, and yields the
+        :meth:`open` pair ``(run, outcome)``.  While the session is open
+        the holder may freely drive :meth:`ChaseRun.extend_to` — no other
+        thread can extend (or evict) the same run, and a thread that was
+        blocked on the same key observes every level the holder
+        materialised as a cache hit.  This is the request-coalescing
+        primitive of the service layer: same-key work is deduplicated
+        onto one chase extension instead of racing.
+
+        Re-entrant within a thread (the per-key lock is an RLock), so a
+        session holder may call back into store APIs for the same query.
+        """
+        key = query.canonical_key()
+        with self._mutex:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.RLock()
+            self._pins[key] = self._pins.get(key, 0) + 1
+        try:
+            with lock:
+                yield self.open(query, level_bound)
+        finally:
+            with self._mutex:
+                remaining = self._pins.get(key, 0) - 1
+                if remaining <= 0:
+                    self._pins.pop(key, None)
+                else:
+                    self._pins[key] = remaining
 
     def open(
         self, query: ConjunctiveQuery, level_bound: Optional[int]
     ) -> tuple[ChaseRun, str]:
-        """The session for *query*, classified against *level_bound* — unchased.
+        """The run for *query*, classified against *level_bound* — unchased.
 
         Identical bookkeeping to :meth:`run_for` (counters, LRU order,
         eviction, the ``store.lookup`` span) but the returned run is *not*
@@ -217,51 +275,108 @@ class ChaseStore:
         a witness appears early — the outcome still classifies the request
         against the *requested* bound (miss / covered / would-extend), so
         hit-rate accounting stays comparable across modes.
+
+        Thread-safe for the bookkeeping, but the returned run itself is
+        only safe to extend under the key's :meth:`session` — concurrent
+        callers should prefer that entry point.
         """
         tracer = self.obs.tracer
         with tracer.span("store.lookup", query=query.name) as span:
             key = query.canonical_key()
-            run = self._runs.get(key)
-            if run is None:
-                self.stats.record_miss()
-                run = self.engine.start(query)
-                self._runs[key] = run
-                self.stats.entry_added()
-                outcome = OUTCOME_FULL
-            elif not run.covers(level_bound):
-                self.stats.record_extension()
-                outcome = OUTCOME_EXTEND
-            else:
-                self.stats.record_hit()
-                outcome = OUTCOME_HIT
-            self._runs.move_to_end(key)
-            if self.capacity is not None:
-                while len(self._runs) > self.capacity:
-                    self._runs.popitem(last=False)
-                    self.stats.record_eviction()
-                    self.stats.entry_removed()
+            with self._mutex:
+                run = self._runs.get(key)
+                if run is None:
+                    self.stats.record_miss()
+                    run = self.engine.start(query)
+                    self._runs[key] = run
+                    self.stats.entry_added()
+                    outcome = OUTCOME_FULL
+                elif not run.covers(level_bound):
+                    self.stats.record_extension()
+                    outcome = OUTCOME_EXTEND
+                else:
+                    self.stats.record_hit()
+                    outcome = OUTCOME_HIT
+                self._runs.move_to_end(key)
+                self._evict_over_capacity(protect=key)
+                entries = len(self._runs)
             if tracer.enabled:
-                span.set(outcome=outcome, bound=level_bound, entries=len(self._runs))
+                span.set(outcome=outcome, bound=level_bound, entries=entries)
         return run, outcome
+
+    def _evict_over_capacity(self, protect: tuple) -> None:
+        """Drop LRU entries beyond ``capacity`` — callers hold the mutex.
+
+        The in-use guard: an entry pinned by an open :meth:`session` (or
+        the *protect* key the current lookup just touched) is never
+        evicted, so a run cannot vanish while a thread is extending or
+        reading it.  When every entry is pinned the store stays over
+        capacity until sessions close — correctness beats the LRU bound.
+        """
+        if self.capacity is None:
+            return
+        over = len(self._runs) - self.capacity
+        if over <= 0:
+            return
+        victims = [
+            key
+            for key in self._runs
+            if key != protect and not self._pins.get(key)
+        ][:over]
+        for key in victims:
+            del self._runs[key]
+            self._key_locks.pop(key, None)
+            self.stats.record_eviction()
+            self.stats.entry_removed()
 
     # -- inspection ----------------------------------------------------------
 
     def peek(self, query: ConjunctiveQuery) -> Optional[ChaseRun]:
         """The stored run for *query*, without counters or LRU effects."""
-        return self._runs.get(query.canonical_key())
+        with self._mutex:
+            return self._runs.get(query.canonical_key())
+
+    def covers(self, query: ConjunctiveQuery, level_bound: Optional[int]) -> bool:
+        """Whether a stored run already answers *query* at *level_bound*.
+
+        A pure read (no counters, no LRU effects): true exactly when a
+        lookup at this bound would be a :data:`OUTCOME_HIT`.  The service
+        layer uses it to route batch groups — cached groups are decided
+        in-process, only cold groups pay for a pool dispatch.
+        """
+        with self._mutex:
+            run = self._runs.get(query.canonical_key())
+            return run is not None and run.covers(level_bound)
 
     def __contains__(self, query: ConjunctiveQuery) -> bool:
-        return query.canonical_key() in self._runs
+        with self._mutex:
+            return query.canonical_key() in self._runs
 
     def __len__(self) -> int:
-        return len(self._runs)
+        with self._mutex:
+            return len(self._runs)
 
     def clear(self) -> None:
-        """Drop every stored run (counters are kept, the live gauge drops)."""
-        dropped = len(self._runs)
-        self._runs.clear()
-        if dropped:
-            self.stats.entry_removed(dropped)
+        """Drop every stored run (counters are kept, the live gauge drops).
+
+        Runs pinned by an open :meth:`session` survive — clearing under a
+        concurrent extension must not pull the run out from under it.
+        """
+        with self._mutex:
+            survivors = OrderedDict(
+                (key, run)
+                for key, run in self._runs.items()
+                if self._pins.get(key)
+            )
+            dropped = len(self._runs) - len(survivors)
+            self._runs = survivors
+            self._key_locks = {
+                key: lock
+                for key, lock in self._key_locks.items()
+                if key in survivors
+            }
+            if dropped:
+                self.stats.entry_removed(dropped)
 
     def __repr__(self) -> str:
         cap = "unbounded" if self.capacity is None else str(self.capacity)

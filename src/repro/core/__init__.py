@@ -24,6 +24,7 @@ from .atoms import (
     validate_pfl_atom,
 )
 from .errors import (
+    AdmissionRejected,
     ArityError,
     BudgetExceeded,
     ChaseBudgetExceeded,
@@ -87,6 +88,7 @@ __all__ = [
     "fresh_variable_namer",
     # errors
     "ReproError",
+    "AdmissionRejected",
     "ArityError",
     "SchemaError",
     "SubstitutionError",

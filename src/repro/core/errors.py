@@ -40,6 +40,21 @@ class QueryError(ReproError):
     """
 
 
+class AdmissionRejected(ReproError):
+    """The containment service refused to admit a request.
+
+    Raised by the service layer's admission controller when the bounded
+    request queue is full or the service is draining toward shutdown.
+    Rejection is explicit and immediate — a request is never silently
+    dropped, and an admitted request is never evicted part-way.
+    """
+
+    def __init__(self, message: str, *, reason: str = "rejected"):
+        super().__init__(message)
+        #: Machine-readable cause: ``"queue-full"`` or ``"draining"``.
+        self.reason = reason
+
+
 class ChaseFailure(ReproError):
     """The chase failed: an EGD equated two distinct real constants.
 

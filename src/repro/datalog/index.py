@@ -5,6 +5,27 @@ secondary hash indexes on every (position, term) pair.  Pattern matching
 against the index — the inner loop of both the Datalog engine and the
 chase — therefore touches only the facts that agree with the pattern's
 bound positions instead of scanning whole relations.
+
+**Snapshot semantics.**  The service layer makes concurrent reads of a
+chase instance the norm (one thread answers a request from a cached run
+while another extends it), so the two read APIs state their contracts
+explicitly:
+
+* :meth:`FactIndex.candidates` *always* snapshots: the chosen bucket is
+  copied into a tuple before it is returned, so a caller lazily
+  consuming matches never races a concurrent ``add`` into a torn bucket
+  or a ``RuntimeError: set changed size during iteration``;
+* :meth:`FactIndex.facts` returns a zero-copy **live** view by default
+  (the hot-path contract — no allocation per probe).  Callers that
+  iterate across a possible mutation ask for ``facts(p, snapshot=True)``
+  or call :meth:`FactsView.snapshot`, both of which return an immutable
+  point-in-time tuple.
+
+The index itself is *not* internally locked: writers must be serialised
+by the owner (the chase engine extends under its run's session lock —
+see :meth:`repro.containment.store.ChaseStore.session`), and the
+snapshot APIs are what make lock-free readers safe alongside that one
+writer.
 """
 
 from __future__ import annotations
@@ -45,6 +66,15 @@ class FactsView(AbstractSet):
 
     def __contains__(self, atom) -> bool:
         return atom in self._bucket
+
+    def snapshot(self) -> tuple[Atom, ...]:
+        """An immutable point-in-time copy of the bucket.
+
+        Safe to iterate while the underlying index keeps growing —
+        the tuple is detached the moment it is built (atoms added after
+        the call are not seen, and no torn state ever is).
+        """
+        return tuple(self._bucket)
 
     @classmethod
     def _from_iterable(cls, iterable) -> frozenset:
@@ -132,11 +162,20 @@ class FactIndex:
     def predicates(self) -> set[str]:
         return {p for p, bucket in self._by_predicate.items() if bucket}
 
-    def facts(self, predicate: str) -> FactsView:
-        """All stored atoms with the given predicate (zero-copy live view)."""
+    def facts(self, predicate: str, *, snapshot: bool = False):
+        """All stored atoms with the given predicate.
+
+        By default a zero-copy **live** :class:`FactsView` (the hot-path
+        contract: no allocation, later mutations show through).  With
+        ``snapshot=True`` an immutable point-in-time tuple instead —
+        the form to use when iteration may overlap a concurrent
+        extension of the index (see the module docstring).
+        """
         bucket = self._by_predicate.get(predicate)
         if not bucket:
-            return _EMPTY_FACTS
+            return () if snapshot else _EMPTY_FACTS
+        if snapshot:
+            return tuple(bucket)
         return FactsView(bucket)
 
     def count(self, predicate: str) -> int:

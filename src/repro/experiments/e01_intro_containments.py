@@ -12,7 +12,7 @@ The paper's claims:
 
 from __future__ import annotations
 
-from ..containment.bounded import ContainmentChecker
+from ..api import Engine
 from ..containment.classic import contained_classic
 from ..workloads.corpus import PAPER_CONTAINMENT_PAIRS
 from .tables import ExperimentReport, Table
@@ -25,10 +25,10 @@ def run() -> ExperimentReport:
         "Paper Section-1 containments: Sigma_FL-aware vs classic",
         ["pair", "expected", "sigma_fl", "classic", "witness"],
     )
-    checker = ContainmentChecker()
+    engine = Engine()
     results = []
     for q1, q2, expect_sigma, expect_classic in PAPER_CONTAINMENT_PAIRS:
-        sigma_result = checker.check(q1, q2)
+        sigma_result = engine.check(q1, q2)
         classic_result = contained_classic(q1, q2)
         witness = str(sigma_result.witness) if sigma_result.witness else "-"
         table.add_row(

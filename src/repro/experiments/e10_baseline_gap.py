@@ -9,7 +9,7 @@ it misses is the value the paper's machinery adds.
 
 from __future__ import annotations
 
-from ..containment.bounded import ContainmentChecker
+from ..api import Engine
 from ..containment.classic import contained_classic
 from ..workloads.corpus import PAPER_CONTAINMENT_PAIRS
 from ..workloads.query_gen import QueryGenerator
@@ -24,9 +24,11 @@ def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
     for _ in range(random_pairs):
         pairs.append(gen.containment_pair())
 
-    checker = ContainmentChecker()
+    engine = Engine()
     # One batch call: pairs sharing a q1 (up to renaming) share one chase.
-    sigma_results = checker.check_all(pairs)
+    # Sequential on purpose — the experiment compares decision procedures,
+    # not dispatch strategies, and in-process store sharing is the point.
+    sigma_results = engine.check_all(pairs, parallel=False)
     both = classic_only = sigma_only = neither = 0
     for (q1, q2), sigma_result in zip(pairs, sigma_results):
         sigma = sigma_result.contained
@@ -54,7 +56,7 @@ def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
         table.add_row(label, count, f"{100 * count / total:.1f}%")
 
     sigma_total = both + sigma_only
-    stats = checker.stats
+    stats = engine.checker.stats
     summary = (
         f"Of {sigma_total} contained pairs, {sigma_only} "
         f"({100 * sigma_only / max(sigma_total, 1):.0f}%) hold only under "

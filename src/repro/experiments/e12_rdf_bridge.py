@@ -15,7 +15,7 @@ vocabulary.
 
 from __future__ import annotations
 
-from ..containment.bounded import ContainmentChecker
+from ..api import Engine
 from ..containment.classic import contained_classic
 from ..core.terms import Variable
 from ..rdf.bridge import encode_bgp
@@ -77,12 +77,12 @@ def run() -> ExperimentReport:
         "BGP containment through the P_FL bridge",
         ["pair", "expected", "sigma_fl", "classic"],
     )
-    checker = ContainmentChecker()
+    engine = Engine()
     rows = []
     all_match = True
     for bgp1, bgp2, expected in bridge_pairs():
         q1, q2 = encode_bgp(bgp1), encode_bgp(bgp2)
-        sigma = checker.check(q1, q2).contained
+        sigma = engine.check(q1, q2).contained
         classic = contained_classic(q1, q2).contained
         all_match = all_match and sigma == expected
         table.add_row(f"{bgp1.name} ⊆ {bgp2.name}", expected, sigma, classic)

@@ -83,6 +83,32 @@ class ExecutionBudget:
             and self.max_steps is None
         )
 
+    def merged(self, other: Optional["ExecutionBudget"]) -> "ExecutionBudget":
+        """The tightest combination of this budget and *other*.
+
+        Every limit is the elementwise minimum (``None`` = unlimited
+        loses to any concrete ceiling).  This is the budget-inheritance
+        rule of the service layer: a service-wide default budget merged
+        with a per-request budget can only get stricter, so no request
+        escapes the envelope the service was configured with.
+        """
+        if other is None:
+            return self
+
+        def _min(a, b):
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return ExecutionBudget(
+            deadline_seconds=_min(self.deadline_seconds, other.deadline_seconds),
+            max_facts=_min(self.max_facts, other.max_facts),
+            max_memory_bytes=_min(self.max_memory_bytes, other.max_memory_bytes),
+            max_steps=_min(self.max_steps, other.max_steps),
+        )
+
 
 @dataclass(frozen=True)
 class BudgetReport:

@@ -1,0 +1,45 @@
+"""repro.service — the long-lived containment service layer.
+
+Three cooperating pieces, one per module:
+
+* :mod:`~repro.service.pool` — :class:`WorkerPool`, the warm process
+  pool whose workers persist across batches and are health-checked and
+  recycled rather than torn down;
+* :mod:`~repro.service.queue` — :class:`AdmissionQueue`, the bounded
+  admission gate that rejects (never buffers) overload and drains
+  cleanly on shutdown;
+* :mod:`~repro.service.engine` — :class:`ContainmentService`, the
+  orchestrator that admits, coalesces, budgets and schedules requests
+  over the two above.
+
+Most callers should not import from here directly: the stable public
+surface is :class:`repro.api.Engine`, which owns one
+:class:`ContainmentService` and adds configuration-at-construction and
+context-manager lifetime on top.
+"""
+
+from __future__ import annotations
+
+from .pool import PoolStats, WorkerPool
+from .queue import AdmissionQueue, QueueStats
+
+__all__ = [
+    "WorkerPool",
+    "PoolStats",
+    "AdmissionQueue",
+    "QueueStats",
+    "ContainmentService",
+    "ServiceStats",
+]
+
+
+def __getattr__(name: str):
+    # ContainmentService sits *above* repro.containment in the layer
+    # order (it drives a ContainmentChecker), while repro.containment
+    # imports repro.service.pool; resolving the engine lazily keeps the
+    # package importable from both directions.
+    if name in ("ContainmentService", "ServiceStats"):
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,152 @@
+"""ChaseStore under concurrent access: sessions, pins, eviction guards."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.containment.bounded import ContainmentChecker, theorem12_bound
+from repro.containment.store import OUTCOME_HIT, ChaseStore
+from repro.workloads import QueryGenerator
+
+
+class TestOneKeyHammer:
+    def test_eight_threads_extend_one_key(self, joinable_pair):
+        """The regression the service layer depends on: 8 threads share one
+        canonical-key session without torn runs or double chases."""
+        q1, q2 = joinable_pair
+        store = ChaseStore()
+        bound = theorem12_bound(q1, q2)
+        errors = []
+        runs = []
+        barrier = threading.Barrier(8)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=30)
+                for step in range(10):
+                    # Alternate small and large bounds so extensions and
+                    # hits interleave across threads.
+                    level = 1 + ((worker + step) % bound)
+                    with store.session(q1, level) as (run, outcome):
+                        if outcome != OUTCOME_HIT:
+                            run.extend_to(level)
+                        assert (
+                            run.covers(level)
+                            or run.result().failed
+                            or run.saturated
+                        )
+                        runs.append(run)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        # Every thread worked on the *same* run object: one chase, shared.
+        assert len(set(map(id, runs))) == 1
+        assert store.stats.misses == 1
+        assert len(store) == 1
+
+    def test_concurrent_checkers_share_a_store(self, joinable_pair):
+        q1, q2 = joinable_pair
+        store = ChaseStore()
+        checker = ContainmentChecker(store=store)
+        results = [None] * 8
+        errors = []
+
+        def work(i):
+            try:
+                results[i] = checker.check(q1, q2)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert all(r.contained for r in results)
+        assert store.stats.misses == 1
+
+
+class TestEvictionGuard:
+    def test_in_use_entry_survives_eviction_pressure(self):
+        """An entry pinned by an open session is never evicted, even when
+        other threads push the store past capacity."""
+        gen = QueryGenerator(5)
+        queries = [gen.query() for _ in range(12)]
+        store = ChaseStore(capacity=2)
+        pinned_q = queries[0]
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def hold_session():
+            try:
+                with store.session(pinned_q, 1) as (run, _):
+                    entered.set()
+                    assert release.wait(timeout=30)
+                    # The pinned run must still be the stored one.
+                    assert store.peek(pinned_q) is run
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def churn(qs):
+            try:
+                for q in qs:
+                    with store.session(q, 1):
+                        pass
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        holder = threading.Thread(target=hold_session)
+        holder.start()
+        assert entered.wait(timeout=30)
+        churners = [
+            threading.Thread(target=churn, args=(queries[1 + 4 * i : 1 + 4 * (i + 1)],))
+            for i in range(2)
+        ]
+        for t in churners:
+            t.start()
+        for t in churners:
+            t.join(timeout=120)
+        release.set()
+        holder.join(timeout=30)
+        assert not errors
+        # Once the pin dropped, capacity is enforced again on next touch.
+        with store.session(queries[1], 1):
+            pass
+        assert len(store) <= 3
+
+    def test_clear_keeps_pinned_entries(self, joinable_pair):
+        q1, _ = joinable_pair
+        store = ChaseStore()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with store.session(q1, 1) as (run, _):
+                entered.set()
+                release.wait(timeout=30)
+
+        t = threading.Thread(target=hold)
+        t.start()
+        assert entered.wait(timeout=30)
+        store.clear()
+        assert store.peek(q1) is not None  # pinned survivor
+        release.set()
+        t.join(timeout=30)
+
+    def test_covers_is_a_pure_read(self, joinable_pair):
+        q1, _ = joinable_pair
+        store = ChaseStore()
+        assert store.covers(q1, 1) is False
+        store.run_for(q1, 1)
+        hits_before = store.stats.hits
+        assert store.covers(q1, 1) is True
+        assert store.covers(q1, 10**6) in (True, False)
+        assert store.stats.hits == hits_before  # covers() counted nothing

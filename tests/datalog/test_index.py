@@ -215,3 +215,88 @@ class TestBucketHygiene:
         assert index.predicates() == {
             p for p in index._by_predicate if index._by_predicate[p]
         }
+
+
+class TestSnapshotSemantics:
+    """The documented read contracts the service layer's concurrent
+    readers rely on (see the module docstring of repro.datalog.index)."""
+
+    def test_facts_live_view_reflects_mutations(self):
+        index = FactIndex()
+        view = index.facts("member")
+        index.add(member(Constant("o1"), Constant("c")))
+        assert len(view) == 0 or len(view) == 1  # empty sentinel is static
+        live = index.facts("member")
+        index.add(member(Constant("o2"), Constant("c")))
+        assert len(live) == 2  # live: later adds show through
+
+    def test_facts_snapshot_is_detached(self):
+        index = FactIndex()
+        index.add(member(Constant("o1"), Constant("c")))
+        snap = index.facts("member", snapshot=True)
+        assert isinstance(snap, tuple) and len(snap) == 1
+        index.add(member(Constant("o2"), Constant("c")))
+        assert len(snap) == 1  # the snapshot does not grow
+        assert index.facts("missing", snapshot=True) == ()
+
+    def test_factsview_snapshot_method(self):
+        index = FactIndex()
+        index.add(member(Constant("o1"), Constant("c")))
+        view = index.facts("member")
+        snap = view.snapshot()
+        index.add(member(Constant("o2"), Constant("c")))
+        assert len(snap) == 1 and len(view) == 2
+
+    def test_candidates_snapshot_survives_mutation_during_iteration(self):
+        index = FactIndex()
+        for i in range(50):
+            index.add(member(Constant(f"o{i}"), Constant("c")))
+        pattern = member(Variable("X"), Constant("c"))
+        seen = 0
+        for atom in index.candidates(pattern):
+            # Mutating mid-iteration must not raise or tear the bucket.
+            index.add(member(Constant(f"new{seen}"), Constant("c")))
+            seen += 1
+        assert seen == 50
+
+    def test_iteration_during_concurrent_extension_sees_no_torn_bucket(self):
+        """One writer extends, readers iterate snapshots: every atom seen
+        is complete and the reader never crashes mid-iteration."""
+        import threading
+
+        index = FactIndex()
+        for i in range(100):
+            index.add(member(Constant(f"seed{i}"), Constant("c")))
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                index.add(member(Constant(f"w{i}"), Constant("c")))
+                index.add(sub(Constant(f"w{i}"), Constant("top")))
+                i += 1
+
+        def reader():
+            try:
+                pattern = member(Variable("X"), Constant("c"))
+                for _ in range(200):
+                    for atom in index.candidates(pattern):
+                        assert atom.predicate == "member"
+                        assert len(atom.args) == 2
+                    for atom in index.facts("sub", snapshot=True):
+                        assert atom.predicate == "sub"
+                        assert len(atom.args) == 2
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        w = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        w.start()
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join(timeout=120)
+        stop.set()
+        w.join(timeout=30)
+        assert not errors

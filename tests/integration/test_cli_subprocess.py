@@ -1,0 +1,130 @@
+"""End-to-end CLI tests through ``subprocess``.
+
+Unlike :mod:`tests.integration.test_cli` (which calls ``main()``
+in-process), these spawn ``python -m repro`` so the real argv parsing,
+exit-code propagation and the ``serve`` stdin/stdout protocol are
+exercised exactly as a shell user sees them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+POSITIVE_RULES = (
+    "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].\n"
+    "qq(A,B) :- T1[A*=>T2], T2[B*=>_].\n"
+)
+NEGATIVE_RULES = "q(A) :- T1[A*=>T2].\nqq(A) :- T1[A*=>T2], T2::T3.\n"
+
+Q1_TEXT = "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."
+Q2_TEXT = "qq(A,B) :- T1[A*=>T2], T2[B*=>_]."
+
+
+def run_cli(*args, stdin=None, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+@pytest.fixture
+def pair_file(tmp_path):
+    path = tmp_path / "pair.flq"
+    path.write_text(POSITIVE_RULES)
+    return str(path)
+
+
+class TestCheckExitCodes:
+    def test_decided_contained_exits_zero(self, pair_file):
+        proc = run_cli("check", pair_file)
+        assert proc.returncode == 0, proc.stderr
+        assert "⊆" in proc.stdout
+
+    def test_decided_not_contained_exits_one(self, tmp_path):
+        path = tmp_path / "neg.flq"
+        path.write_text(NEGATIVE_RULES)
+        proc = run_cli("check", str(path))
+        assert proc.returncode == 1, proc.stderr
+
+    def test_unknown_under_zero_deadline_exits_three(self, pair_file):
+        proc = run_cli("check", pair_file, "--deadline", "0")
+        assert proc.returncode == 3, proc.stderr
+        assert "UNKNOWN" in proc.stdout.upper()
+
+    def test_error_exits_two(self, tmp_path):
+        path = tmp_path / "one.flq"
+        path.write_text("q(A) :- T1[A*=>T2].\n")
+        proc = run_cli("check", str(path))
+        assert proc.returncode == 2
+
+    def test_pool_flag_accepts_warm_and_cold(self, pair_file):
+        for mode in ("warm", "cold"):
+            proc = run_cli("check", pair_file, "--pool", mode)
+            assert proc.returncode == 0, (mode, proc.stderr)
+
+    def test_pool_flag_rejects_other_values(self, pair_file):
+        proc = run_cli("check", pair_file, "--pool", "lukewarm")
+        assert proc.returncode == 2
+
+
+class TestServe:
+    def test_serve_round_trip_and_per_line_errors(self):
+        requests = "\n".join(
+            [
+                json.dumps({"id": 1, "op": "ping"}),
+                json.dumps({"id": 2, "q1": Q1_TEXT, "q2": Q2_TEXT}),
+                "this is not json",
+                json.dumps({"id": 4, "op": "frobnicate"}),
+                json.dumps({"id": 5, "op": "check", "q1": Q1_TEXT}),
+                json.dumps(
+                    {"id": 6, "q1": Q1_TEXT, "q2": Q2_TEXT, "deadline": 0}
+                ),
+                json.dumps({"id": 7, "op": "stats"}),
+            ]
+        )
+        proc = run_cli("serve", stdin=requests + "\n")
+        assert proc.returncode == 0, proc.stderr
+        lines = [json.loads(line) for line in proc.stdout.splitlines() if line]
+        assert len(lines) == 7
+        by_id = {r.get("id"): r for r in lines}
+
+        assert by_id[1] == {"id": 1, "ok": True, "op": "ping"}
+        assert by_id[2]["ok"] is True
+        assert by_id[2]["decision"] == "TRUE"
+        assert by_id[2]["contained"] is True
+        # Line 3 (bad JSON) has no id but still got its own error response.
+        bad_json = [r for r in lines if "id" not in r]
+        assert len(bad_json) == 1 and bad_json[0]["ok"] is False
+        assert by_id[4]["ok"] is False and "frobnicate" in by_id[4]["error"]
+        assert by_id[5]["ok"] is False and "q2" in by_id[5]["error"]
+        # Per-request budget: deadline 0 gives a clean UNKNOWN, not an error.
+        assert by_id[6]["ok"] is True
+        assert by_id[6]["decision"] == "UNKNOWN"
+        assert by_id[6]["contained"] is None
+        # The service survived all of the above and still answers stats.
+        assert by_id[7]["ok"] is True
+        assert by_id[7]["stats"]["service"]["checks"] >= 1
+
+    def test_serve_empty_input_exits_zero(self):
+        proc = run_cli("serve", stdin="")
+        assert proc.returncode == 0
+        assert proc.stdout == ""
+
+    def test_serve_blank_lines_are_skipped(self):
+        proc = run_cli("serve", stdin="\n\n\n")
+        assert proc.returncode == 0
+        assert proc.stdout == ""

@@ -57,6 +57,15 @@ class TestPaperMapping:
                     f"docs/{doc.name} links to missing {target}"
                 )
 
+    def test_service_layer_documented(self):
+        """The facade and the request lifecycle are written down."""
+        api = (REPO / "docs" / "api.md").read_text()
+        assert "repro.api.Engine" in api
+        assert "flq serve" in api
+        arch = (REPO / "docs" / "architecture.md").read_text()
+        for station in ("ADMIT", "COALESCE", "SCHEDULE", "GOVERN", "DECIDE"):
+            assert station in arch, f"lifecycle station {station} undocumented"
+
     def test_readme_links_both_new_docs(self):
         text = (REPO / "README.md").read_text()
         for target in ("docs/architecture.md", "docs/api.md"):

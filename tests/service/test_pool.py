@@ -1,0 +1,135 @@
+"""WorkerPool: warm reuse, recycling, health checks, close semantics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, Observability
+from repro.service.pool import (
+    WorkerPool,
+    _pool_ping,
+    check_group_worker,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestWarmReuse:
+    def test_executor_created_lazily(self):
+        pool = WorkerPool(max_workers=1)
+        assert not pool.warm
+        assert pool.stats.pools_started == 0
+        pool.close()
+
+    def test_same_executor_across_batches(self):
+        with WorkerPool(max_workers=1) as pool:
+            first = pool.acquire()
+            if first is None:
+                pytest.skip("platform cannot create process pools")
+            assert pool.warm
+            for _ in range(3):
+                assert pool.acquire() is first
+            assert pool.stats.pools_started == 1
+
+    def test_submit_round_trips(self):
+        with WorkerPool(max_workers=1) as pool:
+            if pool.acquire() is None:
+                pytest.skip("platform cannot create process pools")
+            assert pool.submit(_square, 7).result(timeout=60) == 49
+            assert pool.stats.tasks_submitted == 1
+
+    def test_pool_starts_metric(self):
+        obs = Observability(metrics=MetricsRegistry())
+        with WorkerPool(max_workers=1, obs=obs) as pool:
+            if pool.acquire() is None:
+                pytest.skip("platform cannot create process pools")
+            pool.acquire()
+            assert obs.metrics.counter("service.pool_starts").value == 1
+
+
+class TestRecycle:
+    def test_recycle_replaces_executor(self):
+        with WorkerPool(max_workers=1) as pool:
+            first = pool.acquire()
+            if first is None:
+                pytest.skip("platform cannot create process pools")
+            pool.recycle(reason="test")
+            assert not pool.warm
+            second = pool.acquire()
+            assert second is not None and second is not first
+            assert pool.stats.pools_started == 2
+            assert pool.stats.recycles == 1
+
+    def test_recycle_without_executor_is_noop(self):
+        pool = WorkerPool()
+        pool.recycle()
+        assert pool.stats.recycles == 0
+        pool.close()
+
+    def test_recycle_metric_labelled_with_reason(self):
+        obs = Observability(metrics=MetricsRegistry())
+        with WorkerPool(max_workers=1, obs=obs) as pool:
+            if pool.acquire() is None:
+                pytest.skip("platform cannot create process pools")
+            pool.recycle(reason="wedged")
+            counter = obs.metrics.counter("service.pool_recycles", reason="wedged")
+            assert counter.value == 1
+
+
+class TestHealthcheck:
+    def test_healthy_pool_pings(self):
+        with WorkerPool(max_workers=1) as pool:
+            if pool.acquire() is None:
+                pytest.skip("platform cannot create process pools")
+            assert pool.healthcheck(timeout=60) is True
+            assert pool.stats.healthchecks == 1
+            assert pool.stats.recycles == 0
+
+    def test_ping_returns_a_pid(self):
+        assert _pool_ping() == os.getpid()
+
+
+class TestClose:
+    def test_close_refuses_new_work(self):
+        pool = WorkerPool(max_workers=1)
+        pool.close()
+        assert pool.closed
+        assert pool.acquire() is None
+        with pytest.raises(RuntimeError):
+            pool.submit(_square, 2)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool()
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_context_manager_closes(self):
+        with WorkerPool() as pool:
+            pass
+        assert pool.closed
+
+
+class TestGroupWorker:
+    def test_check_group_worker_decides_pairs(self, joinable_pair):
+        from repro.containment.bounded import theorem12_bound
+        from repro.dependencies import SIGMA_FL
+
+        q1, q2 = joinable_pair
+        bound = theorem12_bound(q1, q2)
+        payload = (
+            SIGMA_FL,
+            True,
+            200_000,
+            True,
+            None,
+            None,
+            [(q1, q2, bound)],
+        )
+        results = check_group_worker(payload)
+        assert len(results) == 1
+        assert results[0].contained
