@@ -68,6 +68,12 @@ class Engine:
     obs:
         :class:`~repro.obs.Observability` sink for spans and metrics of
         every layer (store, pool, queue, service).
+    kernel:
+        Homomorphism-search kernel: ``"auto"`` (default) runs witness
+        searches on the dense bitset kernel (:mod:`repro.kernel`) with
+        transparent fallback, ``"baseline"`` forces the classic
+        backtracking search, ``"dense"`` insists on the dense path.
+        Verdicts are identical under every setting.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class Engine:
         max_pending: int = 64,
         max_workers: Optional[int] = None,
         obs: Optional[Observability] = None,
+        kernel: str = "auto",
     ):
         self._service = ContainmentService(
             dependencies,
@@ -95,6 +102,7 @@ class Engine:
             max_pending=max_pending,
             max_workers=max_workers,
             obs=obs,
+            kernel=kernel,
         )
 
     # -- the API -------------------------------------------------------------
@@ -226,7 +234,7 @@ class Engine:
         return self._service.closed
 
     def stats(self) -> dict[str, dict[str, int]]:
-        """Counters of every layer: service, queue, pool, store."""
+        """Counters of every layer: service, queue, pool, store, kernel."""
         return self._service.stats_dict()
 
     def __repr__(self) -> str:

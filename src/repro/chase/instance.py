@@ -439,17 +439,26 @@ class LevelPrefixView:
     first use, so the selectivity join-order heuristic stays cheap.
     """
 
-    __slots__ = ("_instance", "_bound", "_counts", "_len")
+    __slots__ = ("_instance", "_bound", "_counts", "_len", "_dense_masks")
 
     def __init__(self, instance: ChaseInstance, bound: int):
         self._instance = instance
         self._bound = bound
         self._counts: dict[str, int] = {}
         self._len: Optional[int] = None
+        # Cache slot owned by the dense kernel: (DenseIndex, generation,
+        # per-table row masks) — see repro.kernel.index.DenseIndex.level_masks.
+        self._dense_masks = None
 
     @property
     def bound(self) -> int:
         return self._bound
+
+    @property
+    def instance(self) -> ChaseInstance:
+        """The underlying chase instance (the dense kernel mirrors its
+        backing index and filters it through this view's level bound)."""
+        return self._instance
 
     def _visible(self, atom: Atom) -> bool:
         return self._instance.level_of(atom) <= self._bound

@@ -44,8 +44,10 @@ from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
 from ..governance.budget import CancelScope, ExecutionBudget, Governor
 from ..governance.faults import Fault, FaultInjector
+from ..datalog.matching import resolve_kernel
 from ..homomorphism.incremental import find_homomorphism_delta
 from ..homomorphism.search import SearchStats, find_homomorphism
+from ..kernel.telemetry import KernelTelemetry
 from ..obs import Observability
 from ..service.pool import (
     POOL_MAX_RETRIES,
@@ -138,6 +140,19 @@ class ContainmentChecker:
         Optional plan of :class:`~repro.governance.Fault` records; the
         checker builds one :class:`~repro.governance.FaultInjector` from
         it and fires it at every governor poll site.  Test-only.
+    kernel:
+        Homomorphism-search implementation for every witness search this
+        checker runs: ``"auto"`` (the default) uses the dense bitset
+        kernel (:mod:`repro.kernel`) whenever it applies and falls back
+        to the baseline backtracking search transparently; ``"dense"``
+        and ``"baseline"`` force the respective path (``dense`` still
+        falls back when structurally impossible).  The decided relation,
+        witnesses modulo search order, ContainmentResult fields and
+        governor semantics are identical under every setting — only the
+        search's internal representation changes.  Aggregate kernel
+        counters are exposed as :attr:`kernel_stats` and through the
+        ``hom.kernel_nodes`` / ``hom.bitset_ops`` /
+        ``kernel.intern_symbols`` metrics.
     """
 
     def __init__(
@@ -151,6 +166,7 @@ class ContainmentChecker:
         obs: Optional[Observability] = None,
         budget: Optional[ExecutionBudget] = None,
         faults: Optional[Sequence[Fault]] = None,
+        kernel: str = "auto",
     ):
         if store is None:
             store = ChaseStore(
@@ -172,6 +188,10 @@ class ContainmentChecker:
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(self.fault_plan) if self.fault_plan else None
         )
+        self.kernel = resolve_kernel(kernel)
+        #: Aggregate dense-kernel counters across every decision this
+        #: checker made (surfaced by the service layer's ``stats`` op).
+        self.kernel_stats = KernelTelemetry()
 
     @property
     def stats(self):
@@ -637,6 +657,7 @@ class ContainmentChecker:
             anytime,
             budget,
             tuple(worker_faults) if worker_faults else None,
+            self.kernel,
         )
         deadline = budget.deadline_seconds if budget is not None else None
         retries = 0
@@ -730,6 +751,34 @@ class ContainmentChecker:
         return results
 
     # -- helpers -------------------------------------------------------------
+
+    def _make_search_stats(self, tracer, metrics) -> Optional[SearchStats]:
+        """Stats object for one decision's searches, or ``None``.
+
+        Created whenever an observability sink wants the counts — or
+        whenever the dense kernel may run, since :attr:`kernel_stats`
+        aggregates unconditionally (the kernel section of the service
+        stats must not silently read zero just because tracing is off).
+        """
+        if tracer.enabled or metrics is not None or self.kernel != "baseline":
+            return SearchStats()
+        return None
+
+    def _publish_kernel_stats(self, search_stats, metrics) -> None:
+        """Fold one decision's search stats into the kernel aggregates."""
+        if search_stats is None:
+            return
+        self.kernel_stats.absorb(search_stats)
+        if metrics is None:
+            return
+        if search_stats.kernel_nodes:
+            metrics.counter("hom.kernel_nodes").inc(search_stats.kernel_nodes)
+        if search_stats.bitset_ops:
+            metrics.counter("hom.bitset_ops").inc(search_stats.bitset_ops)
+        if search_stats.intern_symbols:
+            metrics.counter("kernel.intern_symbols").inc(
+                search_stats.intern_symbols
+            )
 
     @staticmethod
     def _apply_schema(
@@ -843,9 +892,7 @@ class ContainmentChecker:
         if metrics is not None:
             metrics.counter("containment.checks").inc()
         chase_before = run.elapsed_seconds
-        search_stats = (
-            SearchStats() if (tracer.enabled or metrics is not None) else None
-        )
+        search_stats = self._make_search_stats(tracer, metrics)
         witness = None
         witness_level: Optional[int] = None
         first_search = True
@@ -920,6 +967,7 @@ class ContainmentChecker:
                         reorder=self.reorder_join,
                         stats=search_stats,
                         governor=governor,
+                        kernel=self.kernel,
                     )
                     if tracer.enabled and search_stats is not None:
                         span.set(found=witness is not None, delta=False)
@@ -937,6 +985,7 @@ class ContainmentChecker:
                         reorder=self.reorder_join,
                         stats=search_stats,
                         governor=governor,
+                        kernel=self.kernel,
                     )
                     if tracer.enabled and search_stats is not None:
                         span.set(
@@ -964,6 +1013,7 @@ class ContainmentChecker:
         if metrics is not None and search_stats is not None:
             metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
             metrics.counter("hom.backtracks").inc(search_stats.backtracks)
+        self._publish_kernel_stats(search_stats, metrics)
         chase_result = run.result()
         shared_chase = run.elapsed_seconds - chase_before
         elapsed = time.perf_counter() - start
@@ -1039,9 +1089,7 @@ class ContainmentChecker:
         else:
             prefix = chase_result.instance.index
         tracer = self.obs.tracer
-        search_stats = (
-            SearchStats() if (tracer.enabled or metrics is not None) else None
-        )
+        search_stats = self._make_search_stats(tracer, metrics)
         with tracer.span("hom.search", source=q2.name, target=q1.name) as span:
             witness = find_homomorphism(
                 q2,
@@ -1050,6 +1098,7 @@ class ContainmentChecker:
                 reorder=self.reorder_join,
                 stats=search_stats,
                 governor=governor,
+                kernel=self.kernel,
             )
             if tracer.enabled and search_stats is not None:
                 span.set(
@@ -1061,6 +1110,7 @@ class ContainmentChecker:
             metrics.counter("hom.searches").inc()
             metrics.counter("hom.nodes_expanded").inc(search_stats.nodes)
             metrics.counter("hom.backtracks").inc(search_stats.backtracks)
+        self._publish_kernel_stats(search_stats, metrics)
         elapsed = time.perf_counter() - start
         levels_examined = min(bound, chase_result.level_reached)
         if witness is not None:
@@ -1103,6 +1153,7 @@ def is_contained(
     level_bound: Optional[int] = None,
     schema: Optional[Iterable[Atom]] = None,
     anytime: bool = True,
+    kernel: str = "auto",
 ) -> ContainmentResult:
     """One-shot ``q1 ⊆_{Sigma_FL} q2`` check (Theorem 12 procedure).
 
@@ -1115,5 +1166,5 @@ def is_contained(
     >>> bool(is_contained(q, qq))
     True
     """
-    checker = ContainmentChecker(dependencies, anytime=anytime)
+    checker = ContainmentChecker(dependencies, anytime=anytime, kernel=kernel)
     return checker.check(q1, q2, level_bound=level_bound, schema=schema)

@@ -96,6 +96,7 @@ class Atom:
 
     @property
     def arity(self) -> int:
+        """The number of argument positions."""
         return len(self.args)
 
     def __getitem__(self, i: int) -> Term:

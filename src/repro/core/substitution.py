@@ -47,6 +47,20 @@ class Substitution:
     def __reduce__(self):
         return (Substitution, (self._map,))
 
+    @classmethod
+    def from_trusted(cls, mapping: dict) -> "Substitution":
+        """Wrap an already-validated ``{Variable: Term}`` dict without checks.
+
+        The dense kernel decodes solutions straight out of its term
+        arena, so keys and values are Variables/Terms by construction;
+        skipping per-entry validation matters when a search enumerates
+        thousands of solutions.  The caller must hand over ownership of
+        *mapping* (it is stored, not copied).
+        """
+        sub = object.__new__(cls)
+        object.__setattr__(sub, "_map", mapping)
+        return sub
+
     # -- mapping protocol ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -62,12 +76,15 @@ class Substitution:
         return self._map[var]
 
     def get(self, var: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        """The image of *var*, or *default* when unbound."""
         return self._map.get(var, default)
 
     def items(self):
+        """The ``(variable, term)`` pairs, dict-style."""
         return self._map.items()
 
     def domain(self) -> set[Variable]:
+        """The set of variables this substitution binds."""
         return set(self._map)
 
     # -- construction -------------------------------------------------------

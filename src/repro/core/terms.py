@@ -28,6 +28,7 @@ __all__ = [
     "Variable",
     "Null",
     "NullFactory",
+    "TermArena",
     "term_sort_key",
     "is_ground",
 ]
@@ -47,14 +48,17 @@ class Term:
 
     @property
     def is_constant(self) -> bool:
+        """Whether this term is a :class:`Constant`."""
         return isinstance(self, Constant)
 
     @property
     def is_variable(self) -> bool:
+        """Whether this term is a :class:`Variable`."""
         return isinstance(self, Variable)
 
     @property
     def is_null(self) -> bool:
+        """Whether this term is a labeled :class:`Null`."""
         return isinstance(self, Null)
 
 
@@ -206,6 +210,78 @@ class NullFactory:
         nxt = next(self._counter)
         self._counter = itertools.chain([nxt], self._counter)
         return nxt
+
+
+class TermArena:
+    """A dense intern table mapping terms to contiguous small ints.
+
+    The dense homomorphism kernel (:mod:`repro.kernel`) stores facts
+    columnarly and candidate sets as bitsets, which requires every value
+    to be a machine integer rather than an interned *object*.  An arena
+    assigns each distinct term the next free id (``0, 1, 2, ...``) on
+    first sight and answers both directions in O(1):
+
+    >>> arena = TermArena()
+    >>> a = arena.intern(Constant("john"))
+    >>> arena.term(a) is Constant("john")
+    True
+    >>> arena.intern(Constant("john")) == a   # stable on re-intern
+    True
+
+    Ids are arena-local: two arenas may assign the same term different
+    ids, so ids must never leak across :class:`~repro.kernel.DenseIndex`
+    boundaries.  The arena only ever grows — EGD merges retire *facts*,
+    not symbols — which keeps every previously handed-out id valid for
+    the lifetime of the arena.
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self):
+        self._ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+
+    def intern(self, term: Term) -> int:
+        """The id of *term*, allocating the next free one on first sight."""
+        ident = self._ids.get(term)
+        if ident is None:
+            ident = len(self._terms)
+            self._ids[term] = ident
+            self._terms.append(term)
+        return ident
+
+    def intern_many(self, terms) -> list[int]:
+        """Intern a sequence of terms; returns their ids in order."""
+        return [self.intern(t) for t in terms]
+
+    def id_of(self, term: Term) -> Union[int, None]:
+        """The id of *term* if already interned, else ``None`` (no allocation)."""
+        return self._ids.get(term)
+
+    def term(self, ident: int) -> Term:
+        """The term carrying id *ident* (inverse of :meth:`intern`)."""
+        return self._terms[ident]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def kind_counts(self) -> dict[str, int]:
+        """How many interned symbols are constants / variables / nulls."""
+        counts = {"constants": 0, "variables": 0, "nulls": 0}
+        for term in self._terms:
+            if isinstance(term, Constant):
+                counts["constants"] += 1
+            elif isinstance(term, Variable):
+                counts["variables"] += 1
+            else:
+                counts["nulls"] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"TermArena({len(self._terms)} symbols)"
 
 
 # Kind ranks for the chase's lexicographic order (Definition 2):

@@ -98,13 +98,21 @@ class FactIndex:
     be bound.
     """
 
-    __slots__ = ("_by_predicate", "_position_index", "_size")
+    __slots__ = ("_by_predicate", "_position_index", "_size", "_generation", "dense")
 
     def __init__(self, atoms: Optional[Iterable[Atom]] = None):
         self._by_predicate: dict[str, set[Atom]] = defaultdict(set)
         # (predicate, position, term) -> set of atoms with `term` at `position`
         self._position_index: dict[tuple[str, int, Term], set[Atom]] = defaultdict(set)
         self._size = 0
+        # Monotone mutation counter: the dense kernel mirror compares it
+        # against the generation it was built from to decide whether a
+        # resync is needed before a search (see repro.kernel.index).
+        self._generation = 0
+        #: Cached :class:`repro.kernel.DenseIndex` mirror, owned and kept
+        #: in sync by the kernel — ``None`` until a dense search first
+        #: touches this index.  Plain-Python callers ignore it entirely.
+        self.dense = None
         if atoms:
             for atom in atoms:
                 self.add(atom)
@@ -120,6 +128,7 @@ class FactIndex:
         for pos, term in enumerate(atom.args):
             self._position_index[(atom.predicate, pos, term)].add(atom)
         self._size += 1
+        self._generation += 1
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
@@ -141,6 +150,7 @@ class FactIndex:
                 if not entry:
                     del self._position_index[(atom.predicate, pos, term)]
         self._size -= 1
+        self._generation += 1
         return True
 
     # -- queries ------------------------------------------------------------
@@ -181,6 +191,17 @@ class FactIndex:
     def count(self, predicate: str) -> int:
         return len(self._by_predicate.get(predicate, ()))
 
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (bumped by every add/discard).
+
+        The dense kernel mirror records the generation it synced at; an
+        unchanged generation lets a later search skip the resync check
+        entirely, so repeated searches over a quiescent index pay zero
+        synchronisation cost.
+        """
+        return self._generation
+
     def candidates(
         self, pattern: Atom, sigma: Substitution = Substitution.EMPTY
     ) -> Iterable[Atom]:
@@ -216,6 +237,16 @@ class FactIndex:
     def copy(self) -> "FactIndex":
         """An independent copy (buckets are re-built; atoms are shared)."""
         return FactIndex(self)
+
+    def __getstate__(self):
+        # The dense kernel mirror is a derived, arena-local cache: it is
+        # rebuilt on demand and never travels across process boundaries
+        # (the parallel batch pipeline pickles chase runs to workers).
+        return (list(self),)
+
+    def __setstate__(self, state):
+        (atoms,) = state
+        self.__init__(atoms)
 
     def to_frozenset(self) -> frozenset[Atom]:
         return frozenset(self)

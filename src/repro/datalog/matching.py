@@ -22,6 +22,8 @@ __all__ = [
     "match_conjunction",
     "match_conjunction_delta",
     "order_by_selectivity",
+    "resolve_kernel",
+    "DEFAULT_KERNEL",
     "SearchStats",
 ]
 
@@ -37,33 +39,78 @@ class SearchStats:
     are deterministic for a fixed pattern, index and join order, which is
     what the observability tests assert.  Pass one object through several
     searches to accumulate.
+
+    The remaining fields are populated only by the dense kernel
+    (:mod:`repro.kernel`): ``kernel_nodes`` counts the subset of
+    ``nodes`` expanded by the dense executor, ``bitset_ops`` the
+    posting-list intersections performed, ``intern_symbols`` the terms
+    newly interned while syncing the dense mirror, ``kernel_searches``
+    the dense searches started and ``kernel_fallbacks`` the dispatches
+    that wanted the dense kernel but ran the baseline instead.  They
+    appear in :meth:`as_dict` only when nonzero, so baseline-only
+    consumers see the classic three-key dict unchanged.
     """
 
     nodes: int = 0
     backtracks: int = 0
     solutions: int = 0
+    kernel_nodes: int = 0
+    bitset_ops: int = 0
+    intern_symbols: int = 0
+    kernel_searches: int = 0
+    kernel_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {
+        out = {
             "nodes": self.nodes,
             "backtracks": self.backtracks,
             "solutions": self.solutions,
         }
+        for field in (
+            "kernel_nodes",
+            "bitset_ops",
+            "intern_symbols",
+            "kernel_searches",
+            "kernel_fallbacks",
+        ):
+            value = getattr(self, field)
+            if value:
+                out[field] = value
+        return out
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.nodes} nodes expanded, {self.backtracks} backtracks, "
             f"{self.solutions} solutions"
         )
+        if self.kernel_searches:
+            text += (
+                f" ({self.kernel_searches} dense searches, "
+                f"{self.bitset_ops} bitset ops)"
+            )
+        return text
 
 
-def _bound_positions(atom: Atom, bound_vars: set[Variable]) -> int:
-    """How many argument positions of *atom* are already determined."""
-    return sum(
-        1
-        for term in atom.args
-        if not isinstance(term, Variable) or term in bound_vars
-    )
+#: Valid values of the ``kernel=`` switch (see :mod:`repro.kernel`).
+_KERNEL_CHOICES = ("auto", "dense", "baseline")
+
+#: Kernel used when a caller passes ``kernel=None``: the baseline
+#: backtracking search.  Callers that want the dense kernel opt in
+#: explicitly (the containment checker defaults to ``"auto"``) — this
+#: keeps the Datalog/chase engines' deterministic traces and the pinned
+#: node-count regression values byte-identical to the seed.
+DEFAULT_KERNEL = "baseline"
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Normalise and validate a ``kernel=`` argument."""
+    if kernel is None:
+        return DEFAULT_KERNEL
+    if kernel not in _KERNEL_CHOICES:
+        raise ValueError(
+            f"kernel must be one of {_KERNEL_CHOICES}, got {kernel!r}"
+        )
+    return kernel
 
 
 def order_by_selectivity(
@@ -74,23 +121,14 @@ def order_by_selectivity(
     The score prefers atoms with (a) more bound positions under the
     variables already fixed by earlier picks and (b) smaller relations.
     This is the classic "most constrained variable first" heuristic and is
-    what design decision D4 of DESIGN.md ablates.
+    what design decision D4 of DESIGN.md ablates.  The implementation
+    lives in :func:`repro.kernel.planner.order_atoms` so the dense and
+    baseline searches share one join order (imported lazily — the kernel
+    package imports this module for its stats type).
     """
-    remaining = list(atoms)
-    bound: set[Variable] = set(initially_bound)
-    ordered: list[Atom] = []
-    while remaining:
-        def score(atom: Atom) -> tuple:
-            return (
-                -_bound_positions(atom, bound),
-                index.count(atom.predicate),
-            )
+    from ..kernel.planner import order_atoms
 
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        bound |= best.variables()
-    return ordered
+    return order_atoms(atoms, index.count, initially_bound)
 
 
 def match_conjunction(
@@ -104,6 +142,7 @@ def match_conjunction(
     stats: Optional[SearchStats] = None,
     governor=None,
     governor_site: str = "hom.search",
+    kernel: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Yield every substitution mapping all of *atoms* into *index*.
 
@@ -139,7 +178,17 @@ def match_conjunction(
         default; the chase engine passes ``"chase.match"`` so fault
         injection and metrics attribute joins run during trigger
         evaluation to the chase, not the homomorphism search.
+    kernel:
+        ``auto`` / ``dense`` / ``baseline`` (default baseline when
+        ``None``): whether to run the search on the dense bitset kernel
+        (:mod:`repro.kernel`).  ``auto`` and ``dense`` fall back to the
+        baseline transparently when the dense executor does not apply
+        (term filters, unsupported index types); the fallback is counted
+        in ``stats.kernel_fallbacks``.  The ``required_fact`` anchor
+        match always runs object-level; only the residual conjunction
+        search dispatches to the kernel.
     """
+    kernel = resolve_kernel(kernel)
     if required_fact is not None:
         seen: set[Substitution] = set()
         for delta_pos, delta_atom in enumerate(atoms):
@@ -163,11 +212,24 @@ def match_conjunction(
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
                 stats=stats, governor=governor, governor_site=governor_site,
+                kernel=kernel,
             ):
                 if sigma not in seen:
                     seen.add(sigma)
                     yield sigma
         return
+
+    if kernel != "baseline":
+        from ..kernel.search import dense_supported, kernel_match_conjunction
+
+        if dense_supported(index, term_filter):
+            yield from kernel_match_conjunction(
+                atoms, index, base, reorder=reorder, stats=stats,
+                governor=governor, governor_site=governor_site,
+            )
+            return
+        if stats is not None:
+            stats.kernel_fallbacks += 1
 
     if reorder:
         bound = set(base.domain())
@@ -191,6 +253,7 @@ def match_conjunction_delta(
     stats: Optional[SearchStats] = None,
     governor=None,
     governor_site: str = "hom.search",
+    kernel: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Substitutions mapping *atoms* into *index* that touch *delta_facts*.
 
@@ -206,7 +269,14 @@ def match_conjunction_delta(
     bucket, and the remaining atoms are solved by the ordinary (reordered)
     backtracking search over the full index.  Solutions reachable through
     several delta anchors are deduplicated.
+
+    The ``kernel`` switch is forwarded to the residual searches, so
+    anytime containment probes and semi-naive rounds run on the dense
+    kernel when the checker asks for it; anchor matching itself stays
+    object-level (one :func:`match_atom` per delta fact is already
+    cheap, and it is what defines the restriction semantics).
     """
+    kernel = resolve_kernel(kernel)
     if not delta_facts:
         return
     by_predicate: dict[str, list[Atom]] = {}
@@ -238,6 +308,7 @@ def match_conjunction_delta(
             for sigma in match_conjunction(
                 rest, index, sigma0, reorder=reorder, term_filter=term_filter,
                 stats=stats, governor=governor, governor_site=governor_site,
+                kernel=kernel,
             ):
                 if sigma not in seen:
                     seen.add(sigma)

@@ -21,6 +21,8 @@ __all__ = ["run"]
 
 
 def run() -> ExperimentReport:
+    """Decide the four Section-1 containment pairs and tabulate the verdicts."""
+    """Decide the four Section-1 containment pairs and tabulate the verdicts."""
     table = Table(
         "Paper Section-1 containments: Sigma_FL-aware vs classic",
         ["pair", "expected", "sigma_fl", "classic", "witness"],

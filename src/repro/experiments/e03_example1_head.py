@@ -21,6 +21,8 @@ __all__ = ["run"]
 
 
 def run() -> ExperimentReport:
+    """Chase Example 1 and report the rho_4 head rewrite q(V1,V2) -> q(V1,V1)."""
+    """Chase Example 1 and report the rho_4 head rewrite q(V1,V2) -> q(V1,V1)."""
     result = chase(EXAMPLE1_QUERY, track_graph=True)
     assert result.instance is not None
     table = Table(

@@ -39,6 +39,8 @@ FIGURE1_CHAIN = (
 
 
 def run(max_level: int = 12) -> ExperimentReport:
+    """Materialise the Figure-1 infinite chase to *max_level* and chart its growth."""
+    """Materialise the Figure-1 infinite chase to *max_level* and chart its growth."""
     result = chase(EXAMPLE2_QUERY, max_level=max_level, track_graph=True)
     assert result.instance is not None
     graph = ChaseGraph.from_result(result)

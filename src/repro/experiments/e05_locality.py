@@ -22,6 +22,8 @@ __all__ = ["run"]
 def run(
     *, random_queries: int = 30, max_level: int = 10, seed: int = 2006
 ) -> ExperimentReport:
+    """Measure chase locality (Lemma 5 radius) over random queries."""
+    """Measure chase locality (Lemma 5 radius) over random queries."""
     corpus = list(PAPER_QUERIES)
     for cycle_length in (1, 2, 3):
         gen = QueryGenerator(

@@ -23,6 +23,8 @@ __all__ = ["run"]
 
 
 def run(*, depth_factor: int = 3, seed: int = 42) -> ExperimentReport:
+    """Check the Lemma-9 bounded-image property on cyclic chase graphs."""
+    """Check the Lemma-9 bounded-image property on cyclic chase graphs."""
     corpus = [EXAMPLE2_QUERY]
     for cycle_length in (2, 3):
         gen = QueryGenerator(

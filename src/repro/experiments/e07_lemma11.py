@@ -24,6 +24,7 @@ __all__ = ["run"]
 def run(
     *, set_sizes: tuple[int, ...] = (1, 2, 3), samples_per_size: int = 5, seed: int = 7
 ) -> ExperimentReport:
+    """Check the Lemma-11 set-image bound across sampled conjunct sets."""
     rng = random.Random(seed)
     gen = QueryGenerator(
         seed,

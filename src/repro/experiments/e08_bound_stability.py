@@ -27,6 +27,7 @@ __all__ = ["run"]
 
 
 def run(*, random_pairs: int = 20, seed: int = 11) -> ExperimentReport:
+    """Verify decisions are stable when the Theorem-12 bound is varied."""
     pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS]
     gen = QueryGenerator(seed)
     for _ in range(random_pairs):

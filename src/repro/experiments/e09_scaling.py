@@ -108,6 +108,7 @@ def run(
     cyclic: bool = True,
     seed: int = 5,
 ) -> ExperimentReport:
+    """Measure decision wall-clock as query size scales (the E9 corpus)."""
     table = Table(
         "Theorem 13 scaling: time per phase vs query size",
         [

@@ -19,6 +19,7 @@ __all__ = ["run"]
 
 
 def run(*, random_pairs: int = 40, seed: int = 17) -> ExperimentReport:
+    """Quantify verdicts the classic containment test misses versus Sigma_FL."""
     pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS]
     gen = QueryGenerator(seed)
     for _ in range(random_pairs):

@@ -33,6 +33,7 @@ __all__ = ["run"]
 def run(
     *, levels: tuple[int, ...] = (4, 8, 12, 16, 20), seed: int = 23
 ) -> ExperimentReport:
+    """Chart chase-instance growth per level on the Figure-1 cycle."""
     gen = QueryGenerator(
         seed, QueryGenParams(n_atoms=6, cycle_length=2, head_arity=0)
     )

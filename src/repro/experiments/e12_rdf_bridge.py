@@ -73,6 +73,7 @@ def bridge_pairs() -> list[tuple[BGPQuery, BGPQuery, bool]]:
 
 
 def run() -> ExperimentReport:
+    """Exercise the RDF/SPARQL bridge end to end and tabulate the round trip."""
     table = Table(
         "BGP containment through the P_FL bridge",
         ["pair", "expected", "sigma_fl", "classic"],

@@ -47,6 +47,7 @@ def _time_evaluation(reorder: bool, query: ConjunctiveQuery, index) -> float:
 
 
 def run(*, chain_length: int = 7, repeats: int = 3, seed: int = 31) -> ExperimentReport:
+    """Ablate the D4 join-order heuristic on a chain query (kept vs. shuffled)."""
     table = Table(
         "D4 ablation: most-constrained-first vs naive join order",
         ["workload", "ordered sec", "naive sec", "speedup"],

@@ -53,6 +53,7 @@ def all_homomorphisms_delta(
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
     governor=None,
+    kernel: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Every homomorphism from *query* into *index* touching *delta_facts*.
 
@@ -70,7 +71,7 @@ def all_homomorphisms_delta(
         seed = Substitution.EMPTY
     yield from match_conjunction_delta(
         query.body, index, delta_facts, seed, reorder=reorder, stats=stats,
-        governor=governor,
+        governor=governor, kernel=kernel,
     )
 
 
@@ -83,6 +84,7 @@ def find_homomorphism_delta(
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
     governor=None,
+    kernel: Optional[str] = None,
 ) -> Optional[Substitution]:
     """The first delta-touching homomorphism found, or ``None``.
 
@@ -91,7 +93,7 @@ def find_homomorphism_delta(
     """
     for sigma in all_homomorphisms_delta(
         query, index, delta_facts, head_target, reorder=reorder, stats=stats,
-        governor=governor,
+        governor=governor, kernel=kernel,
     ):
         return sigma
     return None

@@ -65,6 +65,7 @@ def all_homomorphisms(
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
     governor=None,
+    kernel: Optional[str] = None,
 ) -> Iterator[Substitution]:
     """Every homomorphism from *query* into *index*.
 
@@ -72,7 +73,11 @@ def all_homomorphisms(
     exactly that tuple are produced (the Theorem-4/12 side condition).
     Without it, the generator enumerates the query's answers over *index*
     viewed as a database.  *stats* accumulates node/backtrack counts of
-    the backtracking search (see :class:`SearchStats`).
+    the backtracking search (see :class:`SearchStats`).  *kernel* selects
+    the search implementation (``auto``/``dense``/``baseline``, see
+    :mod:`repro.kernel`); the default is the baseline backtracking
+    search, which keeps node counts and traces byte-stable for callers
+    that pin them.
     """
     if head_target is not None:
         seed = head_seed(query.head, head_target)
@@ -81,7 +86,8 @@ def all_homomorphisms(
     else:
         seed = Substitution.EMPTY
     yield from match_conjunction(
-        query.body, index, seed, reorder=reorder, stats=stats, governor=governor
+        query.body, index, seed, reorder=reorder, stats=stats, governor=governor,
+        kernel=kernel,
     )
 
 
@@ -93,6 +99,7 @@ def find_homomorphism(
     reorder: bool = True,
     stats: Optional[SearchStats] = None,
     governor=None,
+    kernel: Optional[str] = None,
 ) -> Optional[Substitution]:
     """The first homomorphism found, or ``None``.
 
@@ -101,7 +108,8 @@ def find_homomorphism(
     matching embedding respects deadlines and cancellation.
     """
     for sigma in all_homomorphisms(
-        query, index, head_target, reorder=reorder, stats=stats, governor=governor
+        query, index, head_target, reorder=reorder, stats=stats, governor=governor,
+        kernel=kernel,
     ):
         return sigma
     return None

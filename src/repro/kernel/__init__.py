@@ -1,0 +1,90 @@
+"""repro.kernel — the dense int-interned homomorphism/chase kernel.
+
+Every containment verdict bottoms out in homomorphism search over chase
+instances (Theorem 12's bounded chase), and the baseline search is
+pure-Python backtracking over interned-*term* objects with per-atom dict
+lookups.  This package is the hardware-speed replacement (ROADMAP open
+item 3):
+
+* **Int interning** — a :class:`~repro.core.terms.TermArena` maps every
+  constant, null and variable to a contiguous small int, so the inner
+  loops compare machine integers instead of hashing term objects.
+* **Columnar facts** — :class:`~repro.kernel.columns.PredicateTable`
+  stores each predicate's tuples column-major as plain int lists.
+* **Bitset posting lists** — per (predicate, position, value) the
+  :class:`DenseIndex` keeps the set of matching rows as one Python int
+  used as a bitset, so candidate sets intersect in O(words) instead of
+  per-fact tuple scans.
+* **Planned joins** — :mod:`repro.kernel.planner` promotes the
+  most-constrained-first heuristic validated by experiment E13 into a
+  reusable compile step: a conjunction becomes a :class:`JoinPlan` of
+  slot-addressed operations executed by :mod:`repro.kernel.search`.
+
+The kernel is wired behind a ``kernel=auto|dense|baseline`` switch in
+:func:`repro.datalog.matching.match_conjunction`, the homomorphism entry
+points and :class:`repro.containment.bounded.ContainmentChecker`, with a
+transparent fallback to the baseline search whenever the dense path does
+not apply (custom term filters, exotic index types).  Governor poll
+sites are preserved exactly — the dense search ticks the governor once
+per expanded node under the same ``hom.search`` site, so deadlines,
+cancellation and fault injection behave identically under both kernels.
+
+Solution sets are **identical** to the baseline search up to nothing at
+all — the same substitutions are produced (property-tested in
+``tests/kernel``); only the search's internal representation changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "DenseIndex",
+    "JoinPlan",
+    "KernelTelemetry",
+    "PredicateTable",
+    "KERNEL_CHOICES",
+    "dense_index_for",
+    "dense_supported",
+    "kernel_match_conjunction",
+    "order_atoms",
+    "plan_conjunction",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columns import PredicateTable
+    from .index import DenseIndex, dense_index_for
+    from .planner import JoinPlan, order_atoms, plan_conjunction
+    from .search import KERNEL_CHOICES, dense_supported, kernel_match_conjunction
+    from .telemetry import KernelTelemetry
+
+_LAZY = {
+    "DenseIndex": "index",
+    "dense_index_for": "index",
+    "PredicateTable": "columns",
+    "JoinPlan": "planner",
+    "order_atoms": "planner",
+    "plan_conjunction": "planner",
+    "KERNEL_CHOICES": "search",
+    "dense_supported": "search",
+    "kernel_match_conjunction": "search",
+    "KernelTelemetry": "telemetry",
+}
+
+
+def __getattr__(name: str):
+    """Lazy re-exports (PEP 562), breaking the matching <-> kernel cycle.
+
+    :mod:`repro.datalog.matching` dispatches into the kernel per call,
+    and the kernel's search imports matching's :class:`SearchStats`; the
+    lazy surface lets either side import first.
+    """
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,36 @@
+"""Bitset helpers over plain Python ints.
+
+The kernel represents every row set as one arbitrary-precision int:
+bit ``r`` set means row ``r`` is in the set.  Intersection is ``&``,
+union ``|``, and the executor's hot loop peels rows with the classic
+``low = mask & -mask`` trick inline.  These helpers cover the non-hot
+call sites (mask construction, diagnostics, tests) where readability
+beats the last nanosecond.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["iter_bits", "popcount", "mask_of"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of *mask* in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (rows) in *mask*."""
+    return mask.bit_count()
+
+
+def mask_of(rows) -> int:
+    """Build a bitset from an iterable of row numbers."""
+    mask = 0
+    for row in rows:
+        mask |= 1 << row
+    return mask

@@ -1,0 +1,89 @@
+"""Columnar fact storage for the dense kernel.
+
+A :class:`PredicateTable` holds every fact of one (predicate, arity)
+pair as parallel columns of arena ids, plus per-(position, value)
+posting lists stored as Python-int bitsets: bit ``r`` of
+``postings[pos][value_id]`` is set exactly when row ``r`` carries that
+value at that position.  Candidate pruning is then a chain of ``&``
+over those ints — O(rows/64) machine words per intersection — instead
+of the baseline's per-fact tuple scans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.atoms import Atom
+
+__all__ = ["PredicateTable"]
+
+
+class PredicateTable:
+    """One (predicate, arity) relation in columnar, int-interned form.
+
+    Rows are append-only between rebuilds: the owning
+    :class:`~repro.kernel.index.DenseIndex` appends new facts while the
+    source index grows monotonically and rebuilds the whole table when
+    an EGD merge retires rows (retirement is rare — only failing or
+    merging chase steps discard facts).
+    """
+
+    __slots__ = (
+        "predicate",
+        "arity",
+        "columns",
+        "postings",
+        "atoms",
+        "row_of",
+        "n_rows",
+        "all_rows",
+    )
+
+    def __init__(self, predicate: str, arity: int):
+        self.predicate = predicate
+        self.arity = arity
+        #: ``columns[pos][row]`` — arena id at position *pos* of row *row*.
+        self.columns: list[list[int]] = [[] for _ in range(arity)]
+        #: ``postings[pos][value_id]`` — bitset of rows with that value.
+        self.postings: list[dict[int, int]] = [{} for _ in range(arity)]
+        #: Row -> source atom, for decoding and for level-mask building.
+        self.atoms: list[Atom] = []
+        #: Source atom -> row, for incremental append detection.
+        self.row_of: dict[Atom, int] = {}
+        self.n_rows = 0
+        #: Bitset with one bit per stored row (the unfiltered base mask).
+        self.all_rows = 0
+
+    def append(self, ids: list[int], atom: Atom) -> int:
+        """Append one fact (already interned to *ids*); returns its row."""
+        row = self.n_rows
+        bit = 1 << row
+        for pos, ident in enumerate(ids):
+            self.columns[pos].append(ident)
+            postings = self.postings[pos]
+            postings[ident] = postings.get(ident, 0) | bit
+        self.atoms.append(atom)
+        self.row_of[atom] = row
+        self.n_rows = row + 1
+        self.all_rows |= bit
+        return row
+
+    def posting(self, pos: int, value_id: int) -> int:
+        """The bitset of rows carrying *value_id* at *pos* (0 when none)."""
+        return self.postings[pos].get(value_id, 0)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return f"PredicateTable({self.predicate}/{self.arity}, {self.n_rows} rows)"
+
+
+def table_key(atom: Atom) -> tuple[str, int]:
+    """The (predicate, arity) key identifying *atom*'s table."""
+    return (atom.predicate, atom.arity)
+
+
+def pattern_key(predicate: str, arity: int) -> tuple[str, int]:
+    """Build a table key from already-split components."""
+    return (predicate, arity)

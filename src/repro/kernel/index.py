@@ -1,0 +1,161 @@
+"""The dense mirror of a :class:`~repro.datalog.index.FactIndex`.
+
+:class:`DenseIndex` owns a :class:`~repro.core.terms.TermArena` and a
+set of :class:`~repro.kernel.columns.PredicateTable` relations mirroring
+one fact index.  The mirror is cached on the source index itself (the
+``FactIndex.dense`` slot) and kept fresh lazily: every dense search
+calls :func:`dense_index_for`, which compares the source's monotone
+``generation`` counter against the generation the mirror was last
+synced at and only then walks the source.  Monotone growth — the normal
+chase regime — appends rows incrementally; an EGD merge that retires
+facts triggers a per-table rebuild (the arena survives, so symbol ids
+stay stable for the lifetime of the index).
+
+Level-bounded search (:class:`~repro.chase.instance.LevelPrefixView`,
+the vehicle for Theorem-12 bound enforcement and anytime probes) is
+served by :meth:`DenseIndex.level_masks`: a per-table bitset of the
+rows whose chase level is within the view's bound, cached on the view
+keyed by sync generation so repeated probes over a quiescent prefix pay
+for the mask walk once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..core.terms import TermArena
+from ..datalog.index import FactIndex
+from .columns import PredicateTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..chase.instance import LevelPrefixView
+
+__all__ = ["DenseIndex", "dense_index_for"]
+
+
+class DenseIndex:
+    """Columnar, int-interned mirror of one :class:`FactIndex`.
+
+    Tables are keyed by (predicate, arity) — the source index tolerates
+    mixed arities under one predicate name, and keeping them in separate
+    tables is what lets every posting-list bitset assume fixed-width
+    rows.
+    """
+
+    __slots__ = ("arena", "tables", "source", "synced_generation", "plan_cache")
+
+    #: Compiled-plan cache entries kept per mirror before a wholesale
+    #: clear; searches repeat a handful of conjunction shapes, so this
+    #: is a backstop against pathological key churn, not an LRU.
+    PLAN_CACHE_MAX = 256
+
+    def __init__(self, source: FactIndex):
+        self.arena = TermArena()
+        self.tables: dict[tuple[str, int], PredicateTable] = {}
+        self.source = source
+        #: Source generation this mirror reflects (-1 = never synced).
+        self.synced_generation = -1
+        #: (atoms, seed vars, reorder) -> executable plan specialised
+        #: against the current tables; owned by repro.kernel.search and
+        #: invalidated wholesale whenever a sync changes anything (join
+        #: orders and folded masks depend on counts and rows).
+        self.plan_cache: dict = {}
+
+    # -- synchronisation ----------------------------------------------------
+
+    def sync(self, stats=None) -> bool:
+        """Bring the mirror up to date with the source index.
+
+        Returns True when any work was done.  When *stats* is given, the
+        number of newly interned symbols is accumulated into
+        ``stats.intern_symbols`` (surfaced as the
+        ``kernel.intern_symbols`` counter by the containment checker).
+        """
+        generation = self.source.generation
+        if generation == self.synced_generation:
+            return False
+        symbols_before = len(self.arena)
+        intern_many = self.arena.intern_many
+        live_keys = set()
+        for predicate in self.source.predicates():
+            # Bucket the live facts per arity before diffing each table.
+            by_arity: dict[int, list] = {}
+            for atom in self.source.facts(predicate, snapshot=True):
+                by_arity.setdefault(atom.arity, []).append(atom)
+            for arity, atoms in by_arity.items():
+                key = (predicate, arity)
+                live_keys.add(key)
+                table = self.tables.get(key)
+                if table is None:
+                    table = self.tables[key] = PredicateTable(predicate, arity)
+                row_of = table.row_of
+                fresh = [a for a in atoms if a not in row_of]
+                if table.n_rows + len(fresh) != len(atoms):
+                    # Some previously mirrored row was retired (EGD merge
+                    # or explicit discard): rebuild this table from the
+                    # live bucket.  The arena is untouched, so ids are
+                    # stable across the rebuild.
+                    table = self.tables[key] = PredicateTable(predicate, arity)
+                    fresh = atoms
+                for atom in fresh:
+                    table.append(intern_many(atom.args), atom)
+        for key in list(self.tables):
+            if key not in live_keys:
+                del self.tables[key]
+        self.synced_generation = generation
+        self.plan_cache.clear()
+        if stats is not None:
+            stats.intern_symbols += len(self.arena) - symbols_before
+        return True
+
+    # -- lookups ------------------------------------------------------------
+
+    def table(self, predicate: str, arity: int) -> Optional[PredicateTable]:
+        """The table for (predicate, arity), or ``None`` when no facts."""
+        return self.tables.get((predicate, arity))
+
+    def level_masks(self, view: "LevelPrefixView") -> dict[tuple[str, int], int]:
+        """Per-table bitsets of the rows visible under *view*'s level bound.
+
+        The result is cached on the view (keyed by this mirror's sync
+        generation), so the delta path — which re-enters the kernel once
+        per anchor fact against the same prefix — walks the rows once.
+        """
+        cached = view._dense_masks
+        if cached is not None and cached[0] is self and cached[1] == self.synced_generation:
+            return cached[2]
+        instance = view.instance
+        bound = view.bound
+        level_of = instance.level_of
+        masks: dict[tuple[str, int], int] = {}
+        for key, table in self.tables.items():
+            mask = 0
+            bit = 1
+            for atom in table.atoms:
+                if level_of(atom) <= bound:
+                    mask |= bit
+                bit <<= 1
+            masks[key] = mask
+        view._dense_masks = (self, self.synced_generation, masks)
+        return masks
+
+    def __repr__(self) -> str:
+        rows = sum(t.n_rows for t in self.tables.values())
+        return (
+            f"DenseIndex({len(self.tables)} tables, {rows} rows, "
+            f"{len(self.arena)} symbols)"
+        )
+
+
+def dense_index_for(index: FactIndex, stats=None) -> DenseIndex:
+    """The (lazily created, lazily synced) dense mirror of *index*.
+
+    The mirror lives in the index's ``dense`` slot, so all searches over
+    the same index share one arena and one set of tables; an unchanged
+    ``generation`` makes this call a two-attribute comparison.
+    """
+    dense = index.dense
+    if dense is None:
+        dense = index.dense = DenseIndex(index)
+    dense.sync(stats)
+    return dense

@@ -1,0 +1,170 @@
+"""Join planning for the dense kernel.
+
+Experiment E13 (design decision D4) validated the classic
+most-constrained-first heuristic for ordering conjuncts; this module
+promotes it from an experiment-local knob into the reusable compile
+step shared by the kernel and the baseline search
+(:func:`repro.datalog.matching.order_by_selectivity` delegates here).
+
+:func:`plan_conjunction` turns an ordered conjunction into a
+:class:`JoinPlan`: every variable gets a dense *slot*, and every atom
+becomes a :class:`JoinStep` classifying its argument positions as
+
+* ``consts`` — fixed terms, folded into the step's base bitset once per
+  search;
+* ``bounds`` — variables bound by an earlier step (or the seed), pruned
+  by posting-list intersection at runtime;
+* ``frees`` — first occurrences, bound from the matched row's columns;
+* ``sames`` — repeats of a variable first seen *within the same atom*,
+  checked by column equality against the freshly bound slot.
+
+The executor in :mod:`repro.kernel.search` walks the steps in order,
+so no trail/undo machinery is needed: each slot is written by exactly
+one step, and only deeper steps ever read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Term, Variable
+
+__all__ = ["JoinPlan", "JoinStep", "order_atoms", "plan_conjunction"]
+
+
+def _bound_positions(atom: Atom, bound_vars: set) -> int:
+    """How many argument positions of *atom* are already determined."""
+    return sum(
+        1
+        for term in atom.args
+        if not isinstance(term, Variable) or term in bound_vars
+    )
+
+
+def order_atoms(
+    atoms: Sequence[Atom],
+    count_of: Callable[[str], int],
+    initially_bound: Iterable[Variable] = frozenset(),
+) -> list[Atom]:
+    """Greedy join order: repeatedly pick the most constrained remaining atom.
+
+    The score prefers atoms with (a) more bound positions under the
+    variables already fixed by earlier picks and (b) smaller relations
+    (*count_of* maps a predicate name to its fact count).  This is the
+    most-constrained-first heuristic ablated by E13/D4 and is shared
+    verbatim by the baseline and dense searches, so both explore the
+    same join order and expand the same nodes.
+    """
+    remaining = list(atoms)
+    bound: set[Variable] = set(initially_bound)
+    ordered: list[Atom] = []
+    while remaining:
+        def score(atom: Atom) -> tuple:
+            return (
+                -_bound_positions(atom, bound),
+                count_of(atom.predicate),
+            )
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One atom of a :class:`JoinPlan`, with positions classified.
+
+    Position lists hold ``(position, payload)`` pairs: a source term for
+    ``consts`` and a slot number for the three variable kinds.
+    """
+
+    predicate: str
+    arity: int
+    consts: tuple[tuple[int, Term], ...]
+    bounds: tuple[tuple[int, int], ...]
+    frees: tuple[tuple[int, int], ...]
+    sames: tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A compiled conjunction: ordered steps plus the slot assignment.
+
+    ``slot_of`` maps every variable (seed variables first, then first
+    occurrences in step order) to its dense slot; ``n_slots`` is the
+    binding-array length the executor must allocate.
+    """
+
+    ordered: tuple[Atom, ...]
+    steps: tuple[JoinStep, ...]
+    slot_of: dict[Variable, int]
+    n_slots: int
+
+
+def plan_conjunction(
+    atoms: Sequence[Atom],
+    *,
+    count_of: Optional[Callable[[str], int]] = None,
+    bound_vars: Iterable[Variable] = (),
+    reorder: bool = True,
+) -> JoinPlan:
+    """Compile *atoms* into a :class:`JoinPlan`.
+
+    With ``reorder`` (and a *count_of* selectivity oracle) the atoms are
+    first ordered by :func:`order_atoms`; otherwise the given
+    left-to-right order is kept — mirroring the ``reorder`` switch of
+    the baseline search so the D4 ablation applies to both kernels.
+    Seed variables (*bound_vars*) receive the lowest slots; the executor
+    fills them from the seed substitution before the first step runs.
+    """
+    bound_list = list(bound_vars)
+    if reorder and count_of is not None:
+        ordered = order_atoms(atoms, count_of, set(bound_list))
+    else:
+        ordered = list(atoms)
+
+    slot_of: dict[Variable, int] = {}
+    for var in bound_list:
+        if var not in slot_of:
+            slot_of[var] = len(slot_of)
+
+    steps: list[JoinStep] = []
+    for atom in ordered:
+        consts: list[tuple[int, Term]] = []
+        bounds: list[tuple[int, int]] = []
+        frees: list[tuple[int, int]] = []
+        sames: list[tuple[int, int]] = []
+        fresh_here: set[Variable] = set()
+        for pos, term in enumerate(atom.args):
+            if isinstance(term, Variable):
+                slot = slot_of.get(term)
+                if slot is None:
+                    slot = slot_of[term] = len(slot_of)
+                    frees.append((pos, slot))
+                    fresh_here.add(term)
+                elif term in fresh_here:
+                    sames.append((pos, slot))
+                else:
+                    bounds.append((pos, slot))
+            else:
+                consts.append((pos, term))
+        steps.append(
+            JoinStep(
+                predicate=atom.predicate,
+                arity=atom.arity,
+                consts=tuple(consts),
+                bounds=tuple(bounds),
+                frees=tuple(frees),
+                sames=tuple(sames),
+            )
+        )
+    return JoinPlan(
+        ordered=tuple(ordered),
+        steps=tuple(steps),
+        slot_of=slot_of,
+        n_slots=len(slot_of),
+    )

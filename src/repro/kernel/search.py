@@ -1,0 +1,197 @@
+"""The dense planned-join executor.
+
+:func:`kernel_match_conjunction` is the drop-in dense counterpart of
+:func:`repro.datalog.matching.match_conjunction` for the supported index
+types (:class:`~repro.datalog.index.FactIndex` and
+:class:`~repro.chase.instance.LevelPrefixView`, no term filter).  It
+produces the *same substitutions* as the baseline backtracking search —
+the join order comes from the same E13-validated heuristic, node counts
+match the baseline's "successful single-atom extension" semantics, and
+the governor is ticked once per node under the caller's poll site — but
+candidate generation runs on bitset posting lists over int-interned
+columns instead of per-fact tuple matching.
+
+Execution model: the compiled :class:`~repro.kernel.planner.JoinPlan`
+is specialised against the dense mirror once per search (constants are
+folded into each step's base mask here), then a recursive generator
+walks the steps.  At each depth the remaining candidate rows are the
+intersection of the step's base mask with the posting bitsets of its
+bound-variable positions; rows are peeled with ``mask & -mask``, free
+slots are filled from the columns, and intra-atom repeats are checked
+by column equality.  No undo log exists — each slot has exactly one
+writer step, so backtracking is simply returning from the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..core.atoms import Atom
+from ..core.substitution import Substitution
+from ..datalog.index import FactIndex
+from .index import DenseIndex, dense_index_for
+from .planner import plan_conjunction
+
+__all__ = ["KERNEL_CHOICES", "dense_supported", "kernel_match_conjunction"]
+
+#: Valid values of the ``kernel=`` switch threaded through the matching
+#: and homomorphism entry points: ``baseline`` forces the backtracking
+#: search, ``dense`` asks for this executor, and ``auto`` uses it
+#: whenever :func:`dense_supported` says it applies.
+KERNEL_CHOICES = ("auto", "dense", "baseline")
+
+
+def dense_supported(index, term_filter=None) -> bool:
+    """Whether the dense executor can serve this (index, filter) pair.
+
+    Term filters veto bindings mid-search with arbitrary Python
+    predicates over *term objects* — incompatible with id-level
+    pruning — and unknown index types have no columnar mirror; both
+    cases make the dispatcher in :mod:`repro.datalog.matching` fall
+    back to the baseline search transparently (counted in
+    ``SearchStats.kernel_fallbacks``).
+    """
+    if term_filter is not None:
+        return False
+    if isinstance(index, FactIndex):
+        return True
+    from ..chase.instance import LevelPrefixView
+
+    return isinstance(index, LevelPrefixView)
+
+
+def _prepare(index, stats) -> tuple[DenseIndex, Optional[dict]]:
+    """The dense mirror for *index*, plus level masks for prefix views."""
+    if isinstance(index, FactIndex):
+        return dense_index_for(index, stats), None
+    from ..chase.instance import LevelPrefixView
+
+    if isinstance(index, LevelPrefixView):
+        dense = dense_index_for(index.instance.index, stats)
+        return dense, dense.level_masks(index)
+    raise TypeError(f"dense kernel does not support index type {type(index)!r}")
+
+
+def kernel_match_conjunction(
+    atoms: Sequence[Atom],
+    index,
+    base: Substitution = Substitution.EMPTY,
+    *,
+    reorder: bool = True,
+    stats=None,
+    governor=None,
+    governor_site: str = "hom.search",
+) -> Iterator[Substitution]:
+    """Yield every substitution mapping all of *atoms* into *index*.
+
+    Same contract as :func:`repro.datalog.matching.match_conjunction`
+    (minus ``required_fact``/``term_filter``, which the dispatcher keeps
+    on the baseline path): *base* is extended, ``reorder`` applies the
+    E13 heuristic, *stats* accumulates node/backtrack/solution counts
+    plus the kernel-specific ``kernel_nodes``/``bitset_ops`` counters,
+    and *governor* is ticked once per expanded node at *governor_site*.
+    """
+    dense, masks = _prepare(index, stats)
+    arena = dense.arena
+    term_of = arena.term
+    if stats is not None:
+        stats.kernel_searches += 1
+
+    # Compiled plans are cached on the mirror: join order, slot layout
+    # and the per-step specialisation (table refs, constant positions
+    # folded into the base mask) depend only on the conjunction shape,
+    # the seed's domain and the mirror's contents — all stable until the
+    # next sync, which clears the cache.
+    cache_key = (tuple(atoms), frozenset(base.domain()), reorder)
+    cached = dense.plan_cache.get(cache_key)
+    if cached is None:
+        plan = plan_conjunction(
+            atoms,
+            count_of=index.count,
+            # Sorted for deterministic slot numbering (Variable hashes
+            # are string-seeded, so raw set order varies per process).
+            bound_vars=sorted(base.domain(), key=lambda v: v.name),
+            reorder=reorder,
+        )
+        exec_steps = []
+        for step in plan.steps:
+            key = (step.predicate, step.arity)
+            table = dense.tables.get(key)
+            if table is None:
+                exec_steps.append((0, key, (), (), ()))
+                continue
+            base_mask = table.all_rows
+            postings = table.postings
+            columns = table.columns
+            for pos, term in step.consts:
+                ident = arena.id_of(term)
+                bits = postings[pos].get(ident, 0) if ident is not None else 0
+                if stats is not None:
+                    stats.bitset_ops += 1
+                base_mask &= bits
+                if not base_mask:
+                    break
+            exec_steps.append(
+                (
+                    base_mask,
+                    key,
+                    tuple((postings[pos], slot) for pos, slot in step.bounds),
+                    tuple((columns[pos], slot) for pos, slot in step.frees),
+                    tuple((columns[pos], slot) for pos, slot in step.sames),
+                )
+            )
+        if len(dense.plan_cache) >= dense.PLAN_CACHE_MAX:
+            dense.plan_cache.clear()
+        dense.plan_cache[cache_key] = cached = (plan, tuple(exec_steps))
+    plan, exec_steps = cached
+
+    binding = [-1] * plan.n_slots
+    slot_of = plan.slot_of
+    intern = arena.intern
+    for var, term in base.items():
+        binding[slot_of[var]] = intern(term)
+
+    decode = tuple(slot_of.items())
+    depth_limit = len(exec_steps)
+    from_trusted = Substitution.from_trusted
+
+    def run(depth: int) -> Iterator[Substitution]:
+        if depth == depth_limit:
+            if stats is not None:
+                stats.solutions += 1
+            yield from_trusted({var: term_of(binding[slot]) for var, slot in decode})
+            return
+        mask, table_key, bounds, frees, sames = exec_steps[depth]
+        if masks is not None:
+            if stats is not None:
+                stats.bitset_ops += 1
+            mask &= masks.get(table_key, 0)
+        for postings, slot in bounds:
+            if stats is not None:
+                stats.bitset_ops += 1
+            mask &= postings.get(binding[slot], 0)
+            if not mask:
+                break
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            row = low.bit_length() - 1
+            for column, slot in frees:
+                binding[slot] = column[row]
+            matched = True
+            for column, slot in sames:
+                if column[row] != binding[slot]:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            if stats is not None:
+                stats.nodes += 1
+                stats.kernel_nodes += 1
+            if governor is not None:
+                governor.tick(governor_site)
+            yield from run(depth + 1)
+        if stats is not None:
+            stats.backtracks += 1
+
+    return run(0)

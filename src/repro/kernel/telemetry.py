@@ -1,0 +1,51 @@
+"""Kernel telemetry accumulation.
+
+:class:`KernelTelemetry` is the long-lived aggregate behind the
+``kernel`` section of :meth:`repro.api.Engine.stats` (and therefore the
+``flq serve`` ``stats`` op): the containment checker absorbs each
+decide's :class:`~repro.datalog.matching.SearchStats` into one of these
+so operators can see how much work the dense kernel is doing — and how
+often it silently fell back to the baseline search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelTelemetry"]
+
+
+@dataclass
+class KernelTelemetry:
+    """Monotone counters aggregated across searches.
+
+    ``kernel_nodes`` / ``bitset_ops`` / ``intern_symbols`` mirror the
+    per-search fields of :class:`~repro.datalog.matching.SearchStats`;
+    ``searches`` counts dense searches started and ``fallbacks`` counts
+    dispatches that wanted the dense kernel but transparently ran the
+    baseline instead (unsupported index type or term filter).
+    """
+
+    kernel_nodes: int = 0
+    bitset_ops: int = 0
+    intern_symbols: int = 0
+    searches: int = 0
+    fallbacks: int = 0
+
+    def absorb(self, stats) -> None:
+        """Fold one search's counters (duck-typed ``SearchStats``) in."""
+        self.kernel_nodes += stats.kernel_nodes
+        self.bitset_ops += stats.bitset_ops
+        self.intern_symbols += stats.intern_symbols
+        self.searches += stats.kernel_searches
+        self.fallbacks += stats.kernel_fallbacks
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for ``Engine.stats()`` / the serve ``stats`` op."""
+        return {
+            "kernel_nodes": self.kernel_nodes,
+            "bitset_ops": self.bitset_ops,
+            "intern_symbols": self.intern_symbols,
+            "searches": self.searches,
+            "fallbacks": self.fallbacks,
+        }

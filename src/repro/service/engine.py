@@ -107,6 +107,11 @@ class ContainmentService:
         ``0`` disables the cache).
     obs:
         Observability sink shared by the checker, store, pool and queue.
+    kernel:
+        Homomorphism-search kernel (``auto``/``dense``/``baseline``),
+        forwarded to the checker; see :mod:`repro.kernel`.  The kernel's
+        aggregate counters appear as the ``kernel`` section of
+        :meth:`stats_dict`.
     """
 
     def __init__(
@@ -123,6 +128,7 @@ class ContainmentService:
         max_workers: Optional[int] = None,
         result_cache: int = 4096,
         obs: Optional[Observability] = None,
+        kernel: str = "auto",
     ):
         self.obs = obs if obs is not None else OBS_OFF
         self.checker = ContainmentChecker(
@@ -132,6 +138,7 @@ class ContainmentService:
             store=store,
             anytime=anytime,
             obs=obs,
+            kernel=kernel,
         )
         self.budget = budget
         self.pool = WorkerPool(max_workers, obs=self.obs)
@@ -169,6 +176,7 @@ class ContainmentService:
             "queue": self.queue.stats.as_dict(),
             "pool": self.pool.stats.as_dict(),
             "store": self.store.stats.as_dict(),
+            "kernel": self.checker.kernel_stats.as_dict(),
         }
 
     # -- requests ------------------------------------------------------------

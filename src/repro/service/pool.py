@@ -75,7 +75,9 @@ def check_group_worker(payload: tuple) -> list:
     # task execution anyway.
     from ..containment.bounded import ContainmentChecker
 
-    dependencies, reorder_join, max_steps, anytime, budget, fault_plan, items = payload
+    dependencies, reorder_join, max_steps, anytime, budget, fault_plan, kernel, items = (
+        payload
+    )
     checker = ContainmentChecker(
         dependencies,
         reorder_join=reorder_join,
@@ -83,6 +85,7 @@ def check_group_worker(payload: tuple) -> list:
         anytime=anytime,
         budget=budget,
         faults=fault_plan,
+        kernel=kernel,
     )
     return [
         checker.check(q1, q2, level_bound=bound) for q1, q2, bound in items

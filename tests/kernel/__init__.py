@@ -1,0 +1,1 @@
+"""Tests for the dense int-interned columnar kernel (repro.kernel)."""

@@ -1,0 +1,101 @@
+"""TermArena interning and PredicateTable columnar storage."""
+
+from __future__ import annotations
+
+from repro.core.atoms import member, type_
+from repro.core.terms import Constant, Null, TermArena, Variable
+from repro.kernel.columns import PredicateTable, pattern_key, table_key
+
+
+class TestTermArena:
+    def test_intern_roundtrips(self):
+        arena = TermArena()
+        terms = [Constant("a"), Variable("X"), Null(3)]
+        ids = [arena.intern(t) for t in terms]
+        assert [arena.term(i) for i in ids] == terms
+
+    def test_ids_are_contiguous_and_stable(self):
+        arena = TermArena()
+        first = arena.intern(Constant("a"))
+        second = arena.intern(Constant("b"))
+        assert (first, second) == (0, 1)
+        # Re-interning never mints a new id.
+        assert arena.intern(Constant("a")) == first
+        assert len(arena) == 2
+
+    def test_id_of_unknown_term_is_none(self):
+        arena = TermArena()
+        assert arena.id_of(Constant("missing")) is None
+        arena.intern(Constant("present"))
+        assert arena.id_of(Constant("present")) == 0
+
+    def test_intern_many_matches_single_interning(self):
+        arena = TermArena()
+        args = (Constant("a"), Variable("X"), Constant("a"))
+        ids = arena.intern_many(args)
+        assert ids == [arena.intern(t) for t in args]
+
+    def test_kind_counts(self):
+        arena = TermArena()
+        arena.intern_many((Constant("a"), Constant("b"), Variable("X"), Null(1)))
+        counts = arena.kind_counts()
+        assert counts["constants"] == 2
+        assert counts["variables"] == 1
+        assert counts["nulls"] == 1
+
+    def test_contains(self):
+        arena = TermArena()
+        arena.intern(Constant("a"))
+        assert Constant("a") in arena
+        assert Constant("b") not in arena
+
+
+class TestPredicateTable:
+    def _table(self):
+        arena = TermArena()
+        table = PredicateTable("member", 2)
+        atoms = [
+            member(Constant("o1"), Constant("c")),
+            member(Constant("o2"), Constant("c")),
+            member(Constant("o1"), Constant("d")),
+        ]
+        for atom in atoms:
+            table.append(arena.intern_many(atom.args), atom)
+        return arena, table, atoms
+
+    def test_rows_and_columns(self):
+        arena, table, atoms = self._table()
+        assert table.n_rows == len(table) == 3
+        assert table.atoms == atoms
+        # Column 0 holds the first argument of every row, as ids.
+        assert [arena.term(i) for i in table.columns[0]] == [
+            a.args[0] for a in atoms
+        ]
+
+    def test_all_rows_mask_covers_every_row(self):
+        _, table, _ = self._table()
+        assert table.all_rows == 0b111
+
+    def test_postings_are_per_position_bitsets(self):
+        arena, table, _ = self._table()
+        o1 = arena.id_of(Constant("o1"))
+        c = arena.id_of(Constant("c"))
+        assert table.posting(0, o1) == 0b101  # rows 0 and 2
+        assert table.posting(1, c) == 0b011  # rows 0 and 1
+        # Intersection selects exactly member(o1, c).
+        assert table.posting(0, o1) & table.posting(1, c) == 0b001
+
+    def test_posting_for_unseen_value_is_empty(self):
+        arena, table, _ = self._table()
+        assert table.posting(0, arena.intern(Constant("nowhere"))) == 0
+
+    def test_row_of_maps_atoms_back_to_rows(self):
+        _, table, atoms = self._table()
+        assert [table.row_of[a] for a in atoms] == [0, 1, 2]
+
+
+class TestKeys:
+    def test_table_key_uses_predicate_and_arity(self):
+        atom = type_(Constant("c"), Constant("a"), Constant("t"))
+        assert table_key(atom) == ("type", 3)
+        assert pattern_key("type", 3) == ("type", 3)

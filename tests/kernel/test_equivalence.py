@@ -1,0 +1,143 @@
+"""Dense kernel ≡ baseline: property-based and corpus-wide equivalence.
+
+The satellite contract of the kernel PR: the dense executor and the
+baseline backtracking search return *identical solution sets* — on the
+paper's worked examples, on the E10 mixed corpus, and on randomly
+generated workloads — and governed runs that get interrupted degrade to
+UNKNOWN identically under both kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containment.bounded import ContainmentChecker, theorem12_bound
+from repro.containment.result import ContainmentReason, Decision
+from repro.core.substitution import Substitution
+from repro.datalog.index import FactIndex
+from repro.datalog.matching import match_conjunction
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.governance.budget import ExecutionBudget
+from repro.governance.faults import Fault
+from repro.homomorphism.search import all_homomorphisms
+from repro.workloads.corpus import PAPER_CONTAINMENT_PAIRS, PAPER_QUERIES
+from repro.workloads.query_gen import QueryGenerator
+
+from tests.property.strategies import conjunctive_queries, ground_pfl_atoms
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _solution_set(atoms, index, kernel, base=Substitution.EMPTY, **kwargs):
+    return set(match_conjunction(atoms, index, base, kernel=kernel, **kwargs))
+
+
+class TestRandomWorkloads:
+    @SETTINGS
+    @given(
+        facts=st.lists(ground_pfl_atoms(), max_size=30),
+        query=conjunctive_queries(max_atoms=4),
+        reorder=st.booleans(),
+    )
+    def test_match_conjunction_solution_sets_agree(self, facts, query, reorder):
+        index = FactIndex(facts)
+        assert _solution_set(
+            query.body, index, "dense", reorder=reorder
+        ) == _solution_set(query.body, index, "baseline", reorder=reorder)
+
+    @SETTINGS
+    @given(
+        facts=st.lists(ground_pfl_atoms(), max_size=30),
+        query=conjunctive_queries(max_atoms=3),
+    )
+    def test_all_homomorphisms_agree(self, facts, query):
+        index = FactIndex(facts)
+        dense = set(all_homomorphisms(query, index, kernel="dense"))
+        baseline = set(all_homomorphisms(query, index, kernel="baseline"))
+        assert dense == baseline
+
+
+class TestChasedInstances:
+    @pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.name)
+    def test_solutions_over_chased_paper_prefixes(self, query):
+        # Enumerate every paper query over every paper query's chased
+        # canonical database — nulls included, prefix views included.
+        checker = ContainmentChecker()
+        for other in PAPER_QUERIES:
+            bound = min(theorem12_bound(other, query), 6)
+            run, _ = checker.store.run_for(other, bound)
+            view = run.instance.up_to_level(bound)
+            dense = set(all_homomorphisms(query, view, kernel="dense"))
+            baseline = set(all_homomorphisms(query, view, kernel="baseline"))
+            assert dense == baseline
+
+
+class TestVerdictParity:
+    @pytest.mark.parametrize("anytime", [True, False], ids=["anytime", "monolithic"])
+    def test_paper_pairs(self, anytime):
+        dense = ContainmentChecker(anytime=anytime, kernel="dense")
+        baseline = ContainmentChecker(anytime=anytime, kernel="baseline")
+        for q1, q2, expected, _ in PAPER_CONTAINMENT_PAIRS:
+            for checker in (dense, baseline):
+                result = checker.check(q1, q2)
+                assert result.contained == expected
+                assert not result.unknown
+
+    def test_e10_style_corpus(self):
+        # The E10 mixed corpus recipe: paper pairs plus generated pairs
+        # from the same seed the experiment uses.
+        gen = QueryGenerator(17)
+        pairs = [(q1, q2) for q1, q2, _, _ in PAPER_CONTAINMENT_PAIRS]
+        pairs += [gen.containment_pair() for _ in range(10)]
+        dense = ContainmentChecker(kernel="dense")
+        baseline = ContainmentChecker(kernel="baseline")
+        for q1, q2 in pairs:
+            r_dense = dense.check(q1, q2)
+            r_base = baseline.check(q1, q2)
+            assert r_dense.decision == r_base.decision
+            assert r_dense.contained == r_base.contained
+
+    def test_explanations_verify_under_dense(self):
+        checker = ContainmentChecker(kernel="dense")
+        for q1, q2, expected, _ in PAPER_CONTAINMENT_PAIRS:
+            result = checker.check(q1, q2, explain=True)
+            assert result.contained == expected
+            assert result.verify()
+
+
+class TestInterruptedRuns:
+    DEADLINE = 0.1
+    SLOW_PROBE = (
+        Fault(
+            site="containment.probe", at=1, kind="slow", seconds=0.12, repeat=True
+        ),
+    )
+
+    @pytest.mark.parametrize("kernel", ["dense", "baseline"])
+    def test_exhaustion_degrades_to_unknown_identically(self, kernel):
+        # A negative pair (no early witness) governed by a deadline the
+        # fault harness guarantees to blow: both kernels must give the
+        # same UNKNOWN with the same reason — never a flipped verdict.
+        q1, q2 = next(
+            (a, b) for a, b, sigma, _ in PAPER_CONTAINMENT_PAIRS if not sigma
+        )
+        checker = ContainmentChecker(faults=self.SLOW_PROBE, kernel=kernel)
+        result = checker.check(
+            q1, q2, budget=ExecutionBudget(deadline_seconds=self.DEADLINE)
+        )
+        assert result.decision is Decision.UNKNOWN
+        assert result.reason is ContainmentReason.BUDGET_EXHAUSTED
+        assert result.budget_report is not None
+        assert result.budget_report.exhausted == "deadline"
+
+    def test_unlimited_budget_decides_under_both(self):
+        for kernel in ("dense", "baseline"):
+            checker = ContainmentChecker(kernel=kernel)
+            for q1, q2, expected, _ in PAPER_CONTAINMENT_PAIRS[:2]:
+                result = checker.check(
+                    q1, q2, budget=ExecutionBudget.unlimited()
+                )
+                assert not result.unknown
+                assert result.contained == expected

@@ -1,0 +1,91 @@
+"""Kernel counters: SearchStats → checker telemetry → Engine.stats/serve."""
+
+from __future__ import annotations
+
+from repro.api import Engine
+from repro.cli import _serve_request
+from repro.containment.bounded import ContainmentChecker
+from repro.kernel.telemetry import KernelTelemetry
+from repro.obs import MetricsRegistry, Observability
+from repro.workloads.corpus import INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ
+
+KERNEL_KEYS = {
+    "kernel_nodes",
+    "bitset_ops",
+    "intern_symbols",
+    "searches",
+    "fallbacks",
+}
+
+
+class TestKernelTelemetry:
+    def test_absorb_folds_search_stats(self):
+        from repro.datalog.matching import SearchStats
+
+        telemetry = KernelTelemetry()
+        stats = SearchStats()
+        stats.kernel_nodes = 5
+        stats.bitset_ops = 7
+        stats.intern_symbols = 3
+        stats.kernel_searches = 2
+        stats.kernel_fallbacks = 1
+        telemetry.absorb(stats)
+        telemetry.absorb(stats)
+        assert telemetry.as_dict() == {
+            "kernel_nodes": 10,
+            "bitset_ops": 14,
+            "intern_symbols": 6,
+            "searches": 4,
+            "fallbacks": 2,
+        }
+
+
+class TestCheckerAggregation:
+    def test_dense_checker_accumulates(self):
+        checker = ContainmentChecker(kernel="dense")
+        checker.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+        telemetry = checker.kernel_stats
+        assert telemetry.searches > 0
+        assert telemetry.kernel_nodes > 0
+        assert telemetry.bitset_ops > 0
+        assert telemetry.intern_symbols > 0
+
+    def test_baseline_checker_stays_silent(self):
+        checker = ContainmentChecker(kernel="baseline")
+        checker.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+        assert checker.kernel_stats.as_dict() == dict.fromkeys(KERNEL_KEYS, 0)
+
+    def test_metrics_counters_emitted(self):
+        obs = Observability(metrics=MetricsRegistry())
+        checker = ContainmentChecker(obs=obs, kernel="dense")
+        checker.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+        counters = obs.metrics.as_dict()["counters"]
+        assert "hom.kernel_nodes" in counters
+        assert "hom.bitset_ops" in counters
+        assert "kernel.intern_symbols" in counters
+
+    def test_baseline_emits_no_kernel_metrics(self):
+        obs = Observability(metrics=MetricsRegistry())
+        checker = ContainmentChecker(obs=obs, kernel="baseline")
+        checker.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+        counters = obs.metrics.as_dict()["counters"]
+        assert "hom.kernel_nodes" not in counters
+        assert "kernel.intern_symbols" not in counters
+
+
+class TestEngineSurface:
+    def test_engine_stats_has_a_kernel_section(self):
+        with Engine() as engine:  # kernel="auto" is the default
+            engine.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+            stats = engine.stats()
+        assert set(stats["kernel"]) == KERNEL_KEYS
+        assert stats["kernel"]["searches"] > 0
+        assert stats["kernel"]["kernel_nodes"] > 0
+
+    def test_serve_stats_op_carries_the_section(self):
+        with Engine() as engine:
+            engine.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
+            response = _serve_request(engine, {"id": 1, "op": "stats"})
+        assert response["ok"] is True
+        assert set(response["stats"]["kernel"]) == KERNEL_KEYS
+        assert response["stats"]["kernel"]["searches"] > 0

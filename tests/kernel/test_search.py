@@ -1,0 +1,271 @@
+"""The dense executor against the baseline search, case by case.
+
+Every test here asserts the kernel's core contract: for a supported
+(index, filter) pair, ``kernel="dense"`` yields exactly the baseline's
+solution set — and the observable side channels (node counts, governor
+ticks, fallback counters) behave as documented.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import data, funct, member, sub, type_
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+from repro.datalog.index import FactIndex
+from repro.datalog.matching import SearchStats, match_conjunction, match_conjunction_delta
+from repro.governance.budget import ExecutionBudget, Governor
+from repro.kernel.search import dense_supported, kernel_match_conjunction
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+A, B, C, D = (Constant(n) for n in "abcd")
+
+
+def _solutions(atoms, index, kernel, **kwargs):
+    return set(match_conjunction(atoms, index, kernel=kernel, **kwargs))
+
+
+def _index():
+    return FactIndex(
+        [
+            member(A, C),
+            member(B, C),
+            member(A, D),
+            sub(C, D),
+            sub(D, D),
+            data(A, B, C),
+            data(A, B, B),
+            funct(B, C),
+        ]
+    )
+
+
+EQUIVALENCE_CASES = [
+    pytest.param([member(X, Y)], id="single-atom"),
+    pytest.param([member(X, Y), sub(Y, Z)], id="two-atom-join"),
+    pytest.param([member(X, C)], id="constant-position"),
+    pytest.param([sub(Y, Y)], id="repeated-var-in-atom"),
+    pytest.param([data(X, Y, Y)], id="repeated-var-later-position"),
+    pytest.param([member(X, Y), sub(Y, Y), data(X, Z, W)], id="three-atoms"),
+    pytest.param([member(X, Y), member(Z, Y), sub(Y, W)], id="diamond"),
+    pytest.param([type_(X, Y, Z)], id="empty-relation"),
+    pytest.param([], id="empty-conjunction"),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("atoms", EQUIVALENCE_CASES)
+    @pytest.mark.parametrize("reorder", [True, False])
+    def test_same_solution_set(self, atoms, reorder):
+        index = _index()
+        assert _solutions(atoms, index, "dense", reorder=reorder) == _solutions(
+            atoms, index, "baseline", reorder=reorder
+        )
+
+    def test_seeded_base_substitution(self):
+        index = _index()
+        base = Substitution({X: A})
+        atoms = [member(X, Y), sub(Y, Z)]
+        dense = set(match_conjunction(atoms, index, base, kernel="dense"))
+        baseline = set(match_conjunction(atoms, index, base, kernel="baseline"))
+        assert dense == baseline
+        assert all(s[X] == A for s in dense)
+
+    def test_solutions_carry_full_domain(self):
+        index = _index()
+        (sol,) = set(match_conjunction([funct(X, Y)], index, kernel="dense"))
+        assert sol.domain() == {X, Y}
+        assert sol[X] == B and sol[Y] == C
+
+    def test_auto_uses_the_kernel_here(self):
+        index = _index()
+        stats = SearchStats()
+        list(match_conjunction([member(X, Y)], index, kernel="auto", stats=stats))
+        assert stats.kernel_searches == 1
+        assert stats.kernel_fallbacks == 0
+
+    def test_none_defaults_to_baseline(self):
+        # Module-level callers keep the pinned baseline node counts.
+        index = _index()
+        stats = SearchStats()
+        list(match_conjunction([member(X, Y)], index, stats=stats))
+        assert stats.kernel_searches == 0
+        assert stats.kernel_nodes == 0
+
+
+class TestStatsParity:
+    def test_node_and_solution_counts_match_baseline(self):
+        index = _index()
+        atoms = [member(X, Y), sub(Y, Z), data(X, W, W)]
+        dense, baseline = SearchStats(), SearchStats()
+        list(match_conjunction(atoms, index, kernel="dense", stats=dense))
+        list(match_conjunction(atoms, index, kernel="baseline", stats=baseline))
+        assert dense.nodes == baseline.nodes
+        assert dense.solutions == baseline.solutions
+        assert dense.backtracks == baseline.backtracks
+
+    def test_kernel_counters_accumulate(self):
+        index = _index()
+        stats = SearchStats()
+        list(match_conjunction([member(X, Y), sub(Y, Z)], index, kernel="dense", stats=stats))
+        assert stats.kernel_nodes == stats.nodes > 0
+        assert stats.bitset_ops > 0
+        assert stats.intern_symbols > 0  # first sync interned the index
+
+    def test_kernel_fields_hidden_from_baseline_as_dict(self):
+        stats = SearchStats()
+        index = _index()
+        list(match_conjunction([member(X, Y)], index, kernel="baseline", stats=stats))
+        assert set(stats.as_dict()) == {"nodes", "backtracks", "solutions"}
+
+    def test_kernel_fields_present_when_dense_ran(self):
+        stats = SearchStats()
+        index = _index()
+        list(match_conjunction([member(X, Y)], index, kernel="dense", stats=stats))
+        as_dict = stats.as_dict()
+        assert as_dict["kernel_nodes"] == stats.kernel_nodes
+        assert as_dict["kernel_searches"] == 1
+
+
+class _RecordingGovernor:
+    """Duck-typed governor that records every (amortised) tick site."""
+
+    def __init__(self):
+        self.sites = []
+
+    def tick(self, site):
+        self.sites.append(site)
+
+
+class TestGovernor:
+    def test_tick_parity_with_baseline(self):
+        index = _index()
+        atoms = [member(X, Y), sub(Y, Z)]
+        ticks = {}
+        for kernel in ("dense", "baseline"):
+            governor = _RecordingGovernor()
+            list(match_conjunction(atoms, index, kernel=kernel, governor=governor))
+            ticks[kernel] = len(governor.sites)
+        assert ticks["dense"] == ticks["baseline"] > 0
+
+    def test_one_tick_per_node_at_the_callers_site(self):
+        index = _index()
+        governor = _RecordingGovernor()
+        stats = SearchStats()
+        list(
+            kernel_match_conjunction(
+                [member(X, Y)],
+                index,
+                governor=governor,
+                governor_site="chase.match",
+                stats=stats,
+            )
+        )
+        assert governor.sites == ["chase.match"] * stats.nodes
+
+    def test_real_governor_deadline_interrupts_the_kernel(self):
+        from repro.core.errors import BudgetExceeded
+
+        index = _index()
+        governor = Governor(ExecutionBudget(deadline_seconds=0.0))
+        governor.clock = lambda: governor.started_at + 1.0
+        with pytest.raises(BudgetExceeded):
+            for _ in range(64):  # past the 1/32 amortisation window
+                list(
+                    match_conjunction(
+                        [member(X, Y)], index, kernel="dense", governor=governor
+                    )
+                )
+
+
+class TestFallback:
+    def test_term_filter_is_unsupported(self):
+        assert not dense_supported(_index(), term_filter=lambda v, t: True)
+
+    def test_unsupported_index_type(self):
+        assert not dense_supported(object())
+
+    def test_term_filter_falls_back_and_counts(self):
+        index = _index()
+        stats = SearchStats()
+        dense = set(
+            match_conjunction(
+                [member(X, Y)],
+                index,
+                kernel="dense",
+                term_filter=lambda var, term: term != A,
+                stats=stats,
+            )
+        )
+        baseline = set(
+            match_conjunction(
+                [member(X, Y)],
+                index,
+                kernel="baseline",
+                term_filter=lambda var, term: term != A,
+            )
+        )
+        assert dense == baseline
+        assert stats.kernel_fallbacks == 1
+        assert stats.kernel_searches == 0
+
+    def test_invalid_kernel_name_rejected(self):
+        with pytest.raises(ValueError):
+            list(match_conjunction([member(X, Y)], _index(), kernel="turbo"))
+
+
+class TestDeltaPath:
+    def test_delta_restriction_matches_baseline(self):
+        index = _index()
+        atoms = [member(X, Y), sub(Y, Z)]
+        delta = [sub(D, D)]
+        dense = set(
+            match_conjunction_delta(atoms, index, delta, kernel="dense")
+        )
+        baseline = set(
+            match_conjunction_delta(atoms, index, delta, kernel="baseline")
+        )
+        assert dense == baseline
+        # Every solution really touches the delta fact.
+        assert all(s[Y] == D and s[Z] == D for s in dense)
+
+    def test_required_fact_stays_equivalent(self):
+        index = _index()
+        atoms = [member(X, Y), sub(Y, Z)]
+        dense = set(
+            match_conjunction(
+                atoms, index, required_fact=sub(C, D), kernel="dense"
+            )
+        )
+        baseline = set(
+            match_conjunction(
+                atoms, index, required_fact=sub(C, D), kernel="baseline"
+            )
+        )
+        assert dense == baseline
+
+
+class TestLevelPrefixViews:
+    def _instance(self):
+        from repro.chase.instance import ChaseInstance
+
+        instance = ChaseInstance([member(A, C), sub(C, D)])
+        instance.add(member(B, C), level=1, rule="r", parents=())
+        instance.add(sub(D, D), level=2, rule="r", parents=())
+        return instance
+
+    def test_view_is_supported_and_equivalent(self):
+        instance = self._instance()
+        for bound in (0, 1, 2):
+            view = instance.up_to_level(bound)
+            assert dense_supported(view)
+            atoms = [member(X, Y), sub(Y, Z)]
+            assert _solutions(atoms, view, "dense") == _solutions(
+                atoms, view, "baseline"
+            )
+
+    def test_bound_zero_hides_later_levels(self):
+        view = self._instance().up_to_level(0)
+        sols = _solutions([member(X, Y)], view, "dense")
+        assert sols == {Substitution({X: A, Y: C})}

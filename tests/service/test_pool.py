@@ -128,6 +128,7 @@ class TestGroupWorker:
             True,
             None,
             None,
+            "auto",
             [(q1, q2, bound)],
         )
         results = check_group_worker(payload)
