@@ -65,6 +65,15 @@ class Engine:
         requests before explicit rejection.
     max_workers:
         Warm process-pool size for :meth:`check_all` batches.
+    result_cache:
+        Decided-verdict LRU entries remembered across requests
+        (``0`` disables recall).
+    store_capacity:
+        Chase-store LRU capacity when no explicit *store* is given
+        (``None`` = the store default).  The serve layer
+        (:mod:`repro.serve`) runs one Engine per shard and sizes both
+        caches per shard, so a shard's warm state covers exactly its
+        key range.
     obs:
         :class:`~repro.obs.Observability` sink for spans and metrics of
         every layer (store, pool, queue, service).
@@ -88,6 +97,8 @@ class Engine:
         max_active: int = 8,
         max_pending: int = 64,
         max_workers: Optional[int] = None,
+        result_cache: int = 4096,
+        store_capacity: Optional[int] = None,
         obs: Optional[Observability] = None,
         kernel: str = "auto",
     ):
@@ -101,6 +112,8 @@ class Engine:
             max_active=max_active,
             max_pending=max_pending,
             max_workers=max_workers,
+            result_cache=result_cache,
+            store_capacity=store_capacity,
             obs=obs,
             kernel=kernel,
         )
@@ -199,6 +212,20 @@ class Engine:
 
     # -- lifecycle & introspection -------------------------------------------
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting new work; wait for in-flight requests.
+
+        New requests are rejected with
+        :class:`~repro.core.errors.AdmissionRejected` (reason
+        ``"draining"``) from the moment this is called; requests already
+        admitted run to completion.  The warm pool stays up until
+        :meth:`close`, so a drained engine still answers ``stats()`` —
+        this is the per-shard half of the serve layer's graceful
+        ``drain`` op.  Returns ``True`` when everything in flight
+        finished within *timeout* seconds.
+        """
+        return self._service.drain(timeout=timeout)
+
     def close(self, timeout: Optional[float] = None) -> bool:
         """Drain in-flight requests, then join the warm pool's workers.
 
@@ -231,7 +258,13 @@ class Engine:
 
     @property
     def closed(self) -> bool:
+        """True once :meth:`close` has released the worker pool."""
         return self._service.closed
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` (or :meth:`close`) stopped admissions."""
+        return self._service.draining
 
     def stats(self) -> dict[str, dict[str, int]]:
         """Counters of every layer: service, queue, pool, store, kernel."""

@@ -119,11 +119,13 @@ class ChaseResult:
         return self.instance.head
 
     def atoms(self) -> frozenset[Atom]:
+        """Every atom of the chased instance (empty if the chase failed)."""
         if self.instance is None:
             return frozenset()
         return self.instance.atoms()
 
     def size(self) -> int:
+        """Number of atoms in the chased instance."""
         return 0 if self.instance is None else len(self.instance)
 
     def __repr__(self) -> str:

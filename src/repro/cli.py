@@ -18,13 +18,19 @@ Installed as ``flq`` (F-Logic Queries); also runnable as
     report UNKNOWN and the command exits 3; ``--trace``/``--metrics``
     export the span tree and the metrics registry.
 
-``flq serve [--max-active N] [--max-pending N] [--deadline S] ...``
-    Long-running service mode: one JSON request per stdin line, one JSON
-    response per stdout line (see :func:`_cmd_serve`).  A malformed or
-    failing request reports ``{"ok": false, "error": ...}`` on its own
-    line and the service keeps serving; EOF drains and exits 0.  The
-    governance flags set the *service envelope* — per-request budgets
-    can only tighten it.
+``flq serve [--tcp HOST:PORT] [--shards N] [--tenant-rate R]
+[--tenant-burst B] [--tenants FILE] [--max-active N] [--max-pending N]
+[--store-capacity N] [--result-cache N] [--deadline S] ...``
+    Long-running service mode: one JSON request per line, one JSON
+    response per line, over stdin/stdout by default or over asyncio TCP
+    with ``--tcp`` (see :mod:`repro.serve` and ``docs/protocol.md``).
+    Requests route across ``--shards`` engine shards by consistent hash
+    of the query's canonical key; per-tenant token-bucket quotas and
+    budget envelopes come from ``--tenant-rate``/``--tenants``.  A
+    malformed or failing request reports ``{"ok": false, "error": ...,
+    "reason": ...}`` on its own line and the service keeps serving; EOF
+    or a ``drain`` op exits 0.  The governance flags set the *service
+    envelope* — tenant and per-request budgets can only tighten it.
 
 ``flq chase FILE [--max-level N] [--graph] [--deadline S] [--max-facts N]
 [--max-memory-mb M] [--trace FILE] [--metrics FILE]``
@@ -231,113 +237,106 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
-def _parse_rule(text: str, default_name: str) -> ConjunctiveQuery:
-    """One conjunctive query from one F-logic rule/query string."""
-    program = parse_program(text)
-    rules = list(program.rules())
-    if rules:
-        return encode_rule(rules[0])
-    asks = list(program.queries())
-    if asks:
-        return encode_query(asks[0], name=default_name)
-    raise ReproError(f"no rule or query in {text!r}")
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; port 0 binds an ephemeral port."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"--tcp expects HOST:PORT, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ReproError(f"--tcp port must be an integer, got {port!r}") from exc
 
 
-def _serve_request(engine: Engine, request: dict) -> dict:
-    """Serve one decoded ``serve`` request; always returns a response dict."""
-    op = request.get("op", "check")
-    if op == "ping":
-        return {"ok": True, "op": "ping"}
-    if op == "stats":
-        return {"ok": True, "op": "stats", "stats": engine.stats()}
-    if op != "check":
-        raise ReproError(f"unknown op {op!r} (expected check, stats or ping)")
-    if "q1" not in request or "q2" not in request:
-        raise ReproError("check request needs 'q1' and 'q2' rule strings")
-    q1 = _parse_rule(str(request["q1"]), "q1")
-    q2 = _parse_rule(str(request["q2"]), "q2")
-    budget = None
-    if any(k in request for k in ("deadline", "max_facts", "max_memory_mb")):
-        memory_mb = request.get("max_memory_mb")
-        budget = ExecutionBudget(
-            deadline_seconds=request.get("deadline"),
-            max_facts=request.get("max_facts"),
-            max_memory_bytes=(
-                int(memory_mb * 1024 * 1024) if memory_mb is not None else None
-            ),
+def _tenant_registry(args: argparse.Namespace):
+    """The :class:`~repro.serve.tenancy.TenantRegistry` the flags ask for.
+
+    ``--tenants FILE`` loads per-tenant policies from JSON (the ``"*"``
+    key sets the default policy); ``--tenant-rate``/``--tenant-burst``
+    set the default policy inline.  With neither, traffic is unmetered.
+    """
+    from .serve.tenancy import TenantPolicy, TenantRegistry
+
+    policies = {}
+    default_policy = None
+    if args.tenants is not None:
+        raw = json.loads(Path(args.tenants).read_text())
+        if not isinstance(raw, dict):
+            raise ReproError("--tenants file must hold a JSON object")
+        for name, spec in raw.items():
+            policy = TenantPolicy.from_dict(spec)
+            if name == "*":
+                default_policy = policy
+            else:
+                policies[name] = policy
+    if args.tenant_rate is not None:
+        default_policy = TenantPolicy(
+            rate=args.tenant_rate, burst=args.tenant_burst
         )
-    result = engine.check(
-        q1,
-        q2,
-        level_bound=request.get("level_bound"),
-        anytime=request.get("anytime"),
-        explain=bool(request.get("explain", False)),
-        budget=budget,
-    )
-    response = {
-        "ok": True,
-        "op": "check",
-        "q1": q1.name,
-        "q2": q2.name,
-        "decision": result.decision.name,
-        "contained": None if result.unknown else result.contained,
-        "reason": result.reason.value,
-        "elapsed_seconds": result.elapsed_seconds,
-    }
-    if result.witness_level is not None:
-        response["witness_level"] = result.witness_level
-    if result.levels_chased is not None:
-        response["levels_chased"] = result.levels_chased
-    if request.get("explain") and result.provenance is not None:
-        response["provenance"] = result.provenance.pretty()
-    return response
+    return TenantRegistry(policies, default_policy=default_policy)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Line-oriented JSON service over stdin/stdout.
+    """Newline-delimited JSON containment service (stdio or TCP).
 
-    Request per line: ``{"id": ..., "op": "check", "q1": "<rule>",
-    "q2": "<rule>", "level_bound": N?, "anytime": bool?, "explain":
-    bool?, "deadline": S?, "max_facts": N?, "max_memory_mb": M?}`` —
-    ``op`` defaults to ``"check"``; ``"stats"`` and ``"ping"`` are also
-    understood.  Response per line mirrors the request's ``id`` and is
-    either ``{"id": ..., "ok": true, "decision": "TRUE|FALSE|UNKNOWN",
-    "contained": bool|null, ...}`` or ``{"id": ..., "ok": false,
-    "error": "..."}``.  Errors are **per line**: a bad request never
-    stops the service.  EOF drains in-flight work and exits 0.
+    Without ``--tcp``: one request per stdin line, one response per
+    stdout line; EOF (or a ``drain`` op) exits 0.  With ``--tcp
+    HOST:PORT``: an asyncio server on that address (port 0 = ephemeral);
+    the bound address is announced on stdout as one ``{"serving": ...}``
+    line, and a ``drain`` op shuts the server down gracefully.  In both
+    modes requests route across ``--shards`` engine shards by consistent
+    hash of the query's canonical key, errors are **per line** (a bad
+    request never stops the service), and the governance flags set the
+    *service envelope* — tenant and per-request budgets only tighten it.
+    The full wire protocol is documented in ``docs/protocol.md``.
     """
+    from .serve.server import ContainmentServer
+
     obs = _make_obs(args)
     budget = _budget_from_args(args)
-    engine = Engine(
+    server = ContainmentServer(
+        args.shards,
+        tenants=_tenant_registry(args),
         obs=obs,
         budget=budget,
         max_active=args.max_active,
         max_pending=args.max_pending,
+        store_capacity=args.store_capacity,
+        result_cache=args.result_cache,
     )
-    stdin = sys.stdin
-    stdout = sys.stdout
     try:
-        for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            request_id = None
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ReproError("request must be a JSON object")
-                request_id = request.get("id")
-                response = _serve_request(engine, request)
-            except Exception as exc:  # per-line error reporting, keep serving
-                response = {"ok": False, "error": f"{exc}"}
-            if request_id is not None:
-                response["id"] = request_id
-            stdout.write(json.dumps(response) + "\n")
-            stdout.flush()
+        if args.tcp is None:
+            return server.serve_stdio()
+        import asyncio
+
+        from .serve.protocol import PROTOCOL_VERSION
+
+        host, port = _parse_hostport(args.tcp)
+
+        def ready(bound_host: str, bound_port: int) -> None:
+            sys.stdout.write(
+                json.dumps(
+                    {
+                        "serving": {
+                            "host": bound_host,
+                            "port": bound_port,
+                            "shards": server.shards,
+                            "protocol": PROTOCOL_VERSION,
+                        }
+                    }
+                )
+                + "\n"
+            )
+            sys.stdout.flush()
+
+        try:
+            asyncio.run(server.serve_tcp(host, port, ready=ready))
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        return 0
     finally:
-        engine.close()
+        server.close()
         _export_obs(args, obs)
-    return 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -524,21 +523,86 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="line-oriented JSON containment service over stdin/stdout",
+        help=(
+            "newline-delimited JSON containment service over stdin/stdout "
+            "or TCP (--tcp), sharded and quota-governed"
+        ),
+    )
+    p_serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve over asyncio TCP on this address instead of stdio "
+            "(port 0 binds an ephemeral port; the bound address is "
+            "announced as a {\"serving\": ...} line on stdout)"
+        ),
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "engine shards; requests route by consistent hash of the "
+            "query's canonical key so each shard's chase store and "
+            "decided-result cache stay hot for its key range"
+        ),
     )
     p_serve.add_argument(
         "--max-active",
         type=int,
         default=8,
         metavar="N",
-        help="requests executing concurrently before new ones queue",
+        help="per-shard requests executing concurrently before new ones queue",
     )
     p_serve.add_argument(
         "--max-pending",
         type=int,
         default=64,
         metavar="N",
-        help="queued requests before new ones are rejected",
+        help="per-shard queued requests before new ones are rejected",
+    )
+    p_serve.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-shard chase-store LRU entries (default: store default)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="per-shard decided-verdict LRU entries (0 disables recall)",
+    )
+    p_serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "default tenant quota: R requests/second sustained "
+            "(unmetered when omitted)"
+        ),
+    )
+    p_serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=16.0,
+        metavar="B",
+        help="default tenant burst: tokens a tenant may bank above its rate",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        metavar="FILE",
+        default=None,
+        help=(
+            "JSON file of per-tenant policies {name: {rate, burst, "
+            "deadline, max_facts, max_memory_mb, max_steps}}; the '*' "
+            "key sets the default policy"
+        ),
     )
     _add_obs_flags(p_serve)
     _add_budget_flags(p_serve)

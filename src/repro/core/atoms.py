@@ -119,6 +119,7 @@ class Atom:
         return {t for t in self.args if isinstance(t, Null)}
 
     def terms(self) -> tuple[Term, ...]:
+        """The argument tuple (alias of :attr:`args`)."""
         return self.args
 
     @property

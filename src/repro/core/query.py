@@ -119,6 +119,7 @@ class ConjunctiveQuery:
         return out
 
     def head_variables(self) -> set[Variable]:
+        """Variables that occur in the head (the distinguished ones)."""
         return {t for t in self.head if isinstance(t, Variable)}
 
     def existential_variables(self) -> set[Variable]:
@@ -126,6 +127,7 @@ class ConjunctiveQuery:
         return self.variables() - self.head_variables()
 
     def predicates(self) -> set[str]:
+        """The predicate names used by the body conjuncts."""
         return {atom.predicate for atom in self.body}
 
     # -- schema -------------------------------------------------------------

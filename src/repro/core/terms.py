@@ -175,6 +175,7 @@ class Null(Term):
 
     @property
     def name(self) -> str:
+        """Printable name of the null, ``_v<index>``."""
         return f"_v{self.index}"
 
     def __repr__(self) -> str:

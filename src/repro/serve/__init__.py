@@ -1,0 +1,72 @@
+"""repro.serve — sharded network serving of the containment engine.
+
+The front door that turns the warm :class:`repro.api.Engine` service
+into something heavy concurrent traffic can actually hit:
+
+* :class:`~repro.serve.server.ContainmentServer` — N engine shards
+  behind one newline-delimited-JSON protocol, served either over
+  stdin/stdout (the classic ``flq serve``) or as an asyncio TCP server
+  (``flq serve --tcp HOST:PORT --shards N``);
+* :class:`~repro.serve.sharding.ShardRouter` — deterministic
+  consistent-hash routing on canonical query keys, so each shard's
+  chase store and decided-result LRU stay warm for its key range across
+  requests *and* restarts;
+* :mod:`~repro.serve.tenancy` — per-tenant token-bucket quotas and
+  budget envelopes, rejected-not-queued
+  (:class:`~repro.serve.tenancy.QuotaExceeded`, reason
+  ``"quota-exhausted"``).
+
+The wire protocol is specified (and doc-tested) in ``docs/protocol.md``;
+the deployment runbook is ``docs/operations.md``; the traffic-replay
+guard lives in ``benchmarks/test_bench_serve.py`` → ``BENCH_serve.json``.
+"""
+
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    REASON_BAD_REQUEST,
+    REASON_INTERNAL,
+    REASON_UNKNOWN_OP,
+    UnknownOperation,
+    budget_from_request,
+    decode_line,
+    error_response,
+)
+from .server import (
+    DEFAULT_TENANT,
+    ConnectionState,
+    ContainmentServer,
+    ServerStats,
+)
+from .sharding import VNODES, ShardRouter, stable_key_digest
+from .tenancy import (
+    REASON_QUOTA,
+    QuotaExceeded,
+    TenantPolicy,
+    TenantRegistry,
+    TokenBucket,
+)
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "REASON_BAD_REQUEST",
+    "REASON_INTERNAL",
+    "REASON_QUOTA",
+    "REASON_UNKNOWN_OP",
+    "VNODES",
+    "ConnectionState",
+    "ContainmentServer",
+    "DEFAULT_TENANT",
+    "QuotaExceeded",
+    "ServerStats",
+    "ShardRouter",
+    "TenantPolicy",
+    "TenantRegistry",
+    "TokenBucket",
+    "UnknownOperation",
+    "budget_from_request",
+    "decode_line",
+    "error_response",
+    "stable_key_digest",
+]

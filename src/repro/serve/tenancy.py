@@ -1,0 +1,248 @@
+"""Per-tenant admission: token-bucket quotas and budget envelopes.
+
+Multi-tenant serving needs two things the single-process service layer
+does not provide on its own:
+
+* **rate isolation** — one chatty tenant must not starve the others.
+  Each tenant gets a :class:`TokenBucket` (``rate`` requests/second
+  sustained, ``burst`` above it); a request arriving on an empty bucket
+  is rejected *immediately* with the structured reason
+  ``"quota-exhausted"`` — never parked, never timed out.  Quota checks
+  run in the server's event loop (a subtraction and a clock read), so
+  an over-quota tenant costs the service almost nothing.
+* **resource isolation** — a tenant can carry its own
+  :class:`~repro.governance.ExecutionBudget` envelope.  It merges into
+  the service envelope and the per-request budget elementwise-min (the
+  same inheritance rule the service layer already applies), so a tenant
+  can be capped at, say, a 2-second deadline no matter what its
+  requests ask for.
+
+Rejections reuse :class:`~repro.core.errors.AdmissionRejected` (via the
+:class:`QuotaExceeded` subclass) so the protocol layer maps queue
+overload and quota overload through one code path, distinguished only
+by the machine-readable ``reason``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.errors import AdmissionRejected
+from ..governance import ExecutionBudget
+
+__all__ = [
+    "QuotaExceeded",
+    "TokenBucket",
+    "TenantPolicy",
+    "TenantRegistry",
+    "REASON_QUOTA",
+]
+
+#: Machine-readable rejection reason for an exhausted tenant quota.
+REASON_QUOTA = "quota-exhausted"
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A tenant's token bucket is empty.
+
+    Subclasses :class:`~repro.core.errors.AdmissionRejected` so callers
+    that already handle service backpressure handle quota backpressure
+    for free; ``reason`` is always ``"quota-exhausted"`` and ``tenant``
+    names the offender.
+    """
+
+    def __init__(self, message: str, *, tenant: str):
+        super().__init__(message, reason=REASON_QUOTA)
+        #: The tenant whose bucket was empty.
+        self.tenant = tenant
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` is non-blocking by design — admission control must
+    answer *now* (admit or reject), not queue behind a full bucket.
+    Thread-safe; time is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available right now; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (after a refill to *now*)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, burst={self.burst})"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Declarative per-tenant admission policy.
+
+    ``rate``/``burst`` feed the tenant's :class:`TokenBucket`
+    (``None`` rate = unmetered).  ``budget`` is the tenant's resource
+    envelope, merged elementwise-min into every request the tenant
+    sends.
+    """
+
+    rate: Optional[float] = None
+    burst: float = 16.0
+    budget: Optional[ExecutionBudget] = None
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TenantPolicy":
+        """A policy from its JSON spelling (the ``--tenants`` file).
+
+        Recognised keys: ``rate``, ``burst``, and the budget fields
+        ``deadline``, ``max_facts``, ``max_memory_mb``, ``max_steps``.
+        """
+        budget = None
+        if any(
+            k in raw for k in ("deadline", "max_facts", "max_memory_mb", "max_steps")
+        ):
+            memory_mb = raw.get("max_memory_mb")
+            budget = ExecutionBudget(
+                deadline_seconds=raw.get("deadline"),
+                max_facts=raw.get("max_facts"),
+                max_memory_bytes=(
+                    int(memory_mb * 1024 * 1024) if memory_mb is not None else None
+                ),
+                max_steps=raw.get("max_steps"),
+            )
+        return cls(
+            rate=raw.get("rate"),
+            burst=float(raw.get("burst", 16.0)),
+            budget=budget,
+        )
+
+
+@dataclass
+class TenantState:
+    """Mutable per-tenant runtime state: bucket plus counters."""
+
+    policy: TenantPolicy
+    bucket: Optional[TokenBucket]
+    admitted: int = 0
+    rejected: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot for the ``stats`` op."""
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rate": self.policy.rate,
+            "burst": self.policy.burst,
+            "metered": self.bucket is not None,
+        }
+
+
+class TenantRegistry:
+    """All tenants the server knows, plus the default policy.
+
+    A request names its tenant per line (or inherits the connection's
+    last-named one); unknown tenants are materialised lazily under
+    *default_policy*, so anonymous traffic is still metered — one
+    shared ``"default"`` tenant.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        *,
+        default_policy: Optional[TenantPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default_policy = default_policy or TenantPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantState] = {}
+        for name, policy in (policies or {}).items():
+            self._tenants[name] = self._materialise(policy)
+
+    def _materialise(self, policy: TenantPolicy) -> TenantState:
+        bucket = None
+        if policy.rate is not None:
+            bucket = TokenBucket(policy.rate, policy.burst, clock=self._clock)
+        return TenantState(policy=policy, bucket=bucket)
+
+    def state(self, tenant: str) -> TenantState:
+        """The (lazily created) runtime state of *tenant*."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = self._tenants[tenant] = self._materialise(
+                    self.default_policy
+                )
+            return state
+
+    def admit(self, tenant: str, *, tokens: float = 1.0) -> TenantState:
+        """Charge *tokens* requests to *tenant*'s bucket or reject.
+
+        ``check_all`` charges one token per pair, so a batch is quota-
+        equivalent to its pairs sent individually (a batch larger than
+        the tenant's ``burst`` can therefore never be admitted).
+        Returns the tenant state on success; raises
+        :class:`QuotaExceeded` (reason ``"quota-exhausted"``) the moment
+        the bucket is short — the caller turns that into a structured
+        protocol error, so an over-quota client always gets an answer.
+        """
+        state = self.state(tenant)
+        if state.bucket is not None and not state.bucket.try_acquire(tokens):
+            state.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} exceeded its rate quota "
+                f"(rate={state.policy.rate}/s, burst={state.policy.burst})",
+                tenant=tenant,
+            )
+        state.admitted += 1
+        return state
+
+    def budget_for(self, tenant: str) -> Optional[ExecutionBudget]:
+        """The tenant's budget envelope, or ``None`` when unbounded."""
+        return self.state(tenant).policy.budget
+
+    def stats(self) -> dict:
+        """Per-tenant admission counters keyed by tenant name."""
+        with self._lock:
+            return {name: st.as_dict() for name, st in self._tenants.items()}
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"TenantRegistry(tenants={sorted(self._tenants)})"

@@ -105,6 +105,11 @@ class ContainmentService:
     result_cache:
         Decided verdicts remembered across requests (LRU entries;
         ``0`` disables the cache).
+    store_capacity:
+        LRU capacity of the :class:`~repro.containment.store.ChaseStore`
+        built when *store* is ``None`` (``None`` = the store default).
+        The serve layer sizes each shard's store with this knob so a
+        shard's warm set matches its key range.
     obs:
         Observability sink shared by the checker, store, pool and queue.
     kernel:
@@ -127,10 +132,19 @@ class ContainmentService:
         max_pending: int = 64,
         max_workers: Optional[int] = None,
         result_cache: int = 4096,
+        store_capacity: Optional[int] = None,
         obs: Optional[Observability] = None,
         kernel: str = "auto",
     ):
         self.obs = obs if obs is not None else OBS_OFF
+        if store is None and store_capacity is not None:
+            store = ChaseStore(
+                dependencies,
+                capacity=store_capacity,
+                reorder_join=reorder_join,
+                max_steps=max_steps,
+                obs=obs,
+            )
         self.checker = ContainmentChecker(
             dependencies,
             reorder_join=reorder_join,
@@ -169,10 +183,17 @@ class ContainmentService:
         with self._inflight_lock:
             return len(self._inflight)
 
+    @property
+    def draining(self) -> bool:
+        """Whether admissions have been closed (drain begun or completed)."""
+        return self.queue.closed
+
     def stats_dict(self) -> dict[str, dict[str, int]]:
         """Every layer's counters in one JSON-friendly snapshot."""
+        with self._inflight_lock:
+            decided_cached = len(self._results)
         return {
-            "service": self.stats.as_dict(),
+            "service": dict(self.stats.as_dict(), decided_cached=decided_cached),
             "queue": self.queue.stats.as_dict(),
             "pool": self.pool.stats.as_dict(),
             "store": self.store.stats.as_dict(),
@@ -319,6 +340,19 @@ class ContainmentService:
     def healthcheck(self) -> bool:
         """Probe the warm pool; a failing pool is recycled. True = healthy."""
         return self.pool.healthcheck()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, let in-flight requests finish; keep the pool.
+
+        The first half of :meth:`close`: new requests are rejected with
+        reason ``"draining"`` immediately, requests already admitted run
+        to completion.  Unlike :meth:`close` the warm pool stays up, so
+        a drained service can still be inspected (``stats_dict``) before
+        the final :meth:`close` joins the workers — the handshake the
+        serve layer's ``drain`` op is built on.  Returns ``True`` when
+        the queue emptied within *timeout* seconds.
+        """
+        return self.queue.drain(timeout=timeout)
 
     def close(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: drain the queue, then join the workers.

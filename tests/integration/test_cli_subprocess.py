@@ -102,15 +102,18 @@ class TestServe:
         assert len(lines) == 7
         by_id = {r.get("id"): r for r in lines}
 
-        assert by_id[1] == {"id": 1, "ok": True, "op": "ping"}
+        assert by_id[1] == {"id": 1, "ok": True, "op": "ping", "protocol": 2}
         assert by_id[2]["ok"] is True
         assert by_id[2]["decision"] == "TRUE"
         assert by_id[2]["contained"] is True
         # Line 3 (bad JSON) has no id but still got its own error response.
         bad_json = [r for r in lines if "id" not in r]
         assert len(bad_json) == 1 and bad_json[0]["ok"] is False
+        assert bad_json[0]["reason"] == "bad-request"
         assert by_id[4]["ok"] is False and "frobnicate" in by_id[4]["error"]
+        assert by_id[4]["reason"] == "unknown-op"
         assert by_id[5]["ok"] is False and "q2" in by_id[5]["error"]
+        assert by_id[5]["reason"] == "bad-request"
         # Per-request budget: deadline 0 gives a clean UNKNOWN, not an error.
         assert by_id[6]["ok"] is True
         assert by_id[6]["decision"] == "UNKNOWN"
@@ -118,6 +121,28 @@ class TestServe:
         # The service survived all of the above and still answers stats.
         assert by_id[7]["ok"] is True
         assert by_id[7]["stats"]["service"]["checks"] >= 1
+
+    def test_serve_sharded_stdio_shard_stats_and_drain(self):
+        requests = "\n".join(
+            [
+                json.dumps({"id": 1, "q1": Q1_TEXT, "q2": Q2_TEXT}),
+                json.dumps({"id": 2, "op": "shard_stats"}),
+                json.dumps({"id": 3, "op": "drain"}),
+                # Anything after a drain response goes unanswered: the
+                # session is over.
+                json.dumps({"id": 4, "op": "ping"}),
+            ]
+        )
+        proc = run_cli("serve", "--shards", "2", stdin=requests + "\n")
+        assert proc.returncode == 0
+        lines = [json.loads(line) for line in proc.stdout.splitlines() if line]
+        by_id = {r.get("id"): r for r in lines}
+        assert sorted(by_id) == [1, 2, 3]
+        assert by_id[1]["ok"] is True and by_id[1]["shard"] in (0, 1)
+        shards = by_id[2]["shards"]
+        assert [row["shard"] for row in shards] == [0, 1]
+        assert sum(row["routed"] for row in shards) == 1
+        assert by_id[3] == {"id": 3, "ok": True, "op": "drain", "drained": True, "shards": 2}
 
     def test_serve_empty_input_exits_zero(self):
         proc = run_cli("serve", stdin="")

@@ -2,12 +2,18 @@
 
 Reproduction repos rot when the paper-mapping document drifts from the
 code.  These tests resolve every ``repro.*`` dotted reference found in
-the documentation and check the experiment ids and bench files that
-DESIGN.md promises actually exist.
+the documentation, check the experiment ids and bench files that
+DESIGN.md promises actually exist, and replay every wire example in
+docs/protocol.md against a live ``flq serve --tcp`` subprocess.
 """
 
 import importlib
+import json
 import re
+import shlex
+import socket
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -71,6 +77,124 @@ class TestPaperMapping:
         for target in ("docs/architecture.md", "docs/api.md"):
             assert target in text, f"README should link {target}"
             assert (REPO / target).exists()
+
+
+_PROTOCOL_FENCE = re.compile(r"^```protocol([^\n]*)\n(.*?)^```", re.S | re.M)
+
+
+def _protocol_blocks(text: str) -> list[tuple[list[str], list[tuple[str, dict]]]]:
+    """Every ```protocol block as (serve flags, [(request line, expected)])."""
+    blocks = []
+    for match in _PROTOCOL_FENCE.finditer(text):
+        flags = shlex.split(match.group(1).strip())
+        exchanges: list[tuple[str, dict]] = []
+        request = None
+        for line in match.group(2).splitlines():
+            if line.startswith("> "):
+                assert request is None, "two requests without a response"
+                request = line[2:]
+            elif line.startswith("< "):
+                assert request is not None, "response without a request"
+                exchanges.append((request, json.loads(line[2:])))
+                request = None
+        assert request is None, "request without a response"
+        assert exchanges, "empty protocol block"
+        blocks.append((flags, exchanges))
+    return blocks
+
+
+def _match_payload(expected, actual, path="response"):
+    """Compare a doc's expected payload against the wire's actual one.
+
+    The string ``"..."`` is the documented wildcard: the key must exist
+    but its value may be anything (timings, bulky nested stats).
+    Everything else — including the exact key set of every object — must
+    match, so the doc cannot understate *or* overstate a response.
+    """
+    if expected == "...":
+        return
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object, got {actual!r}"
+        assert set(expected) == set(actual), (
+            f"{path}: documented keys {sorted(expected)} != actual {sorted(actual)}"
+        )
+        for key, value in expected.items():
+            _match_payload(value, actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(expected) == len(actual), (
+            f"{path}: expected {expected!r}, got {actual!r}"
+        )
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _match_payload(e, a, f"{path}[{i}]")
+    else:
+        assert expected == actual, f"{path}: expected {expected!r}, got {actual!r}"
+
+
+class TestProtocolDoc:
+    def test_examples_replay_verbatim(self):
+        """Every request/response pair in docs/protocol.md, against a
+        real ``flq serve --tcp`` server started with the block's flags."""
+        blocks = _protocol_blocks((REPO / "docs" / "protocol.md").read_text())
+        assert len(blocks) >= 8, "protocol.md lost its doc-tested examples"
+        for flags, exchanges in blocks:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--tcp", "127.0.0.1:0"]
+                + flags,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env={"PYTHONPATH": "src"},
+                cwd=REPO,
+            )
+            try:
+                ready = json.loads(proc.stdout.readline())["serving"]
+                assert ready["protocol"] == 2
+                with socket.create_connection(
+                    (ready["host"], ready["port"]), timeout=60
+                ) as sock:
+                    sock.settimeout(60)
+                    wire = sock.makefile("rw", encoding="utf-8", newline="\n")
+                    for request, expected in exchanges:
+                        wire.write(request + "\n")
+                        wire.flush()
+                        line = wire.readline()
+                        assert line, f"no answer to {request!r}"
+                        _match_payload(expected, json.loads(line))
+            finally:
+                proc.terminate()
+                proc.wait(timeout=60)
+
+    def test_ops_table_is_complete(self):
+        """The doc's op table names exactly the protocol's op set."""
+        from repro.serve import OPS
+
+        text = (REPO / "docs" / "protocol.md").read_text()
+        section = text.split("## Operations")[1].split("###")[0]
+        table_ops = [
+            op
+            for op in re.findall(r"^\| `(\w+)` \|", section, flags=re.M)
+            if op != "op"  # the header row
+        ]
+        assert sorted(table_ops) == sorted(OPS)
+
+    def test_rejection_reasons_documented(self):
+        from repro.serve import (
+            REASON_BAD_REQUEST,
+            REASON_INTERNAL,
+            REASON_QUOTA,
+            REASON_UNKNOWN_OP,
+        )
+
+        text = (REPO / "docs" / "protocol.md").read_text()
+        for reason in (
+            REASON_BAD_REQUEST,
+            REASON_INTERNAL,
+            REASON_QUOTA,
+            REASON_UNKNOWN_OP,
+            "queue-full",
+            "draining",
+        ):
+            assert f"`{reason}`" in text, f"reason {reason} undocumented"
 
 
 class TestDesign:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.api import Engine
-from repro.cli import _serve_request
 from repro.containment.bounded import ContainmentChecker
 from repro.kernel.telemetry import KernelTelemetry
 from repro.obs import MetricsRegistry, Observability
@@ -83,9 +84,21 @@ class TestEngineSurface:
         assert stats["kernel"]["kernel_nodes"] > 0
 
     def test_serve_stats_op_carries_the_section(self):
-        with Engine() as engine:
-            engine.check(INTRO_JOINABLE_Q, INTRO_JOINABLE_QQ)
-            response = _serve_request(engine, {"id": 1, "op": "stats"})
+        from repro.flogic.printer import query_to_flogic
+        from repro.serve import ConnectionState, ContainmentServer
+
+        with ContainmentServer(1) as server:
+            conn = ConnectionState()
+            check = {
+                "id": 0,
+                "op": "check",
+                "q1": query_to_flogic(INTRO_JOINABLE_Q),
+                "q2": query_to_flogic(INTRO_JOINABLE_QQ),
+            }
+            assert server.handle_line(json.dumps(check), conn)["ok"] is True
+            response = server.handle_line(
+                json.dumps({"id": 1, "op": "stats"}), conn
+            )
         assert response["ok"] is True
         assert set(response["stats"]["kernel"]) == KERNEL_KEYS
         assert response["stats"]["kernel"]["searches"] > 0

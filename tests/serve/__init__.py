@@ -1,0 +1,1 @@
+"""Tests of :mod:`repro.serve`: sharding, tenancy, the network server."""

@@ -1,0 +1,124 @@
+"""ShardRouter: determinism, balance, minimal movement, counters."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import ShardRouter, stable_key_digest
+from repro.workloads import QueryGenerator
+
+
+def _keys(n=200, seed=7):
+    gen = QueryGenerator(seed)
+    return [gen.query().canonical_key() for _ in range(n)]
+
+
+class TestStableDigest:
+    def test_same_key_same_digest(self):
+        keys = _keys(20)
+        assert [stable_key_digest(k) for k in keys] == [
+            stable_key_digest(k) for k in keys
+        ]
+
+    def test_digest_is_64_bit(self):
+        for key in _keys(20):
+            assert 0 <= stable_key_digest(key) < 2**64
+
+    def test_digest_survives_hash_randomisation(self):
+        """The same canonical keys digest identically in a process with a
+        different PYTHONHASHSEED — builtin ``hash`` would not."""
+        keys = _keys(16)
+        script = (
+            "import json, sys\n"
+            "from repro.serve import ShardRouter, stable_key_digest\n"
+            "from repro.workloads import QueryGenerator\n"
+            "gen = QueryGenerator(7)\n"
+            "keys = [gen.query().canonical_key() for _ in range(16)]\n"
+            "router = ShardRouter(4)\n"
+            "print(json.dumps({\n"
+            "    'digests': [stable_key_digest(k) for k in keys],\n"
+            "    'shards': [router.shard_of_key(k) for k in keys],\n"
+            "}))\n"
+        )
+        outs = []
+        for seed in ("0", "4242"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+                cwd="/root/repo",
+                check=True,
+            )
+            outs.append(json.loads(proc.stdout))
+        assert outs[0] == outs[1]
+        assert outs[0]["digests"] == [stable_key_digest(k) for k in keys]
+        router = ShardRouter(4)
+        assert outs[0]["shards"] == [router.shard_of_key(k) for k in keys]
+
+
+class TestRouting:
+    def test_two_router_instances_agree(self):
+        a, b = ShardRouter(5), ShardRouter(5)
+        for key in _keys():
+            assert a.shard_of_key(key) == b.shard_of_key(key)
+
+    def test_rename_apart_variants_share_a_shard(self):
+        gen = QueryGenerator(3)
+        router = ShardRouter(8)
+        for _ in range(20):
+            q = gen.query()
+            renamed, _sigma = q.rename_apart(q.variables())
+            assert renamed.canonical_key() == q.canonical_key()
+            assert router.shard_of_key(q.canonical_key()) == router.shard_of_key(
+                renamed.canonical_key()
+            )
+
+    def test_all_shards_in_range(self):
+        router = ShardRouter(3)
+        for key in _keys():
+            assert 0 <= router.shard_of_key(key) < 3
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert router.spread(_keys(50)) == [50]
+
+    def test_spread_is_roughly_balanced(self):
+        keys = _keys(1000, seed=13)
+        counts = ShardRouter(4).spread(keys)
+        assert sum(counts) == 1000
+        # Consistent hashing with 128 vnodes: every shard owns a real
+        # slice (no starved shard, no shard owning the world).
+        assert min(counts) > 100
+        assert max(counts) < 500
+
+    def test_resharding_moves_a_minority_of_keys(self):
+        keys = _keys(1000, seed=29)
+        before = ShardRouter(4)
+        after = ShardRouter(5)
+        moved = sum(
+            1
+            for k in keys
+            if before.shard_of_key(k) != after.shard_of_key(k)
+        )
+        # Ideal movement for 4 -> 5 shards is 1/5 of keys; allow slack
+        # but require far less than a full reshuffle (which would be ~0.8).
+        assert moved / len(keys) < 0.45
+
+    def test_route_counts_and_none_goes_to_shard_zero(self, simple_cq):
+        router = ShardRouter(2)
+        shard = router.route(simple_cq)
+        assert router.routed[shard] == 1
+        assert router.route(None) == 0
+        assert router.routed[0] >= 1
+        assert sum(router.routed) == 2
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, vnodes=0)

@@ -1,0 +1,152 @@
+"""Token buckets, tenant policies, quota rejection semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import AdmissionRejected
+from repro.governance import ExecutionBudget
+from repro.serve import (
+    REASON_QUOTA,
+    QuotaExceeded,
+    TenantPolicy,
+    TenantRegistry,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic refill math."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 0.5 s * 2/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_batch_larger_than_burst_never_admits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=clock)
+        clock.advance(1000.0)
+        assert not bucket.try_acquire(5.0)
+        # ... and the failed attempt did not charge the bucket.
+        assert bucket.available == pytest.approx(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantPolicy:
+    def test_from_dict_round_trip(self):
+        policy = TenantPolicy.from_dict(
+            {"rate": 5, "burst": 10, "deadline": 2.0, "max_facts": 100}
+        )
+        assert policy.rate == 5
+        assert policy.burst == 10.0
+        assert policy.budget == ExecutionBudget(
+            deadline_seconds=2.0, max_facts=100
+        )
+
+    def test_from_dict_without_budget_keys(self):
+        assert TenantPolicy.from_dict({"rate": 1}).budget is None
+
+    def test_memory_mb_converts_to_bytes(self):
+        policy = TenantPolicy.from_dict({"max_memory_mb": 2})
+        assert policy.budget.max_memory_bytes == 2 * 1024 * 1024
+
+
+class TestTenantRegistry:
+    def test_unmetered_default_admits_forever(self):
+        registry = TenantRegistry()
+        for _ in range(100):
+            registry.admit("anyone")
+        assert registry.stats()["anyone"]["admitted"] == 100
+        assert registry.stats()["anyone"]["metered"] is False
+
+    def test_quota_exhaustion_is_a_structured_rejection(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            {"alice": TenantPolicy(rate=1.0, burst=2.0)}, clock=clock
+        )
+        registry.admit("alice")
+        registry.admit("alice")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            registry.admit("alice")
+        assert excinfo.value.reason == REASON_QUOTA
+        assert excinfo.value.tenant == "alice"
+        # QuotaExceeded IS an AdmissionRejected: the protocol layer maps
+        # queue overload and quota overload through one code path.
+        assert isinstance(excinfo.value, AdmissionRejected)
+        stats = registry.stats()["alice"]
+        assert stats["admitted"] == 2 and stats["rejected"] == 1
+
+    def test_rejected_tenant_recovers_after_refill(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            {"bob": TenantPolicy(rate=2.0, burst=1.0)}, clock=clock
+        )
+        registry.admit("bob")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("bob")
+        clock.advance(0.5)
+        registry.admit("bob")
+
+    def test_default_policy_meters_unknown_tenants(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            default_policy=TenantPolicy(rate=1.0, burst=1.0), clock=clock
+        )
+        registry.admit("stranger")
+        with pytest.raises(QuotaExceeded):
+            registry.admit("stranger")
+        # Each unknown tenant gets its *own* bucket under the default
+        # policy — one noisy stranger does not empty another's.
+        registry.admit("other-stranger")
+
+    def test_batch_charge_counts_pairs(self):
+        clock = FakeClock()
+        registry = TenantRegistry(
+            {"carol": TenantPolicy(rate=1.0, burst=10.0)}, clock=clock
+        )
+        registry.admit("carol", tokens=8.0)
+        with pytest.raises(QuotaExceeded):
+            registry.admit("carol", tokens=3.0)
+
+    def test_budget_for(self):
+        envelope = ExecutionBudget(deadline_seconds=1.5)
+        registry = TenantRegistry({"dave": TenantPolicy(budget=envelope)})
+        assert registry.budget_for("dave") == envelope
+        assert registry.budget_for("unknown") is None
