@@ -39,6 +39,7 @@ import pytest
 
 from repro.flogic.printer import query_to_flogic
 from repro.serve import ContainmentServer, TenantPolicy, TenantRegistry
+from repro.store import StoreConfig
 from repro.workloads.query_gen import QueryGenerator
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -158,8 +159,9 @@ def latency_replay(shards: int) -> dict:
     trace = [lines[rank] for rank in zipf_trace(len(lines), TRACE_LEN)]
     server = ContainmentServer(
         shards,
-        store_capacity=STORE_CAPACITY,
-        result_cache=RESULT_CACHE,
+        store_config=StoreConfig(
+            capacity=STORE_CAPACITY, result_cache=RESULT_CACHE
+        ),
     )
 
     async def session(host, port):

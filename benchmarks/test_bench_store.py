@@ -1,0 +1,174 @@
+"""Persistent snapshot store: quantify warm restarts and parallel attach.
+
+Two claims, both CI-guarded:
+
+* **snapshot-warm restarts**: a batch decided once with a persistent
+  :class:`~repro.containment.store.ChaseStore`, then re-decided by a
+  *fresh* store over the same database (a restarted process), must beat
+  the cold run — every group hydrates from disk instead of re-chasing,
+  and not a single full chase happens on the warm pass;
+* **parallel attach**: ``check_all(parallel=True)`` dispatching through
+  the zero-pickle snapshot attach must beat sequential throughput on a
+  machine with >= 4 usable cores (the same guard as
+  ``benchmarks/test_bench_anytime.py``, measured here against the store
+  benchmark's own corpus).
+
+Everything measured lands in ``BENCH_store.json`` at the repo root —
+uploaded as a CI artifact.  Written against plain pytest on purpose —
+CI runs it without the pytest-benchmark plugin.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.containment.bounded import ContainmentChecker
+from repro.containment.store import ChaseStore
+from repro.workloads.query_gen import QueryGenParams, QueryGenerator
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+REPEATS = 3
+#: The warm pass replaces every full chase with a snapshot hydration; it
+#: must win outright, not merely tie.
+WARM_SPEEDUP = 1.0
+PARALLEL_SPEEDUP = 1.0
+PARALLEL_WORKERS = 4
+
+
+def store_corpus(n_groups=6, pairs_per_group=2, size=6, seed=1300):
+    """Independent cyclic chase groups — the chase is the dominant cost."""
+    pairs = []
+    for g in range(n_groups):
+        params = QueryGenParams(
+            n_atoms=size, n_variables=size + 2, cycle_length=1, head_arity=1
+        )
+        gen = QueryGenerator(seed + g, params)
+        q1, q2 = gen.containment_pair()
+        pairs.append((q1, q2))
+        for _ in range(pairs_per_group - 1):
+            pairs.append((q1, gen.query()))
+    return pairs
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """Run every measurement once; tests assert slices of the payload."""
+    batch = store_corpus()
+
+    cold_best = warm_best = float("inf")
+    warm_full_chases = warm_snapshot_hits = 0
+    verdicts_agree = True
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as tmp:
+            db = os.path.join(tmp, "chase.db")
+            cold_store = ChaseStore(persist=db)
+            cold_seconds, cold_results = timed(
+                lambda: ContainmentChecker(store=cold_store).check_all(batch)
+            )
+            cold_store.close()
+
+            # A fresh store over the populated database — a restart.
+            warm_store = ChaseStore(persist=db)
+            warm_seconds, warm_results = timed(
+                lambda: ContainmentChecker(store=warm_store).check_all(batch)
+            )
+            warm_full_chases = warm_store.stats.misses
+            warm_snapshot_hits = warm_store.stats.snapshot_hits
+            warm_store.close()
+
+            verdicts_agree = verdicts_agree and [
+                r.contained for r in cold_results
+            ] == [r.contained for r in warm_results]
+            cold_best = min(cold_best, cold_seconds)
+            warm_best = min(warm_best, warm_seconds)
+
+    sequential_seconds = float("inf")
+    parallel_seconds = float("inf")
+    for _ in range(REPEATS):
+        seconds, _ = timed(lambda: ContainmentChecker().check_all(batch))
+        sequential_seconds = min(sequential_seconds, seconds)
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ChaseStore(persist=os.path.join(tmp, "chase.db"))
+            try:
+                seconds, _ = timed(
+                    lambda: ContainmentChecker(store=store).check_all(
+                        batch, parallel=True, max_workers=PARALLEL_WORKERS
+                    )
+                )
+            finally:
+                store.close()
+        parallel_seconds = min(parallel_seconds, seconds)
+
+    payload = {
+        "corpus": {
+            "groups": len({q1.canonical_key() for q1, _ in batch}),
+            "pairs": len(batch),
+        },
+        "restart": {
+            "cold_seconds": cold_best,
+            "warm_seconds": warm_best,
+            "speedup": cold_best / max(warm_best, 1e-9),
+            "warm_full_chases": warm_full_chases,
+            "warm_snapshot_hits": warm_snapshot_hits,
+            "verdicts_agree": verdicts_agree,
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "dispatch": "snapshot-attach",
+            "usable_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "sequential_seconds": sequential_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": sequential_seconds / max(parallel_seconds, 1e-9),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+class TestSnapshotWarmRestart:
+    def test_warm_beats_cold(self, bench):
+        restart = bench["restart"]
+        assert restart["verdicts_agree"]
+        assert restart["speedup"] > WARM_SPEEDUP
+
+    def test_warm_pass_never_rechases(self, bench):
+        restart = bench["restart"]
+        assert restart["warm_full_chases"] == 0
+        assert restart["warm_snapshot_hits"] >= bench["corpus"]["groups"]
+
+
+class TestParallelAttach:
+    def test_parallel_beats_sequential_on_big_boxes(self, bench):
+        parallel = bench["parallel"]
+        assert bench["corpus"]["groups"] >= 4
+        if parallel["usable_cpus"] >= PARALLEL_WORKERS:
+            assert parallel["speedup"] > PARALLEL_SPEEDUP
+        else:
+            pytest.skip(
+                f"only {parallel['usable_cpus']} usable cores; "
+                f"parallel speedup {parallel['speedup']:.2f}x recorded, "
+                "assertion needs >= 4 cores"
+            )
+
+
+class TestArtifact:
+    def test_bench_json_written(self, bench):
+        on_disk = json.loads(BENCH_PATH.read_text())
+        assert {"corpus", "restart", "parallel"} <= set(on_disk)
+        assert on_disk["restart"]["speedup"] == pytest.approx(
+            bench["restart"]["speedup"]
+        )

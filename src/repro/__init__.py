@@ -82,6 +82,8 @@ from .obs import (
     Tracer,
 )
 
+from .store import RunSnapshot, SnapshotStore, StoreConfig
+
 # The stable facade (imported last: it builds on everything above).
 from .api import Engine
 
@@ -126,6 +128,10 @@ __all__ = [
     "StoreStats",
     "minimize_query",
     "MinimizationResult",
+    # storage
+    "StoreConfig",
+    "SnapshotStore",
+    "RunSnapshot",
     # facade
     "Engine",
     # governance

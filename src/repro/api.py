@@ -36,8 +36,9 @@ from .dependencies.dependency import Dependency
 from .governance import CancelScope, ExecutionBudget
 from .obs import Observability
 from .service.engine import ContainmentService
+from .store import StoreConfig, resolve_store_config
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "StoreConfig"]
 
 
 class Engine:
@@ -65,15 +66,20 @@ class Engine:
         requests before explicit rejection.
     max_workers:
         Warm process-pool size for :meth:`check_all` batches.
-    result_cache:
-        Decided-verdict LRU entries remembered across requests
-        (``0`` disables recall).
-    store_capacity:
-        Chase-store LRU capacity when no explicit *store* is given
-        (``None`` = the store default).  The serve layer
-        (:mod:`repro.serve`) runs one Engine per shard and sizes both
-        caches per shard, so a shard's warm state covers exactly its
-        key range.
+    store_config:
+        The engine's whole storage stack in one
+        :class:`~repro.store.StoreConfig`: chase-store LRU capacity, an
+        optional persistent snapshot ``path`` (+ write-back
+        ``snapshot_policy`` / ``read_only`` attach), and the
+        decided-verdict ``result_cache`` size.  With a ``path``, chase
+        work survives restarts, parallel ``check_all`` workers attach to
+        the database zero-pickle, and the serve layer's shards share one
+        warm store directory.  Ignored for the chase tier when an
+        explicit *store* is given.
+    result_cache, store_capacity:
+        **Deprecated** — the scattered pre-``StoreConfig`` knobs.  Still
+        honoured (each overrides the matching config field) with a
+        ``DeprecationWarning``; migrate per ``docs/api.md``.
     obs:
         :class:`~repro.obs.Observability` sink for spans and metrics of
         every layer (store, pool, queue, service).
@@ -97,11 +103,20 @@ class Engine:
         max_active: int = 8,
         max_pending: int = 64,
         max_workers: Optional[int] = None,
-        result_cache: int = 4096,
+        store_config: Optional[StoreConfig] = None,
+        result_cache: Optional[int] = None,
         store_capacity: Optional[int] = None,
         obs: Optional[Observability] = None,
         kernel: str = "auto",
     ):
+        # Resolve the legacy kwargs here so the DeprecationWarning points
+        # at the Engine(...) call site, then hand the service one config.
+        config = resolve_store_config(
+            store_config,
+            store_capacity=store_capacity,
+            result_cache=result_cache,
+            owner="Engine",
+        )
         self._service = ContainmentService(
             dependencies,
             reorder_join=reorder_join,
@@ -112,8 +127,7 @@ class Engine:
             max_active=max_active,
             max_pending=max_pending,
             max_workers=max_workers,
-            result_cache=result_cache,
-            store_capacity=store_capacity,
+            store_config=config,
             obs=obs,
             kernel=kernel,
         )
@@ -255,6 +269,11 @@ class Engine:
     def store(self) -> ChaseStore:
         """The shared chase store."""
         return self._service.store
+
+    @property
+    def store_config(self) -> StoreConfig:
+        """The resolved storage configuration this engine runs under."""
+        return self._service.store_config
 
     @property
     def closed(self) -> bool:

@@ -44,6 +44,7 @@ from ..datalog.matching import match_conjunction
 from ..dependencies.dependency import EGD, TGD, Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
 from ..obs import OBS_OFF, Observability
+from ..store.snapshot import RunSnapshot
 from .instance import ChaseInstance
 
 __all__ = ["ChaseConfig", "ChaseResult", "ChaseEngine", "ChaseRun", "chase"]
@@ -451,6 +452,14 @@ class ChaseRun:
         self.segment_head_rewrites: list[bool] = []
         self._level_zero_done = False
         self._started = False
+        #: Whether this run was rebuilt from a persisted snapshot rather
+        #: than chased in-process (see :meth:`from_snapshot`).
+        self.hydrated = False
+        #: Whether the hydration was level-truncated.  A partial run
+        #: answers questions up to its bound but must never be extended or
+        #: persisted back; :class:`~repro.containment.store.ChaseStore`
+        #: discards it and re-hydrates when a deeper prefix is needed.
+        self.hydrated_partial = False
         #: Set when an extension was stopped by the governance layer.  The
         #: in-flight semi-naive delta is lost, so the next extension
         #: restarts its delta from the full instance (sound: the restricted
@@ -617,6 +626,93 @@ class ChaseRun:
                     segment_seconds=tuple(self.segment_seconds),
                 )
         return self._snapshot
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_state(self) -> RunSnapshot:
+        """A level-segmented, pure-data image of this run for persistence.
+
+        The image captures everything :meth:`from_snapshot` needs to resume
+        the chase in another process: every conjunct with its level and
+        deriving rule (sorted for determinism), the EGD-rewritten head, the
+        null counter, the per-rule counters and the failed/saturated/bound
+        scalars.  The checkpointed trigger frontier is deliberately *not*
+        serialized — resumption restarts the semi-naive delta from the full
+        instance (the ``_interrupted`` path), which rediscovers every
+        applicable trigger and is sound for the restricted chase.
+        """
+        if self.failed:
+            facts: tuple[tuple[int, str, Atom], ...] = ()
+            max_level = 0
+        else:
+            instance = self.instance
+            facts = tuple(
+                sorted(
+                    ((instance.level_of(a), instance.rule_of(a), a) for a in instance),
+                    key=lambda row: (row[0], str(row[2])),
+                )
+            )
+            max_level = instance.max_level()
+        return RunSnapshot(
+            query=str(self.query),
+            bound=self.bound,
+            failed=self.failed,
+            saturated=self.saturated,
+            null_counter=self.nulls.peek(),
+            counters=dict(self.counters),
+            head=self.instance.head,
+            facts=facts,
+            max_level=max_level,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        engine: ChaseEngine,
+        query: ConjunctiveQuery,
+        snapshot: RunSnapshot,
+    ) -> "ChaseRun":
+        """Rebuild a run from a persisted :class:`RunSnapshot`.
+
+        The instance is reconstructed fact by fact with its stored levels
+        and rules (``parents=()`` — snapshots carry no provenance, so
+        callers needing chase graphs must chase fresh); the null factory
+        resumes at the persisted counter so later extensions never reuse an
+        index.  A non-failed hydrated run is marked ``_interrupted``: its
+        pending-trigger frontier was not persisted, so the next
+        :meth:`extend_to` restarts the semi-naive delta from the full
+        instance, which refinds every applicable trigger (restricted-chase
+        sound, exactly like resuming after a governor interrupt).
+        """
+        run = cls(engine, query)
+        run.counters = dict(snapshot.counters)
+        run.failed = snapshot.failed
+        run.bound = snapshot.bound
+        run.hydrated = True
+        run.hydrated_partial = snapshot.partial
+        if snapshot.failed:
+            run.saturated = True
+        else:
+            instance = ChaseInstance(
+                (), snapshot.head, track_graph=engine.config.track_graph
+            )
+            for level, rule, atom in snapshot.facts:
+                instance.add(atom, level=level, rule=rule, parents=())
+            run.instance = instance
+            run.nulls = NullFactory(start=snapshot.null_counter)
+            run.saturated = snapshot.saturated and not snapshot.partial
+            run._interrupted = True
+        run._level_zero_done = True
+        run._started = True
+        # Seed the published-metrics snapshots with the inherited state so
+        # this process only ever publishes the *new* work it performs.
+        run._published_counters = dict(run.counters)
+        run._published_nulls = max(0, snapshot.null_counter - 1)
+        run._published_merges = run.instance.merges
+        run._published_conjuncts = len(run.instance)
+        if not run.failed:
+            run._published_levels = run.instance.level_histogram()
+        return run
 
     # -- metrics publication --------------------------------------------------
 

@@ -20,17 +20,29 @@ Installed as ``flq`` (F-Logic Queries); also runnable as
 
 ``flq serve [--tcp HOST:PORT] [--shards N] [--tenant-rate R]
 [--tenant-burst B] [--tenants FILE] [--max-active N] [--max-pending N]
-[--store-capacity N] [--result-cache N] [--deadline S] ...``
+[--store-capacity N] [--result-cache N] [--store-path PATH]
+[--snapshot-policy P] [--deadline S] ...``
     Long-running service mode: one JSON request per line, one JSON
     response per line, over stdin/stdout by default or over asyncio TCP
     with ``--tcp`` (see :mod:`repro.serve` and ``docs/protocol.md``).
     Requests route across ``--shards`` engine shards by consistent hash
     of the query's canonical key; per-tenant token-bucket quotas and
-    budget envelopes come from ``--tenant-rate``/``--tenants``.  A
-    malformed or failing request reports ``{"ok": false, "error": ...,
-    "reason": ...}`` on its own line and the service keeps serving; EOF
-    or a ``drain`` op exits 0.  The governance flags set the *service
-    envelope* — tenant and per-request budgets can only tighten it.
+    budget envelopes come from ``--tenant-rate``/``--tenants``.
+    ``--store-path`` mounts a persistent chase-snapshot database
+    (:mod:`repro.store`) under every shard — a killed and restarted
+    server answers repeat requests from the persisted store without
+    re-chasing.  A malformed or failing request reports ``{"ok": false,
+    "error": ..., "reason": ...}`` on its own line and the service keeps
+    serving; EOF or a ``drain`` op exits 0.  The governance flags set
+    the *service envelope* — tenant and per-request budgets can only
+    tighten it.
+
+``flq store {inspect,vacuum,warm} PATH ...``
+    Operate on a persistent chase-snapshot database (see
+    ``docs/operations.md``): ``inspect`` prints the stored runs and
+    aggregate sizes (``--json`` for machine-readable output), ``vacuum``
+    compacts the file, and ``warm PATH FILE`` pre-chases every rule in
+    FILE into the store so a fleet starts warm.
 
 ``flq chase FILE [--max-level N] [--graph] [--deadline S] [--max-facts N]
 [--max-memory-mb M] [--trace FILE] [--metrics FILE]``
@@ -291,9 +303,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     The full wire protocol is documented in ``docs/protocol.md``.
     """
     from .serve.server import ContainmentServer
+    from .store import StoreConfig
 
     obs = _make_obs(args)
     budget = _budget_from_args(args)
+    # The flags build one StoreConfig directly (the redesigned storage
+    # API) — no legacy kwargs, no deprecation warnings from the CLI.
+    defaults = StoreConfig()
+    store_config = StoreConfig(
+        capacity=(
+            args.store_capacity
+            if args.store_capacity is not None
+            else defaults.capacity
+        ),
+        path=args.store_path,
+        snapshot_policy=args.snapshot_policy,
+        result_cache=args.result_cache,
+    )
     server = ContainmentServer(
         args.shards,
         tenants=_tenant_registry(args),
@@ -301,8 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         budget=budget,
         max_active=args.max_active,
         max_pending=args.max_pending,
-        store_capacity=args.store_capacity,
-        result_cache=args.result_cache,
+        store_config=store_config,
     )
     try:
         if args.tcp is None:
@@ -337,6 +362,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
         _export_obs(args, obs)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Operate on a persistent chase-snapshot database (``repro.store``).
+
+    ``inspect`` opens the database read-only and prints every stored run
+    plus the aggregate counts; ``vacuum`` compacts the file and reports
+    the reclaimed bytes; ``warm`` pre-chases rules into the store so a
+    service fleet pointed at the same path starts warm.  The runbook
+    lives in ``docs/operations.md``.
+    """
+    from .containment.store import ChaseStore
+    from .store import SnapshotStore
+
+    if args.store_command == "inspect":
+        store = SnapshotStore(args.path, read_only=True)
+        try:
+            stats = store.stats()
+            entries = store.entries()
+        finally:
+            store.close()
+        if args.json:
+            print(json.dumps({"stats": stats, "entries": entries}, indent=2))
+            return 0
+        print(
+            f"{args.path}: {stats['runs']} runs, {stats['facts']} facts, "
+            f"{stats['bytes']} bytes"
+        )
+        for entry in entries:
+            state = "failed" if entry["failed"] else (
+                "saturated" if entry["saturated"] else f"bound={entry['bound']}"
+            )
+            print(
+                f"  {entry['key'][:12]}  {state:>12}  "
+                f"levels<={entry['max_level']}  facts={entry['facts']}  "
+                f"{entry['query']}"
+            )
+        return 0
+    if args.store_command == "vacuum":
+        store = SnapshotStore(args.path)
+        try:
+            before, after = store.vacuum()
+        finally:
+            store.close()
+        print(f"{args.path}: {before} -> {after} bytes "
+              f"({before - after} reclaimed)")
+        return 0
+    assert args.store_command == "warm"
+    queries = _load_queries(args.file)
+    store = ChaseStore(persist=args.path)
+    try:
+        for query in queries:
+            with store.session(query, args.max_level) as (run, _):
+                run.extend_to(args.max_level)
+        store.flush()
+        written = store.stats.snapshot_stores
+    finally:
+        store.close()
+    print(
+        f"{args.path}: warmed {len(queries)} queries "
+        f"(max level {args.max_level}, {written} snapshots written)"
+    )
+    return 0
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -578,6 +666,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard decided-verdict LRU entries (0 disables recall)",
     )
     p_serve.add_argument(
+        "--store-path",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persistent chase-snapshot database (a directory or .db "
+            "file) shared by every shard; a restarted server answers "
+            "repeat requests from it without re-chasing"
+        ),
+    )
+    p_serve.add_argument(
+        "--snapshot-policy",
+        choices=("always", "evict", "manual"),
+        default="always",
+        help=(
+            "when chase runs are written back to --store-path: on every "
+            "session close (always), only on LRU eviction (evict), or "
+            "only on explicit flush/shutdown (manual)"
+        ),
+    )
+    p_serve.add_argument(
         "--tenant-rate",
         type=float,
         default=None,
@@ -607,6 +715,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p_serve)
     _add_budget_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect, compact or pre-warm a persistent chase-snapshot database",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_inspect = store_sub.add_parser(
+        "inspect", help="list the stored runs and aggregate sizes"
+    )
+    p_store_inspect.add_argument("path", help="snapshot database (directory or .db file)")
+    p_store_inspect.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_store_vacuum = store_sub.add_parser(
+        "vacuum", help="compact the database file and report reclaimed bytes"
+    )
+    p_store_vacuum.add_argument("path", help="snapshot database (directory or .db file)")
+    p_store_warm = store_sub.add_parser(
+        "warm", help="pre-chase every rule in FILE into the store"
+    )
+    p_store_warm.add_argument("path", help="snapshot database (directory or .db file)")
+    p_store_warm.add_argument("file", help="file of rules to chase")
+    p_store_warm.add_argument(
+        "--max-level",
+        type=int,
+        default=12,
+        metavar="N",
+        help="chase level each rule is materialised to (default 12)",
+    )
+    p_store.set_defaults(func=_cmd_store)
 
     p_ask = sub.add_parser("ask", help="answer a query over an F-logic fact base")
     p_ask.add_argument("kb", help="file of F-logic facts")

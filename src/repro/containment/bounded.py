@@ -55,6 +55,7 @@ from ..service.pool import (
     POOL_TIMEOUT_GRACE,
     WorkerPool,
 )
+from ..service.pool import check_group_attached as _check_group_attached
 from ..service.pool import check_group_worker as _check_group_worker
 from .result import ContainmentReason, ContainmentResult
 from .store import OUTCOME_HIT, ChaseStore
@@ -62,7 +63,7 @@ from .store import OUTCOME_HIT, ChaseStore
 __all__ = ["theorem12_bound", "is_contained", "ContainmentChecker"]
 
 # Pool lifecycle lives in repro.service.pool since the service layer was
-# introduced; the constants above and `_check_group_worker` stay bound
+# introduced; the constants above and the two group workers stay bound
 # here (and are read through this module's globals at dispatch time) so
 # existing callers — and tests monkeypatching them — keep working.
 
@@ -436,10 +437,15 @@ class ContainmentChecker:
         size.  Results are returned in input order and are verdict-wise
         identical to the sequential path; when worker processes cannot be
         created (or die), the batch silently falls back to sequential
-        execution.  Workers own private stores, so the parent store's
-        counters and cached runs are not updated by a parallel batch, and
-        worker-side spans/metrics are not forwarded to this checker's
-        observability sink.
+        execution.  With a memory-only store, workers own private stores,
+        so the parent store's counters and cached runs are not updated by
+        a parallel batch, and worker-side spans/metrics are not forwarded
+        to this checker's observability sink.  When the parent store has a
+        persistent tier (:mod:`repro.store`), the batch instead **flushes**
+        the parent's runs and ships only the database path: each worker
+        attaches read-only once per pool lifetime and hydrates exactly the
+        prefixes its groups need — no chase state is ever pickled across
+        the pipe (see :func:`~repro.service.pool.check_group_attached`).
 
         *budget* governs every pair (defaulting to the checker-level
         budget): exhausted pairs come back UNKNOWN, and in parallel mode
@@ -650,15 +656,36 @@ class ContainmentChecker:
                 PermissionError,
             ):
                 return None
-        payload_head = (
-            self.dependencies,
-            self.reorder_join,
-            self.max_steps,
-            anytime,
-            budget,
-            tuple(worker_faults) if worker_faults else None,
-            self.kernel,
-        )
+        attach_path = self.store.snapshot_path
+        if attach_path is not None and worker_faults is None:
+            # Zero-pickle dispatch: flush the in-memory runs so workers can
+            # hydrate them from disk, then ship only the database *path* —
+            # workers attach read-only and cache the attached checker for
+            # the pool's lifetime (see ``check_group_attached``).  Fault
+            # plans stay on the legacy pickled-payload worker so the
+            # attached per-process cache stays deterministic.
+            self.store.flush()
+            worker_fn = _check_group_attached
+            payload_head = (
+                attach_path,
+                self.dependencies,
+                self.reorder_join,
+                self.max_steps,
+                anytime,
+                budget,
+                self.kernel,
+            )
+        else:
+            worker_fn = _check_group_worker
+            payload_head = (
+                self.dependencies,
+                self.reorder_join,
+                self.max_steps,
+                anytime,
+                budget,
+                tuple(worker_faults) if worker_faults else None,
+                self.kernel,
+            )
         deadline = budget.deadline_seconds if budget is not None else None
         retries = 0
         fallback_groups = 0
@@ -668,7 +695,7 @@ class ContainmentChecker:
         try:
             futures = {
                 executor.submit(
-                    _check_group_worker,
+                    worker_fn,
                     payload_head + ([prepared[i] for i in indexes],),
                 ): indexes
                 for indexes in cold_groups
@@ -701,7 +728,7 @@ class ContainmentChecker:
                         time.sleep(POOL_RETRY_BACKOFF * attempt)
                         try:
                             group_results = executor.submit(
-                                _check_group_worker, payload
+                                worker_fn, payload
                             ).result(timeout=timeout)
                         except FuturesTimeout:
                             # A retry that wedges is as wedged as a

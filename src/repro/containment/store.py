@@ -24,6 +24,22 @@ The store is the unit of sharing: hand one instance to several
 :func:`~repro.containment.minimize.minimize_query`, UCQ containment, the
 batch pipeline ...) and they all draw from the same chase pool.
 
+**The persistent tier.**  With ``persist`` set (a snapshot directory, a
+``.db`` path, or a ready :class:`~repro.store.snapshot.SnapshotStore`),
+the store layers the in-memory LRU over an on-disk snapshot database
+(:mod:`repro.store`): a memory miss probes the disk before chasing, and
+runs are written back per ``snapshot_policy`` (``"always"`` at session
+close, ``"evict"`` on LRU eviction, ``"manual"`` only via :meth:`flush`).
+The lookup path is therefore *memory LRU -> disk snapshot -> recompute*.
+Snapshots are level-segmented, so a request at bound ``b`` hydrates only
+the prefix up to ``b`` (deeper segments stay on disk); hydration that
+covers the request is counted as a ``snapshot_hits`` outcome, hydration of
+a shallower prefix resumes ``extend_to`` from the persisted levels.  A
+``read_only`` store serves snapshots but never writes — this is how pool
+workers attach to the database the parent flushed.  Disk errors degrade
+gracefully: an unreadable snapshot is treated as a miss, a failed write is
+skipped — persistence never turns a computable answer into an error.
+
 **Concurrency.**  The store is safe to share between threads — the
 service layer (:mod:`repro.service`) makes concurrent access the norm.
 Bookkeeping (the LRU dict, the counters) is guarded by one store mutex;
@@ -39,19 +55,31 @@ store may transiently exceed ``capacity`` when every entry is in use.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
 
 from ..chase.engine import ChaseConfig, ChaseEngine, ChaseRun
 from ..core.query import ConjunctiveQuery
 from ..dependencies.dependency import Dependency
 from ..dependencies.sigma_fl import SIGMA_FL
 from ..obs import OBS_OFF, MetricsRegistry, Observability
+from ..store.codec import dependency_fingerprint, key_digest
+from ..store.config import SNAPSHOT_POLICIES, StoreConfig
+from ..store.snapshot import SnapshotError, SnapshotStore
 
-__all__ = ["ChaseStore", "StoreStats", "OUTCOME_FULL", "OUTCOME_HIT", "OUTCOME_EXTEND"]
+__all__ = [
+    "ChaseStore",
+    "StoreStats",
+    "OUTCOME_FULL",
+    "OUTCOME_HIT",
+    "OUTCOME_EXTEND",
+    "OUTCOME_SNAPSHOT",
+]
 
 #: A fresh chase was run (first time this canonical query is seen).
 OUTCOME_FULL = "full-chase"
@@ -59,6 +87,8 @@ OUTCOME_FULL = "full-chase"
 OUTCOME_HIT = "cache-hit"
 #: The stored prefix was incrementally extended to the requested bound.
 OUTCOME_EXTEND = "cache-extend"
+#: The request was served by hydrating a persisted snapshot — no chase work.
+OUTCOME_SNAPSHOT = "snapshot-hit"
 
 
 @dataclass
@@ -77,6 +107,10 @@ class StoreStats:
     evictions: int = 0
     #: Runs currently held by the store (entries added minus evicted/cleared).
     live_entries: int = 0
+    #: Memory misses served entirely by hydrating a persisted snapshot.
+    snapshot_hits: int = 0
+    #: Runs written to the persistent snapshot tier.
+    snapshot_stores: int = 0
     registry: Optional[MetricsRegistry] = field(
         default=None, repr=False, compare=False
     )
@@ -88,13 +122,13 @@ class StoreStats:
 
     @property
     def reuses(self) -> int:
-        """Requests served without a fresh chase (hits + extensions)."""
-        return self.hits + self.extensions
+        """Requests served without a fresh chase (hits, extensions, snapshots)."""
+        return self.hits + self.extensions + self.snapshot_hits
 
     @property
     def requests(self) -> int:
         """Total lookups served, whatever the outcome."""
-        return self.hits + self.misses + self.extensions
+        return self.hits + self.misses + self.extensions + self.snapshot_hits
 
     # -- mirrored mutators ---------------------------------------------------
 
@@ -123,6 +157,18 @@ class StoreStats:
         if self.registry is not None:
             self.registry.counter("store.requests", outcome="extend").inc()
 
+    def record_snapshot_hit(self) -> None:
+        """Count a request served entirely from a persisted snapshot."""
+        self.snapshot_hits += 1
+        if self.registry is not None:
+            self.registry.counter("store.requests", outcome="snapshot").inc()
+
+    def record_snapshot_store(self) -> None:
+        """Count one run written to the persistent snapshot tier."""
+        self.snapshot_stores += 1
+        if self.registry is not None:
+            self.registry.counter("store.snapshot_stores").inc()
+
     def record_eviction(self, n: int = 1) -> None:
         """Count ``n`` entries dropped by the LRU eviction policy."""
         self.evictions += n
@@ -149,13 +195,16 @@ class StoreStats:
             "extensions": self.extensions,
             "evictions": self.evictions,
             "live_entries": self.live_entries,
+            "snapshot_hits": self.snapshot_hits,
+            "snapshot_stores": self.snapshot_stores,
         }
 
     def __str__(self) -> str:
         return (
             f"{self.requests} chase requests: {self.misses} full, "
-            f"{self.extensions} extended, {self.hits} hits "
-            f"({self.evictions} evictions)"
+            f"{self.extensions} extended, {self.hits} hits, "
+            f"{self.snapshot_hits} snapshot hits "
+            f"({self.evictions} evictions, {self.snapshot_stores} persisted)"
         )
 
 
@@ -176,6 +225,17 @@ class ChaseStore:
         stored chases emit ``chase.*`` spans and metrics), each lookup
         opens a ``store.lookup`` span, and :attr:`stats` mirrors into its
         metrics registry.
+    persist:
+        Enable the persistent tier: a snapshot directory, a ``.db`` file
+        path, or an already-open :class:`~repro.store.snapshot.SnapshotStore`.
+        ``None`` keeps the store memory-only.
+    snapshot_policy:
+        When runs are written back to disk — one of
+        :data:`~repro.store.config.SNAPSHOT_POLICIES` (``"always"`` /
+        ``"evict"`` / ``"manual"``).
+    read_only:
+        Attach the snapshot database read-only: hydrate from it, never
+        write.  The pool-worker attach path uses this.
     """
 
     def __init__(
@@ -186,9 +246,17 @@ class ChaseStore:
         reorder_join: bool = True,
         max_steps: Optional[int] = 200_000,
         obs: Optional[Observability] = None,
+        persist: Optional[Union[str, Path, SnapshotStore]] = None,
+        snapshot_policy: str = "always",
+        read_only: bool = False,
     ):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
+        if snapshot_policy not in SNAPSHOT_POLICIES:
+            raise ValueError(
+                f"snapshot_policy must be one of {SNAPSHOT_POLICIES}, "
+                f"got {snapshot_policy!r}"
+            )
         self.dependencies = tuple(dependencies)
         self.capacity = capacity
         self.obs = obs if obs is not None else OBS_OFF
@@ -207,6 +275,51 @@ class ChaseStore:
         # (pinned runs are never evicted, so no waiter loses its lock).
         self._key_locks: dict[tuple, threading.RLock] = {}
         self._pins: dict[tuple, int] = {}
+        # The persistent tier (repro.store): a level-segmented snapshot
+        # database probed on memory misses and written per snapshot_policy.
+        if persist is None:
+            self._snapshots: Optional[SnapshotStore] = None
+        elif isinstance(persist, SnapshotStore):
+            self._snapshots = persist
+        else:
+            self._snapshots = SnapshotStore(persist, read_only=read_only)
+        self._policy = snapshot_policy
+        self._read_only = read_only or (
+            self._snapshots is not None and self._snapshots.read_only
+        )
+        self._fingerprint = dependency_fingerprint(self.dependencies)
+        # Last-persisted state marker per snapshot key, so unchanged runs
+        # are never rewritten (session-close persistence stays O(1) when
+        # the session only read).
+        self._persisted: dict[str, tuple] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        dependencies: Sequence[Dependency] = SIGMA_FL,
+        config: Optional[StoreConfig] = None,
+        *,
+        reorder_join: bool = True,
+        max_steps: Optional[int] = 200_000,
+        obs: Optional[Observability] = None,
+    ) -> "ChaseStore":
+        """A store wired from a :class:`~repro.store.config.StoreConfig`.
+
+        This is the canonical constructor of the redesigned storage API:
+        the service/serve layers resolve one config object and build their
+        stores here, instead of re-spelling capacity/path/policy kwargs.
+        """
+        config = config if config is not None else StoreConfig()
+        return cls(
+            dependencies,
+            capacity=config.capacity,
+            reorder_join=reorder_join,
+            max_steps=max_steps,
+            obs=obs,
+            persist=config.path,
+            snapshot_policy=config.snapshot_policy,
+            read_only=config.read_only,
+        )
 
     # -- the one lookup path -------------------------------------------------
 
@@ -253,7 +366,14 @@ class ChaseStore:
             self._pins[key] = self._pins.get(key, 0) + 1
         try:
             with lock:
-                yield self.open(query, level_bound)
+                pair = self.open(query, level_bound)
+                try:
+                    yield pair
+                finally:
+                    # Session close is the "always" policy's write point:
+                    # the key lock is still held, so the run is quiescent,
+                    # and the no-op marker makes read-only sessions free.
+                    self._maybe_persist(key, pair[0], trigger="session")
         finally:
             with self._mutex:
                 remaining = self._pins.get(key, 0) - 1
@@ -285,21 +405,53 @@ class ChaseStore:
             key = query.canonical_key()
             with self._mutex:
                 run = self._runs.get(key)
-                if run is None:
-                    self.stats.record_miss()
-                    run = self.engine.start(query)
+                if (
+                    run is not None
+                    and run.hydrated_partial
+                    and not run.covers(level_bound)
+                ):
+                    # A level-truncated hydration must never be extended
+                    # (its deeper segments live only on disk): drop it and
+                    # re-probe the snapshot for a deeper prefix.
+                    del self._runs[key]
+                    self.stats.entry_removed()
+                    run = None
+                if run is not None:
+                    if not run.covers(level_bound):
+                        self.stats.record_extension()
+                        outcome = OUTCOME_EXTEND
+                    else:
+                        self.stats.record_hit()
+                        outcome = OUTCOME_HIT
+                    self._runs.move_to_end(key)
+                    self._evict_over_capacity(protect=key)
+                    entries = len(self._runs)
+            if run is None:
+                # Memory miss: probe the persistent tier.  The disk read
+                # and instance rebuild happen outside the store mutex —
+                # callers serialize same-key work via session().
+                run = self._hydrate(query, level_bound)
+                covered = run is not None and run.covers(level_bound)
+                with self._mutex:
+                    if run is None:
+                        self.stats.record_miss()
+                        run = self.engine.start(query)
+                        outcome = OUTCOME_FULL
+                    elif covered:
+                        self.stats.record_snapshot_hit()
+                        outcome = OUTCOME_SNAPSHOT
+                    else:
+                        # The snapshot held a shallower prefix: resume
+                        # extend_to from the persisted levels — still far
+                        # cheaper than re-chasing from level 0.
+                        self.stats.record_extension()
+                        outcome = OUTCOME_EXTEND
+                    if key not in self._runs:
+                        self.stats.entry_added()
                     self._runs[key] = run
-                    self.stats.entry_added()
-                    outcome = OUTCOME_FULL
-                elif not run.covers(level_bound):
-                    self.stats.record_extension()
-                    outcome = OUTCOME_EXTEND
-                else:
-                    self.stats.record_hit()
-                    outcome = OUTCOME_HIT
-                self._runs.move_to_end(key)
-                self._evict_over_capacity(protect=key)
-                entries = len(self._runs)
+                    self._runs.move_to_end(key)
+                    self._evict_over_capacity(protect=key)
+                    entries = len(self._runs)
             if tracer.enabled:
                 span.set(outcome=outcome, bound=level_bound, entries=entries)
         return run, outcome
@@ -312,6 +464,10 @@ class ChaseStore:
         evicted, so a run cannot vanish while a thread is extending or
         reading it.  When every entry is pinned the store stays over
         capacity until sessions close — correctness beats the LRU bound.
+
+        With a persistent tier attached, a victim's chase state is written
+        to disk before it leaves memory (policies ``"always"``/``"evict"``)
+        — eviction demotes a run to the snapshot tier instead of erasing it.
         """
         if self.capacity is None:
             return
@@ -324,10 +480,177 @@ class ChaseStore:
             if key != protect and not self._pins.get(key)
         ][:over]
         for key in victims:
+            self._maybe_persist(key, self._runs[key], trigger="evict")
             del self._runs[key]
             self._key_locks.pop(key, None)
             self.stats.record_eviction()
             self.stats.entry_removed()
+
+    # -- the persistent tier ---------------------------------------------------
+
+    @property
+    def snapshots(self) -> Optional[SnapshotStore]:
+        """The attached snapshot database, or ``None`` when memory-only."""
+        return self._snapshots
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        """Path of the snapshot database file (``None`` when memory-only).
+
+        This string is what the zero-pickle parallel path ships to pool
+        workers: each worker re-attaches read-only by path instead of
+        receiving pickled chase runs.
+        """
+        if self._snapshots is None:
+            return None
+        return str(self._snapshots.path)
+
+    @property
+    def snapshot_policy(self) -> str:
+        """The configured write-back policy (``always``/``evict``/``manual``)."""
+        return self._policy
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the persistent tier is attached read-only."""
+        return self._read_only
+
+    def _snapshot_key(self, key: tuple) -> str:
+        """The disk row key for a canonical key under this store's Sigma."""
+        return key_digest(key, self._fingerprint)
+
+    def _hydrate(
+        self, query: ConjunctiveQuery, level_bound: Optional[int]
+    ) -> Optional[ChaseRun]:
+        """Rebuild a run from the persistent tier, or ``None``.
+
+        Loads only the fact segments a covering request needs (levels up to
+        *level_bound*); a snapshot that covers the request yields a
+        ready-to-read run, a shallower one yields a resumable run whose
+        next ``extend_to`` continues from the persisted prefix.  Returns
+        ``None`` — a plain miss — when there is no snapshot database, no
+        row for the key, the engine tracks chase graphs (snapshots carry no
+        provenance), or the row cannot be read (corrupt/locked files
+        degrade to recompute, never to an error).
+        """
+        snapshots = self._snapshots
+        if snapshots is None or self.engine.config.track_graph:
+            return None
+        digest = self._snapshot_key(query.canonical_key())
+        try:
+            summary = snapshots.peek(digest)
+            if summary is None:
+                return None
+            covers = (
+                summary["failed"]
+                or summary["saturated"]
+                or (level_bound is not None and level_bound <= summary["bound"])
+            )
+            if covers and not summary["failed"] and level_bound is not None:
+                # Level-segmented load: materialize only the prefix this
+                # request can see; deeper segments stay on disk.
+                snap = snapshots.load(digest, max_level=level_bound)
+                if snap is not None and snap.partial:
+                    snap = replace(snap, bound=level_bound)
+            else:
+                snap = snapshots.load(digest)
+        except (SnapshotError, sqlite3.Error, OSError, ValueError):
+            return None
+        if snap is None:
+            return None
+        run = ChaseRun.from_snapshot(self.engine, query, snap)
+        if not run.hydrated_partial:
+            # Seed the no-op marker: a run just read from disk must not be
+            # written straight back at session close.
+            self._persisted[digest] = (
+                run.bound,
+                run.failed,
+                run.saturated,
+                len(run.instance),
+            )
+        return run
+
+    def _maybe_persist(self, key: tuple, run: ChaseRun, *, trigger: str) -> None:
+        """Write *run* to the snapshot tier when the policy covers *trigger*.
+
+        Triggers: ``"session"`` (session close — policy ``always``),
+        ``"evict"`` (LRU demotion — policies ``always``/``evict``) and
+        ``"flush"`` (explicit — any policy).  Partial hydrations are never
+        written back (their deeper segments exist only on disk), unchanged
+        runs are skipped via the per-key marker, and write errors are
+        swallowed — a full disk must not fail a containment request.
+        """
+        snapshots = self._snapshots
+        if snapshots is None or self._read_only:
+            return
+        if trigger == "session" and self._policy != "always":
+            return
+        if trigger == "evict" and self._policy == "manual":
+            return
+        if run.hydrated_partial or not run._started:
+            return
+        digest = self._snapshot_key(key)
+        marker = (run.bound, run.failed, run.saturated, len(run.instance))
+        if self._persisted.get(digest) == marker:
+            return
+        try:
+            snapshots.save(digest, run.snapshot_state())
+        except (SnapshotError, sqlite3.Error, OSError):
+            return
+        self._persisted[digest] = marker
+        self.stats.record_snapshot_store()
+
+    def flush(self) -> int:
+        """Persist every in-memory run to the snapshot tier, now.
+
+        Takes each key's session lock so a run mid-extension is never
+        serialized half-written; returns how many runs were actually
+        stored (unchanged runs are skipped).  This is what the parallel
+        ``check_all`` path calls before dispatching attach descriptors,
+        and what the ``"manual"`` policy relies on.  A no-op (returns 0)
+        without a persistent tier or on a read-only attach.
+        """
+        if self._snapshots is None or self._read_only:
+            return 0
+        with self._mutex:
+            keys = list(self._runs.keys())
+        written = 0
+        for key in keys:
+            with self._mutex:
+                if key not in self._runs:
+                    continue
+                lock = self._key_locks.get(key)
+                if lock is None:
+                    lock = self._key_locks[key] = threading.RLock()
+                self._pins[key] = self._pins.get(key, 0) + 1
+            try:
+                with lock:
+                    with self._mutex:
+                        run = self._runs.get(key)
+                    if run is None:
+                        continue
+                    before = self.stats.snapshot_stores
+                    self._maybe_persist(key, run, trigger="flush")
+                    written += self.stats.snapshot_stores - before
+            finally:
+                with self._mutex:
+                    remaining = self._pins.get(key, 0) - 1
+                    if remaining <= 0:
+                        self._pins.pop(key, None)
+                    else:
+                        self._pins[key] = remaining
+        return written
+
+    def close(self) -> None:
+        """Flush (unless the policy is ``"manual"``) and detach the snapshot DB.
+
+        Memory-only stores are unaffected; idempotent.
+        """
+        if self._snapshots is None:
+            return
+        if self._policy != "manual":
+            self.flush()
+        self._snapshots.close()
 
     # -- inspection ----------------------------------------------------------
 
@@ -361,8 +684,14 @@ class ChaseStore:
 
         Runs pinned by an open :meth:`session` survive — clearing under a
         concurrent extension must not pull the run out from under it.
+        With a persistent tier, dropped runs are demoted to disk first
+        (under the same policies as eviction), so ``clear()`` sheds memory
+        without losing chase work.
         """
         with self._mutex:
+            for key, run in self._runs.items():
+                if not self._pins.get(key):
+                    self._maybe_persist(key, run, trigger="evict")
             survivors = OrderedDict(
                 (key, run)
                 for key, run in self._runs.items()

@@ -50,6 +50,7 @@ from ..api import Engine
 from ..core.errors import AdmissionRejected, ReproError
 from ..governance import ExecutionBudget
 from ..obs import OBS_OFF, Observability
+from ..store import StoreConfig, resolve_store_config
 from .protocol import (
     OPS,
     PROTOCOL_VERSION,
@@ -129,10 +130,19 @@ class ContainmentServer:
         Service-wide :class:`~repro.governance.ExecutionBudget` envelope
         applied inside every shard; tenant and per-request budgets merge
         into it elementwise-min.
-    max_active, max_pending, max_workers, store_capacity, result_cache,
-    kernel, obs:
+    store_config:
+        One :class:`~repro.store.StoreConfig` shared by every shard.  A
+        config with a ``path`` points all shards at **one** snapshot
+        database: each shard hydrates only the keys it is routed (their
+        in-memory LRUs stay disjoint), and a killed, restarted or
+        *resharded* fleet reattaches to the same file and answers repeat
+        requests from the persisted store without re-chasing.
+    max_active, max_pending, max_workers, kernel, obs:
         Per-shard :class:`~repro.api.Engine` configuration (each shard
         gets its own store and admission queue of this size).
+    store_capacity, result_cache:
+        **Deprecated** — pre-``StoreConfig`` forms of the two cache
+        sizes; still honoured with a ``DeprecationWarning``.
     """
 
     def __init__(
@@ -144,8 +154,9 @@ class ContainmentServer:
         max_active: int = 8,
         max_pending: int = 64,
         max_workers: Optional[int] = None,
+        store_config: Optional[StoreConfig] = None,
         store_capacity: Optional[int] = None,
-        result_cache: int = 4096,
+        result_cache: Optional[int] = None,
         kernel: str = "auto",
         obs: Optional[Observability] = None,
     ):
@@ -154,14 +165,19 @@ class ContainmentServer:
         self.obs = obs if obs is not None else OBS_OFF
         self.router = ShardRouter(shards)
         self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.store_config = resolve_store_config(
+            store_config,
+            store_capacity=store_capacity,
+            result_cache=result_cache,
+            owner="ContainmentServer",
+        )
         self.engines = [
             Engine(
                 budget=budget,
                 max_active=max_active,
                 max_pending=max_pending,
                 max_workers=max_workers,
-                store_capacity=store_capacity,
-                result_cache=result_cache,
+                store_config=self.store_config,
                 kernel=kernel,
                 obs=obs,
             )

@@ -55,6 +55,7 @@ from ..dependencies import SIGMA_FL
 from ..dependencies.dependency import Dependency
 from ..governance import CancelScope, ExecutionBudget
 from ..obs import OBS_OFF, Observability
+from ..store import StoreConfig, resolve_store_config
 from .pool import WorkerPool
 from .queue import AdmissionQueue
 
@@ -102,14 +103,17 @@ class ContainmentService:
         Admission limits (see :class:`~repro.service.queue.AdmissionQueue`).
     max_workers:
         Size of the warm process pool used by :meth:`check_all`.
-    result_cache:
-        Decided verdicts remembered across requests (LRU entries;
-        ``0`` disables the cache).
-    store_capacity:
-        LRU capacity of the :class:`~repro.containment.store.ChaseStore`
-        built when *store* is ``None`` (``None`` = the store default).
-        The serve layer sizes each shard's store with this knob so a
-        shard's warm set matches its key range.
+    store_config:
+        One :class:`~repro.store.StoreConfig` describing the whole
+        storage stack — chase-store LRU capacity, optional persistent
+        snapshot path + write-back policy, read-only attach, and the
+        decided-verdict cache size.  Built only when *store* is ``None``;
+        the serve layer shards share one ``path`` so a restarted fleet
+        comes back warm.
+    result_cache, store_capacity:
+        **Deprecated** scattered forms of *store_config* — still honoured
+        (they override the config's fields) but each emits a
+        ``DeprecationWarning``.  See ``docs/api.md`` for the migration.
     obs:
         Observability sink shared by the checker, store, pool and queue.
     kernel:
@@ -131,16 +135,24 @@ class ContainmentService:
         max_active: int = 8,
         max_pending: int = 64,
         max_workers: Optional[int] = None,
-        result_cache: int = 4096,
+        store_config: Optional[StoreConfig] = None,
+        result_cache: Optional[int] = None,
         store_capacity: Optional[int] = None,
         obs: Optional[Observability] = None,
         kernel: str = "auto",
     ):
         self.obs = obs if obs is not None else OBS_OFF
-        if store is None and store_capacity is not None:
-            store = ChaseStore(
+        config = resolve_store_config(
+            store_config,
+            store_capacity=store_capacity,
+            result_cache=result_cache,
+            owner="ContainmentService",
+        )
+        self.store_config = config
+        if store is None:
+            store = ChaseStore.from_config(
                 dependencies,
-                capacity=store_capacity,
+                config,
                 reorder_join=reorder_join,
                 max_steps=max_steps,
                 obs=obs,
@@ -162,7 +174,7 @@ class ContainmentService:
         self.stats = ServiceStats()
         self._inflight: dict[tuple, Future] = {}
         self._inflight_lock = threading.Lock()
-        self._result_capacity = result_cache
+        self._result_capacity = config.result_cache
         self._results: OrderedDict[tuple, ContainmentResult] = OrderedDict()
         self._closed = False
 
@@ -365,6 +377,10 @@ class ContainmentService:
         """
         drained = self.queue.drain(timeout=timeout)
         self.pool.close(wait=True)
+        # Flush in-memory chase runs to the snapshot tier and detach the
+        # database (no-op for memory-only stores) — a restarted service
+        # pointed at the same path comes back warm.
+        self.store.close()
         self._closed = True
         return drained
 

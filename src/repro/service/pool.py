@@ -33,6 +33,7 @@ __all__ = [
     "WorkerPool",
     "PoolStats",
     "check_group_worker",
+    "check_group_attached",
     "POOL_MAX_RETRIES",
     "POOL_RETRY_BACKOFF",
     "POOL_TIMEOUT_GRACE",
@@ -89,6 +90,62 @@ def check_group_worker(payload: tuple) -> list:
     )
     return [
         checker.check(q1, q2, level_bound=bound) for q1, q2, bound in items
+    ]
+
+
+#: Per-process cache of attached checkers, keyed by the attach descriptor
+#: head.  A pool worker builds its checker (and opens the snapshot
+#: database) once per pool lifetime, then serves every later group from
+#: the same warm store — this retained chase state, plus never pickling a
+#: ChaseRun across the pipe, is what makes parallel ``check_all`` pay.
+_ATTACHED: dict = {}
+
+
+def check_group_attached(payload: tuple) -> list:
+    """Decide one chase group by attaching to a shared snapshot database.
+
+    The zero-pickle sibling of :func:`check_group_worker`: instead of a
+    private throwaway checker per task, the payload carries the *path* of
+    the parent's snapshot database (:mod:`repro.store`) and the worker
+    attaches **read-only** — hydrating exactly the keys and level prefixes
+    its groups need, never receiving pickled chase state.  The attached
+    checker is cached in ``_ATTACHED`` per process, so repeated batches
+    reuse both the SQLite connection and every chase hydrated or computed
+    so far (a warm in-memory LRU above the shared disk tier).
+
+    Budgets govern worker-side exactly as in :func:`check_group_worker`.
+    Fault injection is intentionally *not* supported on this path — fault
+    plans ship through the legacy pickled-payload worker, keeping the
+    attached cache deterministic.
+    """
+    from ..containment.bounded import ContainmentChecker
+    from ..containment.store import ChaseStore
+
+    db_path, dependencies, reorder_join, max_steps, anytime, budget, kernel, items = (
+        payload
+    )
+    cache_key = (db_path, tuple(dependencies), reorder_join, max_steps, kernel)
+    checker = _ATTACHED.get(cache_key)
+    if checker is None:
+        store = ChaseStore(
+            dependencies,
+            reorder_join=reorder_join,
+            max_steps=max_steps,
+            persist=db_path,
+            read_only=True,
+        )
+        checker = ContainmentChecker(
+            dependencies,
+            reorder_join=reorder_join,
+            max_steps=max_steps,
+            store=store,
+            anytime=anytime,
+            kernel=kernel,
+        )
+        _ATTACHED[cache_key] = checker
+    return [
+        checker.check(q1, q2, level_bound=bound, anytime=anytime, budget=budget)
+        for q1, q2, bound in items
     ]
 
 

@@ -1,0 +1,114 @@
+"""Serialization codec for persisted chase snapshots.
+
+The on-disk snapshot format (:mod:`repro.store.snapshot`) stores terms and
+atoms as compact JSON, not pickles: the encoding is stable across Python
+versions and processes, human-inspectable with any SQLite shell, and — unlike
+pickle — cannot execute code on load.  Terms round-trip through the interning
+constructors in :mod:`repro.core.terms`, so decoded atoms compare identical
+(``is``-equal) to freshly built ones.
+
+Snapshot rows are addressed by :func:`key_digest`: a BLAKE2b digest of the
+query's :meth:`~repro.core.query.ConjunctiveQuery.canonical_key` *combined
+with* a :func:`dependency_fingerprint` of the dependency set the chase ran
+under.  Folding the dependencies into the key means one database file can
+hold snapshots for several constraint sets side by side, and a store opened
+with a different Sigma can never serve a stale chase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "FORMAT_VERSION",
+    "encode_term",
+    "decode_term",
+    "encode_atom",
+    "decode_atom",
+    "encode_terms",
+    "decode_terms",
+    "dependency_fingerprint",
+    "key_digest",
+]
+
+#: Version stamp of the snapshot schema; bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+_JSON_KW = {"separators": (",", ":"), "sort_keys": False}
+
+
+def encode_term(term: Term) -> list:
+    """The JSON-ready form of a term: ``["c", name]``/``["v", name]``/``["n", index]``."""
+    if isinstance(term, Constant):
+        return ["c", term.name]
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    if isinstance(term, Null):
+        return ["n", term.index]
+    raise TypeError(f"not a term: {term!r}")
+
+
+def decode_term(data: Sequence) -> Term:
+    """Inverse of :func:`encode_term`; re-enters the interning constructors."""
+    kind, payload = data
+    if kind == "c":
+        return Constant(payload)
+    if kind == "v":
+        return Variable(payload)
+    if kind == "n":
+        return Null(payload)
+    raise ValueError(f"unknown term tag {kind!r}")
+
+
+def encode_atom(atom: Atom) -> str:
+    """One atom as a JSON string ``[predicate, [term, ...]]``."""
+    return json.dumps(
+        [atom.predicate, [encode_term(t) for t in atom.args]], **_JSON_KW
+    )
+
+
+def decode_atom(text: str) -> Atom:
+    """Inverse of :func:`encode_atom`."""
+    predicate, args = json.loads(text)
+    return Atom(predicate, tuple(decode_term(t) for t in args))
+
+
+def encode_terms(terms: Iterable[Term]) -> str:
+    """A term tuple (e.g. a chased head) as a JSON string."""
+    return json.dumps([encode_term(t) for t in terms], **_JSON_KW)
+
+
+def decode_terms(text: str) -> tuple[Term, ...]:
+    """Inverse of :func:`encode_terms`."""
+    return tuple(decode_term(t) for t in json.loads(text))
+
+
+def dependency_fingerprint(dependencies: Iterable) -> str:
+    """A short stable digest of a dependency set.
+
+    TGD/EGD ``__str__`` is deterministic (label, body, head in declaration
+    order), so joining the rendered rules pins down the constraint set
+    exactly; the fingerprint is folded into every :func:`key_digest` so
+    snapshots chased under different Sigmas never collide.
+    """
+    text = "\n".join(str(d) for d in dependencies)
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def key_digest(canonical_key: tuple, fingerprint: str) -> str:
+    """The snapshot row key for a query chased under a fingerprinted Sigma.
+
+    ``canonical_key`` is :meth:`ConjunctiveQuery.canonical_key` — already
+    invariant under variable renaming — rendered via ``repr`` (tuples of
+    strings and ints render deterministically).
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(repr(canonical_key).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(fingerprint.encode("ascii"))
+    return digest.hexdigest()

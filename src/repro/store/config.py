@@ -1,0 +1,122 @@
+"""`StoreConfig` — one object configuring every storage tier.
+
+Before this module, storage knobs were scattered per layer: ``Engine`` took
+``store_capacity`` and ``result_cache``, ``ContainmentService`` took the
+same pair again, ``ContainmentServer`` forwarded them per shard, and the
+CLI re-spelled each as a flag.  :class:`StoreConfig` replaces the scatter
+with a single frozen value threaded through every layer, and adds the
+persistent tier's knobs (snapshot path, write policy, read-only attach).
+
+The old kwargs keep working: :func:`resolve_store_config` folds them into a
+config while emitting :class:`DeprecationWarning` — the same
+deprecate-but-forward pattern :mod:`repro.containment` uses for its PEP 562
+import shims.  See docs/api.md for the migration table.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["SNAPSHOT_POLICIES", "StoreConfig", "resolve_store_config"]
+
+#: Valid values of :attr:`StoreConfig.snapshot_policy`:
+#:
+#: * ``"always"`` — persist a run every time a store session closes with
+#:   new chase state (the default; a restarted process comes back warm);
+#: * ``"evict"`` — persist only when the in-memory LRU evicts an entry
+#:   (disk is a spill tier, hot keys stay memory-only until pressure);
+#: * ``"manual"`` — persist only on an explicit
+#:   :meth:`~repro.containment.store.ChaseStore.flush`.
+SNAPSHOT_POLICIES = ("always", "evict", "manual")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Storage configuration shared by every layer of the stack.
+
+    Attributes
+    ----------
+    capacity:
+        Entries kept by the in-memory :class:`~repro.containment.store.ChaseStore`
+        LRU (must be >= 1).
+    path:
+        Snapshot directory (or a ``.db`` file path) enabling the persistent
+        tier; ``None`` keeps the store memory-only.
+    snapshot_policy:
+        When runs are written to disk — one of :data:`SNAPSHOT_POLICIES`.
+    read_only:
+        Attach the snapshot database read-only (``mode=ro``): serve from
+        existing snapshots, never write.  This is how pool workers attach.
+    result_cache:
+        Capacity of the service-layer decided-result LRU (0 disables it).
+    """
+
+    capacity: int = 128
+    path: Optional[Union[str, Path]] = None
+    snapshot_policy: str = "always"
+    read_only: bool = False
+    result_cache: int = 4096
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {self.capacity}")
+        if self.snapshot_policy not in SNAPSHOT_POLICIES:
+            raise ValueError(
+                f"snapshot_policy must be one of {SNAPSHOT_POLICIES}, "
+                f"got {self.snapshot_policy!r}"
+            )
+        if self.result_cache < 0:
+            raise ValueError(
+                f"result_cache must be >= 0, got {self.result_cache}"
+            )
+        if self.read_only and self.path is None:
+            raise ValueError("read_only=True requires a snapshot path")
+
+    @property
+    def persistent(self) -> bool:
+        """Whether the persistent tier is enabled (a path is configured)."""
+        return self.path is not None
+
+    def with_overrides(self, **changes) -> "StoreConfig":
+        """A copy with the given fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+def resolve_store_config(
+    config: Optional[StoreConfig] = None,
+    *,
+    store_capacity: Optional[int] = None,
+    result_cache: Optional[int] = None,
+    owner: str = "ContainmentService",
+    stacklevel: int = 3,
+) -> StoreConfig:
+    """Merge legacy per-layer kwargs into one :class:`StoreConfig`.
+
+    ``store_capacity``/``result_cache`` are the deprecated pre-`repro.store`
+    spellings; passing either emits a :class:`DeprecationWarning` naming the
+    owning class and folds the value into the returned config (legacy kwargs
+    win over the config's fields, matching what the old signatures did).
+    ``None`` means "not given" for both, so existing callers that never
+    touched the kwargs resolve to the plain defaults warning-free.
+    """
+    resolved = config if config is not None else StoreConfig()
+    if store_capacity is not None:
+        warnings.warn(
+            f"{owner}(store_capacity=...) is deprecated; pass "
+            "store_config=StoreConfig(capacity=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        resolved = replace(resolved, capacity=store_capacity)
+    if result_cache is not None:
+        warnings.warn(
+            f"{owner}(result_cache=...) is deprecated; pass "
+            "store_config=StoreConfig(result_cache=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        resolved = replace(resolved, result_cache=result_cache)
+    return resolved

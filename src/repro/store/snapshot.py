@@ -1,0 +1,366 @@
+"""On-disk, level-segmented snapshot store for chase runs (SQLite, stdlib).
+
+A :class:`SnapshotStore` is one SQLite database file holding, per snapshot
+key (see :func:`repro.store.codec.key_digest`):
+
+* a ``runs`` row — the run's scalar state (bound reached, failed/saturated
+  flags, null counter, per-rule counters, the EGD-rewritten head);
+* ``facts`` rows — every conjunct of the chased instance tagged with its
+  **level** and deriving rule, so a reader can hydrate just the prefix up
+  to a requested level without materializing deeper segments.
+
+Durability model: writes run inside a single transaction per save using
+SQLite's rollback journal, so a process killed mid-write leaves the previous
+snapshot intact and the database readable (the journal rolls back on the
+next open).  The rollback journal is chosen over WAL deliberately — WAL's
+``-shm`` sidecar breaks truly read-only multi-process attach, which is
+exactly how pool workers open the store.
+
+Concurrency model: any number of processes may attach read-only
+(``mode=ro`` URI); writers serialize through SQLite's file lock with a 30 s
+busy timeout, which is how the :mod:`repro.serve` shards share one store
+directory.  Within a process a store serializes its connection behind a
+lock, matching the thread-safety contract of
+:class:`~repro.containment.store.ChaseStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..core.atoms import Atom
+from ..core.errors import ReproError
+from ..core.terms import Term
+from .codec import (
+    FORMAT_VERSION,
+    decode_atom,
+    decode_terms,
+    encode_atom,
+    encode_terms,
+)
+
+__all__ = ["DB_FILENAME", "RunSnapshot", "SnapshotError", "SnapshotStore"]
+
+#: File name used inside a store *directory* (a path ending in ``.db`` is
+#: taken as the database file itself).
+DB_FILENAME = "chase.db"
+
+_BUSY_TIMEOUT_MS = 30_000
+
+
+class SnapshotError(ReproError):
+    """A snapshot database could not be opened or carries an alien format."""
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """A pure-data image of one chase run, as stored on disk.
+
+    ``facts`` is level-segmented: a tuple of ``(level, rule, atom)`` triples
+    sorted by level.  ``partial`` marks a snapshot whose facts were
+    truncated to a requested level on load — a partial image answers
+    questions up to that level but must never be extended or persisted
+    back (its dropped segments would be silently re-derived against a
+    truncated prefix).
+    """
+
+    query: str
+    bound: int
+    failed: bool
+    saturated: bool
+    null_counter: int
+    counters: dict = field(default_factory=dict)
+    head: tuple[Term, ...] = ()
+    facts: tuple[tuple[int, str, Atom], ...] = ()
+    max_level: int = 0
+    partial: bool = False
+
+
+class SnapshotStore:
+    """One SQLite snapshot database, read-write or read-only attached.
+
+    Parameters
+    ----------
+    path:
+        A directory (the database lives at ``<path>/chase.db``) or a path
+        ending in ``.db``.  Read-write opens create missing directories and
+        the schema; read-only opens require an existing file.
+    read_only:
+        Attach with SQLite's ``mode=ro`` — no locks are ever taken for
+        writing, which is what makes pool-worker attach safe and cheap.
+    """
+
+    def __init__(self, path: Union[str, Path], *, read_only: bool = False):
+        self.path = self.resolve_db_path(path)
+        self.read_only = read_only
+        self._lock = threading.Lock()
+        if read_only:
+            if not self.path.exists():
+                raise SnapshotError(f"no snapshot database at {self.path}")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = self._connect()
+            self._ensure_schema()
+        except sqlite3.Error as exc:
+            raise SnapshotError(f"cannot open snapshot store {self.path}: {exc}") from exc
+
+    @staticmethod
+    def resolve_db_path(path: Union[str, Path]) -> Path:
+        """Map a store path (directory or ``.db`` file) to the database file."""
+        p = Path(path)
+        if p.suffix == ".db":
+            return p
+        return p / DB_FILENAME
+
+    def _connect(self) -> sqlite3.Connection:
+        if self.read_only:
+            uri = f"file:{self.path}?mode=ro"
+            conn = sqlite3.connect(uri, uri=True, timeout=30.0, check_same_thread=False)
+        else:
+            conn = sqlite3.connect(str(self.path), timeout=30.0, check_same_thread=False)
+        conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        return conn
+
+    def _ensure_schema(self) -> None:
+        if self.read_only:
+            version = self._format_version()
+            if version is not None and version != FORMAT_VERSION:
+                raise SnapshotError(
+                    f"snapshot store {self.path} is format v{version}, "
+                    f"this build reads v{FORMAT_VERSION}"
+                )
+            return
+        with self._conn:
+            self._conn.executescript(
+                """
+                CREATE TABLE IF NOT EXISTS meta(
+                    key TEXT PRIMARY KEY, value TEXT NOT NULL);
+                CREATE TABLE IF NOT EXISTS runs(
+                    key TEXT PRIMARY KEY,
+                    query TEXT NOT NULL,
+                    bound INTEGER NOT NULL,
+                    failed INTEGER NOT NULL,
+                    saturated INTEGER NOT NULL,
+                    null_counter INTEGER NOT NULL,
+                    counters TEXT NOT NULL,
+                    head TEXT NOT NULL,
+                    max_level INTEGER NOT NULL,
+                    fact_count INTEGER NOT NULL,
+                    updated REAL NOT NULL);
+                CREATE TABLE IF NOT EXISTS facts(
+                    run_key TEXT NOT NULL,
+                    level INTEGER NOT NULL,
+                    rule TEXT NOT NULL,
+                    atom TEXT NOT NULL);
+                CREATE INDEX IF NOT EXISTS facts_by_run_level
+                    ON facts(run_key, level);
+                """
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES('format_version', ?)",
+                (str(FORMAT_VERSION),),
+            )
+        version = self._format_version()
+        if version != FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot store {self.path} is format v{version}, "
+                f"this build writes v{FORMAT_VERSION}"
+            )
+
+    def _format_version(self) -> Optional[int]:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='format_version'"
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return None  # no meta table yet: empty/foreign file
+        return int(row[0]) if row else None
+
+    # -- writes --------------------------------------------------------------
+
+    def save(self, key: str, snapshot: RunSnapshot) -> None:
+        """Persist *snapshot* under *key*, atomically replacing any old image.
+
+        One transaction covers the runs row and every facts row; a crash
+        mid-save rolls back to the previous image on the next open.
+        """
+        if self.read_only:
+            raise SnapshotError(f"snapshot store {self.path} is attached read-only")
+        rows = [
+            (key, level, rule, encode_atom(atom))
+            for level, rule, atom in snapshot.facts
+        ]
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM facts WHERE run_key=?", (key,))
+            self._conn.executemany(
+                "INSERT INTO facts(run_key, level, rule, atom) VALUES(?,?,?,?)",
+                rows,
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs(key, query, bound, failed, saturated,"
+                " null_counter, counters, head, max_level, fact_count, updated)"
+                " VALUES(?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    key,
+                    snapshot.query,
+                    snapshot.bound,
+                    int(snapshot.failed),
+                    int(snapshot.saturated),
+                    snapshot.null_counter,
+                    json.dumps(snapshot.counters, separators=(",", ":")),
+                    encode_terms(snapshot.head),
+                    snapshot.max_level,
+                    len(rows),
+                    time.time(),
+                ),
+            )
+
+    def delete(self, key: str) -> bool:
+        """Drop one snapshot; True if a runs row existed."""
+        if self.read_only:
+            raise SnapshotError(f"snapshot store {self.path} is attached read-only")
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM facts WHERE run_key=?", (key,))
+            cur = self._conn.execute("DELETE FROM runs WHERE key=?", (key,))
+            return cur.rowcount > 0
+
+    def vacuum(self) -> tuple[int, int]:
+        """Compact the database file; returns ``(bytes_before, bytes_after)``."""
+        if self.read_only:
+            raise SnapshotError(f"snapshot store {self.path} is attached read-only")
+        before = self.file_size()
+        with self._lock:
+            self._conn.execute("VACUUM")
+        return before, self.file_size()
+
+    # -- reads ---------------------------------------------------------------
+
+    def load(self, key: str, max_level: Optional[int] = None) -> Optional[RunSnapshot]:
+        """Hydrate the snapshot stored under *key*, or None.
+
+        With *max_level* set, only fact segments at levels ``<= max_level``
+        are materialized; the returned snapshot is then flagged ``partial``
+        whenever deeper segments were left on disk.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT query, bound, failed, saturated, null_counter,"
+                " counters, head, max_level FROM runs WHERE key=?",
+                (key,),
+            ).fetchone()
+            if row is None:
+                return None
+            query, bound, failed, saturated, null_counter, counters, head, top = row
+            if max_level is None or failed:
+                fact_rows = self._conn.execute(
+                    "SELECT level, rule, atom FROM facts WHERE run_key=?"
+                    " ORDER BY level, atom",
+                    (key,),
+                ).fetchall()
+                partial = False
+            else:
+                fact_rows = self._conn.execute(
+                    "SELECT level, rule, atom FROM facts WHERE run_key=? AND level<=?"
+                    " ORDER BY level, atom",
+                    (key, max_level),
+                ).fetchall()
+                partial = top > max_level
+        return RunSnapshot(
+            query=query,
+            bound=bound,
+            failed=bool(failed),
+            saturated=bool(saturated),
+            null_counter=null_counter,
+            counters=json.loads(counters),
+            head=decode_terms(head),
+            facts=tuple(
+                (level, rule, decode_atom(atom)) for level, rule, atom in fact_rows
+            ),
+            max_level=top,
+            partial=partial,
+        )
+
+    def peek(self, key: str) -> Optional[dict]:
+        """The scalar state of a stored run without decoding its facts."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT query, bound, failed, saturated, max_level, fact_count,"
+                " updated FROM runs WHERE key=?",
+                (key,),
+            ).fetchone()
+        if row is None:
+            return None
+        query, bound, failed, saturated, max_level, fact_count, updated = row
+        return {
+            "query": query,
+            "bound": bound,
+            "failed": bool(failed),
+            "saturated": bool(saturated),
+            "max_level": max_level,
+            "facts": fact_count,
+            "updated": updated,
+        }
+
+    def keys(self) -> list[str]:
+        """Every snapshot key, in insertion-agnostic sorted order."""
+        with self._lock:
+            rows = self._conn.execute("SELECT key FROM runs ORDER BY key").fetchall()
+        return [r[0] for r in rows]
+
+    def entries(self) -> list[dict]:
+        """One :meth:`peek`-shaped dict per stored run (for ``flq store inspect``)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, query, bound, failed, saturated, max_level,"
+                " fact_count, updated FROM runs ORDER BY key"
+            ).fetchall()
+        return [
+            {
+                "key": key,
+                "query": query,
+                "bound": bound,
+                "failed": bool(failed),
+                "saturated": bool(saturated),
+                "max_level": max_level,
+                "facts": fact_count,
+                "updated": updated,
+            }
+            for key, query, bound, failed, saturated, max_level, fact_count, updated in rows
+        ]
+
+    def stats(self) -> dict:
+        """Aggregate counts: stored runs, fact rows, and file size in bytes."""
+        with self._lock:
+            runs = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            facts = self._conn.execute("SELECT COUNT(*) FROM facts").fetchone()[0]
+        return {"runs": runs, "facts": facts, "bytes": self.file_size()}
+
+    def file_size(self) -> int:
+        """Current size of the database file in bytes (0 if absent)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        return f"SnapshotStore({self.path}, {mode})"

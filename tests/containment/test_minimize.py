@@ -111,7 +111,8 @@ class TestMinimize:
         )
         result = minimize_query(q)
         assert set(result.store_stats) == {
-            "hits", "misses", "extensions", "evictions", "live_entries"
+            "hits", "misses", "extensions", "evictions", "live_entries",
+            "snapshot_hits", "snapshot_stores",
         }
         assert result.store_stats["misses"] > 0  # at least one fresh chase
 

@@ -72,6 +72,25 @@ class TestPaperMapping:
         for station in ("ADMIT", "COALESCE", "SCHEDULE", "GOVERN", "DECIDE"):
             assert station in arch, f"lifecycle station {station} undocumented"
 
+    def test_storage_tier_documented(self):
+        """The persistent store's API, tiers and runbook are written down."""
+        api = (REPO / "docs" / "api.md").read_text()
+        for symbol in ("repro.store.StoreConfig", "repro.store.SnapshotStore"):
+            assert symbol in api, f"{symbol} missing from docs/api.md"
+        assert "DeprecationWarning" in api  # the legacy-kwarg migration table
+        arch = (REPO / "docs" / "architecture.md").read_text()
+        for tier in ("MEMORY", "DISK", "RECOMPUTE"):
+            assert tier in arch, f"storage tier {tier} undocumented"
+        ops = (REPO / "docs" / "operations.md").read_text()
+        for needle in (
+            "flq store inspect",
+            "flq store warm",
+            "flq store vacuum",
+            "--store-path",
+            "--snapshot-policy",
+        ):
+            assert needle in ops, f"{needle} missing from docs/operations.md"
+
     def test_readme_links_both_new_docs(self):
         text = (REPO / "README.md").read_text()
         for target in ("docs/architecture.md", "docs/api.md"):

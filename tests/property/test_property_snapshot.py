@@ -1,0 +1,97 @@
+"""Property tests: persist-then-resume ≡ fresh chase (up to null renaming).
+
+The persistent-tier analogue of ``test_property_chase_run``: for any query
+and bounds ``b < b'``, chasing to ``b``, snapshotting through the on-disk
+store, hydrating into a *new* engine and extending the resumed run to
+``b'`` must produce an instance equal — modulo a bijective renaming of the
+invented nulls — to a fresh chase straight to ``b'``.  This is the
+round-trip the restarted :mod:`repro.serve` fleet and the zero-pickle pool
+workers both rely on.
+"""
+
+import tempfile
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseRun
+from repro.core.errors import ChaseBudgetExceeded
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.store import SnapshotStore, dependency_fingerprint, key_digest
+from repro.workloads.corpus import EXAMPLE2_QUERY, PAPER_QUERIES
+from repro.workloads.query_gen import QueryGenerator
+
+from .strategies import conjunctive_queries
+from .test_property_chase_run import equal_up_to_null_renaming
+
+RUN_SETTINGS = settings(max_examples=25, deadline=None)
+
+MAX_STEPS = 20_000
+
+_FINGERPRINT = dependency_fingerprint(SIGMA_FL)
+
+
+def _resume_pair(query, b, b_prime):
+    """(resumed-from-disk run at b', fresh run at b') or None on blowup."""
+    try:
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        first = engine.start(query)
+        first.extend_to(b)
+        digest = key_digest(query.canonical_key(), _FINGERPRINT)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = SnapshotStore(tmp)
+            store.save(digest, first.snapshot_state())
+            snap = store.load(digest)
+            store.close()
+        # A brand-new engine, as a restarted process would build.
+        resumed_engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        resumed = ChaseRun.from_snapshot(resumed_engine, query, snap)
+        resumed.extend_to(b_prime)
+        fresh_engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=MAX_STEPS))
+        fresh = fresh_engine.start(query)
+        fresh.extend_to(b_prime)
+    except ChaseBudgetExceeded:
+        return None
+    return resumed, fresh
+
+
+def assert_resume_equivalent(query, b, b_prime, *, hypothesis_driven=True):
+    pair = _resume_pair(query, b, b_prime)
+    if pair is None:
+        if hypothesis_driven:
+            assume(False)  # discard budget blowups inside hypothesis runs
+        raise AssertionError(f"chase budget exceeded on corpus query {query}")
+    resumed, fresh = pair
+    assert resumed.failed == fresh.failed
+    if resumed.failed:
+        return
+    # Saturated runs freeze their bound wherever saturation struck, which
+    # may differ between the two schedules — the instances are what must
+    # agree, not the level counter.
+    assert resumed.saturated == fresh.saturated
+    assert equal_up_to_null_renaming(
+        set(resumed.instance), set(fresh.instance)
+    ), (
+        f"persist@{b} → hydrate → extend_to({b_prime}) diverged from a "
+        f"fresh chase at {b_prime} on {query}"
+    )
+
+
+class TestPersistedResumeEqualsFresh:
+    @RUN_SETTINGS
+    @given(conjunctive_queries(max_atoms=4), st.integers(0, 3), st.integers(1, 5))
+    def test_random_hypothesis_queries(self, query, b, delta):
+        assert_resume_equivalent(query, b, b + delta)
+
+    @RUN_SETTINGS
+    @given(st.integers(0, 2 ** 31), st.integers(0, 3), st.integers(1, 4))
+    def test_generated_corpus_queries(self, seed, b, delta):
+        query = QueryGenerator(seed).query()
+        assert_resume_equivalent(query, b, b + delta)
+
+    def test_paper_corpus_queries(self):
+        for query in PAPER_QUERIES:
+            assert_resume_equivalent(query, 2, 6, hypothesis_driven=False)
+
+    def test_example2_deep_resume(self):
+        assert_resume_equivalent(EXAMPLE2_QUERY, 1, 10, hypothesis_driven=False)

@@ -1,0 +1,134 @@
+"""A restarted serving fleet answers repeat requests from the snapshot store.
+
+The acceptance scenario of the persistent tier: every shard of a
+:class:`~repro.serve.server.ContainmentServer` opens the same snapshot
+database, the ``"always"`` policy persists each decided chase at session
+close, and a server built later over the same path — a restart, or a
+fleet resharded to a different count — serves the repeat request as a
+``snapshot-hit`` with **zero** chase recomputation.  Exercised twice:
+in-process (handle_line), and end-to-end over ``flq serve`` stdio with the
+first process killed with SIGKILL (no graceful flush) between requests.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.serve import ConnectionState, ContainmentServer
+from repro.store import StoreConfig
+
+Q1_TEXT = "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."
+Q2_TEXT = "qq(A,B) :- T1[A*=>T2], T2[B*=>_]."
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def serve(line: str, server: ContainmentServer) -> dict:
+    return server.handle_line(line, ConnectionState())
+
+
+def check_line(request_id: int) -> str:
+    return json.dumps({"id": request_id, "q1": Q1_TEXT, "q2": Q2_TEXT})
+
+
+class TestInProcessRestart:
+    def test_restarted_server_hits_the_store(self, tmp_path):
+        config = StoreConfig(path=tmp_path / "chase.db")
+        with ContainmentServer(shards=2, store_config=config) as first:
+            response = serve(check_line(1), first)
+            assert response["ok"] is True
+            decision = response["decision"]
+
+        # A brand-new fleet over the same path: the repeat request must be
+        # answered from the persisted store, not by re-chasing.
+        with ContainmentServer(shards=2, store_config=config) as second:
+            response = serve(check_line(2), second)
+            assert response["ok"] is True
+            assert response["decision"] == decision
+            store = serve('{"op": "stats"}', second)["stats"]["store"]
+        assert store["misses"] == 0
+        assert store["snapshot_hits"] >= 1
+
+    def test_resharded_fleet_stays_warm(self, tmp_path):
+        config = StoreConfig(path=tmp_path / "chase.db")
+        with ContainmentServer(shards=1, store_config=config) as first:
+            assert serve(check_line(1), first)["ok"] is True
+        # Different shard count, same store directory: the query may land
+        # on a different shard, but every shard reads the same database.
+        with ContainmentServer(shards=3, store_config=config) as second:
+            assert serve(check_line(2), second)["ok"] is True
+            store = serve('{"op": "stats"}', second)["stats"]["store"]
+        assert store["misses"] == 0
+        assert store["snapshot_hits"] >= 1
+
+
+class TestKilledServeProcess:
+    def test_sigkilled_serve_restarts_warm(self, tmp_path):
+        """kill -9 between requests; the restart answers from the store."""
+        db = tmp_path / "chase.db"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--shards",
+            "2",
+            "--store-path",
+            str(db),
+        ]
+
+        first = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            first.stdin.write(check_line(1) + "\n")
+            first.stdin.flush()
+            response = json.loads(first.stdout.readline())
+            assert response["ok"] is True
+            decision = response["decision"]
+            # The "always" policy persisted at session close, *before* this
+            # kill — SIGKILL leaves no chance for an atexit flush.
+            first.send_signal(signal.SIGKILL)
+            first.wait(timeout=60)
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.wait(timeout=60)
+        assert db.exists()
+
+        second = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            second.stdin.write(check_line(2) + "\n")
+            second.stdin.write('{"op": "stats"}\n')
+            second.stdin.flush()
+            repeat = json.loads(second.stdout.readline())
+            stats = json.loads(second.stdout.readline())
+            second.stdin.close()  # EOF: stdio server exits 0
+            assert second.wait(timeout=60) == 0
+        finally:
+            if second.poll() is None:
+                second.kill()
+                second.wait(timeout=60)
+
+        assert repeat["ok"] is True
+        assert repeat["decision"] == decision
+        store = stats["stats"]["store"]
+        assert store["misses"] == 0  # no chase recomputation after restart
+        assert store["snapshot_hits"] >= 1

@@ -1,0 +1,82 @@
+"""Unit tests for the snapshot wire codec (repro.store.codec)."""
+
+import pytest
+
+from repro.core.atoms import data, member, sub, type_
+from repro.core.terms import Constant, Null, Variable
+from repro.dependencies.sigma_fl import SIGMA_FL, SIGMA_FL_MINUS
+from repro.store import (
+    decode_atom,
+    decode_term,
+    decode_terms,
+    dependency_fingerprint,
+    encode_atom,
+    encode_term,
+    encode_terms,
+    key_digest,
+)
+
+X = Variable("X")
+C = Constant("c")
+N = Null(7)
+
+
+class TestTermRoundTrip:
+    @pytest.mark.parametrize("term", [X, C, N, Variable("_G3"), Null(0)])
+    def test_round_trip(self, term):
+        assert decode_term(encode_term(term)) == term
+
+    def test_kinds_are_distinct(self):
+        # A constant named like a variable must not collapse into one.
+        assert decode_term(encode_term(Constant("X"))) == Constant("X")
+        assert decode_term(encode_term(Constant("X"))) != X
+
+    def test_terms_tuple_round_trip(self):
+        terms = (X, C, N)
+        assert decode_terms(encode_terms(terms)) == terms
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_term(["z", "what"])
+
+
+class TestAtomRoundTrip:
+    @pytest.mark.parametrize(
+        "atom",
+        [
+            member(X, C),
+            sub(C, C),
+            data(N, Variable("A"), Null(2)),
+            type_(X, Variable("A"), N),
+        ],
+    )
+    def test_round_trip(self, atom):
+        assert decode_atom(encode_atom(atom)) == atom
+
+    def test_encoding_is_deterministic(self):
+        assert encode_atom(member(X, C)) == encode_atom(member(X, C))
+
+
+class TestFingerprintAndKey:
+    def test_fingerprint_deterministic(self):
+        assert dependency_fingerprint(SIGMA_FL) == dependency_fingerprint(
+            tuple(SIGMA_FL)
+        )
+
+    def test_fingerprint_separates_sigma_sets(self):
+        assert dependency_fingerprint(SIGMA_FL) != dependency_fingerprint(
+            SIGMA_FL_MINUS
+        )
+
+    def test_key_digest_mixes_key_and_sigma(self):
+        fp = dependency_fingerprint(SIGMA_FL)
+        fp2 = dependency_fingerprint(SIGMA_FL_MINUS)
+        key = ("member", 2)
+        assert key_digest(key, fp) == key_digest(key, fp)
+        assert key_digest(key, fp) != key_digest(key, fp2)
+        assert key_digest(key, fp) != key_digest(("sub", 2), fp)
+
+    def test_key_digest_is_hex_and_filename_safe(self):
+        digest = key_digest(("q", "anything"), dependency_fingerprint(SIGMA_FL))
+        assert isinstance(digest, str)
+        int(digest, 16)  # pure hex

@@ -1,0 +1,178 @@
+"""ChaseStore's persistent tier: hydration, resume, policies, read-only."""
+
+import pytest
+
+from repro.containment.store import (
+    OUTCOME_EXTEND,
+    OUTCOME_FULL,
+    OUTCOME_SNAPSHOT,
+    ChaseStore,
+)
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.store import SnapshotStore, StoreConfig
+from repro.workloads.corpus import EXAMPLE2_QUERY, PAPER_QUERIES
+
+MAX_STEPS = 50_000
+
+
+def persistent_store(path, **kwargs):
+    kwargs.setdefault("max_steps", MAX_STEPS)
+    return ChaseStore(SIGMA_FL, persist=path, **kwargs)
+
+
+class TestRestartWarm:
+    def test_restart_serves_from_snapshot(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        first = persistent_store(db)
+        run, outcome = first.run_for(query, 4)
+        assert outcome == OUTCOME_FULL
+        bound = run.bound
+        first.close()
+
+        warm = persistent_store(db)
+        run, outcome = warm.run_for(query, 4)
+        assert outcome == OUTCOME_SNAPSHOT
+        assert warm.stats.misses == 0  # no chase recomputation
+        assert warm.stats.snapshot_hits == 1
+        assert run.bound >= 4
+        assert bound >= 4
+        warm.close()
+
+    def test_shallow_prefix_resumes_as_extension(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        first = persistent_store(db)
+        first.run_for(query, 2)
+        first.close()
+
+        warm = persistent_store(db)
+        run, outcome = warm.run_for(query, 6)
+        # The persisted prefix stops at level 2: the request resumes it.
+        assert outcome == OUTCOME_EXTEND
+        assert warm.stats.misses == 0
+        assert run.covers(6)
+        warm.close()
+
+    def test_partial_hydration_discarded_on_deeper_request(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        first = persistent_store(db)
+        deep, _ = first.run_for(query, 6)
+        stored_bound = deep.bound
+        first.close()
+
+        warm = persistent_store(db)
+        shallow, outcome = warm.open(query, 2)
+        assert outcome == OUTCOME_SNAPSHOT
+        assert shallow.hydrated_partial  # level-filtered load
+        # A deeper request must not extend the truncated image: the store
+        # drops it and re-probes the snapshot for the full prefix.
+        full, outcome = warm.open(query, stored_bound)
+        assert outcome == OUTCOME_SNAPSHOT
+        assert not full.hydrated_partial
+        assert full.covers(stored_bound)
+        warm.close()
+
+
+class TestSnapshotPolicies:
+    def test_always_writes_at_session_close(self, tmp_path):
+        store = persistent_store(tmp_path / "chase.db")
+        store.run_for(PAPER_QUERIES[0], 3)
+        assert store.stats.snapshot_stores == 1
+        store.close()
+
+    def test_manual_writes_only_on_flush(self, tmp_path):
+        db = tmp_path / "chase.db"
+        store = persistent_store(db, snapshot_policy="manual")
+        store.run_for(PAPER_QUERIES[0], 3)
+        assert store.stats.snapshot_stores == 0
+        assert store.flush() == 1
+        # close() must not double-write under the manual policy.
+        store.close()
+        reader = SnapshotStore(db, read_only=True)
+        try:
+            assert len(reader) == 1
+        finally:
+            reader.close()
+
+    def test_evict_writes_on_demotion(self, tmp_path):
+        store = persistent_store(
+            tmp_path / "chase.db", snapshot_policy="evict", capacity=1
+        )
+        store.run_for(PAPER_QUERIES[0], 3)
+        assert store.stats.snapshot_stores == 0  # still resident, not written
+        store.run_for(PAPER_QUERIES[1], 3)  # evicts the first run to disk
+        assert store.stats.snapshot_stores == 1
+        store.close()
+
+    def test_unchanged_run_not_rewritten(self, tmp_path):
+        store = persistent_store(tmp_path / "chase.db")
+        store.run_for(PAPER_QUERIES[0], 3)
+        assert store.stats.snapshot_stores == 1
+        # A read-only re-request leaves the run unchanged: no second write.
+        store.run_for(PAPER_QUERIES[0], 3)
+        assert store.stats.snapshot_stores == 1
+        assert store.flush() == 0
+        store.close()
+
+
+class TestReadOnlyAttach:
+    def test_attach_serves_and_never_writes(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        writer = persistent_store(db)
+        writer.run_for(query, 3)
+        writer.close()
+
+        reader = persistent_store(db, read_only=True)
+        run, outcome = reader.run_for(query, 3)
+        assert outcome == OUTCOME_SNAPSHOT
+        assert run.covers(3)
+        # Extending past the snapshot works in memory but never writes back.
+        deeper, outcome = reader.run_for(query, 5)
+        assert outcome == OUTCOME_EXTEND
+        assert deeper.covers(5)
+        assert reader.flush() == 0
+        assert reader.stats.snapshot_stores == 0
+        reader.close()
+
+        check = SnapshotStore(db, read_only=True)
+        try:
+            digest = check.keys()[0]
+            assert check.peek(digest)["bound"] == 3  # disk image untouched
+        finally:
+            check.close()
+
+
+class TestConfigAndLifecycle:
+    def test_from_config_wires_every_knob(self, tmp_path):
+        config = StoreConfig(
+            capacity=3, path=tmp_path / "chase.db", snapshot_policy="manual"
+        )
+        store = ChaseStore.from_config(SIGMA_FL, config, max_steps=MAX_STEPS)
+        assert store.capacity == 3
+        assert store.snapshot_policy == "manual"
+        assert store.snapshot_path == str(tmp_path / "chase.db")
+        assert not store.read_only
+        store.close()
+
+    def test_memory_only_store_has_no_snapshot_tier(self):
+        store = ChaseStore(SIGMA_FL, max_steps=MAX_STEPS)
+        assert store.snapshot_path is None
+        assert store.flush() == 0
+        store.close()  # no-op, must not raise
+
+    def test_clear_demotes_to_disk(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        store = persistent_store(db, snapshot_policy="evict")
+        store.run_for(query, 3)
+        assert store.stats.snapshot_stores == 0
+        store.clear()
+        assert len(store) == 0
+        assert store.stats.snapshot_stores == 1  # demoted, not lost
+        run, outcome = store.run_for(query, 3)
+        assert outcome == OUTCOME_SNAPSHOT
+        assert run.covers(3)
+        store.close()

@@ -1,0 +1,298 @@
+"""Unit tests for the on-disk snapshot store (repro.store.snapshot)."""
+
+import os
+import sqlite3
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseRun
+from repro.dependencies.sigma_fl import SIGMA_FL
+from repro.store import (
+    DB_FILENAME,
+    FORMAT_VERSION,
+    RunSnapshot,
+    SnapshotError,
+    SnapshotStore,
+    dependency_fingerprint,
+    key_digest,
+)
+from repro.workloads.corpus import EXAMPLE2_QUERY, PAPER_QUERIES
+from tests.property.test_property_chase_run import equal_up_to_null_renaming
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def subprocess_env():
+    """Child interpreters need ``repro`` (src/) and this test module importable."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    return env
+
+
+def chase_snapshot(query, bound):
+    """A RunSnapshot of *query* chased to *bound* levels."""
+    engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=50_000))
+    run = engine.start(query)
+    run.extend_to(bound)
+    return run.snapshot_state()
+
+
+def snapshot_key(query):
+    return key_digest(
+        query.canonical_key(), dependency_fingerprint(SIGMA_FL)
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = SnapshotStore(tmp_path / "chase.db")
+    yield s
+    s.close()
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, store):
+        query = PAPER_QUERIES[0]
+        snap = chase_snapshot(query, 4)
+        key = snapshot_key(query)
+        store.save(key, snap)
+        loaded = store.load(key)
+        assert loaded == snap
+        assert loaded.partial is False
+
+    def test_level_filtered_load_is_partial(self, store):
+        snap = chase_snapshot(EXAMPLE2_QUERY, 6)
+        assert snap.max_level >= 3  # EXAMPLE2 chases forever
+        key = snapshot_key(EXAMPLE2_QUERY)
+        store.save(key, snap)
+        shallow = store.load(key, max_level=2)
+        assert shallow.partial is True
+        assert all(level <= 2 for level, _, _ in shallow.facts)
+        assert len(shallow.facts) < len(snap.facts)
+        # Requesting at or past the stored depth is a full load again.
+        full = store.load(key, max_level=snap.max_level)
+        assert full.partial is False
+        assert full.facts == snap.facts
+
+    def test_missing_key_loads_none(self, store):
+        assert store.load("feedcafe") is None
+        assert store.peek("feedcafe") is None
+
+    def test_save_overwrites(self, store):
+        query = PAPER_QUERIES[0]
+        key = snapshot_key(query)
+        store.save(key, chase_snapshot(query, 1))
+        deeper = chase_snapshot(query, 5)
+        store.save(key, deeper)
+        assert store.load(key) == deeper
+        assert len(store) == 1
+
+    def test_peek_matches_saved_scalars(self, store):
+        query = PAPER_QUERIES[0]
+        snap = chase_snapshot(query, 3)
+        key = snapshot_key(query)
+        store.save(key, snap)
+        peeked = store.peek(key)
+        assert peeked["bound"] == snap.bound
+        assert peeked["saturated"] == snap.saturated
+        assert peeked["facts"] == len(snap.facts)
+
+
+class TestInspection:
+    def test_entries_stats_keys(self, store):
+        for query in PAPER_QUERIES[:3]:
+            store.save(snapshot_key(query), chase_snapshot(query, 2))
+        assert len(store.keys()) == 3
+        assert len(store.entries()) == 3
+        stats = store.stats()
+        assert stats["runs"] == 3
+        assert stats["facts"] > 0
+        assert stats["bytes"] > 0
+
+    def test_delete_and_vacuum(self, store):
+        query = PAPER_QUERIES[0]
+        key = snapshot_key(query)
+        store.save(key, chase_snapshot(query, 3))
+        store.delete(key)
+        assert store.load(key) is None
+        before, after = store.vacuum()
+        assert before >= after > 0
+
+
+class TestReadOnly:
+    def test_read_only_requires_existing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            SnapshotStore(tmp_path / "absent.db", read_only=True)
+
+    def test_read_only_serves_but_never_writes(self, tmp_path):
+        query = PAPER_QUERIES[0]
+        key = snapshot_key(query)
+        rw = SnapshotStore(tmp_path / "chase.db")
+        snap = chase_snapshot(query, 3)
+        rw.save(key, snap)
+        rw.close()
+        ro = SnapshotStore(tmp_path / "chase.db", read_only=True)
+        try:
+            assert ro.read_only
+            assert ro.load(key) == snap
+            with pytest.raises(SnapshotError):
+                ro.save(key, snap)
+            with pytest.raises(SnapshotError):
+                ro.vacuum()
+        finally:
+            ro.close()
+
+    def test_directory_path_appends_db_filename(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        try:
+            assert store.path.name == DB_FILENAME
+        finally:
+            store.close()
+
+
+class TestFormatGuard:
+    def test_foreign_format_version_rejected(self, tmp_path):
+        path = tmp_path / "chase.db"
+        SnapshotStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value=? WHERE key='format_version'",
+            (str(FORMAT_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(SnapshotError):
+            SnapshotStore(path)
+
+
+class TestCrashDurability:
+    def test_kill_mid_write_leaves_store_readable(self, tmp_path):
+        """A process killed inside save() must not corrupt prior rows."""
+        db = tmp_path / "chase.db"
+        query = PAPER_QUERIES[0]
+        key = snapshot_key(query)
+        first = chase_snapshot(query, 2)
+        store = SnapshotStore(db)
+        store.save(key, first)
+        store.close()
+        # The child monkeypatches the connection to die (os._exit) after
+        # the DELETE+INSERTs but before COMMIT, mid-transaction.
+        script = textwrap.dedent(
+            """
+            import os, sys
+            from repro.store import SnapshotStore
+            from repro.store.snapshot import SnapshotStore as S
+            import tests.store.test_snapshot as h
+
+            db, = sys.argv[1:]
+            store = SnapshotStore(db)
+            query = h.PAPER_QUERIES[0]
+            snap = h.chase_snapshot(query, 5)
+            conn = store._conn
+
+            class Dying:
+                def __init__(self, conn):
+                    self._conn = conn
+                def __enter__(self):
+                    return self._conn.__enter__()
+                def __exit__(self, *exc):
+                    return self._conn.__exit__(*exc)
+                def execute(self, *a, **k):
+                    return self._conn.execute(*a, **k)
+                def executemany(self, *a, **k):
+                    self._conn.executemany(*a, **k)
+                    os._exit(9)  # crash before the transaction commits
+                def __getattr__(self, name):
+                    return getattr(self._conn, name)
+
+            store._conn = Dying(conn)
+            store.save(h.snapshot_key(query), snap)
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(db)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=subprocess_env(),
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 9, proc.stderr
+        survivor = SnapshotStore(db)
+        try:
+            # The interrupted transaction rolled back: the old row is intact.
+            assert survivor.load(key) == first
+        finally:
+            survivor.close()
+
+
+class TestMultiProcessAttach:
+    def test_two_processes_see_identical_facts(self, tmp_path):
+        db = tmp_path / "chase.db"
+        query = EXAMPLE2_QUERY
+        key = snapshot_key(query)
+        writer = SnapshotStore(db)
+        writer.save(key, chase_snapshot(query, 5))
+        writer.close()
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.store import SnapshotStore
+            db, key = sys.argv[1:]
+            store = SnapshotStore(db, read_only=True)
+            snap = store.load(key)
+            for level, rule, atom in snap.facts:
+                print(level, rule, atom, sep="\\t")
+            store.close()
+            """
+        )
+        outputs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(db), key],
+                capture_output=True,
+                text=True,
+                timeout=120,
+                env=subprocess_env(),
+                cwd=str(REPO_ROOT),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip()  # non-empty fact listing
+
+
+class TestChaseRunHydration:
+    def test_from_snapshot_round_trips_state(self):
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=50_000))
+        run = engine.start(EXAMPLE2_QUERY)
+        run.extend_to(4)
+        snap = run.snapshot_state()
+        resumed = ChaseRun.from_snapshot(engine, EXAMPLE2_QUERY, snap)
+        assert resumed.hydrated
+        assert resumed.bound == run.bound
+        assert set(resumed.instance) == set(run.instance)
+        assert resumed.nulls.peek() == run.nulls.peek()
+
+    def test_resumed_extension_equals_fresh(self):
+        engine = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=50_000))
+        run = engine.start(EXAMPLE2_QUERY)
+        run.extend_to(3)
+        snap = run.snapshot_state()
+        resumed = ChaseRun.from_snapshot(engine, EXAMPLE2_QUERY, snap)
+        resumed.extend_to(6)
+        fresh = ChaseEngine(SIGMA_FL, ChaseConfig(max_steps=50_000)).start(
+            EXAMPLE2_QUERY
+        )
+        fresh.extend_to(6)
+        # The semi-naive resume may fire rules in a different order than the
+        # incremental run, so null *indices* can diverge — the instances are
+        # equal up to a bijective renaming of nulls (Lemma-style invariant).
+        assert resumed.bound == fresh.bound
+        assert len(set(resumed.instance)) == len(set(fresh.instance))
+        assert equal_up_to_null_renaming(set(resumed.instance), set(fresh.instance))
